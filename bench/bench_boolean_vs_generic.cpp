@@ -1,0 +1,136 @@
+/// \file bench_boolean_vs_generic.cpp
+/// \brief Experiment E1 — the abstract's headline claim.
+///
+/// "Operations specialized for Boolean matrices can be up to 5 times faster
+/// and consume up to 4 times less memory than generic, not the Boolean
+/// optimized, operations from modern libraries."
+///
+/// Workload: matrix squaring C = A * A (the standard SpGEMM stress test the
+/// SPbLA evaluation uses) and element-wise addition A + A^T, over R-MAT
+/// power-law matrices and generated RDF adjacency matrices. Comparators:
+///   boolean      — SPbLA's hash-set kernel, no value array
+///   generic-hash — same Nsparse structure with float hash-map accumulation
+///                  (the cuSPARSE-style comparator)
+///   generic-esc  — expand-sort-compress with float values (the CUSP-style
+///                  comparator; its expansion buffer is the memory hog)
+/// Reported memory = matrix footprints + peak tracked temporaries.
+#include <cstdio>
+
+#include "baseline/generic_csr.hpp"
+#include "baseline/generic_ewise_add.hpp"
+#include "baseline/generic_spgemm.hpp"
+#include "common.hpp"
+#include "data/lubm.hpp"
+#include "data/rdflike.hpp"
+#include "data/rmat.hpp"
+#include "ops/ewise_add.hpp"
+#include "ops/spgemm.hpp"
+#include "ops/transpose.hpp"
+
+namespace {
+
+using namespace spbla;
+using bench::ctx;
+
+struct Workload {
+    std::string name;
+    CsrMatrix matrix;
+};
+
+struct Measurement {
+    double seconds;
+    std::size_t bytes;  // result + temporaries
+};
+
+Measurement measure_boolean_square(const CsrMatrix& a) {
+    ctx().tracker().reset_peak();
+    CsrMatrix result{a.nrows(), a.ncols()};
+    const double s = bench::time_runs([&] { result = ops::multiply(ctx(), a, a); });
+    return {s, result.device_bytes() + ctx().tracker().peak_bytes()};
+}
+
+Measurement measure_generic_square(const CsrMatrix& a, bool esc) {
+    const auto g = baseline::GenericCsr::from_boolean(a);
+    ctx().tracker().reset_peak();
+    baseline::GenericCsr result{a.nrows(), a.ncols()};
+    const double s = bench::time_runs([&] {
+        result = esc ? baseline::multiply_esc(ctx(), g, g)
+                     : baseline::multiply_hash(ctx(), g, g);
+    });
+    return {s, result.device_bytes() + ctx().tracker().peak_bytes()};
+}
+
+Measurement measure_boolean_add(const CsrMatrix& a, const CsrMatrix& at) {
+    ctx().tracker().reset_peak();
+    CsrMatrix result{a.nrows(), a.ncols()};
+    const double s = bench::time_runs([&] { result = ops::ewise_add(ctx(), a, at); });
+    return {s, result.device_bytes() + ctx().tracker().peak_bytes()};
+}
+
+Measurement measure_generic_add(const CsrMatrix& a, const CsrMatrix& at) {
+    const auto ga = baseline::GenericCsr::from_boolean(a);
+    const auto gat = baseline::GenericCsr::from_boolean(at);
+    ctx().tracker().reset_peak();
+    baseline::GenericCsr result{a.nrows(), a.ncols()};
+    const double s =
+        bench::time_runs([&] { result = baseline::ewise_add(ctx(), ga, gat); });
+    return {s, result.device_bytes() + ctx().tracker().peak_bytes()};
+}
+
+}  // namespace
+
+int main() {
+    std::vector<Workload> workloads;
+    workloads.push_back({"rmat-11-8", data::make_rmat(11, 8)});
+    workloads.push_back({"rmat-13-8", data::make_rmat(13, 8)});
+    workloads.push_back({"rmat-14-4", data::make_rmat(14, 4)});
+    workloads.push_back({"lubm-100", data::make_lubm(100).union_matrix()});
+    workloads.push_back(
+        {"taxonomy-20k", data::make_taxonomy(20000, 2).union_matrix()});
+    workloads.push_back(
+        {"geospecies-30k", data::make_geospecies(30000, 24).union_matrix()});
+
+    std::printf("E1: Boolean-specialised vs generic kernels (paper: boolean up to "
+                "5x faster, up to 4x less memory)\n\n");
+    std::printf("-- SpGEMM: C = A * A ------------------------------------------"
+                "---------------------------------\n");
+    std::printf("%-16s %10s %10s | %9s %9s %9s %7s | %9s %9s %9s %7s\n", "matrix",
+                "|V|", "nnz", "bool ms", "gnrc ms", "esc ms", "speedup", "bool MB",
+                "gnrc MB", "esc MB", "mem x");
+    for (const auto& w : workloads) {
+        const auto b = measure_boolean_square(w.matrix);
+        const auto gh = measure_generic_square(w.matrix, /*esc=*/false);
+        const auto ge = measure_generic_square(w.matrix, /*esc=*/true);
+        const double worst_generic_s = gh.seconds > ge.seconds ? gh.seconds : ge.seconds;
+        const double worst_generic_b =
+            static_cast<double>(gh.bytes > ge.bytes ? gh.bytes : ge.bytes);
+        std::printf(
+            "%-16s %10u %10zu | %9.2f %9.2f %9.2f %6.2fx | %9.2f %9.2f %9.2f %6.2fx\n",
+            w.name.c_str(), w.matrix.nrows(), w.matrix.nnz(), b.seconds * 1e3,
+            gh.seconds * 1e3, ge.seconds * 1e3, worst_generic_s / b.seconds,
+            b.bytes / 1e6, gh.bytes / 1e6, ge.bytes / 1e6,
+            worst_generic_b / static_cast<double>(b.bytes));
+    }
+
+    std::printf("\n-- EWiseAdd: C = A + A^T --------------------------------------"
+                "-------------\n");
+    std::printf("%-16s %10s | %9s %9s %7s | %9s %9s %7s\n", "matrix", "nnz",
+                "bool ms", "gnrc ms", "speedup", "bool MB", "gnrc MB", "mem x");
+    for (const auto& w : workloads) {
+        const auto at = spbla::ops::transpose(ctx(), w.matrix);
+        const auto b = measure_boolean_add(w.matrix, at);
+        const auto g = measure_generic_add(w.matrix, at);
+        std::printf("%-16s %10zu | %9.2f %9.2f %6.2fx | %9.2f %9.2f %6.2fx\n",
+                    w.name.c_str(), w.matrix.nnz(), b.seconds * 1e3, g.seconds * 1e3,
+                    g.seconds / b.seconds, b.bytes / 1e6, g.bytes / 1e6,
+                    static_cast<double>(g.bytes) / static_cast<double>(b.bytes));
+    }
+    std::printf("\nExpected shape (the paper claims *up to* 5x/4x, not uniform "
+                "wins): the boolean kernel's advantage is largest on the "
+                "product-heavy power-law matrices (many duplicate partial "
+                "products collapse into the hash set) and smallest on very "
+                "sparse inputs where every kernel is bandwidth-bound; the ESC "
+                "comparator's memory blow-up grows with the raw product count "
+                "(its expansion buffer).\n");
+    return 0;
+}

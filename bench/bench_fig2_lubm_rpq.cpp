@@ -1,0 +1,63 @@
+/// \file bench_fig2_lubm_rpq.cpp
+/// \brief Experiment E4 — regenerates Figure 2: RPQ index-creation time for
+/// the LUBM series, all Table II query templates.
+///
+/// Methodology mirrors the paper: each template is instantiated with the
+/// most frequent relations of the graph, the same query set is used for
+/// every LUBM size, and the time reported is the index-creation (Kronecker
+/// product + transitive closure) average over repeated runs.
+#include <cstdio>
+
+#include "common.hpp"
+#include "datasets.hpp"
+#include "rpq/engine.hpp"
+#include "rpq/query_templates.hpp"
+
+int main() {
+    using namespace spbla;
+    const auto series = bench::lubm_series();
+
+    // The paper uses the same queries for all LUBM graphs: instantiate the
+    // templates once, from the smallest graph's frequent labels (the label
+    // distribution is identical across the series by construction).
+    const auto labels = series.front().graph.labels_by_frequency();
+
+    std::printf("E4 / Figure 2: RPQ index creation time (ms) over the LUBM series\n\n");
+    std::printf("%-7s", "query");
+    for (const auto& d : series) std::printf(" %11s", d.name.c_str());
+    std::printf("\n");
+    bench::rule(7 + 12 * static_cast<int>(series.size()));
+
+    double worst = 0.0;
+    std::string worst_query;
+    for (const auto& tpl : rpq::table2_templates()) {
+        if (labels.size() < tpl.arity) {
+            std::printf("%-7s  (skipped: graph has fewer labels than the "
+                        "template needs)\n",
+                        tpl.name.c_str());
+            continue;
+        }
+        const auto dfa = rpq::minimize(
+            rpq::determinize(rpq::glushkov(*tpl.instantiate(labels))));
+        std::printf("%-7s", tpl.name.c_str());
+        for (const auto& d : series) {
+            const double s = bench::time_runs(
+                [&] { (void)rpq::build_index(bench::ctx(), d.graph, dfa); },
+                /*runs=*/3);
+            std::printf(" %11.2f", s * 1e3);
+            std::fflush(stdout);
+            if (s > worst) {
+                worst = s;
+                worst_query = tpl.name;
+            }
+        }
+        std::printf("\n");
+    }
+    bench::rule(7 + 12 * static_cast<int>(series.size()));
+    std::printf("\nworst query: %s at %.2f s (paper: worst 6.26 s for Q14 at "
+                "~40x our scale; cheap queries Q2/Q5/Q11 stay far below the "
+                "a*-closure queries at every size — check the same ordering "
+                "holds above)\n",
+                worst_query.c_str(), worst);
+    return 0;
+}

@@ -1,0 +1,133 @@
+/// \file bench_ops_micro.cpp
+/// \brief Google-benchmark micro suite for every library primitive.
+///
+/// Not a paper artifact per se: this is the per-kernel performance
+/// regression net, parameterised over the R-MAT scale, that backs the
+/// ablation discussion in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+
+#include "algorithms/closure.hpp"
+#include "backend/context.hpp"
+#include "baseline/generic_spgemm.hpp"
+#include "core/convert.hpp"
+#include "data/rmat.hpp"
+#include "ops/ops.hpp"
+
+namespace {
+
+using namespace spbla;
+
+backend::Context& ctx() {
+    static backend::Context instance{backend::Policy::Parallel};
+    return instance;
+}
+
+const CsrMatrix& rmat(int scale) {
+    static std::map<int, CsrMatrix> cache;
+    auto it = cache.find(scale);
+    if (it == cache.end()) {
+        it = cache.emplace(scale, data::make_rmat(static_cast<Index>(scale), 8)).first;
+    }
+    return it->second;
+}
+
+void BM_SpGemmBoolean(benchmark::State& state) {
+    const auto& a = rmat(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::multiply(ctx(), a, a));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpGemmBoolean)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_SpGemmGenericHash(benchmark::State& state) {
+    const auto g = baseline::GenericCsr::from_boolean(rmat(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(baseline::multiply_hash(ctx(), g, g));
+    }
+}
+BENCHMARK(BM_SpGemmGenericHash)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_SpGemmGenericEsc(benchmark::State& state) {
+    const auto g = baseline::GenericCsr::from_boolean(rmat(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(baseline::multiply_esc(ctx(), g, g));
+    }
+}
+BENCHMARK(BM_SpGemmGenericEsc)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_EwiseAddCsr(benchmark::State& state) {
+    const auto& a = rmat(static_cast<int>(state.range(0)));
+    const auto at = ops::transpose(ctx(), a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::ewise_add(ctx(), a, at));
+    }
+}
+BENCHMARK(BM_EwiseAddCsr)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_EwiseAddCoo(benchmark::State& state) {
+    const auto a = to_coo(rmat(static_cast<int>(state.range(0))));
+    const auto at = to_coo(ops::transpose(ctx(), rmat(static_cast<int>(state.range(0)))));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::ewise_add(ctx(), a, at));
+    }
+}
+BENCHMARK(BM_EwiseAddCoo)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_Kronecker(benchmark::State& state) {
+    const auto& a = rmat(static_cast<int>(state.range(0)));
+    const auto small = data::make_rmat(4, 2, 77);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::kronecker(ctx(), small, a));
+    }
+}
+BENCHMARK(BM_Kronecker)->Arg(8)->Arg(10);
+
+void BM_Transpose(benchmark::State& state) {
+    const auto& a = rmat(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::transpose(ctx(), a));
+    }
+}
+BENCHMARK(BM_Transpose)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_Submatrix(benchmark::State& state) {
+    const auto& a = rmat(static_cast<int>(state.range(0)));
+    const Index half = a.nrows() / 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::submatrix(ctx(), a, half / 2, half / 2, half, half));
+    }
+}
+BENCHMARK(BM_Submatrix)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_ReduceToColumn(benchmark::State& state) {
+    const auto& a = rmat(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::reduce_to_column(ctx(), a));
+    }
+}
+BENCHMARK(BM_ReduceToColumn)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_TransitiveClosureSquaring(benchmark::State& state) {
+    const auto& a = rmat(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(algorithms::transitive_closure(
+            ctx(), a, algorithms::ClosureStrategy::Squaring));
+    }
+}
+BENCHMARK(BM_TransitiveClosureSquaring)->Arg(8)->Arg(10);
+
+void BM_TransitiveClosureLinear(benchmark::State& state) {
+    const auto& a = rmat(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(algorithms::transitive_closure(
+            ctx(), a, algorithms::ClosureStrategy::Linear));
+    }
+}
+BENCHMARK(BM_TransitiveClosureLinear)->Arg(8)->Arg(10);
+
+}  // namespace

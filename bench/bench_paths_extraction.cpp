@@ -1,0 +1,141 @@
+/// \file bench_paths_extraction.cpp
+/// \brief Experiment E8 — the paths-extraction paragraph of the evaluation.
+///
+/// The paper extracts "all paths with length not greater than 20 edges
+/// between all pairs of vertices" from the G1 indices of `go` and
+/// `eclass_514en`, reporting per-pair average and maximal extraction time
+/// plus path counts. This harness reproduces those statistics on the
+/// generated analogs (path count capped like the paper caps its run time).
+#include <cstdio>
+
+#include "cfpq/azimov.hpp"
+#include "cfpq/paths.hpp"
+#include "cfpq/queries.hpp"
+#include "cfpq/worklist.hpp"
+#include "common.hpp"
+#include "datasets.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spbla;
+
+/// Number of distinct walks from u to v whose labels spell \p word.
+/// The extractors deduplicate by *word*; the paper counts *paths*, and a
+/// word may be realised by many walks, so path count = sum over words of
+/// this DP. (A path determines its word, so nothing is double counted.)
+std::uint64_t walk_count(const data::LabeledGraph& g, Index u, Index v,
+                         const std::vector<std::string>& word) {
+    std::vector<std::uint64_t> cnt(g.num_vertices(), 0);
+    cnt[u] = 1;
+    for (const auto& label : word) {
+        std::vector<std::uint64_t> next(g.num_vertices(), 0);
+        const auto& m = g.matrix(label);
+        for (Index w = 0; w < g.num_vertices(); ++w) {
+            if (cnt[w] == 0) continue;
+            for (const auto t : m.row(w)) next[t] += cnt[w];
+        }
+        cnt = std::move(next);
+    }
+    return cnt[v];
+}
+
+}  // namespace
+
+int main() {
+    using namespace spbla;
+    const auto grammar = cfpq::query_g1();
+
+    std::printf("E8: all-paths extraction (length <= 20, word cap 256/pair) from "
+                "the G1 index. `paths` counts distinct walks (the paper's unit): "
+                "each extracted word is weighted by the number of walks "
+                "realising it.\n\n");
+    std::printf("%-15s %9s %9s | %11s %11s | %11s %11s %9s\n", "graph", "pairs",
+                "sampled", "avg ms", "max ms", "avg paths", "max paths", "avg len");
+    bench::rule(102);
+
+    for (const auto& d : bench::cfpq_rdf()) {
+        if (d.name != "go~" && d.name != "eclass_514en~") continue;
+        const auto index = cfpq::azimov_cfpq(bench::ctx(), d.graph, grammar);
+        const cfpq::PathExtractor extractor{bench::ctx(), d.graph, index};
+        const auto pairs = index.reachable().to_coords();
+
+        // Sample evenly across the answer set (the paper runs all pairs on a
+        // GPU box; full enumeration here would dominate the harness).
+        const std::size_t sample = pairs.size() < 400 ? pairs.size() : 400;
+        const std::size_t stride = pairs.empty() ? 1 : pairs.size() / (sample + 1) + 1;
+
+        double total_s = 0.0, max_s = 0.0;
+        std::uint64_t total_paths = 0, max_paths = 0, total_len = 0, total_words = 0;
+        std::size_t sampled = 0;
+        for (std::size_t k = 0; k < pairs.size(); k += stride) {
+            util::Timer timer;
+            const auto words = extractor.extract(pairs[k].row, pairs[k].col, 20, 256);
+            std::uint64_t pair_paths = 0;
+            for (const auto& w : words) {
+                pair_paths += walk_count(d.graph, pairs[k].row, pairs[k].col, w);
+            }
+            const double s = timer.seconds();
+            total_s += s;
+            if (s > max_s) max_s = s;
+            total_paths += pair_paths;
+            if (pair_paths > max_paths) max_paths = pair_paths;
+            for (const auto& w : words) total_len += w.size();
+            total_words += words.size();
+            ++sampled;
+        }
+        std::printf("%-15s %9zu %9zu | %11.3f %11.3f | %11.1f %11llu %9.1f\n",
+                    d.name.c_str(), pairs.size(), sampled,
+                    sampled ? total_s * 1e3 / sampled : 0.0, max_s * 1e3,
+                    sampled ? static_cast<double>(total_paths) / sampled : 0.0,
+                    static_cast<unsigned long long>(max_paths),
+                    total_words ? static_cast<double>(total_len) / total_words : 0.0);
+        std::fflush(stdout);
+    }
+    bench::rule(102);
+
+    // The paper's (source-commented) single-path comparison: "our generic
+    // all-path extraction procedure is more than 1000 times slower than
+    // Azimov's single path extraction". Same pairs, two extractors.
+    std::printf("\nE8b: single-path (provenance index) vs all-paths extraction, "
+                "per pair\n");
+    std::printf("%-15s %14s %14s %10s\n", "graph", "single us", "all-paths us",
+                "ratio");
+    bench::rule(58);
+    for (const auto& d : bench::cfpq_rdf()) {
+        if (d.name != "go~" && d.name != "eclass_514en~") continue;
+        const auto grammar2 = cfpq::query_g1();
+        const cfpq::SinglePathIndex single{d.graph, grammar2};
+        const auto mtx = cfpq::azimov_cfpq(bench::ctx(), d.graph, grammar2);
+        const cfpq::PathExtractor all{bench::ctx(), d.graph, mtx};
+
+        const auto pairs = single.reachable().to_coords();
+        const std::size_t sample = pairs.size() < 200 ? pairs.size() : 200;
+        const std::size_t stride = pairs.empty() ? 1 : pairs.size() / (sample + 1) + 1;
+        double single_s = 0, all_s = 0;
+        std::size_t sampled = 0;
+        for (std::size_t k = 0; k < pairs.size(); k += stride) {
+            std::vector<std::string> word;
+            util::Timer t1;
+            (void)single.extract_one(pairs[k].row, pairs[k].col, word);
+            single_s += t1.seconds();
+            util::Timer t2;
+            (void)all.extract(pairs[k].row, pairs[k].col, 20, 256);
+            all_s += t2.seconds();
+            ++sampled;
+        }
+        std::printf("%-15s %14.2f %14.2f %9.1fx\n", d.name.c_str(),
+                    sampled ? single_s * 1e6 / sampled : 0.0,
+                    sampled ? all_s * 1e6 / sampled : 0.0,
+                    single_s > 0 ? all_s / single_s : 0.0);
+        std::fflush(stdout);
+    }
+    bench::rule(58);
+
+    std::printf("\nPaper's observations to compare: go averages ~2.64 s/pair with "
+                "up to 217737 paths (184 paths/pair avg); eclass averages ~1.27 "
+                "s/pair with ~3 paths/pair. Expected shape: the go~ analog "
+                "yields orders of magnitude more paths per pair than the "
+                "eclass~ analog and costs correspondingly more per pair.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/// \file bench_semiring.cpp
+/// \brief Experiment E11 — the custom-semiring extension (the conclusion's
+/// Min-Plus direction): APSP via tropical closure, walk counting, and the
+/// price of genericity (generic BoolOrAnd kernel vs the specialised Boolean
+/// kernel on identical inputs).
+#include <cstdio>
+
+#include "common.hpp"
+#include "data/rmat.hpp"
+#include "data/worstcase.hpp"
+#include "ops/spgemm.hpp"
+#include "semiring/algorithms.hpp"
+#include "util/rng.hpp"
+
+int main() {
+    using namespace spbla;
+    using namespace spbla::semiring;
+
+    std::printf("E11a: all-pairs shortest paths via MinPlus closure\n");
+    std::printf("%10s %10s %12s %10s %12s\n", "|V|", "edges", "apsp ms", "rounds",
+                "pairs");
+    bench::rule(58);
+    util::Rng rng{2024};
+    for (const Index n : {64u, 128u, 256u, 512u}) {
+        std::vector<std::tuple<Index, Index, double>> triplets;
+        for (std::size_t k = 0; k < static_cast<std::size_t>(n) * 4; ++k) {
+            triplets.emplace_back(static_cast<Index>(rng.below(n)),
+                                  static_cast<Index>(rng.below(n)),
+                                  1.0 + static_cast<double>(rng.below(16)));
+        }
+        const auto adj = ValuedCsr<MinPlus>::from_triplets(n, n, std::move(triplets));
+        std::size_t rounds = 0;
+        ValuedCsr<MinPlus> result{n, n};
+        const double s = bench::time_runs(
+            [&] { result = apsp(bench::ctx(), adj, &rounds); }, 3);
+        std::printf("%10u %10zu %12.2f %10zu %12zu\n", n, adj.nnz(), s * 1e3, rounds,
+                    result.nnz());
+    }
+
+    std::printf("\nE11b: walk counting via PlusTimes powers (rmat scale 9)\n");
+    std::printf("%10s %14s %16s\n", "length", "ms", "total walks");
+    bench::rule(42);
+    {
+        const auto boolean = data::make_rmat(9, 2, 5);
+        const auto adj = lift<PlusTimes>(boolean);
+        for (const Index len : {2u, 3u, 4u}) {
+            ValuedCsr<PlusTimes> power{adj.nrows(), adj.ncols()};
+            const double s = bench::time_runs(
+                [&] { power = count_walks(bench::ctx(), adj, len); }, 3);
+            std::uint64_t total = 0;
+            for (Index r = 0; r < power.nrows(); ++r) {
+                for (const auto v : power.row_vals(r)) total += v;
+            }
+            std::printf("%10u %14.2f %16llu\n", len, s * 1e3,
+                        static_cast<unsigned long long>(total));
+        }
+    }
+
+    std::printf("\nE11c: the price of genericity — BoolOrAnd instance of the "
+                "generic kernel vs the specialised Boolean kernel (C = A * A)\n");
+    std::printf("%10s %12s %14s %10s\n", "scale", "native ms", "generic ms", "ratio");
+    bench::rule(50);
+    for (const Index scale : {9u, 10u, 11u}) {
+        const auto a = data::make_rmat(scale, 4, 7);
+        const auto lifted = lift<BoolOrAnd>(a);
+        const double native = bench::time_runs(
+            [&] { (void)ops::multiply(bench::ctx(), a, a); }, 3);
+        const double generic = bench::time_runs(
+            [&] { (void)semiring::multiply(bench::ctx(), lifted, lifted); }, 3);
+        std::printf("%10u %12.2f %14.2f %9.2fx\n", scale, native * 1e3, generic * 1e3,
+                    generic / native);
+    }
+
+    std::printf("\nExpected shapes: APSP rounds grow logarithmically; walk totals "
+                "explode with length on a power-law graph; the specialised "
+                "Boolean kernel beats its generic-semiring instantiation by a "
+                "clear constant factor — the same specialisation argument as "
+                "the paper's headline claim, one level up.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/// \file bench_table1_rpq_graphs.cpp
+/// \brief Experiment E2 — regenerates Table I: "Graphs for RPQ evaluation".
+///
+/// Prints the same rows the paper reports (#V, #E per graph) for the
+/// generated analogs, beside the paper's original numbers so the scale
+/// factor is visible.
+#include <cstdio>
+
+#include "common.hpp"
+#include "datasets.hpp"
+
+int main() {
+    using namespace spbla;
+    struct PaperRow {
+        const char* name;
+        std::uint64_t v, e;
+    };
+    // Table I of the paper (original numbers).
+    const PaperRow paper[] = {
+        {"LUBM1k~", 120926, 484646},     {"LUBM3.5k~", 358434, 1449711},
+        {"LUBM5.9k~", 596760, 2416513},  {"LUBM1M~", 1188340, 4820728},
+        {"LUBM1.7M~", 1780956, 7228358}, {"LUBM2.3M~", 2308385, 9369511},
+        {"Uniprotkb~", 6442630, 24465430},
+        {"Proteomes~", 4834262, 12366973},
+        {"Taxonomy~", 5728398, 14922125},
+        {"Geospecies~", 450609, 2201532},
+        {"Mappingbased~", 8332233, 25346359},
+    };
+
+    std::printf("E2 / Table I: graphs for RPQ evaluation (generated analogs)\n\n");
+    std::printf("%-14s %12s %12s | %12s %12s | %8s\n", "Graph", "#V", "#E",
+                "paper #V", "paper #E", "scale");
+    bench::rule(84);
+
+    auto print_group = [&](const std::vector<bench::Dataset>& group) {
+        for (const auto& d : group) {
+            const PaperRow* row = nullptr;
+            for (const auto& p : paper) {
+                if (d.name == p.name) row = &p;
+            }
+            const double scale =
+                row != nullptr
+                    ? static_cast<double>(row->v) / d.graph.num_vertices()
+                    : 0.0;
+            std::printf("%-14s %12s %12s | %12s %12s | %7.1fx\n", d.name.c_str(),
+                        bench::with_commas(d.graph.num_vertices()).c_str(),
+                        bench::with_commas(d.graph.num_edges()).c_str(),
+                        row ? bench::with_commas(row->v).c_str() : "-",
+                        row ? bench::with_commas(row->e).c_str() : "-", scale);
+        }
+        bench::rule(84);
+    };
+
+    print_group(bench::lubm_series());
+    print_group(bench::realworld_rpq());
+
+    std::printf("\nExpected shape: LUBM series keeps the paper's ~1:3:5:10:15:19 "
+                "size ratios and ~4 edges/vertex; analogs keep each paper "
+                "graph's edge/vertex density.\n");
+    return 0;
+}

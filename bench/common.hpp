@@ -1,0 +1,52 @@
+/// \file common.hpp
+/// \brief Shared harness utilities for the paper-reproduction benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "backend/context.hpp"
+#include "util/timer.hpp"
+
+namespace spbla::bench {
+
+/// Number of repetitions benchmarks average over (the paper uses 5).
+inline constexpr int kRuns = 5;
+
+/// Average wall-clock seconds of \p body over kRuns runs (plus one
+/// untimed warm-up run).
+inline double time_runs(const std::function<void()>& body, int runs = kRuns) {
+    body();  // warm-up
+    util::Timer timer;
+    for (int r = 0; r < runs; ++r) body();
+    return timer.seconds() / runs;
+}
+
+/// Shared parallel context for all benchmarks.
+inline backend::Context& ctx() {
+    static backend::Context instance{backend::Policy::Parallel};
+    return instance;
+}
+
+/// Print a horizontal rule sized to \p width.
+inline void rule(int width) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+/// Render a number with thousands separators (table-friendly).
+inline std::string with_commas(std::uint64_t v) {
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0) out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+}  // namespace spbla::bench

@@ -1,0 +1,81 @@
+/// \file datasets.hpp
+/// \brief The benchmark dataset catalog — scaled-down analogs of the
+/// paper's evaluation graphs (see DESIGN.md for the substitution table).
+///
+/// Scale note: the paper's graphs range from 45k to 8.3M vertices on a GPU
+/// testbed; this harness targets a single CPU core, so every analog is
+/// scaled down ~20-50x. Series *ratios* (the LUBM sweep) are preserved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/kernel_alias.hpp"
+#include "data/labeled_graph.hpp"
+#include "data/lubm.hpp"
+#include "data/rdflike.hpp"
+
+namespace spbla::bench {
+
+struct Dataset {
+    std::string name;        ///< paper graph it stands in for
+    data::LabeledGraph graph;
+};
+
+/// The LUBM series (paper: LUBM1k .. LUBM2.3M; here 1:40 scale, same
+/// geometric spacing of sizes).
+inline std::vector<Dataset> lubm_series() {
+    std::vector<Dataset> out;
+    out.push_back({"LUBM1k~", data::make_lubm(24)});
+    out.push_back({"LUBM3.5k~", data::make_lubm(72)});
+    out.push_back({"LUBM5.9k~", data::make_lubm(120)});
+    out.push_back({"LUBM1M~", data::make_lubm(240)});
+    out.push_back({"LUBM1.7M~", data::make_lubm(360)});
+    out.push_back({"LUBM2.3M~", data::make_lubm(465)});
+    return out;
+}
+
+/// The real-world RDF analogs of Table I's lower half.
+inline std::vector<Dataset> realworld_rpq() {
+    std::vector<Dataset> out;
+    out.push_back({"Uniprotkb~", data::make_property_graph(64000, 40, 3.8, 101)});
+    out.push_back({"Proteomes~", data::make_property_graph(48000, 30, 2.6, 102)});
+    out.push_back({"Taxonomy~", data::make_taxonomy(19000, 2, 103)});
+    out.push_back({"Geospecies~", data::make_geospecies(4500, 24, 104)});
+    out.push_back({"Mappingbased~", data::make_property_graph(83000, 60, 3.0, 105)});
+    return out;
+}
+
+/// The CFPQ graphs of Table III (upper half: RDF ontologies; lower half:
+/// Linux-kernel alias graphs), all with inverse labels attached since every
+/// CFPQ query uses them.
+inline std::vector<Dataset> cfpq_rdf() {
+    std::vector<Dataset> out;
+    const auto add = [&out](std::string name, data::LabeledGraph g) {
+        g.add_inverse_labels();
+        out.push_back({std::move(name), std::move(g)});
+    };
+    // Multi-parent probability differentiates the near-tree ontologies
+    // (eclass) from GO's heavily multi-parent DAG — the structural driver
+    // of the paper's path-count contrast in the extraction experiment.
+    add("eclass_514en~", data::make_ontology(6000, 0.8, 201, 0.05));
+    add("enzyme~", data::make_ontology(1200, 1.8, 202, 0.2));
+    add("geospecies~", data::make_geospecies(3000, 20, 203));
+    add("go~", data::make_ontology(7000, 0.65, 204, 0.6));
+    add("go-hierarchy~", data::make_ontology(1100, 0.0, 205, 0.6));
+    add("pathways~", data::make_ontology(300, 1.0, 206, 0.2));
+    add("taxonomy~", data::make_taxonomy(9000, 2, 207));
+    return out;
+}
+
+/// Alias graphs (already contain a_r / d_r).
+inline std::vector<Dataset> cfpq_alias() {
+    std::vector<Dataset> out;
+    out.push_back({"arch~", data::make_alias_graph(1700, 301)});
+    out.push_back({"crypto~", data::make_alias_graph(1725, 302)});
+    out.push_back({"drivers~", data::make_alias_graph(2100, 303)});
+    out.push_back({"fs~", data::make_alias_graph(2050, 304)});
+    return out;
+}
+
+}  // namespace spbla::bench

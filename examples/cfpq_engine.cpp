@@ -1,0 +1,81 @@
+/// \file cfpq_engine.cpp
+/// \brief Context-free path querying with both evaluation algorithms.
+///
+/// Runs the paper's G1 / G2 / Geo / MA queries over generated analogs of the
+/// evaluation datasets, with the tensor (`Tns`, all-paths) and Azimov
+/// (`Mtx`, single-path) algorithms side by side, then extracts witness
+/// paths from the index — the full Table IV + paths-extraction story in
+/// one executable.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "backend/context.hpp"
+#include "cfpq/azimov.hpp"
+#include "cfpq/paths.hpp"
+#include "cfpq/queries.hpp"
+#include "cfpq/tensor.hpp"
+#include "cfpq/tensor_paths.hpp"
+#include "data/kernel_alias.hpp"
+#include "data/rdflike.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void run_case(spbla::backend::Context& ctx, const char* graph_name,
+              const spbla::data::LabeledGraph& graph, const char* query_name,
+              const spbla::cfpq::Grammar& grammar) {
+    using namespace spbla;
+    std::printf("%-12s x %-4s  |V|=%-7u |E|=%-8zu", graph_name, query_name,
+                graph.num_vertices(), graph.num_edges());
+
+    util::Timer timer;
+    const auto tns = cfpq::tensor_cfpq(ctx, graph, grammar);
+    const double tns_ms = timer.millis();
+
+    timer.reset();
+    const auto mtx = cfpq::azimov_cfpq(ctx, graph, grammar);
+    const double mtx_ms = timer.millis();
+
+    std::printf("  answers=%-7zu Tns=%8.2f ms  Mtx=%8.2f ms\n",
+                mtx.reachable().nnz(), tns_ms, mtx_ms);
+
+    // Extract a few witness paths (<= 12 edges, <= 3 paths, bounded DFS
+    // work) from both indices: the CNF-based extractor over the Mtx index
+    // and the RSM-based extractor over the Tns index (the all-paths claim).
+    const cfpq::PathExtractor mtx_extractor{ctx, graph, mtx};
+    const cfpq::TensorPathExtractor tns_extractor{ctx, graph, grammar, tns};
+    std::size_t shown = 0;
+    for (const auto& pair : mtx.reachable().to_coords()) {
+        const auto words =
+            mtx_extractor.extract(pair.row, pair.col, 12, 3, nullptr, 50000);
+        if (words.empty()) continue;
+        std::printf("    %u -> %u via:", pair.row, pair.col);
+        for (const auto& l : words[0]) std::printf(" %s", l.c_str());
+        const auto tns_words = tns_extractor.extract(pair.row, pair.col, 12, 3, 50000);
+        std::printf("%s  [tensor extractor: %s]\n",
+                    words.size() > 1 ? "  (+ more)" : "",
+                    tns_words.empty() ? "DFS budget exhausted before a witness"
+                                      : "agrees");
+        if (++shown == 2) break;
+    }
+}
+
+}  // namespace
+
+int main() {
+    using namespace spbla;
+    backend::Context ctx{backend::Policy::Parallel};
+
+    auto ontology = data::make_ontology(3000, 1.0);
+    ontology.add_inverse_labels();
+    auto geo = data::make_geospecies(2000, 16);
+    geo.add_inverse_labels();
+    const auto alias = data::make_alias_graph(800);
+
+    run_case(ctx, "ontology", ontology, "G1", cfpq::query_g1());
+    run_case(ctx, "ontology", ontology, "G2", cfpq::query_g2());
+    run_case(ctx, "geospecies", geo, "Geo", cfpq::query_geo());
+    run_case(ctx, "alias", alias, "MA", cfpq::query_ma());
+    return 0;
+}

@@ -1,0 +1,175 @@
+/// \file spbla_cli.cpp
+/// \brief Command-line utility over the library: dataset generation, format
+/// conversion, graph statistics and one-shot queries.
+///
+/// Subcommands:
+///   generate <kind> <size> <out.triples>   kind: lubm | geospecies | taxonomy
+///                                                | alias | ontology
+///   stats <in.triples>                     vertex/edge/label statistics
+///   closure <in.mtx> [out.mtx]             transitive closure of a matrix
+///   square <in.mtx> [out.mtx]              C = A * A (the SpGEMM stress op)
+///   rpq <in.triples> <regex>               answer count for a regular query
+///   cfpq <in.triples> <g1|g2|geo|ma>       answer count, Tns and Mtx timings
+///
+/// Run without arguments for a self-demo that exercises every subcommand on
+/// a temporary generated dataset.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "algorithms/closure.hpp"
+#include "backend/context.hpp"
+#include "cfpq/azimov.hpp"
+#include "cfpq/queries.hpp"
+#include "cfpq/tensor.hpp"
+#include "data/io.hpp"
+#include "data/kernel_alias.hpp"
+#include "data/lubm.hpp"
+#include "data/matrix_market.hpp"
+#include "data/rdflike.hpp"
+#include "rpq/engine.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spbla;
+
+backend::Context& ctx() {
+    static backend::Context instance{backend::Policy::Parallel};
+    return instance;
+}
+
+int cmd_generate(const std::string& kind, Index size, const std::string& out) {
+    data::LabeledGraph g;
+    if (kind == "lubm") {
+        g = data::make_lubm(size);
+    } else if (kind == "geospecies") {
+        g = data::make_geospecies(size, 24);
+        g.add_inverse_labels();
+    } else if (kind == "taxonomy") {
+        g = data::make_taxonomy(size, 2);
+        g.add_inverse_labels();
+    } else if (kind == "alias") {
+        g = data::make_alias_graph(size);
+    } else if (kind == "ontology") {
+        g = data::make_ontology(size, 1.0);
+        g.add_inverse_labels();
+    } else {
+        std::fprintf(stderr, "unknown dataset kind: %s\n", kind.c_str());
+        return 1;
+    }
+    data::save_triples_file(out, g);
+    std::printf("wrote %s: %u vertices, %zu edges\n", out.c_str(), g.num_vertices(),
+                g.num_edges());
+    return 0;
+}
+
+int cmd_stats(const std::string& in) {
+    const auto g = data::load_triples_file(in);
+    std::printf("%s: %u vertices, %zu edges, %zu labels\n", in.c_str(),
+                g.num_vertices(), g.num_edges(), g.labels().size());
+    for (const auto& label : g.labels_by_frequency()) {
+        std::printf("  %-30s %zu\n", label.c_str(), g.label_count(label));
+    }
+    return 0;
+}
+
+int cmd_closure(const std::string& in, const char* out) {
+    const auto m = data::load_matrix_market_file(in);
+    util::Timer timer;
+    algorithms::ClosureStats stats;
+    const auto c = algorithms::transitive_closure(ctx(), m,
+                                                  algorithms::ClosureStrategy::Squaring,
+                                                  &stats);
+    std::printf("closure of %s: nnz %zu -> %zu in %zu rounds (%.2f ms)\n", in.c_str(),
+                m.nnz(), c.nnz(), stats.rounds, timer.millis());
+    if (out != nullptr) data::save_matrix_market_file(out, c);
+    return 0;
+}
+
+int cmd_square(const std::string& in, const char* out) {
+    const auto m = data::load_matrix_market_file(in);
+    util::Timer timer;
+    const auto c = ops::multiply(ctx(), m, m);
+    std::printf("square of %s: nnz %zu -> %zu (%.2f ms, peak temp %zu bytes)\n",
+                in.c_str(), m.nnz(), c.nnz(), timer.millis(),
+                ctx().tracker().peak_bytes());
+    if (out != nullptr) data::save_matrix_market_file(out, c);
+    return 0;
+}
+
+int cmd_rpq(const std::string& in, const std::string& regex) {
+    const auto g = data::load_triples_file(in);
+    const auto q = rpq::compile_query(regex);
+    util::Timer timer;
+    const auto index = rpq::build_index(ctx(), g, q);
+    std::printf("rpq `%s` over %s: %zu answer pairs (index in %.2f ms, %zu closure "
+                "rounds)\n",
+                regex.c_str(), in.c_str(), index.reachable.nnz(), timer.millis(),
+                index.closure_rounds);
+    return 0;
+}
+
+int cmd_cfpq(const std::string& in, const std::string& query) {
+    const auto g = data::load_triples_file(in);
+    cfpq::Grammar grammar = query == "g1"    ? cfpq::query_g1()
+                            : query == "g2"  ? cfpq::query_g2()
+                            : query == "geo" ? cfpq::query_geo()
+                                             : cfpq::query_ma();
+    util::Timer timer;
+    const auto tns = cfpq::tensor_cfpq(ctx(), g, grammar);
+    const double tns_ms = timer.millis();
+    timer.reset();
+    const auto mtx = cfpq::azimov_cfpq(ctx(), g, grammar);
+    const double mtx_ms = timer.millis();
+    std::printf("cfpq %s over %s: %zu answers (Tns %.2f ms / Mtx %.2f ms, agree: %s)\n",
+                query.c_str(), in.c_str(), mtx.reachable().nnz(), tns_ms, mtx_ms,
+                tns.reachable(grammar) == mtx.reachable() ? "yes" : "NO");
+    return 0;
+}
+
+int self_demo() {
+    const std::string dir = "/tmp";
+    const std::string triples = dir + "/spbla_cli_demo.triples";
+    const std::string mtx = dir + "/spbla_cli_demo.mtx";
+    std::printf("== spbla_cli self-demo ==\n");
+    if (cmd_generate("ontology", 800, triples) != 0) return 1;
+    if (cmd_stats(triples) != 0) return 1;
+    // Use the acyclic subClassOf matrix for the matrix demos: the union
+    // contains every relation plus its inverse, whose closure saturates.
+    const auto g = data::load_triples_file(triples);
+    data::save_matrix_market_file(mtx, g.matrix("subClassOf"));
+    if (cmd_square(mtx, nullptr) != 0) return 1;
+    if (cmd_closure(mtx, nullptr) != 0) return 1;
+    if (cmd_rpq(triples, "subClassOf subClassOf*") != 0) return 1;
+    if (cmd_cfpq(triples, "g2") != 0) return 1;
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        if (argc < 2) return self_demo();
+        const std::string cmd = argv[1];
+        if (cmd == "generate" && argc == 5) {
+            return cmd_generate(argv[2], static_cast<Index>(std::atoi(argv[3])), argv[4]);
+        }
+        if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
+        if (cmd == "closure" && (argc == 3 || argc == 4)) {
+            return cmd_closure(argv[2], argc == 4 ? argv[3] : nullptr);
+        }
+        if (cmd == "square" && (argc == 3 || argc == 4)) {
+            return cmd_square(argv[2], argc == 4 ? argv[3] : nullptr);
+        }
+        if (cmd == "rpq" && argc == 4) return cmd_rpq(argv[2], argv[3]);
+        if (cmd == "cfpq" && argc == 4) return cmd_cfpq(argv[2], argv[3]);
+        std::fprintf(stderr,
+                     "usage: spbla_cli [generate|stats|closure|square|rpq|cfpq] ...\n"
+                     "(see the header comment of spbla_cli.cpp)\n");
+        return 2;
+    } catch (const spbla::Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,174 @@
+/**
+ * @file spbla.h
+ * @brief C-compatible API of the SPbLA sparse Boolean linear algebra library.
+ *
+ * This header mirrors the embedding surface the paper describes: a plain C
+ * interface over the C++ core so the library can be consumed from any
+ * runtime with a C FFI (the paper ships a Python wrapper over exactly this
+ * kind of API via ctypes).
+ *
+ * Conventions:
+ *  - every function returns a status code; SPBLA_STATUS_SUCCESS is 0,
+ *  - objects are opaque handles created/destroyed by the library,
+ *  - the library must be initialised with spbla_Initialize before any other
+ *    call and torn down with spbla_Finalize.
+ */
+#ifndef SPBLA_SPBLA_H
+#define SPBLA_SPBLA_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/** Index type of matrix coordinates (rows, columns). */
+typedef uint32_t spbla_Index;
+
+/** Status codes returned by every API function. */
+typedef enum spbla_Status {
+    SPBLA_STATUS_SUCCESS = 0,            /**< operation completed */
+    SPBLA_STATUS_INVALID_ARGUMENT = 1,   /**< bad pointer or parameter */
+    SPBLA_STATUS_DIMENSION_MISMATCH = 2, /**< operand shapes incompatible */
+    SPBLA_STATUS_OUT_OF_RANGE = 3,       /**< index outside matrix bounds */
+    SPBLA_STATUS_NOT_INITIALIZED = 4,    /**< library not initialised */
+    SPBLA_STATUS_INVALID_STATE = 5,      /**< e.g. finalize with live objects */
+    SPBLA_STATUS_ERROR = 6               /**< unclassified failure */
+} spbla_Status;
+
+/** Hints passed to spbla_Initialize. */
+typedef enum spbla_InitHint {
+    SPBLA_INIT_DEFAULT = 0,       /**< parallel backend (simulated device) */
+    SPBLA_INIT_SEQUENTIAL = 1     /**< sequential CPU fallback backend */
+} spbla_InitHint;
+
+/** Hints passed to operation entry points. */
+typedef enum spbla_OpHint {
+    SPBLA_HINT_NO = 0,          /**< overwrite the result operand */
+    SPBLA_HINT_ACCUMULATE = 1   /**< OR the result into the result operand */
+} spbla_OpHint;
+
+/** Opaque sparse Boolean matrix handle. */
+typedef struct spbla_Matrix_t* spbla_Matrix;
+
+/** Opaque sparse Boolean vector handle (the paper lists vector support as
+ *  partial; this API provides creation, fill, read and the ops the
+ *  path-querying layer needs). */
+typedef struct spbla_Vector_t* spbla_Vector;
+
+/** Initialise the library. Must be the first call. */
+spbla_Status spbla_Initialize(spbla_InitHint hint);
+
+/** Tear the library down. Fails with INVALID_STATE if matrices are live. */
+spbla_Status spbla_Finalize(void);
+
+/** True (1) iff the library is initialised. */
+int spbla_IsInitialized(void);
+
+/** Human-readable name of a status code. */
+const char* spbla_Status_Name(spbla_Status status);
+
+/** Message of the most recent error on this thread ("" if none). */
+const char* spbla_GetLastError(void);
+
+/** Library version as major*10000 + minor*100 + patch. */
+uint32_t spbla_GetVersion(void);
+
+/** Number of live matrix handles (diagnostic). */
+uint64_t spbla_GetLiveObjects(void);
+
+/* -------------------------------- matrix ------------------------------- */
+
+/** Create an empty nrows x ncols matrix. */
+spbla_Status spbla_Matrix_New(spbla_Matrix* matrix, spbla_Index nrows, spbla_Index ncols);
+
+/** Destroy a matrix and null the handle. */
+spbla_Status spbla_Matrix_Free(spbla_Matrix* matrix);
+
+/** Fill with nvals (rows[k], cols[k]) pairs; duplicates are merged.
+ *  With SPBLA_HINT_ACCUMULATE the pairs are OR-ed into existing content. */
+spbla_Status spbla_Matrix_Build(spbla_Matrix matrix, const spbla_Index* rows,
+                                const spbla_Index* cols, spbla_Index nvals,
+                                spbla_OpHint hint);
+
+/** Read all true cells. On input *nvals is the buffer capacity; on output
+ *  the number written. Fails with OUT_OF_RANGE if the capacity is short. */
+spbla_Status spbla_Matrix_ExtractPairs(spbla_Matrix matrix, spbla_Index* rows,
+                                       spbla_Index* cols, spbla_Index* nvals);
+
+spbla_Status spbla_Matrix_Nrows(spbla_Matrix matrix, spbla_Index* nrows);
+spbla_Status spbla_Matrix_Ncols(spbla_Matrix matrix, spbla_Index* ncols);
+spbla_Status spbla_Matrix_Nvals(spbla_Matrix matrix, spbla_Index* nvals);
+
+/** duplicate = an independent copy of matrix. */
+spbla_Status spbla_Matrix_Duplicate(spbla_Matrix matrix, spbla_Matrix* duplicate);
+
+/* ------------------------------ operations -----------------------------
+ * Operand shapes are validated; the result handle is overwritten and takes
+ * the operation's natural shape (with SPBLA_HINT_ACCUMULATE the result
+ * additionally participates as an accumulator, so its shape must match). */
+
+/** result (+)= a x b over the Boolean semiring.
+ *  SPBLA_HINT_ACCUMULATE gives the paper's fused C += M x N. */
+spbla_Status spbla_MxM(spbla_Matrix result, spbla_Matrix a, spbla_Matrix b,
+                       spbla_OpHint hint);
+
+/** result = a | b (element-wise addition M += N when result aliases a). */
+spbla_Status spbla_Matrix_EWiseAdd(spbla_Matrix result, spbla_Matrix a, spbla_Matrix b);
+
+/** result = a & b (element-wise multiplication over the Boolean semiring). */
+spbla_Status spbla_Matrix_EWiseMult(spbla_Matrix result, spbla_Matrix a, spbla_Matrix b);
+
+/** result = a (x) b (Kronecker product). */
+spbla_Status spbla_Kronecker(spbla_Matrix result, spbla_Matrix a, spbla_Matrix b);
+
+/** result = a^T. */
+spbla_Status spbla_Matrix_Transpose(spbla_Matrix result, spbla_Matrix a);
+
+/** result = a[row0 .. row0+m, col0 .. col0+n] (shapes must match result). */
+spbla_Status spbla_Matrix_ExtractSubMatrix(spbla_Matrix result, spbla_Matrix a,
+                                           spbla_Index row0, spbla_Index col0,
+                                           spbla_Index m, spbla_Index n);
+
+/** result = reduceToColumn(a): an a.nrows x 1 matrix marking non-empty rows. */
+spbla_Status spbla_Matrix_Reduce(spbla_Matrix result, spbla_Matrix a);
+
+/* -------------------------------- vector ------------------------------- */
+
+/** Create an empty Boolean vector of the given size. */
+spbla_Status spbla_Vector_New(spbla_Vector* vector, spbla_Index size);
+
+/** Destroy a vector and null the handle. */
+spbla_Status spbla_Vector_Free(spbla_Vector* vector);
+
+/** Fill with nvals indices; duplicates merge. */
+spbla_Status spbla_Vector_Build(spbla_Vector vector, const spbla_Index* indices,
+                                spbla_Index nvals);
+
+/** Read all set indices; *nvals carries capacity in, count out. */
+spbla_Status spbla_Vector_ExtractValues(spbla_Vector vector, spbla_Index* indices,
+                                        spbla_Index* nvals);
+
+spbla_Status spbla_Vector_Size(spbla_Vector vector, spbla_Index* size);
+spbla_Status spbla_Vector_Nvals(spbla_Vector vector, spbla_Index* nvals);
+
+/** result = a | b. */
+spbla_Status spbla_Vector_EWiseAdd(spbla_Vector result, spbla_Vector a, spbla_Vector b);
+
+/** result = a & b. */
+spbla_Status spbla_Vector_EWiseMult(spbla_Vector result, spbla_Vector a, spbla_Vector b);
+
+/** result = m x v (the frontier pull). */
+spbla_Status spbla_MxV(spbla_Vector result, spbla_Matrix m, spbla_Vector v);
+
+/** result = v x m (the frontier push). */
+spbla_Status spbla_VxM(spbla_Vector result, spbla_Vector v, spbla_Matrix m);
+
+/** result = reduceToColumn(m) as a vector of non-empty rows. */
+spbla_Status spbla_Matrix_ReduceVector(spbla_Vector result, spbla_Matrix m);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* SPBLA_SPBLA_H */

@@ -1,0 +1,72 @@
+"""pyspbla smoke demo: transitive closure of a path graph through the FFI.
+
+Run from a built tree (or set SPBLA_LIB to the shared library path):
+    SPBLA_LIB=build/src/libspbla.so python3 python/demo.py
+Exits non-zero on any mismatch, so it doubles as a ctest.
+"""
+
+import pyspbla as sp
+
+
+def main() -> None:
+    sp.initialize()
+    assert sp.is_initialized()
+    print("pyspbla over spbla", ".".join(map(str, sp.version())))
+
+    # Path 0 -> 1 -> 2 -> 3 -> 4.
+    a = sp.Matrix(5, 5)
+    a.build([(i, i + 1) for i in range(4)])
+    assert a.nvals == 4
+
+    # closure += closure * closure until fixpoint.
+    closure = a.dup()
+    previous = 0
+    while closure.nvals != previous:
+        previous = closure.nvals
+        closure.mxm(closure, closure, accumulate=True)
+    pairs = sorted(closure.to_list())
+    expected = sorted((i, j) for i in range(5) for j in range(i + 1, 5))
+    assert pairs == expected, f"closure mismatch: {pairs}"
+    print("closure of the path graph:", pairs)
+
+    # Element-wise ops and Kronecker through the wrapper.
+    t = sp.Matrix(5, 5).transpose(a)
+    assert sorted(t.to_list()) == [(i + 1, i) for i in range(4)]
+    both = sp.Matrix(5, 5).ewise_add(a, t)
+    assert both.nvals == 8
+    inter = sp.Matrix(5, 5).ewise_mult(a, both)
+    assert sorted(inter.to_list()) == sorted(a.to_list())
+    kron = sp.Matrix(25, 25).kronecker(a, a)
+    assert kron.nvals == 16
+
+    # Vector API: BFS frontier push along the path graph.
+    frontier = sp.Vector(5)
+    frontier.build([0])
+    reached = []
+    for _ in range(4):
+        frontier = sp.Vector(5).vxm(frontier, a)
+        reached.extend(frontier.to_list())
+    assert reached == [1, 2, 3, 4], reached
+    nonempty_rows = sp.Vector(5).reduce(a)
+    assert nonempty_rows.to_list() == [0, 1, 2, 3]
+    del frontier, nonempty_rows
+    print("vector frontier sweep:", reached)
+
+    # Error surfaced as a Python exception: operand shapes must agree.
+    small = sp.Matrix(3, 3)
+    try:
+        sp.Matrix(5, 5).ewise_add(a, small)
+    except sp.SpblaError as e:
+        assert e.status == 2, e  # DIMENSION_MISMATCH
+        print("dimension mismatch raised correctly:", e)
+    else:
+        raise AssertionError("shape mismatch not raised")
+
+    del a, t, both, inter, kron, closure, small
+    assert sp.live_objects() == 0, sp.live_objects()
+    sp.finalize()
+    print("pyspbla demo passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,280 @@
+"""pyspbla — Python wrapper over the SPbLA C API.
+
+The paper ships pyspbla as a ctypes binding that "provides safe and
+automated management for native resources"; this module is that layer for
+the reproduction. Point SPBLA_LIB at the built shared library
+(build/src/libspbla.so) or let the loader probe common build paths.
+
+Example:
+    import pyspbla as sp
+    sp.initialize()
+    a = sp.Matrix(4, 4)
+    a.build([(0, 1), (1, 2), (2, 3)])
+    closure = a.dup()
+    closure.mxm(closure, closure, accumulate=True)   # closure += closure^2
+    print(sorted(closure.to_list()))
+    del a, closure
+    sp.finalize()
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import Iterable, List, Tuple
+
+_SUCCESS = 0
+
+_STATUS_NAMES = {
+    0: "SUCCESS",
+    1: "INVALID_ARGUMENT",
+    2: "DIMENSION_MISMATCH",
+    3: "OUT_OF_RANGE",
+    4: "NOT_INITIALIZED",
+    5: "INVALID_STATE",
+    6: "ERROR",
+}
+
+
+class SpblaError(RuntimeError):
+    """Raised when a native call returns a non-success status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"spbla error {_STATUS_NAMES.get(status, status)}: {message}")
+        self.status = status
+
+
+def _find_library() -> str:
+    candidates = []
+    env = os.environ.get("SPBLA_LIB")
+    if env:
+        candidates.append(env)
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates += [
+        os.path.join(here, "..", "build", "src", "libspbla.so"),
+        os.path.join(here, "libspbla.so"),
+        "libspbla.so",
+    ]
+    for path in candidates:
+        if os.path.exists(path):
+            return path
+    return candidates[-1]  # let the dynamic loader try its search path
+
+
+_lib = ctypes.CDLL(_find_library())
+
+_Index = ctypes.c_uint32
+_Handle = ctypes.c_void_p
+
+_lib.spbla_Initialize.argtypes = [ctypes.c_int]
+_lib.spbla_Finalize.argtypes = []
+_lib.spbla_IsInitialized.restype = ctypes.c_int
+_lib.spbla_GetLastError.restype = ctypes.c_char_p
+_lib.spbla_GetVersion.restype = ctypes.c_uint32
+_lib.spbla_GetLiveObjects.restype = ctypes.c_uint64
+_lib.spbla_Matrix_New.argtypes = [ctypes.POINTER(_Handle), _Index, _Index]
+_lib.spbla_Matrix_Free.argtypes = [ctypes.POINTER(_Handle)]
+_lib.spbla_Matrix_Build.argtypes = [
+    _Handle, ctypes.POINTER(_Index), ctypes.POINTER(_Index), _Index, ctypes.c_int]
+_lib.spbla_Matrix_ExtractPairs.argtypes = [
+    _Handle, ctypes.POINTER(_Index), ctypes.POINTER(_Index), ctypes.POINTER(_Index)]
+_lib.spbla_Matrix_Nrows.argtypes = [_Handle, ctypes.POINTER(_Index)]
+_lib.spbla_Matrix_Ncols.argtypes = [_Handle, ctypes.POINTER(_Index)]
+_lib.spbla_Matrix_Nvals.argtypes = [_Handle, ctypes.POINTER(_Index)]
+_lib.spbla_Matrix_Duplicate.argtypes = [_Handle, ctypes.POINTER(_Handle)]
+_lib.spbla_MxM.argtypes = [_Handle, _Handle, _Handle, ctypes.c_int]
+_lib.spbla_Matrix_EWiseAdd.argtypes = [_Handle, _Handle, _Handle]
+_lib.spbla_Matrix_EWiseMult.argtypes = [_Handle, _Handle, _Handle]
+_lib.spbla_Kronecker.argtypes = [_Handle, _Handle, _Handle]
+_lib.spbla_Matrix_Transpose.argtypes = [_Handle, _Handle]
+_lib.spbla_Matrix_ExtractSubMatrix.argtypes = [
+    _Handle, _Handle, _Index, _Index, _Index, _Index]
+_lib.spbla_Matrix_Reduce.argtypes = [_Handle, _Handle]
+_lib.spbla_Vector_New.argtypes = [ctypes.POINTER(_Handle), _Index]
+_lib.spbla_Vector_Free.argtypes = [ctypes.POINTER(_Handle)]
+_lib.spbla_Vector_Build.argtypes = [_Handle, ctypes.POINTER(_Index), _Index]
+_lib.spbla_Vector_ExtractValues.argtypes = [
+    _Handle, ctypes.POINTER(_Index), ctypes.POINTER(_Index)]
+_lib.spbla_Vector_Size.argtypes = [_Handle, ctypes.POINTER(_Index)]
+_lib.spbla_Vector_Nvals.argtypes = [_Handle, ctypes.POINTER(_Index)]
+_lib.spbla_Vector_EWiseAdd.argtypes = [_Handle, _Handle, _Handle]
+_lib.spbla_Vector_EWiseMult.argtypes = [_Handle, _Handle, _Handle]
+_lib.spbla_MxV.argtypes = [_Handle, _Handle, _Handle]
+_lib.spbla_VxM.argtypes = [_Handle, _Handle, _Handle]
+_lib.spbla_Matrix_ReduceVector.argtypes = [_Handle, _Handle]
+
+
+def _check(status: int) -> None:
+    if status != _SUCCESS:
+        message = _lib.spbla_GetLastError().decode("utf-8", "replace")
+        raise SpblaError(status, message)
+
+
+def initialize(sequential: bool = False) -> None:
+    """Initialise the native library (must precede everything else)."""
+    _check(_lib.spbla_Initialize(1 if sequential else 0))
+
+
+def finalize() -> None:
+    """Tear the native library down; fails while Matrix objects are alive."""
+    _check(_lib.spbla_Finalize())
+
+
+def is_initialized() -> bool:
+    return bool(_lib.spbla_IsInitialized())
+
+
+def version() -> Tuple[int, int, int]:
+    v = _lib.spbla_GetVersion()
+    return v // 10000, (v // 100) % 100, v % 100
+
+
+def live_objects() -> int:
+    return int(_lib.spbla_GetLiveObjects())
+
+
+class Matrix:
+    """Sparse Boolean matrix with automatic native-resource management."""
+
+    def __init__(self, nrows: int, ncols: int):
+        self._handle = _Handle()
+        _check(_lib.spbla_Matrix_New(ctypes.byref(self._handle), nrows, ncols))
+
+    def __del__(self):
+        if getattr(self, "_handle", None) and self._handle.value:
+            _lib.spbla_Matrix_Free(ctypes.byref(self._handle))
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        out = _Index()
+        _check(_lib.spbla_Matrix_Nrows(self._handle, ctypes.byref(out)))
+        return out.value
+
+    @property
+    def ncols(self) -> int:
+        out = _Index()
+        _check(_lib.spbla_Matrix_Ncols(self._handle, ctypes.byref(out)))
+        return out.value
+
+    @property
+    def nvals(self) -> int:
+        out = _Index()
+        _check(_lib.spbla_Matrix_Nvals(self._handle, ctypes.byref(out)))
+        return out.value
+
+    def build(self, pairs: Iterable[Tuple[int, int]], accumulate: bool = False) -> None:
+        """Fill the matrix with (row, col) pairs; duplicates collapse."""
+        pairs = list(pairs)
+        n = len(pairs)
+        rows = (_Index * n)(*(p[0] for p in pairs))
+        cols = (_Index * n)(*(p[1] for p in pairs))
+        _check(_lib.spbla_Matrix_Build(self._handle, rows, cols, n,
+                                       1 if accumulate else 0))
+
+    def to_list(self) -> List[Tuple[int, int]]:
+        """Read back all true cells as (row, col) pairs."""
+        n = self.nvals
+        rows = (_Index * max(n, 1))()
+        cols = (_Index * max(n, 1))()
+        nvals = _Index(n)
+        _check(_lib.spbla_Matrix_ExtractPairs(self._handle, rows, cols,
+                                              ctypes.byref(nvals)))
+        return [(rows[k], cols[k]) for k in range(nvals.value)]
+
+    def dup(self) -> "Matrix":
+        out = Matrix.__new__(Matrix)
+        out._handle = _Handle()
+        _check(_lib.spbla_Matrix_Duplicate(self._handle, ctypes.byref(out._handle)))
+        return out
+
+    # -- operations --------------------------------------------------------
+
+    def mxm(self, a: "Matrix", b: "Matrix", accumulate: bool = False) -> "Matrix":
+        """self (+)= a x b over the Boolean semiring; returns self."""
+        _check(_lib.spbla_MxM(self._handle, a._handle, b._handle,
+                              1 if accumulate else 0))
+        return self
+
+    def ewise_add(self, a: "Matrix", b: "Matrix") -> "Matrix":
+        _check(_lib.spbla_Matrix_EWiseAdd(self._handle, a._handle, b._handle))
+        return self
+
+    def ewise_mult(self, a: "Matrix", b: "Matrix") -> "Matrix":
+        _check(_lib.spbla_Matrix_EWiseMult(self._handle, a._handle, b._handle))
+        return self
+
+    def kronecker(self, a: "Matrix", b: "Matrix") -> "Matrix":
+        _check(_lib.spbla_Kronecker(self._handle, a._handle, b._handle))
+        return self
+
+    def transpose(self, a: "Matrix") -> "Matrix":
+        _check(_lib.spbla_Matrix_Transpose(self._handle, a._handle))
+        return self
+
+    def submatrix(self, a: "Matrix", row0: int, col0: int, m: int, n: int) -> "Matrix":
+        _check(_lib.spbla_Matrix_ExtractSubMatrix(self._handle, a._handle, row0, col0,
+                                                  m, n))
+        return self
+
+    def reduce(self, a: "Matrix") -> "Matrix":
+        _check(_lib.spbla_Matrix_Reduce(self._handle, a._handle))
+        return self
+
+
+class Vector:
+    """Sparse Boolean vector with automatic native-resource management."""
+
+    def __init__(self, size: int):
+        self._handle = _Handle()
+        _check(_lib.spbla_Vector_New(ctypes.byref(self._handle), size))
+
+    def __del__(self):
+        if getattr(self, "_handle", None) and self._handle.value:
+            _lib.spbla_Vector_Free(ctypes.byref(self._handle))
+
+    @property
+    def size(self) -> int:
+        out = _Index()
+        _check(_lib.spbla_Vector_Size(self._handle, ctypes.byref(out)))
+        return out.value
+
+    @property
+    def nvals(self) -> int:
+        out = _Index()
+        _check(_lib.spbla_Vector_Nvals(self._handle, ctypes.byref(out)))
+        return out.value
+
+    def build(self, indices: Iterable[int]) -> None:
+        """Fill the vector; duplicate indices collapse."""
+        indices = list(indices)
+        arr = (_Index * len(indices))(*indices)
+        _check(_lib.spbla_Vector_Build(self._handle, arr, len(indices)))
+
+    def to_list(self) -> List[int]:
+        n = self.nvals
+        out = (_Index * max(n, 1))()
+        nvals = _Index(n)
+        _check(_lib.spbla_Vector_ExtractValues(self._handle, out, ctypes.byref(nvals)))
+        return [out[k] for k in range(nvals.value)]
+
+    def ewise_add(self, a: "Vector", b: "Vector") -> "Vector":
+        _check(_lib.spbla_Vector_EWiseAdd(self._handle, a._handle, b._handle))
+        return self
+
+    def ewise_mult(self, a: "Vector", b: "Vector") -> "Vector":
+        _check(_lib.spbla_Vector_EWiseMult(self._handle, a._handle, b._handle))
+        return self
+
+    def mxv(self, m: "Matrix", v: "Vector") -> "Vector":
+        _check(_lib.spbla_MxV(self._handle, m._handle, v._handle))
+        return self
+
+    def vxm(self, v: "Vector", m: "Matrix") -> "Vector":
+        _check(_lib.spbla_VxM(self._handle, v._handle, m._handle))
+        return self
+
+    def reduce(self, m: "Matrix") -> "Vector":
+        _check(_lib.spbla_Matrix_ReduceVector(self._handle, m._handle))
+        return self

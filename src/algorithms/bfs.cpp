@@ -1,0 +1,39 @@
+#include "algorithms/bfs.hpp"
+
+#include "ops/mxv.hpp"
+
+namespace spbla::algorithms {
+
+std::vector<int> bfs_levels(backend::Context& ctx, const CsrMatrix& adj, Index source) {
+    check(adj.nrows() == adj.ncols(), Status::DimensionMismatch, "bfs: square matrix");
+    check(source < adj.nrows(), Status::OutOfRange, "bfs: source out of range");
+
+    std::vector<int> level(adj.nrows(), -1);
+    level[source] = 0;
+    SpVector frontier = SpVector::from_indices(adj.nrows(), {source});
+    int depth = 0;
+    while (!frontier.empty()) {
+        ++depth;
+        const SpVector next = ops::vxm(ctx, frontier, adj);
+        std::vector<Index> fresh;
+        for (const auto v : next.indices()) {
+            if (level[v] < 0) {
+                level[v] = depth;
+                fresh.push_back(v);
+            }
+        }
+        frontier = SpVector::from_indices(adj.nrows(), std::move(fresh));
+    }
+    return level;
+}
+
+SpVector reachable_from(backend::Context& ctx, const CsrMatrix& adj, Index source) {
+    const auto levels = bfs_levels(ctx, adj, source);
+    std::vector<Index> out;
+    for (Index v = 0; v < adj.nrows(); ++v) {
+        if (levels[v] > 0) out.push_back(v);
+    }
+    return SpVector::from_indices(adj.nrows(), std::move(out));
+}
+
+}  // namespace spbla::algorithms

@@ -1,0 +1,25 @@
+/// \file bfs.hpp
+/// \brief Breadth-first search expressed in Boolean linear algebra.
+///
+/// The GraphBLAS motivating example: the frontier is a sparse Boolean
+/// vector, one BFS level is a vxm push followed by masking out visited
+/// vertices.
+#pragma once
+
+#include <vector>
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+#include "core/spvector.hpp"
+
+namespace spbla::algorithms {
+
+/// Per-vertex BFS level from \p source (-1 for unreachable vertices).
+[[nodiscard]] std::vector<int> bfs_levels(backend::Context& ctx, const CsrMatrix& adj,
+                                          Index source);
+
+/// Set of vertices reachable from \p source (excluding source unless cyclic).
+[[nodiscard]] SpVector reachable_from(backend::Context& ctx, const CsrMatrix& adj,
+                                      Index source);
+
+}  // namespace spbla::algorithms

@@ -1,0 +1,61 @@
+#include "algorithms/closure.hpp"
+
+#include "ops/ewise_add.hpp"
+#include "ops/ewise_mult.hpp"
+
+namespace spbla::algorithms {
+namespace {
+
+/// Semi-naive evaluation: keep a frontier of edges discovered last round and
+/// extend only those — each closure edge's final hop is recomputed exactly
+/// once instead of every round. This is the standard Datalog optimisation
+/// of the Linear strategy.
+CsrMatrix closure_delta(backend::Context& ctx, const CsrMatrix& adj,
+                        const ops::SpGemmOptions& opts, std::size_t& rounds) {
+    CsrMatrix m = adj;
+    CsrMatrix frontier = adj;
+    while (!frontier.empty()) {
+        ++rounds;
+        const CsrMatrix extended = ops::multiply(ctx, frontier, adj, opts);
+        frontier = ops::ewise_diff(ctx, extended, m);
+        m = ops::ewise_add(ctx, m, frontier);
+    }
+    return m;
+}
+
+}  // namespace
+
+CsrMatrix transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
+                             ClosureStrategy strategy, ClosureStats* stats,
+                             const ops::SpGemmOptions& opts) {
+    check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
+          "transitive_closure: matrix must be square");
+    std::size_t rounds = 0;
+    CsrMatrix m{0, 0};
+    if (strategy == ClosureStrategy::Delta) {
+        m = closure_delta(ctx, adj, opts, rounds);
+    } else {
+        m = adj;
+        for (;;) {
+            const std::size_t before = m.nnz();
+            m = strategy == ClosureStrategy::Squaring
+                    ? ops::multiply_add(ctx, m, m, m, opts)
+                    : ops::multiply_add(ctx, m, m, adj, opts);
+            ++rounds;
+            if (m.nnz() == before) break;
+        }
+    }
+    if (stats != nullptr) {
+        stats->rounds = rounds;
+        stats->result_nnz = m.nnz();
+    }
+    return m;
+}
+
+CsrMatrix reflexive_transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
+                                       ClosureStrategy strategy, ClosureStats* stats) {
+    const CsrMatrix plus = transitive_closure(ctx, adj, strategy, stats);
+    return ops::ewise_add(ctx, plus, CsrMatrix::identity(adj.nrows()));
+}
+
+}  // namespace spbla::algorithms

@@ -1,0 +1,45 @@
+#include "algorithms/components.hpp"
+
+#include "ops/ewise_add.hpp"
+#include "ops/mxv.hpp"
+#include "ops/transpose.hpp"
+
+namespace spbla::algorithms {
+
+std::vector<Index> connected_components(backend::Context& ctx, const CsrMatrix& adj) {
+    check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
+          "connected_components: matrix must be square");
+    const Index n = adj.nrows();
+    const CsrMatrix sym = ops::ewise_add(ctx, adj, ops::transpose(ctx, adj));
+
+    constexpr Index kUnlabeled = 0xFFFFFFFFu;
+    std::vector<Index> label(n, kUnlabeled);
+    for (Index root = 0; root < n; ++root) {
+        if (label[root] != kUnlabeled) continue;
+        label[root] = root;
+        SpVector frontier = SpVector::from_indices(n, {root});
+        while (!frontier.empty()) {
+            const SpVector next = ops::vxm(ctx, frontier, sym);
+            std::vector<Index> fresh;
+            for (const auto v : next.indices()) {
+                if (label[v] == kUnlabeled) {
+                    label[v] = root;
+                    fresh.push_back(v);
+                }
+            }
+            frontier = SpVector::from_indices(n, std::move(fresh));
+        }
+    }
+    return label;
+}
+
+std::size_t count_components(backend::Context& ctx, const CsrMatrix& adj) {
+    const auto labels = connected_components(ctx, adj);
+    std::size_t count = 0;
+    for (Index v = 0; v < adj.nrows(); ++v) {
+        if (labels[v] == v) ++count;
+    }
+    return count;
+}
+
+}  // namespace spbla::algorithms

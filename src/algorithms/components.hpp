@@ -1,0 +1,22 @@
+/// \file components.hpp
+/// \brief Connected components via BFS frontier sweeps — another classic
+/// GraphBLAS workload expressed on the library's vector kernels.
+#pragma once
+
+#include <vector>
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+
+namespace spbla::algorithms {
+
+/// Weakly connected component label per vertex (labels are the smallest
+/// vertex id in the component). The adjacency matrix is symmetrised
+/// internally, so directed input is fine.
+[[nodiscard]] std::vector<Index> connected_components(backend::Context& ctx,
+                                                      const CsrMatrix& adj);
+
+/// Number of weakly connected components.
+[[nodiscard]] std::size_t count_components(backend::Context& ctx, const CsrMatrix& adj);
+
+}  // namespace spbla::algorithms

@@ -1,0 +1,18 @@
+/// \file triangles.hpp
+/// \brief Triangle counting on an undirected Boolean adjacency matrix.
+///
+/// Classic GraphBLAS showcase; used by the examples to demonstrate the
+/// public API on a non-path-querying workload.
+#pragma once
+
+#include <cstdint>
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+
+namespace spbla::algorithms {
+
+/// Number of triangles in a symmetric adjacency matrix without self loops.
+[[nodiscard]] std::uint64_t count_triangles(backend::Context& ctx, const CsrMatrix& adj);
+
+}  // namespace spbla::algorithms

@@ -1,0 +1,16 @@
+#include "backend/context.hpp"
+
+namespace spbla::backend {
+
+Context::Context(Policy policy, std::size_t num_threads) : policy_{policy} {
+    if (policy_ == Policy::Parallel) {
+        pool_ = std::make_unique<util::ThreadPool>(num_threads);
+    }
+}
+
+Context& default_context() {
+    static Context ctx{Policy::Parallel};
+    return ctx;
+}
+
+}  // namespace spbla::backend

@@ -1,0 +1,72 @@
+/// \file context.hpp
+/// \brief Execution context — the reproduction's stand-in for a GPU device.
+///
+/// cuBool binds work to a CUDA device; clBool to an OpenCL queue. Here a
+/// Context owns a worker pool (the "device"), a memory tracker (the "device
+/// memory"), and an execution policy. Ops take a Context& and launch their
+/// kernels through it; passing Policy::Sequential reproduces SPbLA's CPU
+/// fallback backend, Policy::Parallel the GPU backend.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "backend/device_buffer.hpp"
+#include "backend/memory_tracker.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spbla::backend {
+
+/// How kernels execute.
+enum class Policy {
+    Sequential,  ///< single host thread (SPbLA's CPU fallback backend)
+    Parallel,    ///< worker pool (stands in for the CUDA/OpenCL backends)
+};
+
+/// A simulated device: worker pool + tracked memory + launch helpers.
+class Context {
+public:
+    /// \p policy execution policy, \p num_threads pool size (0 → hardware).
+    explicit Context(Policy policy = Policy::Parallel, std::size_t num_threads = 0);
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    [[nodiscard]] Policy policy() const noexcept { return policy_; }
+    [[nodiscard]] MemoryTracker& tracker() noexcept { return tracker_; }
+    [[nodiscard]] const MemoryTracker& tracker() const noexcept { return tracker_; }
+
+    /// Pool used for parallel launches; nullptr under Policy::Sequential.
+    [[nodiscard]] util::ThreadPool* pool() const noexcept {
+        return policy_ == Policy::Parallel ? pool_.get() : nullptr;
+    }
+
+    /// Launch body(i) for i in [0, n) ("one thread per row" kernel shape).
+    void parallel_for(std::size_t n, std::size_t grain,
+                      const std::function<void(std::size_t)>& body) const {
+        util::parallel_for(pool(), n, grain, body);
+    }
+
+    /// Launch body(begin, end) over contiguous chunks of [0, n).
+    void parallel_for_chunks(std::size_t n, std::size_t grain,
+                             const std::function<void(std::size_t, std::size_t)>& body) const {
+        util::parallel_for_chunks(pool(), n, grain, body);
+    }
+
+    /// Allocate a tracked device buffer of \p count elements.
+    template <class T>
+    [[nodiscard]] DeviceBuffer<T> alloc(std::size_t count) {
+        return DeviceBuffer<T>{&tracker_, count};
+    }
+
+private:
+    Policy policy_;
+    std::unique_ptr<util::ThreadPool> pool_;
+    MemoryTracker tracker_;
+};
+
+/// Process-wide default context (parallel policy, hardware thread count).
+[[nodiscard]] Context& default_context();
+
+}  // namespace spbla::backend

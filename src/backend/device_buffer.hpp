@@ -1,0 +1,80 @@
+/// \file device_buffer.hpp
+/// \brief RAII array living in (simulated) device memory.
+///
+/// In cuBool this is a cudaMalloc'd array; here it is host memory whose size
+/// is charged against the owning context's MemoryTracker, so the benchmark
+/// harness can report the same footprint numbers the paper does.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "backend/memory_tracker.hpp"
+
+namespace spbla::backend {
+
+/// Fixed-capacity trivially-copyable array charged to a MemoryTracker.
+template <class T>
+class DeviceBuffer {
+public:
+    DeviceBuffer() noexcept = default;
+
+    DeviceBuffer(MemoryTracker* tracker, std::size_t count)
+        : tracker_{tracker}, data_(count) {
+        if (tracker_) tracker_->on_alloc(bytes());
+    }
+
+    DeviceBuffer(const DeviceBuffer& other)
+        : tracker_{other.tracker_}, data_{other.data_} {
+        if (tracker_) tracker_->on_alloc(bytes());
+    }
+
+    DeviceBuffer(DeviceBuffer&& other) noexcept
+        : tracker_{std::exchange(other.tracker_, nullptr)},
+          data_{std::move(other.data_)} {
+        other.data_.clear();
+        other.data_.shrink_to_fit();
+    }
+
+    DeviceBuffer& operator=(DeviceBuffer other) noexcept {
+        swap(other);
+        return *this;
+    }
+
+    ~DeviceBuffer() { release(); }
+
+    void swap(DeviceBuffer& other) noexcept {
+        std::swap(tracker_, other.tracker_);
+        data_.swap(other.data_);
+    }
+
+    /// Free the storage and un-charge the tracker.
+    void release() noexcept {
+        if (tracker_) tracker_->on_free(bytes());
+        tracker_ = nullptr;
+        data_.clear();
+        data_.shrink_to_fit();
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] T* data() noexcept { return data_.data(); }
+    [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+    [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+    [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+    [[nodiscard]] auto begin() noexcept { return data_.begin(); }
+    [[nodiscard]] auto end() noexcept { return data_.end(); }
+    [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+    [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+private:
+    MemoryTracker* tracker_{nullptr};
+    std::vector<T> data_;
+};
+
+}  // namespace spbla::backend

@@ -1,0 +1,4 @@
+#include "backend/memory_tracker.hpp"
+
+// MemoryTracker is header-only; this translation unit anchors the library
+// target and keeps a single definition point if non-inline members appear.

@@ -1,0 +1,61 @@
+/// \file memory_tracker.hpp
+/// \brief Accounting for simulated device memory.
+///
+/// SPbLA's evaluation reports GPU memory footprints (the "up to 4x less
+/// memory" claim). Since the reproduction runs on host memory, every
+/// allocation that would live in GPU memory in cuBool/clBool goes through
+/// this tracker so benchmarks can report current and peak device footprint.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace spbla::backend {
+
+/// Thread-safe byte counter with a high-water mark.
+class MemoryTracker {
+public:
+    /// Record an allocation of \p bytes.
+    void on_alloc(std::size_t bytes) noexcept {
+        const auto cur = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+        auto peak = peak_.load(std::memory_order_relaxed);
+        while (cur > peak &&
+               !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
+        }
+        allocs_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Record a deallocation of \p bytes.
+    void on_free(std::size_t bytes) noexcept {
+        current_.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+
+    /// Bytes currently allocated.
+    [[nodiscard]] std::size_t current_bytes() const noexcept {
+        return current_.load(std::memory_order_relaxed);
+    }
+
+    /// High-water mark since construction or last reset_peak().
+    [[nodiscard]] std::size_t peak_bytes() const noexcept {
+        return peak_.load(std::memory_order_relaxed);
+    }
+
+    /// Total number of allocations observed.
+    [[nodiscard]] std::uint64_t alloc_count() const noexcept {
+        return allocs_.load(std::memory_order_relaxed);
+    }
+
+    /// Reset the high-water mark to the current usage.
+    void reset_peak() noexcept {
+        peak_.store(current_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::size_t> current_{0};
+    std::atomic<std::size_t> peak_{0};
+    std::atomic<std::uint64_t> allocs_{0};
+};
+
+}  // namespace spbla::backend

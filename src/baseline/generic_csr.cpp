@@ -1,0 +1,39 @@
+#include "baseline/generic_csr.hpp"
+
+namespace spbla::baseline {
+
+GenericCsr::GenericCsr(Index nrows, Index ncols)
+    : nrows_{nrows}, ncols_{ncols}, row_offsets_(static_cast<std::size_t>(nrows) + 1, 0) {}
+
+GenericCsr GenericCsr::from_boolean(const CsrMatrix& m) {
+    GenericCsr g{m.nrows(), m.ncols()};
+    g.row_offsets_.assign(m.row_offsets().begin(), m.row_offsets().end());
+    g.cols_.assign(m.cols().begin(), m.cols().end());
+    g.vals_.assign(m.nnz(), 1.0f);
+    return g;
+}
+
+GenericCsr GenericCsr::from_raw(Index nrows, Index ncols, std::vector<Index> row_offsets,
+                                std::vector<Index> cols, std::vector<float> vals) {
+    GenericCsr g{nrows, ncols};
+    g.row_offsets_ = std::move(row_offsets);
+    g.cols_ = std::move(cols);
+    g.vals_ = std::move(vals);
+#ifndef NDEBUG
+    g.validate();
+#endif
+    return g;
+}
+
+CsrMatrix GenericCsr::pattern() const {
+    return CsrMatrix::from_raw(nrows_, ncols_, row_offsets_, cols_);
+}
+
+void GenericCsr::validate() const {
+    check(vals_.size() == cols_.size(), Status::InvalidState,
+          "GenericCsr: value/column array length mismatch");
+    // CsrMatrix::from_raw validates the index structure in debug builds.
+    [[maybe_unused]] const auto structure = pattern();
+}
+
+}  // namespace spbla::baseline

@@ -1,0 +1,80 @@
+#include "baseline/generic_ewise_add.hpp"
+
+#include <vector>
+
+namespace spbla::baseline {
+
+GenericCsr ewise_add(backend::Context& ctx, const GenericCsr& a, const GenericCsr& b) {
+    check(a.nrows() == b.nrows() && a.ncols() == b.ncols(), Status::DimensionMismatch,
+          "generic ewise_add: shape mismatch");
+    const Index m = a.nrows();
+
+    auto row_sizes = ctx.alloc<Index>(m);
+    ctx.parallel_for(m, 512, [&](std::size_t i) {
+        const auto x = a.row(static_cast<Index>(i));
+        const auto y = b.row(static_cast<Index>(i));
+        std::size_t p = 0, q = 0, n = 0;
+        while (p < x.size() && q < y.size()) {
+            if (x[p] < y[q])
+                ++p;
+            else if (y[q] < x[p])
+                ++q;
+            else {
+                ++p;
+                ++q;
+            }
+            ++n;
+        }
+        row_sizes[i] = static_cast<Index>(n + (x.size() - p) + (y.size() - q));
+    });
+
+    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
+    std::uint64_t total = 0;
+    for (Index i = 0; i < m; ++i) {
+        row_offsets[i] = static_cast<Index>(total);
+        total += row_sizes[i];
+    }
+    row_offsets[m] = static_cast<Index>(total);
+    check(total <= 0xFFFFFFFFull, Status::OutOfRange, "generic ewise_add: nnz overflow");
+
+    std::vector<Index> cols(static_cast<std::size_t>(total));
+    std::vector<float> vals(static_cast<std::size_t>(total));
+    ctx.parallel_for(m, 512, [&](std::size_t i) {
+        const auto r = static_cast<Index>(i);
+        const auto x = a.row(r);
+        const auto xv = a.row_vals(r);
+        const auto y = b.row(r);
+        const auto yv = b.row_vals(r);
+        std::size_t p = 0, q = 0, out = row_offsets[i];
+        while (p < x.size() && q < y.size()) {
+            if (x[p] < y[q]) {
+                cols[out] = x[p];
+                vals[out] = xv[p];
+                ++p;
+            } else if (y[q] < x[p]) {
+                cols[out] = y[q];
+                vals[out] = yv[q];
+                ++q;
+            } else {
+                cols[out] = x[p];
+                vals[out] = xv[p] + yv[q];  // value work the Boolean kernel skips
+                ++p;
+                ++q;
+            }
+            ++out;
+        }
+        for (; p < x.size(); ++p, ++out) {
+            cols[out] = x[p];
+            vals[out] = xv[p];
+        }
+        for (; q < y.size(); ++q, ++out) {
+            cols[out] = y[q];
+            vals[out] = yv[q];
+        }
+    });
+
+    return GenericCsr::from_raw(m, a.ncols(), std::move(row_offsets), std::move(cols),
+                                std::move(vals));
+}
+
+}  // namespace spbla::baseline

@@ -1,0 +1,196 @@
+#include "baseline/generic_spgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bit_ops.hpp"
+
+namespace spbla::baseline {
+namespace {
+
+constexpr Index kEmptySlot = 0xFFFFFFFFu;
+
+/// Worker-local open-addressing hash map: column -> accumulated value.
+struct HashMapScratch {
+    std::vector<Index> keys;
+    std::vector<float> vals;
+    std::vector<Index> order;
+};
+
+/// Accumulate row \p i of A*B into the hash map; returns distinct count.
+/// When \p emit is true the sorted (col, val) pairs are left in scratch.
+Index hashmap_row(const GenericCsr& a, const GenericCsr& b, Index i, std::uint64_t ub,
+                  HashMapScratch& s, bool emit) {
+    if (ub == 0) {
+        s.order.clear();
+        return 0;
+    }
+    std::uint64_t want = util::next_pow2(ub * 2);
+    const std::uint64_t cap = util::next_pow2(static_cast<std::uint64_t>(b.ncols()) * 2);
+    if (want > cap) want = cap;
+    if (want < 16) want = 16;
+    const Index mask = static_cast<Index>(want - 1);
+    s.keys.assign(static_cast<std::size_t>(want), kEmptySlot);
+    s.vals.assign(static_cast<std::size_t>(want), 0.0f);
+
+    Index count = 0;
+    const auto arow = a.row(i);
+    const auto avals = a.row_vals(i);
+    for (std::size_t t = 0; t < arow.size(); ++t) {
+        const Index k = arow[t];
+        const float av = avals[t];
+        const auto brow = b.row(k);
+        const auto bvals = b.row_vals(k);
+        for (std::size_t u = 0; u < brow.size(); ++u) {
+            const Index c = brow[u];
+            const float prod = av * bvals[u];  // the FMA the Boolean kernel skips
+            Index h = (c * 2654435761u) & mask;
+            for (;;) {
+                const Index cur = s.keys[h];
+                if (cur == c) {
+                    s.vals[h] += prod;
+                    break;
+                }
+                if (cur == kEmptySlot) {
+                    s.keys[h] = c;
+                    s.vals[h] = prod;
+                    ++count;
+                    break;
+                }
+                h = (h + 1) & mask;
+            }
+        }
+    }
+    if (emit) {
+        s.order.clear();
+        s.order.reserve(count);
+        for (Index h = 0; h <= mask; ++h) {
+            if (s.keys[h] != kEmptySlot) s.order.push_back(h);
+        }
+        std::sort(s.order.begin(), s.order.end(),
+                  [&s](Index x, Index y) { return s.keys[x] < s.keys[y]; });
+    }
+    return count;
+}
+
+}  // namespace
+
+GenericCsr multiply_hash(backend::Context& ctx, const GenericCsr& a, const GenericCsr& b) {
+    check(a.ncols() == b.nrows(), Status::DimensionMismatch, "generic spgemm: shape");
+    const Index m = a.nrows();
+
+    // Same symbolic structure as the Boolean kernel: a tracked per-row
+    // product upper-bound array drives table sizing in both passes.
+    auto ub = ctx.alloc<std::uint64_t>(m);
+    ctx.parallel_for(m, 1024, [&](std::size_t i) {
+        std::uint64_t bound = 0;
+        for (const auto k : a.row(static_cast<Index>(i))) bound += b.row_nnz(k);
+        ub[i] = bound;
+    });
+
+    auto row_sizes = ctx.alloc<Index>(m);
+    ctx.parallel_for_chunks(m, 64, [&](std::size_t begin, std::size_t end) {
+        HashMapScratch scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+            row_sizes[i] = hashmap_row(a, b, static_cast<Index>(i), ub[i], scratch, false);
+        }
+    });
+
+    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
+    std::uint64_t total = 0;
+    for (Index i = 0; i < m; ++i) {
+        row_offsets[i] = static_cast<Index>(total);
+        total += row_sizes[i];
+    }
+    row_offsets[m] = static_cast<Index>(total);
+    check(total <= 0xFFFFFFFFull, Status::OutOfRange, "generic spgemm: nnz overflow");
+
+    std::vector<Index> cols(static_cast<std::size_t>(total));
+    std::vector<float> vals(static_cast<std::size_t>(total));
+    ctx.parallel_for_chunks(m, 64, [&](std::size_t begin, std::size_t end) {
+        HashMapScratch scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+            hashmap_row(a, b, static_cast<Index>(i), ub[i], scratch, true);
+            std::size_t out = row_offsets[i];
+            for (const auto h : scratch.order) {
+                cols[out] = scratch.keys[h];
+                vals[out] = scratch.vals[h];
+                ++out;
+            }
+        }
+    });
+
+    return GenericCsr::from_raw(m, b.ncols(), std::move(row_offsets), std::move(cols),
+                                std::move(vals));
+}
+
+GenericCsr multiply_esc(backend::Context& ctx, const GenericCsr& a, const GenericCsr& b) {
+    check(a.ncols() == b.nrows(), Status::DimensionMismatch, "generic spgemm: shape");
+    const Index m = a.nrows();
+
+    // Expand: materialise every partial product (this is the memory hog —
+    // the buffer is proportional to the number of products, not the result).
+    std::uint64_t products = 0;
+    for (Index i = 0; i < m; ++i) {
+        for (const auto k : a.row(i)) products += b.row_nnz(k);
+    }
+    auto exp_rows = ctx.alloc<Index>(products);
+    auto exp_cols = ctx.alloc<Index>(products);
+    auto exp_vals = ctx.alloc<float>(products);
+
+    std::size_t out = 0;
+    for (Index i = 0; i < m; ++i) {
+        const auto arow = a.row(i);
+        const auto avals = a.row_vals(i);
+        for (std::size_t t = 0; t < arow.size(); ++t) {
+            const auto brow = b.row(arow[t]);
+            const auto bvals = b.row_vals(arow[t]);
+            for (std::size_t u = 0; u < brow.size(); ++u) {
+                exp_rows[out] = i;
+                exp_cols[out] = brow[u];
+                exp_vals[out] = avals[t] * bvals[u];
+                ++out;
+            }
+        }
+    }
+
+    // Sort by (row, col). Rows are already grouped, so sort each row segment.
+    std::vector<Index> perm(products);
+    for (std::size_t k = 0; k < products; ++k) perm[k] = static_cast<Index>(k);
+    std::size_t seg_begin = 0;
+    for (std::size_t k = 1; k <= products; ++k) {
+        if (k == products || exp_rows[k] != exp_rows[seg_begin]) {
+            std::sort(perm.begin() + static_cast<std::ptrdiff_t>(seg_begin),
+                      perm.begin() + static_cast<std::ptrdiff_t>(k),
+                      [&](Index x, Index y) { return exp_cols[x] < exp_cols[y]; });
+            seg_begin = k;
+        }
+    }
+
+    // Compress by (row, col) key, summing duplicate products.
+    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
+    std::vector<Index> cols;
+    std::vector<float> vals;
+    Index last_row = 0;
+    bool have_last = false;
+    for (std::size_t k = 0; k < products; ++k) {
+        const Index p = perm[k];
+        const Index r = exp_rows[p];
+        const Index c = exp_cols[p];
+        if (have_last && r == last_row && c == cols.back()) {
+            vals.back() += exp_vals[p];
+        } else {
+            cols.push_back(c);
+            vals.push_back(exp_vals[p]);
+            ++row_offsets[r + 1];
+            last_row = r;
+            have_last = true;
+        }
+    }
+    for (Index r = 0; r < m; ++r) row_offsets[r + 1] += row_offsets[r];
+
+    return GenericCsr::from_raw(m, b.ncols(), std::move(row_offsets), std::move(cols),
+                                std::move(vals));
+}
+
+}  // namespace spbla::baseline

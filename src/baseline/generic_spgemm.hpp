@@ -1,0 +1,26 @@
+/// \file generic_spgemm.hpp
+/// \brief Generic (value-carrying) SpGEMM comparators.
+///
+/// Two baselines bracket the libraries the paper compares against:
+///  - hash: the same Nsparse structure as the Boolean kernel, but with a
+///    hash *map* accumulating float products (col -> running sum). This
+///    isolates exactly the Boolean-specialisation delta.
+///  - esc: expand-sort-compress (CUSP's strategy) — materialise every
+///    partial product as (col, val), sort, then compress by key. Simple,
+///    memory-hungry, the paper's "up to 4x more memory" end of the bracket.
+#pragma once
+
+#include "backend/context.hpp"
+#include "baseline/generic_csr.hpp"
+
+namespace spbla::baseline {
+
+/// C = A x B with float arithmetic using per-row hash-map accumulators.
+[[nodiscard]] GenericCsr multiply_hash(backend::Context& ctx, const GenericCsr& a,
+                                       const GenericCsr& b);
+
+/// C = A x B with float arithmetic using expand-sort-compress.
+[[nodiscard]] GenericCsr multiply_esc(backend::Context& ctx, const GenericCsr& a,
+                                      const GenericCsr& b);
+
+}  // namespace spbla::baseline

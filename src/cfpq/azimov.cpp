@@ -1,0 +1,41 @@
+#include "cfpq/azimov.hpp"
+
+#include "ops/ewise_add.hpp"
+
+namespace spbla::cfpq {
+
+AzimovIndex azimov_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
+                        const Grammar& g, const ops::SpGemmOptions& opts) {
+    AzimovIndex index;
+    index.cnf = to_cnf(g);
+    const Index n = graph.num_vertices();
+    const Index k = index.cnf.num_nonterminals();
+
+    index.nt_matrix.assign(k, CsrMatrix{n, n});
+
+    // Initialisation: terminal rules pull in the graph's label matrices.
+    for (const auto& [a, label] : index.cnf.terminal_rules) {
+        if (!graph.has_label(label)) continue;
+        index.nt_matrix[a] = ops::ewise_add(ctx, index.nt_matrix[a], graph.matrix(label));
+    }
+    if (index.cnf.start_nullable) {
+        index.nt_matrix[index.cnf.start] =
+            ops::ewise_add(ctx, index.nt_matrix[index.cnf.start], CsrMatrix::identity(n));
+    }
+
+    // Fixpoint: T_A += T_B x T_C for every A -> B C.
+    for (bool changed = true; changed;) {
+        changed = false;
+        ++index.rounds;
+        for (const auto& [a, b, c] : index.cnf.binary_rules) {
+            const std::size_t before = index.nt_matrix[a].nnz();
+            index.nt_matrix[a] = ops::multiply_add(ctx, index.nt_matrix[a],
+                                                   index.nt_matrix[b], index.nt_matrix[c],
+                                                   opts);
+            if (index.nt_matrix[a].nnz() != before) changed = true;
+        }
+    }
+    return index;
+}
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,35 @@
+/// \file azimov.hpp
+/// \brief Azimov's matrix CFPQ algorithm — the paper's `Mtx` baseline.
+///
+/// The grammar is lowered to CNF; one Boolean matrix per nonterminal is
+/// iterated with the fused multiply-add T_A += T_B x T_C for every binary
+/// rule A -> B C until no matrix grows. The CNF lowering (and the grammar
+/// size increase it causes) is exactly the cost the tensor algorithm avoids.
+#pragma once
+
+#include <vector>
+
+#include "backend/context.hpp"
+#include "cfpq/cnf.hpp"
+#include "data/labeled_graph.hpp"
+#include "ops/spgemm.hpp"
+
+namespace spbla::cfpq {
+
+/// The single-path-style index: one graph-sized matrix per CNF nonterminal.
+struct AzimovIndex {
+    CnfGrammar cnf;
+    std::vector<CsrMatrix> nt_matrix;  ///< indexed by CNF nonterminal id
+    std::size_t rounds{0};
+
+    /// Answer pairs of the start nonterminal (includes the diagonal when
+    /// the start symbol is nullable).
+    [[nodiscard]] const CsrMatrix& reachable() const { return nt_matrix[cnf.start]; }
+};
+
+/// Run Azimov's algorithm (index creation — the `Mtx` columns of Table IV).
+[[nodiscard]] AzimovIndex azimov_cfpq(backend::Context& ctx,
+                                      const data::LabeledGraph& graph, const Grammar& g,
+                                      const ops::SpGemmOptions& opts = {});
+
+}  // namespace spbla::cfpq

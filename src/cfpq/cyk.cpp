@@ -1,0 +1,40 @@
+#include "cfpq/cyk.hpp"
+
+#include <vector>
+
+namespace spbla::cfpq {
+
+bool cyk_accepts(const CnfGrammar& cnf, std::span<const std::string> word) {
+    if (word.empty()) return cnf.start_nullable;
+    const std::size_t n = word.size();
+    const Index k = cnf.num_nonterminals();
+
+    // table[i][len][a]: nonterminal a derives word[i, i+len).
+    std::vector<std::vector<std::vector<bool>>> table(
+        n, std::vector<std::vector<bool>>(n + 1, std::vector<bool>(k, false)));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const auto& [a, t] : cnf.terminal_rules) {
+            if (t == word[i]) table[i][1][a] = true;
+        }
+    }
+    for (std::size_t len = 2; len <= n; ++len) {
+        for (std::size_t i = 0; i + len <= n; ++i) {
+            for (std::size_t split = 1; split < len; ++split) {
+                for (const auto& [a, b, c] : cnf.binary_rules) {
+                    if (!table[i][len][a] && table[i][split][b] &&
+                        table[i + split][len - split][c]) {
+                        table[i][len][a] = true;
+                    }
+                }
+            }
+        }
+    }
+    return table[0][n][cnf.start];
+}
+
+bool accepts(const Grammar& g, std::span<const std::string> word) {
+    return cyk_accepts(to_cnf(g), word);
+}
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,18 @@
+/// \file cyk.hpp
+/// \brief CYK membership test — the formal-language oracle of the test suite.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "cfpq/cnf.hpp"
+
+namespace spbla::cfpq {
+
+/// True iff \p word (a sequence of terminal labels) is in L(cnf).
+[[nodiscard]] bool cyk_accepts(const CnfGrammar& cnf, std::span<const std::string> word);
+
+/// Convenience: lower \p g to CNF and test membership.
+[[nodiscard]] bool accepts(const Grammar& g, std::span<const std::string> word);
+
+}  // namespace spbla::cfpq

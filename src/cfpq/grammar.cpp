@@ -1,0 +1,61 @@
+#include "cfpq/grammar.hpp"
+
+#include <sstream>
+
+#include "core/types.hpp"
+
+namespace spbla::cfpq {
+
+Grammar::Grammar(std::string start_symbol, std::vector<Rule> rules)
+    : start_{std::move(start_symbol)}, rules_{std::move(rules)} {
+    check(!rules_.empty(), Status::InvalidArgument, "Grammar: no rules");
+    for (const auto& r : rules_) nonterminals_.insert(r.lhs);
+    check(nonterminals_.contains(start_), Status::InvalidArgument,
+          "Grammar: start symbol has no rule");
+}
+
+Grammar Grammar::parse(const std::string& text, const std::string& start_symbol) {
+    std::vector<Rule> rules;
+    std::istringstream lines{text};
+    std::string line;
+    while (std::getline(lines, line)) {
+        // Skip blanks and comments.
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#') continue;
+        const auto arrow = line.find("->");
+        check(arrow != std::string::npos, Status::InvalidArgument,
+              "Grammar::parse: rule line missing '->'");
+        std::string lhs = line.substr(0, arrow);
+        // Trim whitespace around the nonterminal name.
+        const auto lb = lhs.find_first_not_of(" \t");
+        const auto le = lhs.find_last_not_of(" \t");
+        check(lb != std::string::npos, Status::InvalidArgument,
+              "Grammar::parse: empty rule left-hand side");
+        lhs = lhs.substr(lb, le - lb + 1);
+        rules.push_back({std::move(lhs), rpq::parse(line.substr(arrow + 2))});
+    }
+    return Grammar{start_symbol, std::move(rules)};
+}
+
+std::vector<std::string> Grammar::terminals() const {
+    std::set<std::string> out;
+    for (const auto& r : rules_) {
+        for (const auto& s : rpq::symbols_of(*r.rhs)) {
+            if (!is_nonterminal(s)) out.insert(s);
+        }
+    }
+    return {out.begin(), out.end()};
+}
+
+rpq::RegexPtr Grammar::combined_rhs(const std::string& nt) const {
+    rpq::RegexPtr acc;
+    for (const auto& r : rules_) {
+        if (r.lhs != nt) continue;
+        acc = acc ? rpq::alt(acc, r.rhs) : r.rhs;
+    }
+    check(acc != nullptr, Status::InvalidArgument,
+          "Grammar::combined_rhs: unknown nonterminal " + nt);
+    return acc;
+}
+
+}  // namespace spbla::cfpq

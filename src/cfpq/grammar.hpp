@@ -1,0 +1,65 @@
+/// \file grammar.hpp
+/// \brief Context-free grammars with regex right-hand sides.
+///
+/// The paper's queries mix plain CFG rules (G1, G2, Geo) with regex-shaped
+/// rules (the MA query's `V -> ((S?) a_r)* (S?) (a (S?))*`). A Grammar here
+/// is a set of rules NT -> regex over mixed terminal/nonterminal symbols;
+/// one grammar format feeds both engines: the RSM construction (tensor
+/// algorithm) consumes the regexes directly, the CNF transform (Azimov's
+/// algorithm, CYK oracle) lowers them to plain productions first.
+///
+/// Text format, one rule per line (same RHS syntax as rpq::parse):
+///   S -> subClassOf_r S subClassOf | type_r type
+///   V -> ((S?) a_r)* (S?) (a (S?))*
+/// A symbol is a nonterminal iff it appears on some left-hand side.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rpq/regex.hpp"
+
+namespace spbla::cfpq {
+
+/// A context-free grammar with regex right-hand sides.
+class Grammar {
+public:
+    /// One rule NT -> regex.
+    struct Rule {
+        std::string lhs;
+        rpq::RegexPtr rhs;
+    };
+
+    Grammar(std::string start_symbol, std::vector<Rule> rules);
+
+    /// Parse the line-oriented text format.
+    [[nodiscard]] static Grammar parse(const std::string& text,
+                                       const std::string& start_symbol = "S");
+
+    [[nodiscard]] const std::string& start_symbol() const noexcept { return start_; }
+    [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
+
+    [[nodiscard]] bool is_nonterminal(const std::string& symbol) const {
+        return nonterminals_.contains(symbol);
+    }
+
+    /// All nonterminals (sorted; contains at least the start symbol).
+    [[nodiscard]] std::vector<std::string> nonterminals() const {
+        return {nonterminals_.begin(), nonterminals_.end()};
+    }
+
+    /// All terminals mentioned in the rules (sorted).
+    [[nodiscard]] std::vector<std::string> terminals() const;
+
+    /// The single regex `r1 | r2 | ...` combining all rules of \p nt.
+    [[nodiscard]] rpq::RegexPtr combined_rhs(const std::string& nt) const;
+
+private:
+    std::string start_;
+    std::vector<Rule> rules_;
+    std::set<std::string> nonterminals_;
+};
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,101 @@
+#include "cfpq/paths.hpp"
+
+#include <algorithm>
+
+#include "ops/transpose.hpp"
+
+namespace spbla::cfpq {
+
+PathExtractor::PathExtractor(backend::Context& ctx, const data::LabeledGraph& graph,
+                             const AzimovIndex& index)
+    : graph_{graph}, index_{index} {
+    const Index k = index.cnf.num_nonterminals();
+    transposed_.reserve(k);
+    for (Index a = 0; a < k; ++a) {
+        transposed_.push_back(ops::transpose(ctx, index.nt_matrix[a]));
+    }
+    terminals_of_.resize(k);
+    for (const auto& [a, label] : index.cnf.terminal_rules) {
+        terminals_of_[a].push_back(label);
+    }
+    binaries_of_.resize(k);
+    for (const auto& [a, b, c] : index.cnf.binary_rules) {
+        binaries_of_[a].emplace_back(b, c);
+    }
+}
+
+std::vector<std::vector<std::string>> PathExtractor::extract(Index u, Index v,
+                                                             std::size_t max_len,
+                                                             std::size_t max_count,
+                                                             PathStats* stats,
+                                                             std::size_t max_steps) const {
+    PathStats local;
+    std::vector<std::vector<std::string>> out;
+    if (index_.cnf.start_nullable && u == v && max_count > 0) {
+        out.push_back({});  // the empty path witnesses nullable start
+    }
+    paths_for(index_.cnf.start, u, v, max_len, max_count, max_steps, out, local);
+    local.paths_found = out.size();
+    if (stats != nullptr) *stats = local;
+    return out;
+}
+
+void PathExtractor::paths_for(Index nt, Index u, Index v, std::size_t budget,
+                              std::size_t max_count, std::size_t max_steps,
+                              std::vector<std::vector<std::string>>& out,
+                              PathStats& stats) const {
+    if (budget == 0 || out.size() >= max_count) return;
+    if (stats.recursion_steps >= max_steps) return;  // global work budget
+    ++stats.recursion_steps;
+
+    // Single-edge witnesses: A -> t with a t-edge (u, v).
+    for (const auto& label : terminals_of_[nt]) {
+        if (out.size() >= max_count) return;
+        if (graph_.has_label(label) && graph_.matrix(label).get(u, v)) {
+            const std::vector<std::string> word{label};
+            if (std::find(out.begin(), out.end(), word) == out.end()) {
+                out.push_back(word);
+            }
+        }
+    }
+
+    // Two-part witnesses: A -> B C split at every derivable middle vertex.
+    for (const auto& [b, c] : binaries_of_[nt]) {
+        if (out.size() >= max_count) return;
+        const auto row_b = index_.nt_matrix[b].row(u);      // {w : B(u, w)}
+        const auto col_c = transposed_[c].row(v);           // {w : C(w, v)}
+        std::size_t i = 0, j = 0;
+        while (i < row_b.size() && j < col_c.size() && out.size() < max_count) {
+            if (row_b[i] < col_c[j]) {
+                ++i;
+            } else if (col_c[j] < row_b[i]) {
+                ++j;
+            } else {
+                const Index w = row_b[i];
+                ++i;
+                ++j;
+                // Every CNF nonterminal derives only non-empty words, so the
+                // right part gets at most budget - 1 edges (and vice versa).
+                std::vector<std::vector<std::string>> lefts;
+                paths_for(b, u, w, budget - 1, max_count, max_steps, lefts, stats);
+                for (const auto& left : lefts) {
+                    if (out.size() >= max_count) return;
+                    if (left.size() >= budget) continue;
+                    std::vector<std::vector<std::string>> rights;
+                    paths_for(c, w, v, budget - left.size(), max_count - out.size(),
+                              max_steps, rights, stats);
+                    for (auto& right : rights) {
+                        std::vector<std::string> word = left;
+                        word.insert(word.end(), right.begin(), right.end());
+                        if (std::find(out.begin(), out.end(), word) == out.end()) {
+                            out.push_back(std::move(word));
+                        }
+                        if (out.size() >= max_count) return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,56 @@
+/// \file paths.hpp
+/// \brief All-paths extraction from a CFPQ index.
+///
+/// The paper's evaluation extracts "all paths with length not greater than
+/// 20 edges" for answer pairs, capped at a path-count budget. The extractor
+/// recursively decomposes an (A, u, v) fact through the CNF rules, using
+/// the nonterminal matrices of the index as a derivability oracle: a middle
+/// vertex w splits A -> B C iff B(u, w) and C(w, v) — i.e. w lies in the
+/// intersection of row u of T_B with column v of T_C, read through the
+/// transposed matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/context.hpp"
+#include "cfpq/azimov.hpp"
+#include "data/labeled_graph.hpp"
+
+namespace spbla::cfpq {
+
+/// Extraction statistics (reported by bench_paths_extraction).
+struct PathStats {
+    std::size_t paths_found{0};
+    std::size_t recursion_steps{0};
+};
+
+/// Extracts label words witnessing index facts.
+class PathExtractor {
+public:
+    /// Builds column-access (transposed) copies of the index matrices.
+    PathExtractor(backend::Context& ctx, const data::LabeledGraph& graph,
+                  const AzimovIndex& index);
+
+    /// All distinct label words of length <= max_len witnessing (u, v) for
+    /// the start nonterminal, capped at max_count words and at \p max_steps
+    /// units of recursion (the enumeration space can be exponential; capping
+    /// mirrors the paper bounding extraction time).
+    [[nodiscard]] std::vector<std::vector<std::string>> extract(
+        Index u, Index v, std::size_t max_len, std::size_t max_count,
+        PathStats* stats = nullptr, std::size_t max_steps = 200000) const;
+
+private:
+    void paths_for(Index nt, Index u, Index v, std::size_t budget,
+                   std::size_t max_count, std::size_t max_steps,
+                   std::vector<std::vector<std::string>>& out,
+                   PathStats& stats) const;
+
+    const data::LabeledGraph& graph_;
+    const AzimovIndex& index_;
+    std::vector<CsrMatrix> transposed_;  // T_A^T per nonterminal
+    std::vector<std::vector<std::string>> terminals_of_;              // nt -> labels
+    std::vector<std::vector<std::pair<Index, Index>>> binaries_of_;   // nt -> (B, C)
+};
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,27 @@
+#include "cfpq/queries.hpp"
+
+namespace spbla::cfpq {
+
+Grammar query_g1() {
+    return Grammar::parse(
+        "S -> subClassOf_r S subClassOf | type_r S type"
+        " | subClassOf_r subClassOf | type_r type\n");
+}
+
+Grammar query_g2() {
+    return Grammar::parse("S -> subClassOf_r S subClassOf | subClassOf\n");
+}
+
+Grammar query_geo() {
+    return Grammar::parse(
+        "S -> broaderTransitive S broaderTransitive_r"
+        " | broaderTransitive broaderTransitive_r\n");
+}
+
+Grammar query_ma() {
+    return Grammar::parse(
+        "S -> d_r V d\n"
+        "V -> ((S?) a_r)* (S?) (a (S?))*\n");
+}
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,28 @@
+/// \file queries.hpp
+/// \brief The CFPQ queries of the paper's evaluation: G1, G2, Geo, MA.
+///
+/// Inverse relations (the paper's x̄) are spelled `x_r` and must be present
+/// in the graph (LabeledGraph::add_inverse_labels provides them).
+#pragma once
+
+#include "cfpq/grammar.hpp"
+
+namespace spbla::cfpq {
+
+/// G1 (same-generation over subClassOf and type):
+///   S -> subClassOf_r S subClassOf | type_r S type
+///      | subClassOf_r subClassOf   | type_r type
+[[nodiscard]] Grammar query_g1();
+
+/// G2: S -> subClassOf_r S subClassOf | subClassOf
+[[nodiscard]] Grammar query_g2();
+
+/// Geo (same-generation over broaderTransitive, for geospecies):
+///   S -> broaderTransitive S broaderTransitive_r
+///      | broaderTransitive broaderTransitive_r
+[[nodiscard]] Grammar query_geo();
+
+/// MA (memory aliases): S -> d_r V d ; V -> ((S?) a_r)* (S?) (a (S?))*
+[[nodiscard]] Grammar query_ma();
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,39 @@
+#include "cfpq/rsm.hpp"
+
+#include "cfpq/cnf.hpp"
+
+namespace spbla::cfpq {
+
+CsrMatrix Rsm::matrix(const std::string& symbol) const {
+    const auto it = delta.find(symbol);
+    if (it == delta.end()) return CsrMatrix{num_states, num_states};
+    return CsrMatrix::from_coords(num_states, num_states, it->second);
+}
+
+std::vector<std::string> Rsm::symbols() const {
+    std::vector<std::string> out;
+    out.reserve(delta.size());
+    for (const auto& [s, edges] : delta) out.push_back(s);
+    return out;
+}
+
+Rsm build_rsm(const Grammar& g) {
+    Rsm rsm;
+    rsm.nonterminals = g.nonterminals();
+    for (const auto& nt : rsm.nonterminals) {
+        const rpq::Nfa box = rpq::glushkov(*g.combined_rhs(nt));
+        const Index base = rsm.num_states;
+        rsm.box_start.emplace(nt, base + box.start);
+        auto& finals = rsm.box_final[nt];
+        for (const auto f : box.accepting_states()) finals.push_back(base + f);
+        for (const auto& [symbol, edges] : box.delta) {
+            auto& dst = rsm.delta[symbol];
+            for (const auto& [from, to] : edges) dst.push_back({base + from, base + to});
+        }
+        rsm.num_states += box.num_states;
+    }
+    rsm.nullable = nullable_nonterminals(g);
+    return rsm;
+}
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,47 @@
+/// \file rsm.hpp
+/// \brief Recursive state machine (RSM) built from a grammar.
+///
+/// The tensor algorithm represents the query as an RSM: one "box" per
+/// nonterminal, each box being the Glushkov automaton of that nonterminal's
+/// combined right-hand-side regex. Box states are numbered globally so the
+/// whole RSM matricises into one Boolean transition matrix per symbol
+/// (terminal *and* nonterminal labels both appear on RSM edges). No CNF
+/// transformation is needed — the advantage the paper claims for the
+/// tensor approach.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cfpq/grammar.hpp"
+#include "core/csr.hpp"
+#include "rpq/nfa.hpp"
+
+namespace spbla::cfpq {
+
+/// A matricised RSM.
+struct Rsm {
+    Index num_states{0};
+    /// symbol (terminal or nonterminal) -> transition coordinate list.
+    std::map<std::string, std::vector<Coord>> delta;
+    /// nonterminal -> global start state of its box.
+    std::map<std::string, Index> box_start;
+    /// nonterminal -> global final states of its box.
+    std::map<std::string, std::vector<Index>> box_final;
+    /// Nonterminals deriving the empty word (box accepts epsilon).
+    std::vector<std::string> nullable;
+    /// Nonterminal order (stable across runs).
+    std::vector<std::string> nonterminals;
+
+    /// Boolean transition matrix of \p symbol (num_states square).
+    [[nodiscard]] CsrMatrix matrix(const std::string& symbol) const;
+
+    /// Symbols with at least one RSM transition.
+    [[nodiscard]] std::vector<std::string> symbols() const;
+};
+
+/// Build the RSM of \p g (one Glushkov box per nonterminal).
+[[nodiscard]] Rsm build_rsm(const Grammar& g);
+
+}  // namespace spbla::cfpq

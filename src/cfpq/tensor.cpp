@@ -1,0 +1,70 @@
+#include "cfpq/tensor.hpp"
+
+#include "ops/ewise_add.hpp"
+#include "ops/kronecker.hpp"
+#include "ops/submatrix.hpp"
+
+namespace spbla::cfpq {
+
+TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
+                        const Grammar& g, const TensorOptions& opts) {
+    const Rsm rsm = build_rsm(g);
+    const Index n = graph.num_vertices();
+    const Index k = rsm.num_states;
+
+    TensorIndex index;
+    // Initialise nonterminal matrices: nullable NTs hold the identity
+    // (every vertex derives them via the empty path).
+    for (const auto& nt : rsm.nonterminals) {
+        index.nt_matrix.emplace(nt, CsrMatrix{n, n});
+    }
+    for (const auto& nt : rsm.nullable) {
+        index.nt_matrix.insert_or_assign(nt, CsrMatrix::identity(n));
+    }
+
+    CsrMatrix closure{k * n, k * n};  // warm-start accumulator
+    const auto symbol_matrix = [&](const std::string& s) -> const CsrMatrix& {
+        const auto it = index.nt_matrix.find(s);
+        return it != index.nt_matrix.end() ? it->second : graph.matrix(s);
+    };
+
+    for (;;) {
+        ++index.rounds;
+
+        // M = sum over RSM symbols of RSM_s (x) G_s.
+        CsrMatrix product{k * n, k * n};
+        for (const auto& symbol : rsm.symbols()) {
+            const CsrMatrix& gm = symbol_matrix(symbol);
+            if (gm.nnz() == 0) continue;
+            product = ops::ewise_add(ctx, product,
+                                     ops::kronecker(ctx, rsm.matrix(symbol), gm));
+        }
+        if (opts.incremental_closure) {
+            // Valid warm start: closure(closure(Mprev) | M) == closure(M)
+            // because Mprev is a submatrix of M (edges only get added).
+            product = ops::ewise_add(ctx, product, closure);
+        }
+        closure = algorithms::transitive_closure(ctx, product, opts.strategy);
+
+        // Harvest new nonterminal edges from the (start, final) blocks.
+        bool changed = false;
+        for (const auto& nt : rsm.nonterminals) {
+            const Index q0 = rsm.box_start.at(nt);
+            CsrMatrix updated = index.nt_matrix.at(nt);
+            for (const auto qf : rsm.box_final.at(nt)) {
+                const CsrMatrix block = ops::submatrix(ctx, closure, q0 * n, qf * n, n, n);
+                updated = ops::ewise_add(ctx, updated, block);
+            }
+            if (updated.nnz() != index.nt_matrix.at(nt).nnz()) {
+                index.nt_matrix.insert_or_assign(nt, std::move(updated));
+                changed = true;
+            }
+        }
+        if (!changed) break;
+    }
+
+    index.closure = std::move(closure);
+    return index;
+}
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,61 @@
+/// \file tensor.hpp
+/// \brief The Kronecker-product (tensor) CFPQ algorithm — the paper's `Tns`.
+///
+/// Works directly on the RSM (no CNF blow-up) and computes the *all-paths*
+/// index: after the fixpoint, the final product closure together with the
+/// per-nonterminal matrices is enough to restore every path of interest.
+///
+/// One round:
+///   M  = sum over symbols s of  RSM_s (x) G_s      (s ranges over terminals
+///                                                    and nonterminals)
+///   C  = transitive closure of M
+///   for every nonterminal A with box start q0 and final qf:
+///       G_A |= C[q0-block, qf-block]               (n x n sub-matrix)
+/// Rounds repeat until no G_A grows. Nullable nonterminals start with the
+/// identity matrix (an empty path derives them at every vertex).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "algorithms/closure.hpp"
+#include "backend/context.hpp"
+#include "cfpq/rsm.hpp"
+#include "data/labeled_graph.hpp"
+
+namespace spbla::cfpq {
+
+/// Options of the tensor fixpoint.
+struct TensorOptions {
+    /// Warm-start each round's closure from the previous round's closure
+    /// (valid because the product matrix only grows). The paper identifies
+    /// exactly this incremental-transitive-closure step as the algorithm's
+    /// bottleneck, and bench_ablation shows why naive incrementality does
+    /// not pay: the warm-started operand is much denser, so the saved
+    /// rounds cost more than they save. Off by default; a genuinely
+    /// sub-recompute incremental closure is the open problem the paper
+    /// points at.
+    bool incremental_closure = false;
+    algorithms::ClosureStrategy strategy = algorithms::ClosureStrategy::Squaring;
+};
+
+/// The all-paths index produced by the tensor algorithm.
+struct TensorIndex {
+    /// graph-sized Boolean matrix per nonterminal (reachability via that NT).
+    std::map<std::string, CsrMatrix> nt_matrix;
+    /// Final product transitive closure (used by path extraction).
+    CsrMatrix closure;
+    std::size_t rounds{0};
+
+    /// Answer pairs of the start nonterminal.
+    [[nodiscard]] const CsrMatrix& reachable(const Grammar& g) const {
+        return nt_matrix.at(g.start_symbol());
+    }
+};
+
+/// Run the tensor CFPQ algorithm (index creation — what Table IV times).
+[[nodiscard]] TensorIndex tensor_cfpq(backend::Context& ctx,
+                                      const data::LabeledGraph& graph, const Grammar& g,
+                                      const TensorOptions& opts = {});
+
+}  // namespace spbla::cfpq

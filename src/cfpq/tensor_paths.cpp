@@ -1,0 +1,139 @@
+#include "cfpq/tensor_paths.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cfpq/cnf.hpp"
+
+namespace spbla::cfpq {
+
+/// DFS context for a single box walk. `since_consume` guards against
+/// zero-length cycles: nullable nonterminal edges advance the box state
+/// without consuming a graph edge, so a cyclic box could loop forever.
+struct TensorPathExtractor::Walk {
+    const TensorPathExtractor& self;
+    const std::string& nt;
+    Index target_vertex;
+    std::size_t budget;
+    std::size_t max_count;
+    std::vector<std::vector<std::string>>& out;
+    std::vector<std::string> word;
+    std::set<std::pair<Index, Index>> since_consume;  // (state, vertex)
+
+    // Built once per extractor: global-state -> outgoing (symbol, state).
+    static std::map<Index, std::vector<std::pair<std::string, Index>>> adjacency(
+        const Rsm& rsm) {
+        std::map<Index, std::vector<std::pair<std::string, Index>>> adj;
+        for (const auto& [symbol, edges] : rsm.delta) {
+            for (const auto& [from, to] : edges) adj[from].emplace_back(symbol, to);
+        }
+        return adj;
+    }
+
+    void step(Index q, Index w) {
+        if (out.size() >= max_count) return;
+        if (self.steps_left_ == 0) return;  // global DFS budget exhausted
+        --self.steps_left_;
+        const auto& finals = self.rsm_.box_final.at(nt);
+        if (w == target_vertex && !word.empty() &&
+            std::find(finals.begin(), finals.end(), q) != finals.end()) {
+            if (std::find(out.begin(), out.end(), word) == out.end()) {
+                out.push_back(word);
+                if (out.size() >= max_count) return;
+            }
+            // fall through: longer witnesses may continue from here
+        }
+
+        const auto it = self.adj_.find(q);
+        if (it == self.adj_.end()) return;
+        for (const auto& [symbol, q2] : it->second) {
+            if (out.size() >= max_count) return;
+            if (self.grammar_.is_nonterminal(symbol)) {
+                const auto nt_it = self.index_.nt_matrix.find(symbol);
+                if (nt_it == self.index_.nt_matrix.end()) continue;
+                const bool nullable =
+                    std::find(self.nullable_.begin(), self.nullable_.end(), symbol) !=
+                    self.nullable_.end();
+                for (const auto w2 : nt_it->second.row(w)) {
+                    if (out.size() >= max_count) return;
+                    if (w2 == w && nullable) {
+                        // epsilon derivation: advance the box state only.
+                        if (since_consume.insert({q2, w}).second) {
+                            step(q2, w);
+                        }
+                    }
+                    // Non-empty sub-derivations of the callee nonterminal.
+                    if (word.size() >= budget) continue;
+                    std::vector<std::vector<std::string>> subwords;
+                    self.paths_for(symbol, w, w2, budget - word.size(),
+                                   max_count - out.size(), subwords);
+                    for (const auto& sub : subwords) {
+                        if (sub.empty() || word.size() + sub.size() > budget) continue;
+                        const auto saved_size = word.size();
+                        word.insert(word.end(), sub.begin(), sub.end());
+                        auto saved_guard = std::move(since_consume);
+                        since_consume.clear();
+                        step(q2, w2);
+                        since_consume = std::move(saved_guard);
+                        word.resize(saved_size);
+                        if (out.size() >= max_count) return;
+                    }
+                }
+            } else {
+                if (!self.graph_.has_label(symbol) || word.size() >= budget) continue;
+                for (const auto w2 : self.graph_.matrix(symbol).row(w)) {
+                    word.push_back(symbol);
+                    auto saved_guard = std::move(since_consume);
+                    since_consume.clear();
+                    step(q2, w2);
+                    since_consume = std::move(saved_guard);
+                    word.pop_back();
+                    if (out.size() >= max_count) return;
+                }
+            }
+        }
+    }
+};
+
+TensorPathExtractor::TensorPathExtractor(backend::Context& ctx,
+                                         const data::LabeledGraph& graph,
+                                         const Grammar& grammar,
+                                         const TensorIndex& index)
+    : graph_{graph}, grammar_{grammar}, index_{index}, rsm_{build_rsm(grammar)},
+      nullable_{nullable_nonterminals(grammar)} {
+    (void)ctx;
+    adj_ = Walk::adjacency(rsm_);
+}
+
+std::vector<std::vector<std::string>> TensorPathExtractor::extract(
+    Index u, Index v, std::size_t max_len, std::size_t max_count,
+    std::size_t max_steps) const {
+    std::vector<std::vector<std::string>> out;
+    if (max_count == 0) return out;
+    steps_left_ = max_steps;
+    const auto& start_nt = grammar_.start_symbol();
+    const bool nullable =
+        std::find(nullable_.begin(), nullable_.end(), start_nt) != nullable_.end();
+    if (nullable && u == v) out.push_back({});
+    paths_for(start_nt, u, v, max_len, max_count, out);
+    return out;
+}
+
+void TensorPathExtractor::paths_for(const std::string& nt, Index u, Index v,
+                                    std::size_t budget, std::size_t max_count,
+                                    std::vector<std::vector<std::string>>& out) const {
+    if (budget == 0 || max_count == 0) return;
+    // Prune with the index: only derivable pairs are worth walking.
+    const auto it = index_.nt_matrix.find(nt);
+    if (it == index_.nt_matrix.end() || !it->second.get(u, v)) return;
+    // Left-recursion guard (see header).
+    const auto frame = std::make_tuple(nt, u, v, budget);
+    if (!active_.insert(frame).second) return;
+    Walk walk{*this, nt, v, budget, max_count, out, {}, {}};
+    walk.since_consume.insert({rsm_.box_start.at(nt), u});
+    walk.step(rsm_.box_start.at(nt), u);
+    active_.erase(frame);
+}
+
+}  // namespace spbla::cfpq

@@ -1,0 +1,156 @@
+#include "cfpq/worklist.hpp"
+
+#include <deque>
+#include <set>
+#include <vector>
+
+namespace spbla::cfpq {
+
+CsrMatrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g) {
+    const CnfGrammar cnf = to_cnf(g);
+    const Index n = graph.num_vertices();
+    const Index k = cnf.num_nonterminals();
+
+    // Rule indices by participant for O(1) combination lookup.
+    std::vector<std::vector<std::pair<Index, Index>>> rules_by_left(k);   // B -> (A, C)
+    std::vector<std::vector<std::pair<Index, Index>>> rules_by_right(k);  // C -> (A, B)
+    for (const auto& [a, b, c] : cnf.binary_rules) {
+        rules_by_left[b].emplace_back(a, c);
+        rules_by_right[c].emplace_back(a, b);
+    }
+
+    // Edge sets per nonterminal with forward and reverse adjacency.
+    std::vector<std::set<std::pair<Index, Index>>> have(k);
+    std::vector<std::vector<std::vector<Index>>> out(k), in(k);
+    for (Index a = 0; a < k; ++a) {
+        out[a].resize(n);
+        in[a].resize(n);
+    }
+
+    std::deque<std::tuple<Index, Index, Index>> work;  // (A, u, v)
+    const auto add = [&](Index a, Index u, Index v) {
+        if (have[a].insert({u, v}).second) {
+            out[a][u].push_back(v);
+            in[a][v].push_back(u);
+            work.push_back({a, u, v});
+        }
+    };
+
+    for (const auto& [a, label] : cnf.terminal_rules) {
+        if (!graph.has_label(label)) continue;
+        for (const auto& c : graph.matrix(label).to_coords()) add(a, c.row, c.col);
+    }
+
+    while (!work.empty()) {
+        const auto [x, u, w] = work.front();
+        work.pop_front();
+        // X as the left operand: A -> X C needs (C, w, v).
+        for (const auto& [a, c] : rules_by_left[x]) {
+            // Copy: `add` may grow out[c][w] when c == x.
+            const auto targets = out[c][w];
+            for (const auto v : targets) add(a, u, v);
+        }
+        // X as the right operand: A -> B X needs (B, t, u).
+        for (const auto& [a, b] : rules_by_right[x]) {
+            const auto sources = in[b][u];
+            for (const auto t : sources) add(a, t, w);
+        }
+    }
+
+    std::vector<Coord> answers;
+    for (const auto& [u, v] : have[cnf.start]) answers.push_back({u, v});
+    if (cnf.start_nullable) {
+        for (Index u = 0; u < n; ++u) answers.push_back({u, u});
+    }
+    return CsrMatrix::from_coords(n, n, std::move(answers));
+}
+
+SinglePathIndex::SinglePathIndex(const data::LabeledGraph& graph, const Grammar& g)
+    : cnf_{to_cnf(g)} {
+    const Index n = graph.num_vertices();
+    const Index k = cnf_.num_nonterminals();
+    facts_.resize(k);
+
+    std::vector<std::vector<std::pair<Index, Index>>> rules_by_left(k);   // B -> (rule, A)
+    std::vector<std::vector<std::pair<Index, Index>>> rules_by_right(k);  // C -> (rule, A)
+    for (Index r = 0; r < cnf_.binary_rules.size(); ++r) {
+        const auto& [a, b, c] = cnf_.binary_rules[r];
+        rules_by_left[b].emplace_back(r, a);
+        rules_by_right[c].emplace_back(r, a);
+    }
+
+    std::vector<std::vector<std::vector<Index>>> out(k), in(k);
+    for (Index a = 0; a < k; ++a) {
+        out[a].resize(n);
+        in[a].resize(n);
+    }
+
+    std::deque<std::tuple<Index, Index, Index>> work;
+    const auto add = [&](Index a, Index u, Index v, const Provenance& why) {
+        if (facts_[a].try_emplace({u, v}, why).second) {
+            out[a][u].push_back(v);
+            in[a][v].push_back(u);
+            work.push_back({a, u, v});
+        }
+    };
+
+    for (Index r = 0; r < cnf_.terminal_rules.size(); ++r) {
+        const auto& [a, label] = cnf_.terminal_rules[r];
+        if (!graph.has_label(label)) continue;
+        for (const auto& c : graph.matrix(label).to_coords()) {
+            add(a, c.row, c.col, Provenance{true, r, 0, 0});
+        }
+    }
+
+    while (!work.empty()) {
+        const auto [x, u, w] = work.front();
+        work.pop_front();
+        for (const auto& [rule, a] : rules_by_left[x]) {
+            const Index c = std::get<2>(cnf_.binary_rules[rule]);
+            const auto targets = out[c][w];  // copy: add() may grow it
+            for (const auto v : targets) add(a, u, v, Provenance{false, 0, rule, w});
+        }
+        for (const auto& [rule, a] : rules_by_right[x]) {
+            const Index b = std::get<1>(cnf_.binary_rules[rule]);
+            const auto sources = in[b][u];
+            for (const auto t : sources) add(a, t, w, Provenance{false, 0, rule, u});
+        }
+    }
+
+    std::vector<Coord> answers;
+    for (const auto& entry : facts_[cnf_.start]) {
+        answers.push_back({entry.first.first, entry.first.second});
+    }
+    if (cnf_.start_nullable) {
+        for (Index u = 0; u < n; ++u) answers.push_back({u, u});
+    }
+    reachable_ = CsrMatrix::from_coords(n, n, std::move(answers));
+}
+
+bool SinglePathIndex::extract_one(Index u, Index v,
+                                  std::vector<std::string>& word_out) const {
+    word_out.clear();
+    if (facts_[cnf_.start].contains({u, v})) {
+        append_word(cnf_.start, u, v, word_out);
+        return true;
+    }
+    if (cnf_.start_nullable && u == v) return true;  // the empty witness
+    return false;
+}
+
+void SinglePathIndex::append_word(Index nt, Index u, Index v,
+                                  std::vector<std::string>& out) const {
+    // Provenance references strictly earlier facts, so this recursion is
+    // well-founded and costs O(word length).
+    const auto& why = facts_[nt].at({u, v});
+    if (why.is_terminal) {
+        out.push_back(cnf_.terminal_rules[why.terminal_rule].second);
+        return;
+    }
+    const Index b = std::get<1>(cnf_.binary_rules[why.binary_rule]);
+    const Index c = std::get<2>(cnf_.binary_rules[why.binary_rule]);
+    append_word(b, u, why.mid, out);
+    append_word(c, why.mid, v, out);
+}
+
+}  // namespace spbla::cfpq

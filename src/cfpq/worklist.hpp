@@ -1,0 +1,59 @@
+/// \file worklist.hpp
+/// \brief Naive Melski-Reps worklist CFL-reachability.
+///
+/// The classic O(n^3) dynamic-programming formulation of CFL reachability
+/// (Melski & Reps). No linear algebra involved — it is the independent
+/// reference oracle the property tests compare both matrix algorithms
+/// against, and a baseline in the benchmarks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cfpq/cnf.hpp"
+#include "core/csr.hpp"
+#include "data/labeled_graph.hpp"
+
+namespace spbla::cfpq {
+
+/// All (u, v) pairs such that u reaches v by a path labelled by a word of
+/// L(g). Cubic worklist algorithm; intended for oracle/baseline use.
+[[nodiscard]] CsrMatrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g);
+
+/// Single-path semantics (what the paper's `Mtx` computes, in contrast to
+/// the tensor algorithm's all-paths index): every derived fact records *one*
+/// derivation — the terminal edge or the (rule, middle vertex) that first
+/// produced it — so one witness word per answer pair is recoverable in time
+/// linear in its length, with no search.
+class SinglePathIndex {
+public:
+    /// Build by running the provenance-recording worklist to fixpoint.
+    SinglePathIndex(const data::LabeledGraph& graph, const Grammar& g);
+
+    /// Answer pairs of the start nonterminal.
+    [[nodiscard]] const CsrMatrix& reachable() const noexcept { return reachable_; }
+
+    /// One witness word for (u, v); false if the pair is not an answer.
+    /// The empty word is returned for diagonal answers of a nullable start.
+    [[nodiscard]] bool extract_one(Index u, Index v,
+                                   std::vector<std::string>& word_out) const;
+
+private:
+    struct Provenance {
+        bool is_terminal{false};
+        Index terminal_rule{0};  ///< index into cnf_.terminal_rules
+        Index binary_rule{0};    ///< index into cnf_.binary_rules
+        Index mid{0};            ///< split vertex of a binary derivation
+    };
+
+    void append_word(Index nt, Index u, Index v, std::vector<std::string>& out) const;
+
+    CnfGrammar cnf_;
+    /// Per CNF nonterminal: derived (u, v) -> its first derivation.
+    std::vector<std::map<std::pair<Index, Index>, Provenance>> facts_;
+    CsrMatrix reachable_;
+};
+
+}  // namespace spbla::cfpq

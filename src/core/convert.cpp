@@ -1,0 +1,50 @@
+#include "core/convert.hpp"
+
+namespace spbla {
+
+CsrMatrix to_csr(const CooMatrix& coo) {
+    std::vector<Index> row_offsets(static_cast<std::size_t>(coo.nrows()) + 1, 0);
+    const auto rows = coo.rows();
+    for (const auto r : rows) ++row_offsets[r + 1];
+    for (Index r = 0; r < coo.nrows(); ++r) row_offsets[r + 1] += row_offsets[r];
+    std::vector<Index> cols(coo.cols().begin(), coo.cols().end());
+    return CsrMatrix::from_raw(coo.nrows(), coo.ncols(), std::move(row_offsets),
+                               std::move(cols));
+}
+
+CooMatrix to_coo(const CsrMatrix& csr) {
+    std::vector<Index> rows;
+    rows.reserve(csr.nnz());
+    for (Index r = 0; r < csr.nrows(); ++r) {
+        rows.insert(rows.end(), csr.row_nnz(r), r);
+    }
+    std::vector<Index> cols(csr.cols().begin(), csr.cols().end());
+    return CooMatrix::from_sorted(csr.nrows(), csr.ncols(), std::move(rows),
+                                  std::move(cols));
+}
+
+CsrMatrix to_csr(const DenseMatrix& dense) {
+    return CsrMatrix::from_coords(dense.nrows(), dense.ncols(), dense.to_coords());
+}
+
+CooMatrix to_coo(const DenseMatrix& dense) {
+    return CooMatrix::from_coords(dense.nrows(), dense.ncols(), dense.to_coords());
+}
+
+DenseMatrix to_dense(const CsrMatrix& csr) {
+    DenseMatrix out{csr.nrows(), csr.ncols()};
+    for (Index r = 0; r < csr.nrows(); ++r) {
+        for (const auto c : csr.row(r)) out.set(r, c);
+    }
+    return out;
+}
+
+DenseMatrix to_dense(const CooMatrix& coo) {
+    DenseMatrix out{coo.nrows(), coo.ncols()};
+    const auto rows = coo.rows();
+    const auto cols = coo.cols();
+    for (std::size_t k = 0; k < rows.size(); ++k) out.set(rows[k], cols[k]);
+    return out;
+}
+
+}  // namespace spbla

@@ -1,0 +1,33 @@
+/// \file convert.hpp
+/// \brief Conversions between the storage formats.
+///
+/// cuBool (CSR) and clBool (COO) are distinct backends in the paper; this
+/// reproduction keeps both formats first-class and converts losslessly
+/// between them and the dense reference.
+#pragma once
+
+#include "core/coo.hpp"
+#include "core/csr.hpp"
+#include "core/dense.hpp"
+
+namespace spbla {
+
+/// COO -> CSR (O(nnz)).
+[[nodiscard]] CsrMatrix to_csr(const CooMatrix& coo);
+
+/// CSR -> COO (O(nnz)).
+[[nodiscard]] CooMatrix to_coo(const CsrMatrix& csr);
+
+/// Dense -> CSR.
+[[nodiscard]] CsrMatrix to_csr(const DenseMatrix& dense);
+
+/// Dense -> COO.
+[[nodiscard]] CooMatrix to_coo(const DenseMatrix& dense);
+
+/// CSR -> dense.
+[[nodiscard]] DenseMatrix to_dense(const CsrMatrix& csr);
+
+/// COO -> dense.
+[[nodiscard]] DenseMatrix to_dense(const CooMatrix& coo);
+
+}  // namespace spbla

@@ -1,0 +1,73 @@
+#include "core/coo.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spbla {
+
+CooMatrix::CooMatrix(Index nrows, Index ncols) : nrows_{nrows}, ncols_{ncols} {}
+
+CooMatrix CooMatrix::from_coords(Index nrows, Index ncols, std::vector<Coord> coords) {
+    for (const auto& c : coords) {
+        check(c.row < nrows && c.col < ncols, Status::OutOfRange,
+              "CooMatrix::from_coords: coordinate out of range");
+    }
+    std::sort(coords.begin(), coords.end());
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+
+    CooMatrix m{nrows, ncols};
+    m.rows_.reserve(coords.size());
+    m.cols_.reserve(coords.size());
+    for (const auto& c : coords) {
+        m.rows_.push_back(c.row);
+        m.cols_.push_back(c.col);
+    }
+    return m;
+}
+
+CooMatrix CooMatrix::from_sorted(Index nrows, Index ncols, std::vector<Index> rows,
+                                 std::vector<Index> cols) {
+    check(rows.size() == cols.size(), Status::InvalidArgument,
+          "CooMatrix::from_sorted: rows/cols size mismatch");
+    CooMatrix m{nrows, ncols};
+    m.rows_ = std::move(rows);
+    m.cols_ = std::move(cols);
+#ifndef NDEBUG
+    m.validate();
+#endif
+    return m;
+}
+
+bool CooMatrix::get(Index r, Index c) const {
+    check(r < nrows_ && c < ncols_, Status::OutOfRange, "CooMatrix::get: out of range");
+    // Find the row segment, then the column within it.
+    const auto row_begin = std::lower_bound(rows_.begin(), rows_.end(), r);
+    const auto row_end = std::upper_bound(row_begin, rows_.end(), r);
+    const auto first = cols_.begin() + (row_begin - rows_.begin());
+    const auto last = cols_.begin() + (row_end - rows_.begin());
+    return std::binary_search(first, last, c);
+}
+
+std::vector<Coord> CooMatrix::to_coords() const {
+    std::vector<Coord> out;
+    out.reserve(rows_.size());
+    for (std::size_t k = 0; k < rows_.size(); ++k) out.push_back({rows_[k], cols_[k]});
+    return out;
+}
+
+void CooMatrix::validate() const {
+    check(rows_.size() == cols_.size(), Status::InvalidState,
+          "CooMatrix: rows/cols length mismatch");
+    for (std::size_t k = 0; k < rows_.size(); ++k) {
+        check(rows_[k] < nrows_, Status::InvalidState, "CooMatrix: row index out of range");
+        check(cols_[k] < ncols_, Status::InvalidState, "CooMatrix: col index out of range");
+        if (k > 0) {
+            const bool ordered = rows_[k - 1] < rows_[k] ||
+                                 (rows_[k - 1] == rows_[k] && cols_[k - 1] < cols_[k]);
+            check(ordered, Status::InvalidState,
+                  "CooMatrix: entries not strictly sorted by (row, col)");
+        }
+    }
+}
+
+}  // namespace spbla

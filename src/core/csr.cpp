@@ -1,0 +1,87 @@
+#include "core/csr.hpp"
+
+#include <algorithm>
+
+namespace spbla {
+
+CsrMatrix::CsrMatrix(Index nrows, Index ncols)
+    : nrows_{nrows}, ncols_{ncols}, row_offsets_(static_cast<std::size_t>(nrows) + 1, 0) {}
+
+CsrMatrix CsrMatrix::from_coords(Index nrows, Index ncols, std::vector<Coord> coords) {
+    for (const auto& c : coords) {
+        check(c.row < nrows && c.col < ncols, Status::OutOfRange,
+              "CsrMatrix::from_coords: coordinate out of range");
+    }
+    std::sort(coords.begin(), coords.end());
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+
+    CsrMatrix m{nrows, ncols};
+    m.cols_.reserve(coords.size());
+    for (const auto& c : coords) {
+        ++m.row_offsets_[c.row + 1];
+        m.cols_.push_back(c.col);
+    }
+    for (std::size_t r = 0; r < nrows; ++r) m.row_offsets_[r + 1] += m.row_offsets_[r];
+    return m;
+}
+
+CsrMatrix CsrMatrix::from_raw(Index nrows, Index ncols, std::vector<Index> row_offsets,
+                              std::vector<Index> cols) {
+    CsrMatrix m{nrows, ncols};
+    m.row_offsets_ = std::move(row_offsets);
+    m.cols_ = std::move(cols);
+#ifndef NDEBUG
+    m.validate();
+#endif
+    return m;
+}
+
+CsrMatrix CsrMatrix::identity(Index n) {
+    CsrMatrix m{n, n};
+    m.cols_.resize(n);
+    for (Index i = 0; i < n; ++i) {
+        m.row_offsets_[i + 1] = i + 1;
+        m.cols_[i] = i;
+    }
+    return m;
+}
+
+bool CsrMatrix::get(Index r, Index c) const {
+    check(r < nrows_ && c < ncols_, Status::OutOfRange, "CsrMatrix::get: out of range");
+    const auto cols = row(r);
+    return std::binary_search(cols.begin(), cols.end(), c);
+}
+
+std::vector<Coord> CsrMatrix::to_coords() const {
+    std::vector<Coord> out;
+    out.reserve(cols_.size());
+    for (Index r = 0; r < nrows_; ++r) {
+        for (Index k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+            out.push_back({r, cols_[k]});
+        }
+    }
+    return out;
+}
+
+void CsrMatrix::validate() const {
+    check(row_offsets_.size() == static_cast<std::size_t>(nrows_) + 1, Status::InvalidState,
+          "CsrMatrix: row_offsets size must be nrows + 1");
+    check(row_offsets_.front() == 0, Status::InvalidState,
+          "CsrMatrix: row_offsets[0] must be 0");
+    check(row_offsets_.back() == cols_.size(), Status::InvalidState,
+          "CsrMatrix: row_offsets[nrows] must equal nnz");
+    for (Index r = 0; r < nrows_; ++r) {
+        check(row_offsets_[r] <= row_offsets_[r + 1], Status::InvalidState,
+              "CsrMatrix: row_offsets must be non-decreasing");
+        for (Index k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+            check(cols_[k] < ncols_, Status::InvalidState,
+                  "CsrMatrix: column index out of range");
+            if (k > row_offsets_[r]) {
+                check(cols_[k - 1] < cols_[k], Status::InvalidState,
+                      "CsrMatrix: columns must be strictly increasing within a row");
+            }
+        }
+    }
+}
+
+}  // namespace spbla

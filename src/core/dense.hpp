@@ -1,0 +1,77 @@
+/// \file dense.hpp
+/// \brief Dense bit-packed Boolean matrix.
+///
+/// Used as (a) the exhaustive reference implementation every sparse kernel
+/// is tested against, and (b) the dense fallback for pathologically dense
+/// rows inside the hash SpGEMM (the Nsparse "global memory bin" analog).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spbla {
+
+/// Row-major bit-packed dense Boolean matrix.
+class DenseMatrix {
+public:
+    DenseMatrix(Index nrows, Index ncols);
+
+    DenseMatrix() : DenseMatrix(0, 0) {}
+
+    [[nodiscard]] Index nrows() const noexcept { return nrows_; }
+    [[nodiscard]] Index ncols() const noexcept { return ncols_; }
+
+    [[nodiscard]] bool get(Index r, Index c) const {
+        check(r < nrows_ && c < ncols_, Status::OutOfRange, "DenseMatrix::get");
+        return (words_[word_index(r, c)] >> (c & 63)) & 1u;
+    }
+
+    void set(Index r, Index c, bool value = true) {
+        check(r < nrows_ && c < ncols_, Status::OutOfRange, "DenseMatrix::set");
+        const std::uint64_t mask = std::uint64_t{1} << (c & 63);
+        if (value)
+            words_[word_index(r, c)] |= mask;
+        else
+            words_[word_index(r, c)] &= ~mask;
+    }
+
+    /// Number of true cells.
+    [[nodiscard]] std::size_t nnz() const noexcept;
+
+    /// Boolean matrix multiply: this (m x k) times other (k x n).
+    [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+    /// Element-wise OR; shapes must match.
+    [[nodiscard]] DenseMatrix ewise_or(const DenseMatrix& other) const;
+
+    /// Kronecker product.
+    [[nodiscard]] DenseMatrix kronecker(const DenseMatrix& other) const;
+
+    /// Transpose.
+    [[nodiscard]] DenseMatrix transpose() const;
+
+    /// Sub-matrix of shape (m x n) anchored at (r0, c0).
+    [[nodiscard]] DenseMatrix submatrix(Index r0, Index c0, Index m, Index n) const;
+
+    /// Coordinate list of all true cells in (row, col) order.
+    [[nodiscard]] std::vector<Coord> to_coords() const;
+
+    friend bool operator==(const DenseMatrix& a, const DenseMatrix& b) noexcept {
+        return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ && a.words_ == b.words_;
+    }
+
+private:
+    [[nodiscard]] std::size_t word_index(Index r, Index c) const noexcept {
+        return static_cast<std::size_t>(r) * words_per_row_ + (c >> 6);
+    }
+
+    Index nrows_;
+    Index ncols_;
+    std::size_t words_per_row_;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace spbla

@@ -1,0 +1,50 @@
+#include "core/spvector.hpp"
+
+#include <algorithm>
+
+namespace spbla {
+
+SpVector SpVector::from_indices(Index size, std::vector<Index> indices) {
+    for (const auto i : indices) {
+        check(i < size, Status::OutOfRange, "SpVector::from_indices: index out of range");
+    }
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+    SpVector v{size};
+    v.indices_ = std::move(indices);
+    return v;
+}
+
+bool SpVector::get(Index i) const {
+    check(i < size_, Status::OutOfRange, "SpVector::get: index out of range");
+    return std::binary_search(indices_.begin(), indices_.end(), i);
+}
+
+SpVector SpVector::ewise_or(const SpVector& other) const {
+    check(size_ == other.size_, Status::DimensionMismatch, "SpVector::ewise_or");
+    SpVector out{size_};
+    out.indices_.reserve(indices_.size() + other.indices_.size());
+    std::set_union(indices_.begin(), indices_.end(), other.indices_.begin(),
+                   other.indices_.end(), std::back_inserter(out.indices_));
+    return out;
+}
+
+SpVector SpVector::ewise_and(const SpVector& other) const {
+    check(size_ == other.size_, Status::DimensionMismatch, "SpVector::ewise_and");
+    SpVector out{size_};
+    std::set_intersection(indices_.begin(), indices_.end(), other.indices_.begin(),
+                          other.indices_.end(), std::back_inserter(out.indices_));
+    return out;
+}
+
+void SpVector::validate() const {
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+        check(indices_[k] < size_, Status::InvalidState, "SpVector: index out of range");
+        if (k > 0) {
+            check(indices_[k - 1] < indices_[k], Status::InvalidState,
+                  "SpVector: indices must be strictly increasing");
+        }
+    }
+}
+
+}  // namespace spbla

@@ -1,0 +1,58 @@
+/// \file spvector.hpp
+/// \brief Sparse Boolean vector.
+///
+/// The paper notes the sparse vector is "partially presented" in SPbLA with
+/// full support planned; this reproduction provides the primitive plus the
+/// vector ops the path-querying layer needs (reduce target, mxv/vxm source).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spbla {
+
+/// Sorted, duplicate-free set of indices representing a Boolean vector.
+class SpVector {
+public:
+    explicit SpVector(Index size) : size_{size} {}
+
+    SpVector() : SpVector(0) {}
+
+    /// Build from arbitrary (unsorted, possibly duplicated) index list.
+    static SpVector from_indices(Index size, std::vector<Index> indices);
+
+    [[nodiscard]] Index size() const noexcept { return size_; }
+    [[nodiscard]] std::size_t nnz() const noexcept { return indices_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return indices_.empty(); }
+    [[nodiscard]] std::span<const Index> indices() const noexcept { return indices_; }
+
+    /// True iff element \p i is set.
+    [[nodiscard]] bool get(Index i) const;
+
+    /// Element-wise OR of two vectors of equal size.
+    [[nodiscard]] SpVector ewise_or(const SpVector& other) const;
+
+    /// Element-wise AND of two vectors of equal size.
+    [[nodiscard]] SpVector ewise_and(const SpVector& other) const;
+
+    /// Simulated device footprint: nnz * sizeof(Index).
+    [[nodiscard]] std::size_t device_bytes() const noexcept {
+        return indices_.size() * sizeof(Index);
+    }
+
+    /// Check invariants: sorted, unique, in range.
+    void validate() const;
+
+    friend bool operator==(const SpVector& a, const SpVector& b) noexcept {
+        return a.size_ == b.size_ && a.indices_ == b.indices_;
+    }
+
+private:
+    Index size_;
+    std::vector<Index> indices_;
+};
+
+}  // namespace spbla

@@ -1,0 +1,74 @@
+/// \file types.hpp
+/// \brief Common index types, status codes and error handling.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace spbla {
+
+/// Index type of stored rows/columns. The paper stores matrices as
+/// uint32_t indices; a matrix of size m x n with nnz non-zeros occupies
+/// (m + nnz) * sizeof(Index) bytes in CSR and 2 * nnz * sizeof(Index) in COO.
+using Index = std::uint32_t;
+
+/// A (row, column) coordinate of a true cell.
+struct Coord {
+    Index row{0};
+    Index col{0};
+
+    friend constexpr bool operator==(const Coord&, const Coord&) = default;
+    friend constexpr auto operator<=>(const Coord& a, const Coord& b) {
+        if (auto c = a.row <=> b.row; c != 0) return c;
+        return a.col <=> b.col;
+    }
+};
+
+/// Status codes surfaced verbatim through the C API.
+enum class Status : int {
+    Ok = 0,
+    InvalidArgument = 1,
+    DimensionMismatch = 2,
+    OutOfRange = 3,
+    NotInitialized = 4,
+    InvalidState = 5,
+};
+
+/// Human-readable name of a status code.
+[[nodiscard]] constexpr const char* status_name(Status s) noexcept {
+    switch (s) {
+        case Status::Ok: return "Ok";
+        case Status::InvalidArgument: return "InvalidArgument";
+        case Status::DimensionMismatch: return "DimensionMismatch";
+        case Status::OutOfRange: return "OutOfRange";
+        case Status::NotInitialized: return "NotInitialized";
+        case Status::InvalidState: return "InvalidState";
+    }
+    return "Unknown";
+}
+
+/// Exception carrying a Status; the C API boundary converts it to a code.
+class Error : public std::runtime_error {
+public:
+    Error(Status status, std::string message)
+        : std::runtime_error(std::move(message)), status_{status} {}
+
+    [[nodiscard]] Status status() const noexcept { return status_; }
+
+private:
+    Status status_;
+};
+
+/// Throw Error(status, message) if \p condition is false.
+inline void check(bool condition, Status status, const char* message) {
+    if (!condition) throw Error(status, message);
+}
+
+/// Overload for dynamically built messages.
+inline void check(bool condition, Status status, const std::string& message) {
+    if (!condition) throw Error(status, message);
+}
+
+}  // namespace spbla

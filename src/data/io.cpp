@@ -1,0 +1,44 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace spbla::data {
+
+void save_triples(std::ostream& os, const LabeledGraph& g) {
+    os << g.num_vertices() << '\n';
+    for (const auto& label : g.labels()) {
+        const auto& m = g.matrix(label);
+        for (const auto& c : m.to_coords()) {
+            os << c.row << ' ' << label << ' ' << c.col << '\n';
+        }
+    }
+}
+
+LabeledGraph load_triples(std::istream& is) {
+    Index num_vertices = 0;
+    check(static_cast<bool>(is >> num_vertices), Status::InvalidArgument,
+          "load_triples: missing vertex count header");
+    std::vector<LabeledEdge> edges;
+    Index src = 0, dst = 0;
+    std::string label;
+    while (is >> src >> label >> dst) {
+        edges.push_back({src, label, dst});
+    }
+    check(is.eof(), Status::InvalidArgument, "load_triples: malformed triple line");
+    return LabeledGraph::from_edges(num_vertices, edges);
+}
+
+void save_triples_file(const std::string& path, const LabeledGraph& g) {
+    std::ofstream os{path};
+    check(os.is_open(), Status::InvalidArgument, "save_triples_file: cannot open file");
+    save_triples(os, g);
+}
+
+LabeledGraph load_triples_file(const std::string& path) {
+    std::ifstream is{path};
+    check(is.is_open(), Status::InvalidArgument, "load_triples_file: cannot open file");
+    return load_triples(is);
+}
+
+}  // namespace spbla::data

@@ -1,0 +1,26 @@
+/// \file io.hpp
+/// \brief Plain-text triples I/O for labeled graphs.
+///
+/// Format (the same shape as the CFPQ_Data dataset's edge lists):
+///   line 1: <num_vertices>
+///   lines:  <src> <label> <dst>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/labeled_graph.hpp"
+
+namespace spbla::data {
+
+/// Serialise \p g as triples text.
+void save_triples(std::ostream& os, const LabeledGraph& g);
+
+/// Parse a triples stream; throws Error{InvalidArgument} on malformed input.
+[[nodiscard]] LabeledGraph load_triples(std::istream& is);
+
+/// File convenience wrappers.
+void save_triples_file(const std::string& path, const LabeledGraph& g);
+[[nodiscard]] LabeledGraph load_triples_file(const std::string& path);
+
+}  // namespace spbla::data

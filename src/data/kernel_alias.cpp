@@ -1,0 +1,62 @@
+#include "data/kernel_alias.hpp"
+
+#include "util/rng.hpp"
+
+namespace spbla::data {
+
+LabeledGraph make_alias_graph(Index n_vars, std::uint64_t seed) {
+    check(n_vars >= 4, Status::InvalidArgument, "make_alias_graph: need >= 4 variables");
+    util::Rng rng{seed};
+
+    // Each variable owns a dereference chain v -> *v -> **v (depth 1-3);
+    // chain nodes are separate vertices. Assignments connect chain heads
+    // with probability tuned to give the Table III a:d ratio (~0.29).
+    std::vector<LabeledEdge> edges;
+    std::vector<Index> head(n_vars);
+    Index next_vertex = 0;
+
+    struct Chain {
+        Index head;
+        Index len;
+    };
+    std::vector<Chain> chains(n_vars);
+    for (Index v = 0; v < n_vars; ++v) {
+        const Index len = 1 + static_cast<Index>(rng.below(3));
+        chains[v] = {next_vertex, len};
+        head[v] = next_vertex;
+        for (Index d = 0; d < len; ++d) {
+            edges.push_back({next_vertex + d, "d", next_vertex + d + 1});
+        }
+        next_vertex += len + 1;
+    }
+    const Index num_vertices = next_vertex;
+
+    // Assignment edges: locality-biased (kernel code assigns between nearby
+    // declarations) with occasional long-range links through shared globals.
+    const auto n_assign = static_cast<std::size_t>(0.29 * edges.size());
+    for (std::size_t k = 0; k < n_assign; ++k) {
+        const Index src_var = static_cast<Index>(rng.below(n_vars));
+        Index dst_var;
+        if (rng.chance(0.8)) {
+            const Index span = 32;
+            const Index lo = src_var > span ? src_var - span : 0;
+            const Index hi = src_var + span < n_vars ? src_var + span : n_vars - 1;
+            dst_var = lo + static_cast<Index>(rng.below(hi - lo + 1));
+        } else {
+            dst_var = static_cast<Index>(rng.below(n_vars));
+        }
+        if (dst_var == src_var) continue;
+        // Assign at a random shared depth of the two chains.
+        const Index max_depth =
+            chains[src_var].len < chains[dst_var].len ? chains[src_var].len
+                                                      : chains[dst_var].len;
+        const Index depth = static_cast<Index>(rng.below(max_depth + 1));
+        edges.push_back({head[src_var] + depth, "a", head[dst_var] + depth});
+    }
+
+    LabeledGraph g = LabeledGraph::from_edges(num_vertices, edges);
+    g.add_inverse_labels();  // the MA grammar needs a_r and d_r
+    return g;
+}
+
+}  // namespace spbla::data

@@ -1,0 +1,25 @@
+/// \file kernel_alias.hpp
+/// \brief Synthetic memory-alias (points-to) graph generator.
+///
+/// The paper evaluates the MA query on graphs extracted from Linux kernel
+/// subsystems (arch/crypto/drivers/fs). Those graphs encode a pointer
+/// program: vertices are abstract memory locations / pointer expressions,
+/// `d` edges are dereferences (p -> *p) and `a` edges are assignments
+/// (p = q). In the paper's Table III the `d` edges outnumber `a` edges
+/// roughly 3.4 : 1 and together make up half the edge set (the other half
+/// being the inverse relations the MA grammar needs). This generator emits
+/// synthetic pointer programs with the same shape: dereference chains of
+/// bounded depth plus assignment edges between same-depth expressions.
+#pragma once
+
+#include <cstdint>
+
+#include "data/labeled_graph.hpp"
+
+namespace spbla::data {
+
+/// Generate an alias-analysis graph with ~\p n_vars pointer variables.
+/// The returned graph already contains the inverse labels a_r / d_r.
+[[nodiscard]] LabeledGraph make_alias_graph(Index n_vars, std::uint64_t seed = 23);
+
+}  // namespace spbla::data

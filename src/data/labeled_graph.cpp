@@ -1,0 +1,82 @@
+#include "data/labeled_graph.hpp"
+
+#include <algorithm>
+
+namespace spbla::data {
+
+LabeledGraph LabeledGraph::from_edges(Index num_vertices,
+                                      const std::vector<LabeledEdge>& edges) {
+    LabeledGraph g{num_vertices};
+    g.zero_ = CsrMatrix{num_vertices, num_vertices};
+    std::map<std::string, std::vector<Coord>> by_label;
+    for (const auto& e : edges) {
+        check(e.src < num_vertices && e.dst < num_vertices, Status::OutOfRange,
+              "LabeledGraph::from_edges: vertex out of range");
+        by_label[e.label].push_back({e.src, e.dst});
+    }
+    for (auto& [label, coords] : by_label) {
+        g.matrices_.emplace(label, CsrMatrix::from_coords(num_vertices, num_vertices,
+                                                          std::move(coords)));
+    }
+    return g;
+}
+
+std::size_t LabeledGraph::num_edges() const noexcept {
+    std::size_t total = 0;
+    for (const auto& [label, m] : matrices_) total += m.nnz();
+    return total;
+}
+
+std::vector<std::string> LabeledGraph::labels() const {
+    std::vector<std::string> out;
+    out.reserve(matrices_.size());
+    for (const auto& [label, m] : matrices_) out.push_back(label);
+    return out;
+}
+
+const CsrMatrix& LabeledGraph::matrix(const std::string& label) const {
+    const auto it = matrices_.find(label);
+    return it == matrices_.end() ? zero_ : it->second;
+}
+
+std::size_t LabeledGraph::label_count(const std::string& label) const {
+    const auto it = matrices_.find(label);
+    return it == matrices_.end() ? 0 : it->second.nnz();
+}
+
+std::vector<std::string> LabeledGraph::labels_by_frequency() const {
+    std::vector<std::string> out = labels();
+    std::sort(out.begin(), out.end(), [this](const std::string& a, const std::string& b) {
+        const auto ca = label_count(a);
+        const auto cb = label_count(b);
+        return ca != cb ? ca > cb : a < b;
+    });
+    return out;
+}
+
+void LabeledGraph::add_inverse_labels() {
+    std::vector<std::pair<std::string, CsrMatrix>> inverses;
+    for (const auto& [label, m] : matrices_) {
+        // Transpose without a context: coordinate flip + rebuild is O(nnz log nnz)
+        // and runs once per dataset load, off the measured path.
+        std::vector<Coord> flipped;
+        flipped.reserve(m.nnz());
+        for (const auto& c : m.to_coords()) flipped.push_back({c.col, c.row});
+        inverses.emplace_back(inverse_label(label),
+                              CsrMatrix::from_coords(n_, n_, std::move(flipped)));
+    }
+    for (auto& [label, m] : inverses) matrices_.insert_or_assign(label, std::move(m));
+}
+
+CsrMatrix LabeledGraph::union_matrix() const {
+    std::vector<Coord> coords;
+    for (const auto& [label, m] : matrices_) {
+        const auto c = m.to_coords();
+        coords.insert(coords.end(), c.begin(), c.end());
+    }
+    return CsrMatrix::from_coords(n_, n_, std::move(coords));
+}
+
+std::string inverse_label(const std::string& label) { return label + "_r"; }
+
+}  // namespace spbla::data

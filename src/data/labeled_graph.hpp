@@ -1,0 +1,81 @@
+/// \file labeled_graph.hpp
+/// \brief Edge-labeled directed graph — the common input of RPQ and CFPQ.
+///
+/// Path queries run over graphs whose edges carry relation labels (RDF
+/// predicates, or `a`/`d` statement edges for alias analysis). A graph is
+/// decomposed into one Boolean adjacency matrix per label, which is exactly
+/// the representation all the linear-algebra algorithms consume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "core/types.hpp"
+
+namespace spbla::data {
+
+/// One labeled edge (src --label--> dst).
+struct LabeledEdge {
+    Index src{0};
+    std::string label;
+    Index dst{0};
+
+    friend bool operator==(const LabeledEdge&, const LabeledEdge&) = default;
+};
+
+/// Directed graph with string-labeled edges, materialised as one Boolean
+/// CSR adjacency matrix per label.
+class LabeledGraph {
+public:
+    explicit LabeledGraph(Index num_vertices) : n_{num_vertices} {}
+
+    LabeledGraph() : LabeledGraph(0) {}
+
+    /// Build from an edge list; duplicate edges collapse.
+    static LabeledGraph from_edges(Index num_vertices,
+                                   const std::vector<LabeledEdge>& edges);
+
+    [[nodiscard]] Index num_vertices() const noexcept { return n_; }
+
+    /// Total number of distinct labeled edges.
+    [[nodiscard]] std::size_t num_edges() const noexcept;
+
+    /// Labels present in the graph (sorted).
+    [[nodiscard]] std::vector<std::string> labels() const;
+
+    /// True iff the graph has at least one edge with \p label.
+    [[nodiscard]] bool has_label(const std::string& label) const {
+        return matrices_.contains(label);
+    }
+
+    /// Adjacency matrix of \p label; an all-zero matrix if the label is
+    /// absent (so queries may mention labels the graph lacks).
+    [[nodiscard]] const CsrMatrix& matrix(const std::string& label) const;
+
+    /// Number of edges carrying \p label.
+    [[nodiscard]] std::size_t label_count(const std::string& label) const;
+
+    /// Labels ordered by descending edge count (the paper instantiates query
+    /// templates with "the most frequent relations from the given graph").
+    [[nodiscard]] std::vector<std::string> labels_by_frequency() const;
+
+    /// Add the reverse relation "label_r" for every label ("x̄" in the
+    /// paper's grammars: the inverse edge used by G1/G2/Geo/MA queries).
+    void add_inverse_labels();
+
+    /// Union of all label matrices (the unlabeled adjacency structure).
+    [[nodiscard]] CsrMatrix union_matrix() const;
+
+private:
+    Index n_;
+    std::map<std::string, CsrMatrix> matrices_;
+    CsrMatrix zero_;  // returned for absent labels, shaped n x n
+};
+
+/// Conventional name of the inverse relation of \p label.
+[[nodiscard]] std::string inverse_label(const std::string& label);
+
+}  // namespace spbla::data

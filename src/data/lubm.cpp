@@ -1,0 +1,85 @@
+#include "data/lubm.hpp"
+
+#include "util/rng.hpp"
+
+namespace spbla::data {
+namespace {
+
+constexpr Index kDeptsPerUniv = 4;
+constexpr Index kFacultyPerDept = 5;
+constexpr Index kStudentsPerDept = 20;
+constexpr Index kCoursesPerDept = 5;
+constexpr Index kOntologyClasses = 16;
+
+}  // namespace
+
+LabeledGraph make_lubm(Index universities, std::uint64_t seed) {
+    check(universities > 0, Status::InvalidArgument, "make_lubm: need >= 1 university");
+    util::Rng rng{seed};
+
+    // Vertex layout: [ontology classes][universities][per-university blocks].
+    constexpr Index kPerDept = kFacultyPerDept + kStudentsPerDept + kCoursesPerDept;
+    constexpr Index kPerUniv = kDeptsPerUniv * (1 + kPerDept);
+    const Index first_univ = kOntologyClasses;
+    const Index first_block = first_univ + universities;
+    const Index num_vertices = first_block + universities * kPerUniv;
+
+    std::vector<LabeledEdge> edges;
+    edges.reserve(static_cast<std::size_t>(universities) * 500 + kOntologyClasses);
+
+    // Ontology: a small subClassOf tree (class k's parent is (k-1)/2).
+    for (Index k = 1; k < kOntologyClasses; ++k) {
+        edges.push_back({k, "subClassOf", (k - 1) / 2});
+    }
+    const Index cls_university = 1, cls_department = 2, cls_professor = 3,
+                cls_student = 4, cls_course = 5;
+
+    for (Index u = 0; u < universities; ++u) {
+        const Index univ = first_univ + u;
+        edges.push_back({univ, "type", cls_university});
+        const Index block = first_block + u * kPerUniv;
+        for (Index d = 0; d < kDeptsPerUniv; ++d) {
+            const Index dept = block + d * (1 + kPerDept);
+            const Index faculty0 = dept + 1;
+            const Index student0 = faculty0 + kFacultyPerDept;
+            const Index course0 = student0 + kStudentsPerDept;
+
+            edges.push_back({dept, "subOrganizationOf", univ});
+            edges.push_back({dept, "type", cls_department});
+            edges.push_back({faculty0, "headOf", dept});
+
+            for (Index f = 0; f < kFacultyPerDept; ++f) {
+                const Index prof = faculty0 + f;
+                edges.push_back({prof, "worksFor", dept});
+                edges.push_back({prof, "type", cls_professor});
+                // Degree from a (possibly different) university: the sparse
+                // cross-tree edges that make (a|b)* queries non-trivial.
+                const Index degree_univ =
+                    first_univ + static_cast<Index>(rng.below(universities));
+                edges.push_back({prof, "undergraduateDegreeFrom", degree_univ});
+                edges.push_back({prof, "teacherOf",
+                                 course0 + static_cast<Index>(rng.below(kCoursesPerDept))});
+            }
+            for (Index s = 0; s < kStudentsPerDept; ++s) {
+                const Index stud = student0 + s;
+                edges.push_back({stud, "memberOf", dept});
+                edges.push_back({stud, "type", cls_student});
+                edges.push_back({stud, "takesCourse",
+                                 course0 + static_cast<Index>(rng.below(kCoursesPerDept))});
+                edges.push_back({stud, "takesCourse",
+                                 course0 + static_cast<Index>(rng.below(kCoursesPerDept))});
+                if (rng.chance(0.5)) {
+                    edges.push_back({stud, "advisor",
+                                     faculty0 + static_cast<Index>(rng.below(kFacultyPerDept))});
+                }
+            }
+            for (Index c = 0; c < kCoursesPerDept; ++c) {
+                edges.push_back({course0 + c, "type", cls_course});
+            }
+        }
+    }
+
+    return LabeledGraph::from_edges(num_vertices, edges);
+}
+
+}  // namespace spbla::data

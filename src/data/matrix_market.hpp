@@ -1,0 +1,30 @@
+/// \file matrix_market.hpp
+/// \brief Matrix Market (.mtx) I/O for Boolean matrices.
+///
+/// The upstream SPbLA evaluation loads its SpGEMM workloads from the
+/// SuiteSparse collection in Matrix Market format. This reader accepts the
+/// `coordinate` format with `pattern`, `integer` or `real` fields (values
+/// other than zero become true cells), `general` or `symmetric` symmetry,
+/// and 1-based indices per the specification. The writer always emits
+/// `pattern general`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/csr.hpp"
+
+namespace spbla::data {
+
+/// Parse a Matrix Market stream; throws Error{InvalidArgument} on anything
+/// malformed or on array (dense) format.
+[[nodiscard]] CsrMatrix load_matrix_market(std::istream& is);
+
+/// Serialise \p m as `matrix coordinate pattern general`.
+void save_matrix_market(std::ostream& os, const CsrMatrix& m);
+
+/// File convenience wrappers.
+[[nodiscard]] CsrMatrix load_matrix_market_file(const std::string& path);
+void save_matrix_market_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace spbla::data

@@ -1,0 +1,167 @@
+#include "data/rdflike.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace spbla::data {
+
+LabeledGraph make_geospecies(Index n_taxa, Index depth, std::uint64_t seed) {
+    check(n_taxa > depth && depth >= 2, Status::InvalidArgument,
+          "make_geospecies: need n_taxa > depth >= 2");
+    util::Rng rng{seed};
+
+    std::vector<LabeledEdge> edges;
+    edges.reserve(static_cast<std::size_t>(n_taxa) * 3);
+
+    // Assign every taxon a level so that root-to-leaf chains are ~depth long;
+    // each taxon's parent is a random taxon of the previous level. Vertex 0
+    // is the root; vertices [1, depth] form one guaranteed full-depth spine.
+    std::vector<Index> level_of(n_taxa, 0);
+    std::vector<std::vector<Index>> by_level(depth + 1);
+    by_level[0].push_back(0);
+    for (Index v = 1; v <= depth; ++v) {
+        level_of[v] = v;
+        by_level[v].push_back(v);
+        edges.push_back({v, "broaderTransitive", v - 1});
+    }
+    for (Index v = depth + 1; v < n_taxa; ++v) {
+        // Bias towards deeper levels: real geospecies is leaf-heavy.
+        const Index lvl = 1 + static_cast<Index>(
+            depth - 1 - static_cast<Index>(rng.below(depth) * rng.below(depth) / depth));
+        level_of[v] = lvl;
+        const auto& parents = by_level[lvl - 1];
+        const Index parent = parents[rng.below(parents.size())];
+        edges.push_back({v, "broaderTransitive", parent});
+        by_level[lvl].push_back(v);
+    }
+
+    // type + literal-like properties (~2 extra edges/taxon, as in the real
+    // dump). Name/dataset objects are dedicated sink vertices with no
+    // outgoing edges — RDF literals — so they never extend closures.
+    const Index name_pool = n_taxa / 2 + 1;
+    const Index first_name = n_taxa;
+    const Index first_dataset = first_name + name_pool;
+    const Index num_vertices = first_dataset + 16;
+    for (Index v = 0; v < n_taxa; ++v) {
+        if (rng.chance(0.2)) edges.push_back({v, "type", level_of[v] % 7});
+        if (rng.chance(0.6)) {
+            edges.push_back(
+                {v, "hasName", first_name + static_cast<Index>(rng.below(name_pool))});
+        }
+        if (rng.chance(0.6)) {
+            edges.push_back(
+                {v, "inDataset", first_dataset + static_cast<Index>(rng.below(16))});
+        }
+    }
+
+    return LabeledGraph::from_edges(num_vertices, edges);
+}
+
+LabeledGraph make_taxonomy(Index n_classes, Index instances_per_class, std::uint64_t seed) {
+    check(n_classes >= 2, Status::InvalidArgument, "make_taxonomy: need >= 2 classes");
+    util::Rng rng{seed};
+
+    const Index n_instances = n_classes * instances_per_class;
+    const Index num_vertices = n_classes + n_instances;
+    std::vector<LabeledEdge> edges;
+    edges.reserve(static_cast<std::size_t>(num_vertices) * 2);
+
+    // Wide shallow forest: parent chosen uniformly below the child index,
+    // giving expected depth O(log n) but enormous branching at the top.
+    for (Index c = 1; c < n_classes; ++c) {
+        edges.push_back({c, "subClassOf", static_cast<Index>(rng.below(c))});
+    }
+    // Instances carry type plus literal-like properties pointing at sink
+    // vertices (names, ranks, merge records) — five labels total, enough for
+    // every Table II template arity.
+    const Index name_pool = n_instances / 4 + 1;
+    const Index first_name = num_vertices;
+    const Index first_rank = first_name + name_pool;
+    const Index total = first_rank + 32;
+    for (Index i = 0; i < n_instances; ++i) {
+        const Index inst = n_classes + i;
+        edges.push_back({inst, "type", static_cast<Index>(rng.below(n_classes))});
+        if (rng.chance(0.3)) {
+            edges.push_back({inst, "scientificName",
+                             first_name + static_cast<Index>(rng.below(name_pool))});
+        }
+        if (rng.chance(0.25)) {
+            edges.push_back(
+                {inst, "rank", first_rank + static_cast<Index>(rng.below(32))});
+        }
+        if (rng.chance(0.05)) {
+            edges.push_back({inst, "merged", static_cast<Index>(rng.below(n_classes))});
+        }
+    }
+
+    return LabeledGraph::from_edges(total, edges);
+}
+
+LabeledGraph make_property_graph(Index n_entities, Index n_labels, double avg_degree,
+                                 std::uint64_t seed) {
+    check(n_entities >= 2 && n_labels >= 1 && avg_degree > 0, Status::InvalidArgument,
+          "make_property_graph: bad parameters");
+    util::Rng rng{seed};
+    const util::ZipfSampler label_dist{n_labels, 1.1};
+    // Objects follow a strong Zipf law over a popular-entity prefix (ids
+    // 0..hub_pool): most triples point at a few thousand hubs, like rdf:type
+    // targets and frequently referenced resources do in real dumps. Edges
+    // additionally run from higher to lower ids, making the graph a shallow
+    // DAG — real RDF property paths are short, and this is what keeps
+    // `a*`-closures near-linear. (A uniform digraph develops a giant SCC and
+    // an O(n^2) closure no RDF store exhibits.)
+    const Index hub_pool = n_entities < 4096 ? n_entities / 2 + 1 : 4096;
+    const util::ZipfSampler object_dist{hub_pool, 1.2};
+
+    // Pre-render label names once (also sidesteps a GCC 12 -Wrestrict false
+    // positive on per-edge string concatenation).
+    std::vector<std::string> label_names;
+    label_names.reserve(n_labels);
+    for (Index l = 0; l < n_labels; ++l) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "p%u", l);
+        label_names.emplace_back(name);
+    }
+
+    const auto n_edges = static_cast<std::size_t>(avg_degree * n_entities);
+    std::vector<LabeledEdge> edges;
+    edges.reserve(n_edges);
+    for (std::size_t k = 0; k < n_edges; ++k) {
+        const auto label_id = label_dist(rng);
+        const auto dst = static_cast<Index>(object_dist(rng));
+        const Index src =
+            dst + 1 + static_cast<Index>(rng.below(n_entities - dst - 1));
+        edges.push_back({src, label_names[label_id], dst});
+    }
+    return LabeledGraph::from_edges(n_entities, edges);
+}
+
+LabeledGraph make_ontology(Index n_classes, double instance_fraction, std::uint64_t seed,
+                           double multi_parent_prob) {
+    check(n_classes >= 2, Status::InvalidArgument, "make_ontology: need >= 2 classes");
+    util::Rng rng{seed};
+
+    const auto n_instances = static_cast<Index>(instance_fraction * n_classes);
+    const Index num_vertices = n_classes + n_instances;
+    std::vector<LabeledEdge> edges;
+
+    // DAG: every class has one guaranteed parent and possibly more
+    // (multiple inheritance, as in GO).
+    for (Index c = 1; c < n_classes; ++c) {
+        edges.push_back({c, "subClassOf", static_cast<Index>(rng.below(c))});
+        if (rng.chance(multi_parent_prob)) {
+            edges.push_back({c, "subClassOf", static_cast<Index>(rng.below(c))});
+        }
+        if (rng.chance(multi_parent_prob / 2)) {
+            edges.push_back({c, "subClassOf", static_cast<Index>(rng.below(c))});
+        }
+    }
+    for (Index i = 0; i < n_instances; ++i) {
+        edges.push_back({n_classes + i, "type", static_cast<Index>(rng.below(n_classes))});
+    }
+    return LabeledGraph::from_edges(num_vertices, edges);
+}
+
+}  // namespace spbla::data

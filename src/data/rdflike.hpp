@@ -1,0 +1,54 @@
+/// \file rdflike.hpp
+/// \brief Generators reproducing the structural signatures of the real-world
+/// RDF graphs used in the paper's evaluation.
+///
+/// We cannot ship Uniprot/DBpedia/geospecies dumps; each generator below
+/// reproduces the structural property that drives the corresponding graph's
+/// query behaviour in the evaluation (depth of broaderTransitive chains for
+/// geospecies, width of the subClassOf/type forest for taxonomy, etc.), at a
+/// configurable scale.
+#pragma once
+
+#include <cstdint>
+
+#include "data/labeled_graph.hpp"
+
+namespace spbla::data {
+
+/// geospecies analog: a deep taxonomy. ~n_taxa vertices arranged in a tree
+/// whose root-to-leaf depth is ~depth, edges labelled broaderTransitive
+/// (child -> parent), plus type edges and name/property noise edges.
+/// Deep chains make the `Geo` same-generation query expensive — the paper's
+/// headline CFPQ observation.
+[[nodiscard]] LabeledGraph make_geospecies(Index n_taxa, Index depth = 24,
+                                           std::uint64_t seed = 11);
+
+/// taxonomy (Uniprot) analog: a wide, shallow subClassOf forest with a large
+/// population of instances attached via type. The paper notes taxonomy is
+/// disproportionately slow for its size on `a*`-style queries: that comes
+/// from the huge subClassOf/type label counts, reproduced here.
+[[nodiscard]] LabeledGraph make_taxonomy(Index n_classes, Index instances_per_class = 2,
+                                         std::uint64_t seed = 13);
+
+/// Generic RDF-property-graph analog (uniprotkb/proteomes/mappingbased):
+/// \p n_entities vertices, \p n_labels relation labels with Zipf-distributed
+/// frequency, \p avg_degree edges per vertex. Edge *objects* are
+/// Zipf-distributed over the entities — real RDF triples concentrate on a
+/// small set of popular objects (classes, shared resources), which is what
+/// keeps `a*`-style closures near-linear instead of quadratic on these
+/// graphs. A uniform-random digraph would develop a giant SCC and an
+/// O(n^2) closure no RDF store ever exhibits.
+[[nodiscard]] LabeledGraph make_property_graph(Index n_entities, Index n_labels,
+                                               double avg_degree, std::uint64_t seed = 17);
+
+/// enzyme/go-style ontology analog: a subClassOf DAG plus instance `type`
+/// edges; go-hierarchy has almost only subClassOf edges, controlled by
+/// \p instance_fraction. \p multi_parent_prob is the probability of a class
+/// having a second (and with half that probability a third) parent —
+/// GO-like ontologies are heavily multi-parent, which is what produces the
+/// paper's enormous per-pair path counts; eclass-like ones are near-trees.
+[[nodiscard]] LabeledGraph make_ontology(Index n_classes, double instance_fraction,
+                                         std::uint64_t seed = 19,
+                                         double multi_parent_prob = 0.4);
+
+}  // namespace spbla::data

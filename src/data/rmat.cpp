@@ -1,0 +1,49 @@
+#include "data/rmat.hpp"
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace spbla::data {
+
+CsrMatrix make_rmat(Index scale, Index edge_factor, std::uint64_t seed, double a, double b,
+                    double c) {
+    check(scale >= 1 && scale < 31, Status::InvalidArgument, "make_rmat: bad scale");
+    check(a > 0 && b > 0 && c > 0 && a + b + c < 1, Status::InvalidArgument,
+          "make_rmat: quadrant probabilities must be positive and sum below 1");
+    util::Rng rng{seed};
+
+    const Index n = Index{1} << scale;
+    const std::size_t n_edges = static_cast<std::size_t>(edge_factor) * n;
+    std::vector<Coord> coords;
+    coords.reserve(n_edges);
+    for (std::size_t k = 0; k < n_edges; ++k) {
+        Index row = 0, col = 0;
+        for (Index bit = 0; bit < scale; ++bit) {
+            const double u = rng.uniform();
+            // Pick the quadrant for this bit of (row, col).
+            const bool down = u >= a + b && u < 1.0;
+            const bool right = (u >= a && u < a + b) || (u >= a + b + c);
+            row = (row << 1) | static_cast<Index>(down);
+            col = (col << 1) | static_cast<Index>(right);
+        }
+        coords.push_back({row, col});
+    }
+    return CsrMatrix::from_coords(n, n, std::move(coords));
+}
+
+CsrMatrix make_uniform(Index nrows, Index ncols, double density, std::uint64_t seed) {
+    check(density > 0 && density <= 1, Status::InvalidArgument,
+          "make_uniform: density must be in (0, 1]");
+    util::Rng rng{seed};
+    const auto target = static_cast<std::size_t>(
+        density * static_cast<double>(nrows) * static_cast<double>(ncols));
+    std::vector<Coord> coords;
+    coords.reserve(target);
+    for (std::size_t k = 0; k < target; ++k) {
+        coords.push_back({static_cast<Index>(rng.below(nrows)),
+                          static_cast<Index>(rng.below(ncols))});
+    }
+    return CsrMatrix::from_coords(nrows, ncols, std::move(coords));
+}
+
+}  // namespace spbla::data

@@ -1,0 +1,25 @@
+/// \file rmat.hpp
+/// \brief R-MAT and uniform random Boolean matrix generators.
+///
+/// Used by the Boolean-vs-generic benchmark (matrix squaring on power-law
+/// matrices, the standard SpGEMM stress test) and by the property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/csr.hpp"
+
+namespace spbla::data {
+
+/// R-MAT recursive generator: 2^scale vertices, \p edge_factor * 2^scale
+/// edges, quadrant probabilities (a, b, c; d = 1-a-b-c). Defaults are the
+/// Graph500 parameters.
+[[nodiscard]] CsrMatrix make_rmat(Index scale, Index edge_factor, std::uint64_t seed = 29,
+                                  double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Uniform random Boolean matrix of shape nrows x ncols with the given
+/// expected density in (0, 1].
+[[nodiscard]] CsrMatrix make_uniform(Index nrows, Index ncols, double density,
+                                     std::uint64_t seed = 31);
+
+}  // namespace spbla::data

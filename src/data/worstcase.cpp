@@ -1,0 +1,52 @@
+#include "data/worstcase.hpp"
+
+namespace spbla::data {
+
+LabeledGraph make_path(Index n, const std::string& label) {
+    check(n >= 1, Status::InvalidArgument, "make_path: need >= 1 vertex");
+    std::vector<LabeledEdge> edges;
+    for (Index v = 0; v + 1 < n; ++v) edges.push_back({v, label, v + 1});
+    return LabeledGraph::from_edges(n, edges);
+}
+
+LabeledGraph make_cycle(Index n, const std::string& label) {
+    check(n >= 1, Status::InvalidArgument, "make_cycle: need >= 1 vertex");
+    std::vector<LabeledEdge> edges;
+    for (Index v = 0; v < n; ++v) edges.push_back({v, label, (v + 1) % n});
+    return LabeledGraph::from_edges(n, edges);
+}
+
+LabeledGraph make_two_cycles(Index an, Index bn) {
+    check(an >= 1 && bn >= 1, Status::InvalidArgument, "make_two_cycles: bad sizes");
+    // Vertices [0, an) form the a-cycle; vertex 0 and [an, an+bn-1) the b-cycle.
+    const Index n = an + bn - 1;
+    std::vector<LabeledEdge> edges;
+    for (Index v = 0; v < an; ++v) edges.push_back({v, "a", (v + 1) % an});
+    Index prev = 0;
+    for (Index k = 0; k + 1 < bn; ++k) {
+        const Index next = an + k;
+        edges.push_back({prev, "b", next});
+        prev = next;
+    }
+    edges.push_back({prev, "b", 0});
+    return LabeledGraph::from_edges(n, edges);
+}
+
+LabeledGraph make_bipartite(Index left, Index right, const std::string& label) {
+    check(left >= 1 && right >= 1, Status::InvalidArgument, "make_bipartite: bad sizes");
+    std::vector<LabeledEdge> edges;
+    edges.reserve(static_cast<std::size_t>(left) * right);
+    for (Index u = 0; u < left; ++u) {
+        for (Index v = 0; v < right; ++v) edges.push_back({u, label, left + v});
+    }
+    return LabeledGraph::from_edges(left + right, edges);
+}
+
+LabeledGraph make_tree(Index n, const std::string& label) {
+    check(n >= 1, Status::InvalidArgument, "make_tree: need >= 1 vertex");
+    std::vector<LabeledEdge> edges;
+    for (Index v = 1; v < n; ++v) edges.push_back({v, label, (v - 1) / 2});
+    return LabeledGraph::from_edges(n, edges);
+}
+
+}  // namespace spbla::data

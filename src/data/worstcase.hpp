@@ -1,0 +1,34 @@
+/// \file worstcase.hpp
+/// \brief Structured graphs with known analytic answers.
+///
+/// Used by the test suite as oracles (closures/reachability are known in
+/// closed form) and by the ablation benchmarks as worst cases (a cycle's
+/// closure is complete; two-cycle graphs are the classic CFPQ stress test).
+#pragma once
+
+#include <cstdint>
+
+#include "data/labeled_graph.hpp"
+
+namespace spbla::data {
+
+/// Directed path 0 -> 1 -> ... -> n-1, single label "a".
+[[nodiscard]] LabeledGraph make_path(Index n, const std::string& label = "a");
+
+/// Directed cycle over n vertices, single label "a".
+[[nodiscard]] LabeledGraph make_cycle(Index n, const std::string& label = "a");
+
+/// The classic CFPQ worst case: an a-labelled cycle of length \p an joined
+/// to a b-labelled cycle of length \p bn at vertex 0. The grammar
+/// S -> a S b | a b finds quadratically many reachable pairs.
+[[nodiscard]] LabeledGraph make_two_cycles(Index an, Index bn);
+
+/// Complete bipartite digraph: edges from every u < left to every
+/// v >= left, single label "a". Dense-row stress for SpGEMM binning.
+[[nodiscard]] LabeledGraph make_bipartite(Index left, Index right,
+                                          const std::string& label = "a");
+
+/// Balanced binary in-tree of n vertices: child -> parent edges, label "a".
+[[nodiscard]] LabeledGraph make_tree(Index n, const std::string& label = "a");
+
+}  // namespace spbla::data

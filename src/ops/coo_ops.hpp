@@ -1,0 +1,35 @@
+/// \file coo_ops.hpp
+/// \brief The clBool (COO) backend's operation set.
+///
+/// The paper's clBool section describes COO storage and the one-pass merge
+/// addition, but its matrix-multiplication subsection is an unfinished
+/// placeholder in the source ("!!! Matrix-matrix multiplication !!!").
+/// We complete it the way a COO backend naturally would (and the way CUSP
+/// does): expand-sort-compress specialised to the Boolean semiring, where
+/// "compress" is pure deduplication — no value array, no additions.
+/// Transpose, sub-matrix and reduce round out the backend so that the COO
+/// side supports the full operation list of the paper's Libraries Design
+/// section.
+#pragma once
+
+#include "backend/context.hpp"
+#include "core/coo.hpp"
+#include "core/spvector.hpp"
+
+namespace spbla::ops {
+
+/// C = A x B over the Boolean semiring (expand-sort-deduplicate).
+[[nodiscard]] CooMatrix multiply(backend::Context& ctx, const CooMatrix& a,
+                                 const CooMatrix& b);
+
+/// M = N^T (coordinate swap + re-sort).
+[[nodiscard]] CooMatrix transpose(backend::Context& ctx, const CooMatrix& n);
+
+/// Extract the m x n window of \p src anchored at (row0, col0).
+[[nodiscard]] CooMatrix submatrix(backend::Context& ctx, const CooMatrix& src,
+                                  Index row0, Index col0, Index m, Index n);
+
+/// V = reduceToColumn(M): the set of non-empty rows.
+[[nodiscard]] SpVector reduce_to_column(backend::Context& ctx, const CooMatrix& m);
+
+}  // namespace spbla::ops

@@ -1,0 +1,108 @@
+#include "ops/ewise_add.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace spbla::ops {
+namespace {
+
+/// Count |union| of two sorted ranges without materialising it.
+[[nodiscard]] Index union_size(std::span<const Index> x, std::span<const Index> y) {
+    std::size_t i = 0, j = 0, n = 0;
+    while (i < x.size() && j < y.size()) {
+        if (x[i] < y[j])
+            ++i;
+        else if (y[j] < x[i])
+            ++j;
+        else {
+            ++i;
+            ++j;
+        }
+        ++n;
+    }
+    return static_cast<Index>(n + (x.size() - i) + (y.size() - j));
+}
+
+}  // namespace
+
+CsrMatrix ewise_add(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b) {
+    check(a.nrows() == b.nrows() && a.ncols() == b.ncols(), Status::DimensionMismatch,
+          "ewise_add: shape mismatch");
+    const Index m = a.nrows();
+
+    // Pass 1: exact union size per row (enables precise allocation).
+    auto row_sizes = ctx.alloc<Index>(m);
+    ctx.parallel_for(m, 512, [&](std::size_t i) {
+        const auto r = static_cast<Index>(i);
+        row_sizes[i] = union_size(a.row(r), b.row(r));
+    });
+
+    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
+    std::uint64_t total = 0;
+    for (Index i = 0; i < m; ++i) {
+        row_offsets[i] = static_cast<Index>(total);
+        total += row_sizes[i];
+    }
+    row_offsets[m] = static_cast<Index>(total);
+    check(total <= 0xFFFFFFFFull, Status::OutOfRange, "ewise_add: nnz overflows Index");
+
+    // Pass 2: merge each row pair into its exact slot.
+    std::vector<Index> cols(static_cast<std::size_t>(total));
+    ctx.parallel_for(m, 512, [&](std::size_t i) {
+        const auto r = static_cast<Index>(i);
+        const auto x = a.row(r);
+        const auto y = b.row(r);
+        std::set_union(x.begin(), x.end(), y.begin(), y.end(),
+                       cols.begin() + row_offsets[i]);
+    });
+
+    return CsrMatrix::from_raw(m, a.ncols(), std::move(row_offsets), std::move(cols));
+}
+
+CooMatrix ewise_add(backend::Context& ctx, const CooMatrix& a, const CooMatrix& b) {
+    check(a.nrows() == b.nrows() && a.ncols() == b.ncols(), Status::DimensionMismatch,
+          "ewise_add: shape mismatch");
+    // One-pass merge into a buffer of size nnz(A) + nnz(B); duplicates
+    // (entries present in both operands) are dropped during the merge.
+    auto rows_buf = ctx.alloc<Index>(a.nnz() + b.nnz());
+    auto cols_buf = ctx.alloc<Index>(a.nnz() + b.nnz());
+
+    const auto ar = a.rows();
+    const auto ac = a.cols();
+    const auto br = b.rows();
+    const auto bc = b.cols();
+    std::size_t i = 0, j = 0, out = 0;
+    while (i < ar.size() && j < br.size()) {
+        const bool a_first = ar[i] < br[j] || (ar[i] == br[j] && ac[i] < bc[j]);
+        const bool equal = ar[i] == br[j] && ac[i] == bc[j];
+        if (equal) {
+            rows_buf[out] = ar[i];
+            cols_buf[out] = ac[i];
+            ++i;
+            ++j;
+        } else if (a_first) {
+            rows_buf[out] = ar[i];
+            cols_buf[out] = ac[i];
+            ++i;
+        } else {
+            rows_buf[out] = br[j];
+            cols_buf[out] = bc[j];
+            ++j;
+        }
+        ++out;
+    }
+    for (; i < ar.size(); ++i, ++out) {
+        rows_buf[out] = ar[i];
+        cols_buf[out] = ac[i];
+    }
+    for (; j < br.size(); ++j, ++out) {
+        rows_buf[out] = br[j];
+        cols_buf[out] = bc[j];
+    }
+
+    std::vector<Index> rows(rows_buf.begin(), rows_buf.begin() + static_cast<std::ptrdiff_t>(out));
+    std::vector<Index> cols(cols_buf.begin(), cols_buf.begin() + static_cast<std::ptrdiff_t>(out));
+    return CooMatrix::from_sorted(a.nrows(), a.ncols(), std::move(rows), std::move(cols));
+}
+
+}  // namespace spbla::ops

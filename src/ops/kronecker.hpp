@@ -1,0 +1,20 @@
+/// \file kronecker.hpp
+/// \brief Kronecker (tensor) product of Boolean matrices.
+///
+/// K = A (x) B where K(i1*rB + i2, j1*cB + j2) = A(i1, j1) & B(i2, j2).
+/// This is the primitive the tensor-based path-querying algorithm is built
+/// on: the product of a query automaton with a graph adjacency matrix.
+/// Row nnz of K factorises as nnz(A row) * nnz(B row), so the result can be
+/// allocated exactly without a counting pass.
+#pragma once
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+
+namespace spbla::ops {
+
+/// K = A (x) B. Result shape (rA*rB) x (cA*cB) must fit the Index type.
+[[nodiscard]] CsrMatrix kronecker(backend::Context& ctx, const CsrMatrix& a,
+                                  const CsrMatrix& b);
+
+}  // namespace spbla::ops

@@ -1,0 +1,28 @@
+/// \file masked.hpp
+/// \brief Masked multiplication — GraphBLAS-style C<M> = A x B.
+///
+/// Part of the paper's "library extension up to full GraphBLAS API"
+/// direction. The masked product only materialises output cells permitted
+/// by the mask, using the output-driven (dot-product) formulation: for every
+/// (i, j) in the mask, C(i, j) = OR over k of A(i, k) & B(k, j), evaluated
+/// as a sorted intersection of A's row i with column j of B (passed in as a
+/// row of B^T). This is the kernel behind the classic masked triangle
+/// counting idiom C<A> = A x A^T and is asymptotically better than
+/// multiply-then-filter whenever the mask is sparser than the full product.
+#pragma once
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+
+namespace spbla::ops {
+
+/// C = (A x B) restricted to the structure of \p mask.
+/// \p b_transposed must be B^T (the caller often already has it; for
+/// symmetric B it is B itself). With \p complement the mask selects cells to
+/// *exclude* instead (C = (A x B) minus mask's structure).
+[[nodiscard]] CsrMatrix multiply_masked(backend::Context& ctx, const CsrMatrix& mask,
+                                        const CsrMatrix& a,
+                                        const CsrMatrix& b_transposed,
+                                        bool complement = false);
+
+}  // namespace spbla::ops

@@ -1,0 +1,21 @@
+/// \file mxv.hpp
+/// \brief Boolean matrix-vector products.
+///
+/// These back the BFS-style traversals in the algorithms layer; the paper
+/// lists the sparse vector as partially supported, and these are exactly the
+/// vector kernels path querying needs.
+#pragma once
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+#include "core/spvector.hpp"
+
+namespace spbla::ops {
+
+/// y = M x: y[i] = OR over j of (M(i, j) & x[j]).
+[[nodiscard]] SpVector mxv(backend::Context& ctx, const CsrMatrix& m, const SpVector& x);
+
+/// y = x M: y[j] = OR over i of (x[i] & M(i, j)) — the BFS frontier push.
+[[nodiscard]] SpVector vxm(backend::Context& ctx, const SpVector& x, const CsrMatrix& m);
+
+}  // namespace spbla::ops

@@ -1,0 +1,30 @@
+#include "ops/reduce.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace spbla::ops {
+
+SpVector reduce_to_column(backend::Context& ctx, const CsrMatrix& m) {
+    (void)ctx;
+    std::vector<Index> indices;
+    for (Index r = 0; r < m.nrows(); ++r) {
+        if (m.row_nnz(r) > 0) indices.push_back(r);
+    }
+    return SpVector::from_indices(m.nrows(), std::move(indices));
+}
+
+SpVector reduce_to_row(backend::Context& ctx, const CsrMatrix& m) {
+    (void)ctx;
+    std::vector<bool> seen(m.ncols(), false);
+    for (const auto c : m.cols()) seen[c] = true;
+    std::vector<Index> indices;
+    for (Index c = 0; c < m.ncols(); ++c) {
+        if (seen[c]) indices.push_back(c);
+    }
+    return SpVector::from_indices(m.ncols(), std::move(indices));
+}
+
+std::size_t reduce_scalar(const CsrMatrix& m) noexcept { return m.nnz(); }
+
+}  // namespace spbla::ops

@@ -1,0 +1,22 @@
+/// \file reduce.hpp
+/// \brief Matrix-to-vector reductions V = reduce(M) over the Boolean semiring.
+#pragma once
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+#include "core/spvector.hpp"
+
+namespace spbla::ops {
+
+/// V = reduceToColumn(M): V[i] = OR over j of M(i, j) — i.e. the set of
+/// non-empty rows. This is the reduce the paper lists.
+[[nodiscard]] SpVector reduce_to_column(backend::Context& ctx, const CsrMatrix& m);
+
+/// V = reduceToRow(M): V[j] = OR over i of M(i, j) — the set of non-empty
+/// columns (provided for symmetry; equals reduce_to_column(M^T)).
+[[nodiscard]] SpVector reduce_to_row(backend::Context& ctx, const CsrMatrix& m);
+
+/// Total number of set cells (Boolean "sum" of all entries).
+[[nodiscard]] std::size_t reduce_scalar(const CsrMatrix& m) noexcept;
+
+}  // namespace spbla::ops

@@ -1,0 +1,196 @@
+#include "ops/spgemm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "ops/ewise_add.hpp"
+#include "util/bit_ops.hpp"
+
+namespace spbla::ops {
+namespace {
+
+constexpr Index kEmptySlot = 0xFFFFFFFFu;
+
+/// Per-worker scratch reused across the rows of one chunk. In Nsparse the
+/// hash table lives in GPU shared memory and the dense bitmap in global
+/// memory; here both are worker-local arrays.
+struct RowScratch {
+    std::vector<Index> hash_slots;
+    std::vector<Index> tiny_buffer;
+    std::vector<std::uint64_t> bitmap_words;
+    std::vector<Index> extracted;
+};
+
+enum class RowKind { Empty, Tiny, Hash, Dense };
+
+/// Upper bound on the number of products contributing to row \p i of A*B.
+[[nodiscard]] std::uint64_t row_upper_bound(const CsrMatrix& a, const CsrMatrix& b,
+                                            Index i) {
+    std::uint64_t ub = 0;
+    for (const auto k : a.row(i)) ub += b.row_nnz(k);
+    return ub;
+}
+
+[[nodiscard]] RowKind classify_row(std::uint64_t ub, Index b_ncols,
+                                   const SpGemmOptions& opts) {
+    if (ub == 0) return RowKind::Empty;
+    if (ub <= opts.tiny_row_threshold) return RowKind::Tiny;
+    if (opts.use_binning && b_ncols >= 256 &&
+        static_cast<double>(ub) >=
+            static_cast<double>(b_ncols) * opts.dense_row_fraction) {
+        return RowKind::Dense;
+    }
+    return RowKind::Hash;
+}
+
+/// Compute the distinct column set of row \p i of A*B into s.extracted
+/// (sorted ascending). Returns the distinct count.
+Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint64_t ub,
+                     const SpGemmOptions& opts, RowScratch& s, bool need_columns) {
+    const RowKind kind = classify_row(ub, b.ncols(), opts);
+    s.extracted.clear();
+
+    switch (kind) {
+        case RowKind::Empty:
+            return 0;
+
+        case RowKind::Tiny: {
+            // Gather every candidate column, then sort + unique in place.
+            s.tiny_buffer.clear();
+            for (const auto k : a.row(i)) {
+                const auto brow = b.row(k);
+                s.tiny_buffer.insert(s.tiny_buffer.end(), brow.begin(), brow.end());
+            }
+            std::sort(s.tiny_buffer.begin(), s.tiny_buffer.end());
+            s.tiny_buffer.erase(std::unique(s.tiny_buffer.begin(), s.tiny_buffer.end()),
+                                s.tiny_buffer.end());
+            if (need_columns) s.extracted = s.tiny_buffer;
+            return static_cast<Index>(s.tiny_buffer.size());
+        }
+
+        case RowKind::Dense: {
+            // Dense bitmap accumulator; output is naturally sorted.
+            const std::size_t words = (static_cast<std::size_t>(b.ncols()) + 63) / 64;
+            s.bitmap_words.assign(words, 0);
+            for (const auto k : a.row(i)) {
+                for (const auto c : b.row(k)) {
+                    s.bitmap_words[c >> 6] |= std::uint64_t{1} << (c & 63);
+                }
+            }
+            Index count = 0;
+            for (std::size_t w = 0; w < words; ++w) {
+                std::uint64_t bits = s.bitmap_words[w];
+                count += static_cast<Index>(std::popcount(bits));
+                if (need_columns) {
+                    while (bits != 0) {
+                        s.extracted.push_back(static_cast<Index>(
+                            w * 64 + static_cast<std::size_t>(std::countr_zero(bits))));
+                        bits &= bits - 1;
+                    }
+                }
+            }
+            return count;
+        }
+
+        case RowKind::Hash: {
+            // Open-addressing hash *set* (Boolean specialisation: no values).
+            const double load = opts.hash_load_factor > 0 ? opts.hash_load_factor : 0.5;
+            std::uint64_t want =
+                util::next_pow2(static_cast<std::uint64_t>(
+                    static_cast<double>(ub) / load + 1.0));
+            const std::uint64_t cap = util::next_pow2(
+                static_cast<std::uint64_t>(b.ncols()) * 2);
+            if (want > cap) want = cap;
+            if (want < 16) want = 16;
+            const Index mask = static_cast<Index>(want - 1);
+            s.hash_slots.assign(static_cast<std::size_t>(want), kEmptySlot);
+
+            Index count = 0;
+            for (const auto k : a.row(i)) {
+                for (const auto c : b.row(k)) {
+                    Index h = (c * 2654435761u) & mask;
+                    for (;;) {
+                        const Index cur = s.hash_slots[h];
+                        if (cur == c) break;  // duplicate: Boolean OR is idempotent
+                        if (cur == kEmptySlot) {
+                            s.hash_slots[h] = c;
+                            ++count;
+                            break;
+                        }
+                        h = (h + 1) & mask;
+                    }
+                }
+            }
+            if (need_columns) {
+                s.extracted.reserve(count);
+                for (const auto slot : s.hash_slots) {
+                    if (slot != kEmptySlot) s.extracted.push_back(slot);
+                }
+                std::sort(s.extracted.begin(), s.extracted.end());
+            }
+            return count;
+        }
+    }
+    return 0;  // unreachable
+}
+
+}  // namespace
+
+CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b,
+                   const SpGemmOptions& opts) {
+    check(a.ncols() == b.nrows(), Status::DimensionMismatch,
+          "spgemm: A.ncols must equal B.nrows");
+    const Index m = a.nrows();
+
+    // Symbolic phase 1: per-row product upper bounds (tracked device array).
+    auto ub = ctx.alloc<std::uint64_t>(m);
+    ctx.parallel_for(m, 1024, [&](std::size_t i) {
+        ub[i] = row_upper_bound(a, b, static_cast<Index>(i));
+    });
+
+    // Symbolic phase 2: exact per-row sizes via the accumulators.
+    auto row_sizes = ctx.alloc<Index>(static_cast<std::size_t>(m) + 1);
+    ctx.parallel_for_chunks(m, 64, [&](std::size_t begin, std::size_t end) {
+        RowScratch scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+            row_sizes[i] = accumulate_row(a, b, static_cast<Index>(i), ub[i], opts,
+                                          scratch, /*need_columns=*/false);
+        }
+    });
+
+    // Exact allocation: exclusive scan of row sizes (thrust analog).
+    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
+    std::uint64_t total = 0;
+    for (Index i = 0; i < m; ++i) {
+        row_offsets[i] = static_cast<Index>(total);
+        total += row_sizes[i];
+    }
+    row_offsets[m] = static_cast<Index>(total);
+    check(total <= 0xFFFFFFFFull, Status::OutOfRange, "spgemm: result nnz overflows Index");
+
+    // Numeric phase: re-run the accumulators and emit sorted columns.
+    std::vector<Index> cols(static_cast<std::size_t>(total));
+    ctx.parallel_for_chunks(m, 64, [&](std::size_t begin, std::size_t end) {
+        RowScratch scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+            accumulate_row(a, b, static_cast<Index>(i), ub[i], opts, scratch,
+                           /*need_columns=*/true);
+            std::copy(scratch.extracted.begin(), scratch.extracted.end(),
+                      cols.begin() + row_offsets[i]);
+        }
+    });
+
+    return CsrMatrix::from_raw(m, b.ncols(), std::move(row_offsets), std::move(cols));
+}
+
+CsrMatrix multiply_add(backend::Context& ctx, const CsrMatrix& c, const CsrMatrix& a,
+                       const CsrMatrix& b, const SpGemmOptions& opts) {
+    check(c.nrows() == a.nrows() && c.ncols() == b.ncols(), Status::DimensionMismatch,
+          "spgemm: accumulator shape must match A.nrows x B.ncols");
+    const CsrMatrix product = multiply(ctx, a, b, opts);
+    return ewise_add(ctx, c, product);
+}
+
+}  // namespace spbla::ops

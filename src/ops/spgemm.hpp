@@ -1,0 +1,51 @@
+/// \file spgemm.hpp
+/// \brief Boolean sparse matrix-matrix multiplication (SpGEMM).
+///
+/// Reproduces cuBool's multiplication kernel: the Nsparse algorithm
+/// (Nagasaka et al.) adapted to the Boolean semiring. The generic algorithm
+/// accumulates value products in per-row hash *maps*; the Boolean
+/// specialisation only needs per-row hash *sets* of column indices — no
+/// value array is ever read, written, or allocated, which is where the
+/// paper's time and memory advantage over generic SpGEMM comes from.
+///
+/// Structure (faithful to Nsparse):
+///  1. symbolic upper bound: ub(i) = sum over k in A(i,:) of nnz(B(k,:))
+///  2. rows are binned by ub into size classes; each class uses the
+///     cheapest accumulator that fits (tiny sorted buffer / open-addressing
+///     hash set / dense bitmap for pathological rows)
+///  3. count pass computes exact row sizes, an exclusive scan allocates the
+///     result exactly, and the fill pass re-runs the accumulator and emits
+///     sorted column indices.
+#pragma once
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+
+namespace spbla::ops {
+
+/// Tuning knobs for the hash SpGEMM (defaults follow Nsparse).
+struct SpGemmOptions {
+    /// Hash-table slots = next_pow2(upper_bound / load_factor).
+    double hash_load_factor = 0.5;
+    /// Rows with upper bound <= this use a tiny sort-merge buffer instead of
+    /// a hash table (the "pwarp" bin analog).
+    Index tiny_row_threshold = 32;
+    /// Rows whose upper bound exceeds ncols(B) * this fraction fall back to a
+    /// dense bitmap accumulator (the "global bin" analog).
+    double dense_row_fraction = 0.25;
+    /// Disable size-class binning: every non-tiny row uses the hash path.
+    /// Exists for the ablation benchmark.
+    bool use_binning = true;
+};
+
+/// C = A x B over the Boolean semiring. Shapes: (m x k) * (k x n) -> (m x n).
+[[nodiscard]] CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a,
+                                 const CsrMatrix& b, const SpGemmOptions& opts = {});
+
+/// C += A x B: returns the element-wise OR of \p c and A x B (the paper's
+/// fused multiply-add primitive used by every fixpoint loop).
+[[nodiscard]] CsrMatrix multiply_add(backend::Context& ctx, const CsrMatrix& c,
+                                     const CsrMatrix& a, const CsrMatrix& b,
+                                     const SpGemmOptions& opts = {});
+
+}  // namespace spbla::ops

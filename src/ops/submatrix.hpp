@@ -1,0 +1,14 @@
+/// \file submatrix.hpp
+/// \brief Sub-matrix extraction M = N[i..i+m, j..j+n].
+#pragma once
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+
+namespace spbla::ops {
+
+/// Extract the m x n sub-matrix of \p src anchored at (row0, col0).
+[[nodiscard]] CsrMatrix submatrix(backend::Context& ctx, const CsrMatrix& src, Index row0,
+                                  Index col0, Index m, Index n);
+
+}  // namespace spbla::ops

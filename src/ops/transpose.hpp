@@ -1,0 +1,16 @@
+/// \file transpose.hpp
+/// \brief Boolean sparse matrix transposition.
+///
+/// Implemented as a counting sort over column indices (the standard
+/// CSR -> CSC conversion specialised to Boolean: no value gather).
+#pragma once
+
+#include "backend/context.hpp"
+#include "core/csr.hpp"
+
+namespace spbla::ops {
+
+/// M = N^T.
+[[nodiscard]] CsrMatrix transpose(backend::Context& ctx, const CsrMatrix& n);
+
+}  // namespace spbla::ops

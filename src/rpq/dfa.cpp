@@ -1,0 +1,158 @@
+#include "rpq/dfa.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace spbla::rpq {
+
+CsrMatrix Dfa::matrix(const std::string& symbol) const {
+    const auto it = delta.find(symbol);
+    if (it == delta.end()) return CsrMatrix{num_states, num_states};
+    return CsrMatrix::from_coords(num_states, num_states, it->second);
+}
+
+std::vector<std::string> Dfa::symbols() const {
+    std::vector<std::string> out;
+    out.reserve(delta.size());
+    for (const auto& [s, edges] : delta) out.push_back(s);
+    return out;
+}
+
+std::vector<Index> Dfa::accepting_states() const {
+    std::vector<Index> out;
+    for (Index s = 0; s < num_states; ++s) {
+        if (accepting[s]) out.push_back(s);
+    }
+    return out;
+}
+
+Index Dfa::step(Index state, const std::string& symbol) const {
+    const auto it = delta.find(symbol);
+    if (it == delta.end()) return num_states;
+    for (const auto& [from, to] : it->second) {
+        if (from == state) return to;
+    }
+    return num_states;
+}
+
+bool Dfa::accepts(std::span<const std::string> word) const {
+    Index state = start;
+    for (const auto& token : word) {
+        state = step(state, token);
+        if (state == num_states) return false;
+    }
+    return accepting[state];
+}
+
+Dfa determinize(const Nfa& nfa) {
+    // Transition lookup: symbol -> from -> set of to.
+    std::map<std::string, std::map<Index, std::vector<Index>>> lookup;
+    for (const auto& [symbol, edges] : nfa.delta) {
+        for (const auto& [from, to] : edges) lookup[symbol][from].push_back(to);
+    }
+
+    std::map<std::set<Index>, Index> state_of;
+    std::vector<std::set<Index>> subsets;
+    const std::set<Index> start_subset{nfa.start};
+    state_of[start_subset] = 0;
+    subsets.push_back(start_subset);
+
+    Dfa dfa;
+    std::vector<bool> acc;
+    acc.push_back(nfa.accepting[nfa.start]);
+
+    for (std::size_t i = 0; i < subsets.size(); ++i) {
+        const auto current = subsets[i];  // copy: subsets grows below
+        for (const auto& [symbol, moves] : lookup) {
+            std::set<Index> next;
+            for (const auto s : current) {
+                const auto it = moves.find(s);
+                if (it == moves.end()) continue;
+                next.insert(it->second.begin(), it->second.end());
+            }
+            if (next.empty()) continue;
+            auto [it, inserted] = state_of.try_emplace(next, static_cast<Index>(subsets.size()));
+            if (inserted) {
+                subsets.push_back(next);
+                acc.push_back(std::any_of(next.begin(), next.end(),
+                                          [&nfa](Index s) { return nfa.accepting[s]; }));
+            }
+            dfa.delta[symbol].push_back({static_cast<Index>(i), it->second});
+        }
+    }
+
+    dfa.num_states = static_cast<Index>(subsets.size());
+    dfa.start = 0;
+    dfa.accepting = std::move(acc);
+    for (auto& [symbol, edges] : dfa.delta) std::sort(edges.begin(), edges.end());
+    return dfa;
+}
+
+Dfa minimize(const Dfa& dfa) {
+    const auto symbols = dfa.symbols();
+    const Index dead = dfa.num_states;  // implicit sink for missing moves
+
+    // Moore refinement: classes start as {accepting, rejecting, dead}.
+    std::vector<Index> cls(dfa.num_states + 1, 0);
+    for (Index s = 0; s < dfa.num_states; ++s) cls[s] = dfa.accepting[s] ? 1 : 0;
+    cls[dead] = 0;
+
+    for (;;) {
+        // Signature: own class + class of every successor.
+        std::map<std::vector<Index>, Index> sig_to_class;
+        std::vector<Index> next_cls(dfa.num_states + 1, 0);
+        for (Index s = 0; s <= dfa.num_states; ++s) {
+            std::vector<Index> sig{cls[s]};
+            for (const auto& symbol : symbols) {
+                sig.push_back(s == dead ? cls[dead] : cls[dfa.step(s, symbol)]);
+            }
+            const auto [it, inserted] =
+                sig_to_class.try_emplace(sig, static_cast<Index>(sig_to_class.size()));
+            next_cls[s] = it->second;
+        }
+        if (next_cls == cls) break;
+        cls = std::move(next_cls);
+    }
+
+    // Rebuild over the classes of live states, dropping the dead class.
+    const Index dead_cls = cls[dead];
+    if (cls[dfa.start] == dead_cls) {
+        // The language is empty; keep a single rejecting state.
+        Dfa out;
+        out.num_states = 1;
+        out.start = 0;
+        out.accepting = {false};
+        return out;
+    }
+    std::map<Index, Index> renumber;
+    for (Index s = 0; s < dfa.num_states; ++s) {
+        if (cls[s] != dead_cls) renumber.try_emplace(cls[s], static_cast<Index>(renumber.size()));
+    }
+
+    Dfa out;
+    out.num_states = static_cast<Index>(renumber.size());
+    out.accepting.assign(out.num_states, false);
+    out.start = renumber.at(cls[dfa.start]);
+    for (Index s = 0; s < dfa.num_states; ++s) {
+        if (cls[s] == dead_cls) continue;
+        if (dfa.accepting[s]) out.accepting[renumber.at(cls[s])] = true;
+    }
+    std::map<std::string, std::set<Coord>> edges;
+    for (const auto& [symbol, moves] : dfa.delta) {
+        for (const auto& [from, to] : moves) {
+            if (cls[from] == dead_cls || cls[to] == dead_cls) continue;
+            edges[symbol].insert({renumber.at(cls[from]), renumber.at(cls[to])});
+        }
+    }
+    for (const auto& [symbol, set] : edges) {
+        out.delta[symbol] = {set.begin(), set.end()};
+    }
+    return out;
+}
+
+Dfa compile_query(const std::string& regex_text) {
+    return minimize(determinize(glushkov(*parse(regex_text))));
+}
+
+}  // namespace spbla::rpq

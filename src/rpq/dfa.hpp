@@ -1,0 +1,50 @@
+/// \file dfa.hpp
+/// \brief Deterministic automata: subset construction and minimisation.
+///
+/// A deterministic, minimised query automaton keeps the tensor product
+/// small (the product has |Q| * |V| vertices), which is one of the easy
+/// wins the RPQ engine applies before matricising a query.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "rpq/nfa.hpp"
+
+namespace spbla::rpq {
+
+/// Complete-on-demand DFA: missing (state, symbol) entries are dead.
+struct Dfa {
+    Index num_states{0};
+    Index start{0};
+    std::vector<bool> accepting;
+    std::map<std::string, std::vector<Coord>> delta;  // at most one edge per (state, symbol)
+
+    /// Boolean transition matrix of \p symbol.
+    [[nodiscard]] CsrMatrix matrix(const std::string& symbol) const;
+
+    /// Symbols with at least one transition.
+    [[nodiscard]] std::vector<std::string> symbols() const;
+
+    [[nodiscard]] std::vector<Index> accepting_states() const;
+
+    /// Run the automaton over a word (test oracle).
+    [[nodiscard]] bool accepts(std::span<const std::string> word) const;
+
+    /// Next state of (state, symbol), or num_states as the dead marker.
+    [[nodiscard]] Index step(Index state, const std::string& symbol) const;
+};
+
+/// Subset construction (reachable states only).
+[[nodiscard]] Dfa determinize(const Nfa& nfa);
+
+/// Moore partition-refinement minimisation (input must be deterministic).
+[[nodiscard]] Dfa minimize(const Dfa& dfa);
+
+/// parse + glushkov + determinize + minimize in one call.
+[[nodiscard]] Dfa compile_query(const std::string& regex_text);
+
+}  // namespace spbla::rpq

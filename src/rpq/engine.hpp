@@ -1,0 +1,61 @@
+/// \file engine.hpp
+/// \brief Tensor-product RPQ evaluation on SPbLA primitives.
+///
+/// The algorithm of the paper's evaluation: the query automaton Q and the
+/// graph G are combined per symbol with the Kronecker product,
+///   M = sum over symbols s of  Q_s (x) G_s,
+/// and "index creation" is the transitive closure of M. A graph pair (u, v)
+/// is an answer iff some (start-state, u) reaches some (accepting-state, v)
+/// in the closure — read off with the sub-matrix extraction primitive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algorithms/closure.hpp"
+#include "backend/context.hpp"
+#include "core/spvector.hpp"
+#include "data/labeled_graph.hpp"
+#include "rpq/dfa.hpp"
+
+namespace spbla::rpq {
+
+/// The index built for one query over one graph, plus run statistics.
+struct RpqIndex {
+    CsrMatrix product;        ///< the summed Kronecker product (|Q||V| square)
+    CsrMatrix closure;        ///< its transitive closure
+    CsrMatrix reachable;      ///< |V| x |V| matrix of answer pairs
+    std::size_t closure_rounds{0};
+    std::size_t product_nnz{0};
+};
+
+/// Build the RPQ index (the operation the paper's Figures 2-3 time).
+[[nodiscard]] RpqIndex build_index(backend::Context& ctx, const data::LabeledGraph& graph,
+                                   const Dfa& query,
+                                   algorithms::ClosureStrategy strategy =
+                                       algorithms::ClosureStrategy::Squaring);
+
+/// Answer pairs only (convenience over build_index).
+[[nodiscard]] CsrMatrix evaluate(backend::Context& ctx, const data::LabeledGraph& graph,
+                                 const Dfa& query);
+
+/// Naive product-automaton BFS — the reference oracle for the tests.
+[[nodiscard]] CsrMatrix evaluate_reference(const data::LabeledGraph& graph,
+                                           const Dfa& query);
+
+/// Extract one shortest witness path (its edge labels) for the answer pair
+/// (u, v) by BFS over the product graph. Empty optional-like: returns false
+/// if (u, v) is not an answer.
+bool extract_path(const data::LabeledGraph& graph, const Dfa& query, Index u, Index v,
+                  std::vector<std::string>& labels_out);
+
+/// Single-source evaluation: the set of vertices v such that (source, v) is
+/// an answer. Runs a frontier sweep with the sparse-vector kernels (one
+/// frontier per automaton state) instead of materialising the full index —
+/// the vector-based evaluation mode the paper's partial sparse-vector
+/// support is aimed at.
+[[nodiscard]] SpVector evaluate_from(backend::Context& ctx,
+                                     const data::LabeledGraph& graph, const Dfa& query,
+                                     Index source);
+
+}  // namespace spbla::rpq

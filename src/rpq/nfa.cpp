@@ -1,0 +1,146 @@
+#include "rpq/nfa.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace spbla::rpq {
+namespace {
+
+/// Linearised-regex attributes for one subtree.
+struct Attrs {
+    std::vector<Index> first;  // positions that can begin a word
+    std::vector<Index> last;   // positions that can end a word
+    bool nullable{false};
+};
+
+void append_unique(std::vector<Index>& dst, const std::vector<Index>& src) {
+    for (const auto p : src) {
+        if (std::find(dst.begin(), dst.end(), p) == dst.end()) dst.push_back(p);
+    }
+}
+
+/// Recursive Glushkov attribute computation. Positions are numbered from 1
+/// in symbol-occurrence order; `follow[p]` collects positions reachable
+/// right after p.
+class Builder {
+public:
+    Attrs build(const Regex& re) {
+        switch (re.kind) {
+            case Regex::Kind::Empty:
+                return {{}, {}, false};
+            case Regex::Kind::Epsilon:
+                return {{}, {}, true};
+            case Regex::Kind::Symbol: {
+                const auto p = static_cast<Index>(position_symbols.size() + 1);
+                position_symbols.push_back(re.symbol);
+                follow.emplace_back();
+                return {{p}, {p}, false};
+            }
+            case Regex::Kind::Concat: {
+                const Attrs l = build(*re.left);
+                const Attrs r = build(*re.right);
+                for (const auto p : l.last) append_unique(follow[p - 1], r.first);
+                Attrs out;
+                out.first = l.first;
+                if (l.nullable) append_unique(out.first, r.first);
+                out.last = r.last;
+                if (r.nullable) append_unique(out.last, l.last);
+                out.nullable = l.nullable && r.nullable;
+                return out;
+            }
+            case Regex::Kind::Alt: {
+                const Attrs l = build(*re.left);
+                const Attrs r = build(*re.right);
+                Attrs out = l;
+                append_unique(out.first, r.first);
+                append_unique(out.last, r.last);
+                out.nullable = l.nullable || r.nullable;
+                return out;
+            }
+            case Regex::Kind::Star:
+            case Regex::Kind::Plus: {
+                Attrs out = build(*re.left);
+                for (const auto p : out.last) append_unique(follow[p - 1], out.first);
+                if (re.kind == Regex::Kind::Star) out.nullable = true;
+                return out;
+            }
+            case Regex::Kind::Optional: {
+                Attrs out = build(*re.left);
+                out.nullable = true;
+                return out;
+            }
+        }
+        return {};
+    }
+
+    std::vector<std::string> position_symbols;     // symbol at position p (index p-1)
+    std::vector<std::vector<Index>> follow;        // follow sets (index p-1)
+};
+
+}  // namespace
+
+CsrMatrix Nfa::matrix(const std::string& symbol) const {
+    const auto it = delta.find(symbol);
+    if (it == delta.end()) return CsrMatrix{num_states, num_states};
+    return CsrMatrix::from_coords(num_states, num_states, it->second);
+}
+
+std::vector<std::string> Nfa::symbols() const {
+    std::vector<std::string> out;
+    out.reserve(delta.size());
+    for (const auto& [s, edges] : delta) out.push_back(s);
+    return out;
+}
+
+std::vector<Index> Nfa::accepting_states() const {
+    std::vector<Index> out;
+    for (Index s = 0; s < num_states; ++s) {
+        if (accepting[s]) out.push_back(s);
+    }
+    return out;
+}
+
+bool Nfa::accepts(std::span<const std::string> word) const {
+    std::set<Index> current{start};
+    for (const auto& token : word) {
+        const auto it = delta.find(token);
+        if (it == delta.end()) return false;
+        std::set<Index> next;
+        for (const auto& [from, to] : it->second) {
+            if (current.contains(from)) next.insert(to);
+        }
+        if (next.empty()) return false;
+        current = std::move(next);
+    }
+    return std::any_of(current.begin(), current.end(),
+                       [this](Index s) { return accepting[s]; });
+}
+
+Nfa glushkov(const Regex& re) {
+    Builder b;
+    const Attrs root = b.build(re);
+
+    Nfa nfa;
+    nfa.num_states = static_cast<Index>(b.position_symbols.size()) + 1;
+    nfa.start = 0;
+    nfa.accepting.assign(nfa.num_states, false);
+    nfa.accepting[0] = root.nullable;
+    for (const auto p : root.last) nfa.accepting[p] = true;
+
+    for (const auto p : root.first) {
+        nfa.delta[b.position_symbols[p - 1]].push_back({0, p});
+    }
+    for (std::size_t p = 1; p <= b.follow.size(); ++p) {
+        for (const auto q : b.follow[p - 1]) {
+            nfa.delta[b.position_symbols[q - 1]].push_back(
+                {static_cast<Index>(p), q});
+        }
+    }
+    for (auto& [symbol, edges] : nfa.delta) {
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+    return nfa;
+}
+
+}  // namespace spbla::rpq

@@ -1,0 +1,44 @@
+/// \file nfa.hpp
+/// \brief Glushkov automaton construction.
+///
+/// The tensor-based querying algorithm needs the query as a set of Boolean
+/// transition matrices, one per symbol. Glushkov's construction (which the
+/// paper cites via Wang et al.'s provenance-aware RPQ work) yields an
+/// epsilon-free NFA with one state per symbol occurrence plus an initial
+/// state — exactly the right shape to matricise.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "rpq/regex.hpp"
+
+namespace spbla::rpq {
+
+/// Epsilon-free NFA with a single start state.
+struct Nfa {
+    Index num_states{0};
+    Index start{0};
+    std::vector<bool> accepting;                       // size num_states
+    std::map<std::string, std::vector<Coord>> delta;   // symbol -> (from, to) pairs
+
+    /// Boolean transition matrix (num_states x num_states) of \p symbol.
+    [[nodiscard]] CsrMatrix matrix(const std::string& symbol) const;
+
+    /// Symbols with at least one transition.
+    [[nodiscard]] std::vector<std::string> symbols() const;
+
+    /// Accepting state indices.
+    [[nodiscard]] std::vector<Index> accepting_states() const;
+
+    /// Direct subset simulation — test oracle for the matrix pipeline.
+    [[nodiscard]] bool accepts(std::span<const std::string> word) const;
+};
+
+/// Build the Glushkov automaton of \p re.
+[[nodiscard]] Nfa glushkov(const Regex& re);
+
+}  // namespace spbla::rpq

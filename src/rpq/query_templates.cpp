@@ -1,0 +1,91 @@
+#include "rpq/query_templates.hpp"
+
+#include <array>
+
+#include "core/types.hpp"
+
+namespace spbla::rpq {
+namespace {
+
+constexpr std::array<const char*, 6> kPlaceholders{"a", "b", "c", "d", "e", "f"};
+
+/// Substitute placeholder symbols by concrete labels.
+RegexPtr substitute(const Regex& re, const std::vector<std::string>& labels) {
+    switch (re.kind) {
+        case Regex::Kind::Empty:
+        case Regex::Kind::Epsilon:
+            return std::make_shared<Regex>(re);
+        case Regex::Kind::Symbol: {
+            for (std::size_t k = 0; k < kPlaceholders.size(); ++k) {
+                if (re.symbol == kPlaceholders[k]) {
+                    check(k < labels.size(), Status::InvalidArgument,
+                          "QueryTemplate: not enough labels for placeholders");
+                    return sym(labels[k]);
+                }
+            }
+            return sym(re.symbol);
+        }
+        case Regex::Kind::Concat:
+            return cat(substitute(*re.left, labels), substitute(*re.right, labels));
+        case Regex::Kind::Alt:
+            return alt(substitute(*re.left, labels), substitute(*re.right, labels));
+        case Regex::Kind::Star:
+            return star(substitute(*re.left, labels));
+        case Regex::Kind::Plus:
+            return plus(substitute(*re.left, labels));
+        case Regex::Kind::Optional:
+            return opt(substitute(*re.left, labels));
+    }
+    return eps();
+}
+
+}  // namespace
+
+RegexPtr QueryTemplate::instantiate(const std::vector<std::string>& labels) const {
+    check(labels.size() >= arity, Status::InvalidArgument,
+          "QueryTemplate::instantiate: need at least `arity` labels");
+    return substitute(*parse(text), labels);
+}
+
+const std::vector<QueryTemplate>& table2_templates() {
+    static const std::vector<QueryTemplate> kTemplates = {
+        {"Q1", "a*", 1},
+        {"Q2", "a b*", 2},
+        {"Q3", "a b* c*", 3},
+        {"Q4^2", "(a | b)*", 2},
+        {"Q4^3", "(a | b | c)*", 3},
+        {"Q4^4", "(a | b | c | d)*", 4},
+        {"Q4^5", "(a | b | c | d | e)*", 5},
+        {"Q5", "a b* c", 3},
+        {"Q6", "a* b*", 2},
+        {"Q7", "a b c*", 3},
+        {"Q8", "a? b*", 2},
+        {"Q9^2", "(a | b)+", 2},
+        {"Q9^3", "(a | b | c)+", 3},
+        {"Q9^4", "(a | b | c | d)+", 4},
+        {"Q9^5", "(a | b | c | d | e)+", 5},
+        {"Q10^2", "(a | b) c*", 3},
+        {"Q10^3", "(a | b | c) d*", 4},
+        {"Q10^4", "(a | b | c | d) e*", 5},
+        {"Q10^5", "(a | b | c | d | e) f*", 6},
+        {"Q11^2", "a b", 2},
+        {"Q11^3", "a b c", 3},
+        {"Q11^4", "a b c d", 4},
+        {"Q11^5", "a b c d f", 6},  // the paper's template skips `e`, so 6 labels
+        {"Q12", "(a b)+ | (c d)+", 4},
+        {"Q13", "(a (b c)*)+ | (d f)+", 6},  // skips `e`, so 6 labels
+        {"Q14", "(a b (c d)*)+ (e | f)*", 6},
+        {"Q15", "(a | b)+ (c | d)+", 4},
+        {"Q16", "a b (c | d | e)", 5},
+    };
+    return kTemplates;
+}
+
+const QueryTemplate& template_by_name(const std::string& name) {
+    for (const auto& t : table2_templates()) {
+        if (t.name == name) return t;
+    }
+    throw Error(Status::InvalidArgument, "template_by_name: unknown template " + name);
+}
+
+}  // namespace spbla::rpq

@@ -1,0 +1,32 @@
+/// \file query_templates.hpp
+/// \brief The RPQ query templates of the paper's Table II.
+///
+/// Each template is a regex over placeholder symbols a, b, c, d, e, f that
+/// gets instantiated with concrete relation labels — the paper uses "the
+/// most frequent relations from the given graph".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rpq/regex.hpp"
+
+namespace spbla::rpq {
+
+/// One row of Table II.
+struct QueryTemplate {
+    std::string name;   ///< e.g. "Q4^3"
+    std::string text;   ///< regex over placeholders, e.g. "(a | b | c)*"
+    Index arity;        ///< number of distinct placeholder symbols used
+
+    /// Instantiate with concrete labels (labels.size() must be >= arity).
+    [[nodiscard]] RegexPtr instantiate(const std::vector<std::string>& labels) const;
+};
+
+/// All 28 templates of Table II, in the paper's order.
+[[nodiscard]] const std::vector<QueryTemplate>& table2_templates();
+
+/// Find a template by its name ("Q1", "Q9^4", ...).
+[[nodiscard]] const QueryTemplate& template_by_name(const std::string& name);
+
+}  // namespace spbla::rpq

@@ -1,0 +1,303 @@
+#include "rpq/regex.hpp"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace spbla::rpq {
+
+RegexPtr empty() { return std::make_shared<Regex>(Regex{Regex::Kind::Empty, {}, {}, {}}); }
+
+RegexPtr eps() { return std::make_shared<Regex>(Regex{Regex::Kind::Epsilon, {}, {}, {}}); }
+
+RegexPtr sym(std::string name) {
+    check(!name.empty(), Status::InvalidArgument, "regex: empty symbol name");
+    return std::make_shared<Regex>(Regex{Regex::Kind::Symbol, std::move(name), {}, {}});
+}
+
+RegexPtr cat(RegexPtr a, RegexPtr b) {
+    return std::make_shared<Regex>(Regex{Regex::Kind::Concat, {}, std::move(a), std::move(b)});
+}
+
+RegexPtr alt(RegexPtr a, RegexPtr b) {
+    return std::make_shared<Regex>(Regex{Regex::Kind::Alt, {}, std::move(a), std::move(b)});
+}
+
+RegexPtr star(RegexPtr a) {
+    return std::make_shared<Regex>(Regex{Regex::Kind::Star, {}, std::move(a), {}});
+}
+
+RegexPtr plus(RegexPtr a) {
+    return std::make_shared<Regex>(Regex{Regex::Kind::Plus, {}, std::move(a), {}});
+}
+
+RegexPtr opt(RegexPtr a) {
+    return std::make_shared<Regex>(Regex{Regex::Kind::Optional, {}, std::move(a), {}});
+}
+
+RegexPtr cat_all(std::span<const RegexPtr> parts) {
+    check(!parts.empty(), Status::InvalidArgument, "cat_all: empty list");
+    RegexPtr acc = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) acc = cat(acc, parts[i]);
+    return acc;
+}
+
+RegexPtr alt_all(std::span<const RegexPtr> parts) {
+    check(!parts.empty(), Status::InvalidArgument, "alt_all: empty list");
+    RegexPtr acc = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) acc = alt(acc, parts[i]);
+    return acc;
+}
+
+namespace {
+
+/// Recursive-descent parser over the concrete syntax.
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_{text} {}
+
+    RegexPtr run() {
+        skip_ws();
+        check(!at_end(), Status::InvalidArgument, "regex parse: empty input");
+        RegexPtr r = parse_alt();
+        skip_ws();
+        check(at_end(), Status::InvalidArgument, "regex parse: trailing input");
+        return r;
+    }
+
+private:
+    [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const { return text_[pos_]; }
+
+    void skip_ws() {
+        while (!at_end() && (std::isspace(static_cast<unsigned char>(peek())) != 0)) ++pos_;
+    }
+
+    [[nodiscard]] static bool is_ident_char(char c) {
+        return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+    }
+
+    RegexPtr parse_alt() {
+        RegexPtr r = parse_cat();
+        skip_ws();
+        while (!at_end() && peek() == '|') {
+            ++pos_;
+            r = alt(std::move(r), parse_cat());
+            skip_ws();
+        }
+        return r;
+    }
+
+    RegexPtr parse_cat() {
+        RegexPtr r = parse_unary();
+        for (;;) {
+            skip_ws();
+            if (at_end() || peek() == '|' || peek() == ')') return r;
+            if (peek() == '.') {
+                ++pos_;
+                skip_ws();
+            }
+            r = cat(std::move(r), parse_unary());
+        }
+    }
+
+    RegexPtr parse_unary() {
+        RegexPtr r = parse_atom();
+        for (;;) {
+            skip_ws();
+            if (at_end()) return r;
+            const char c = peek();
+            if (c == '*')
+                r = star(std::move(r));
+            else if (c == '+')
+                r = plus(std::move(r));
+            else if (c == '?')
+                r = opt(std::move(r));
+            else
+                return r;
+            ++pos_;
+        }
+    }
+
+    RegexPtr parse_atom() {
+        skip_ws();
+        check(!at_end(), Status::InvalidArgument, "regex parse: expected atom");
+        if (peek() == '(') {
+            ++pos_;
+            RegexPtr r = parse_alt();
+            skip_ws();
+            check(!at_end() && peek() == ')', Status::InvalidArgument,
+                  "regex parse: missing ')'");
+            ++pos_;
+            return r;
+        }
+        check(is_ident_char(peek()), Status::InvalidArgument,
+              "regex parse: unexpected character");
+        std::string name;
+        while (!at_end() && is_ident_char(peek())) name.push_back(text_[pos_++]);
+        if (name == "eps") return eps();
+        return sym(std::move(name));
+    }
+
+    const std::string& text_;
+    std::size_t pos_{0};
+};
+
+void collect_symbols(const Regex& re, std::set<std::string>& out) {
+    switch (re.kind) {
+        case Regex::Kind::Empty:
+        case Regex::Kind::Epsilon:
+            return;
+        case Regex::Kind::Symbol:
+            out.insert(re.symbol);
+            return;
+        case Regex::Kind::Concat:
+        case Regex::Kind::Alt:
+            collect_symbols(*re.left, out);
+            collect_symbols(*re.right, out);
+            return;
+        case Regex::Kind::Star:
+        case Regex::Kind::Plus:
+        case Regex::Kind::Optional:
+            collect_symbols(*re.left, out);
+            return;
+    }
+}
+
+/// Memoized "end positions reachable from start i" evaluator.
+class Matcher {
+public:
+    Matcher(std::span<const std::string> word) : word_{word} {}
+
+    std::set<std::size_t> ends(const Regex& re, std::size_t i) {
+        const auto key = std::make_pair(&re, i);
+        if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+        memo_[key] = {};  // guards Star/Plus recursion
+        std::set<std::size_t> out;
+        switch (re.kind) {
+            case Regex::Kind::Empty:
+                break;
+            case Regex::Kind::Epsilon:
+                out.insert(i);
+                break;
+            case Regex::Kind::Symbol:
+                if (i < word_.size() && word_[i] == re.symbol) out.insert(i + 1);
+                break;
+            case Regex::Kind::Concat:
+                for (const auto m : ends(*re.left, i)) {
+                    const auto r = ends(*re.right, m);
+                    out.insert(r.begin(), r.end());
+                }
+                break;
+            case Regex::Kind::Alt: {
+                out = ends(*re.left, i);
+                const auto r = ends(*re.right, i);
+                out.insert(r.begin(), r.end());
+                break;
+            }
+            case Regex::Kind::Star:
+            case Regex::Kind::Plus: {
+                // Fixpoint of one-or-more applications.
+                std::set<std::size_t> frontier = ends(*re.left, i);
+                std::set<std::size_t> reached = frontier;
+                while (!frontier.empty()) {
+                    std::set<std::size_t> next;
+                    for (const auto m : frontier) {
+                        for (const auto e : ends(*re.left, m)) {
+                            if (reached.insert(e).second) next.insert(e);
+                        }
+                    }
+                    frontier = std::move(next);
+                }
+                out = std::move(reached);
+                if (re.kind == Regex::Kind::Star) out.insert(i);
+                break;
+            }
+            case Regex::Kind::Optional:
+                out = ends(*re.left, i);
+                out.insert(i);
+                break;
+        }
+        memo_[key] = out;
+        return out;
+    }
+
+private:
+    std::span<const std::string> word_;
+    std::map<std::pair<const Regex*, std::size_t>, std::set<std::size_t>> memo_;
+};
+
+}  // namespace
+
+RegexPtr parse(const std::string& text) { return Parser{text}.run(); }
+
+namespace {
+
+// Appends instead of concatenating temporaries: avoids quadratic copying
+// (and a GCC 12 -Wrestrict false positive on the operator+ chains).
+void render(const Regex& re, std::string& out) {
+    switch (re.kind) {
+        case Regex::Kind::Empty:
+            out += "(eps eps)";  // no surface syntax for the empty language
+            return;
+        case Regex::Kind::Epsilon:
+            out += "eps";
+            return;
+        case Regex::Kind::Symbol:
+            out += re.symbol;
+            return;
+        case Regex::Kind::Concat:
+        case Regex::Kind::Alt:
+            out += '(';
+            render(*re.left, out);
+            out += re.kind == Regex::Kind::Concat ? " . " : " | ";
+            render(*re.right, out);
+            out += ')';
+            return;
+        case Regex::Kind::Star:
+        case Regex::Kind::Plus:
+        case Regex::Kind::Optional:
+            out += '(';
+            render(*re.left, out);
+            out += ')';
+            out += re.kind == Regex::Kind::Star   ? '*'
+                   : re.kind == Regex::Kind::Plus ? '+'
+                                                  : '?';
+            return;
+    }
+}
+
+}  // namespace
+
+std::string to_string(const Regex& re) {
+    std::string out;
+    render(re, out);
+    return out;
+}
+
+std::vector<std::string> symbols_of(const Regex& re) {
+    std::set<std::string> s;
+    collect_symbols(re, s);
+    return {s.begin(), s.end()};
+}
+
+bool nullable(const Regex& re) {
+    switch (re.kind) {
+        case Regex::Kind::Empty: return false;
+        case Regex::Kind::Epsilon: return true;
+        case Regex::Kind::Symbol: return false;
+        case Regex::Kind::Concat: return nullable(*re.left) && nullable(*re.right);
+        case Regex::Kind::Alt: return nullable(*re.left) || nullable(*re.right);
+        case Regex::Kind::Star: return true;
+        case Regex::Kind::Plus: return nullable(*re.left);
+        case Regex::Kind::Optional: return true;
+    }
+    return false;
+}
+
+bool matches(const Regex& re, std::span<const std::string> word) {
+    Matcher m{word};
+    return m.ends(re, 0).contains(word.size());
+}
+
+}  // namespace spbla::rpq

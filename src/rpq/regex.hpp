@@ -1,0 +1,68 @@
+/// \file regex.hpp
+/// \brief Regular expressions over relation labels.
+///
+/// Queries in the paper (Table II templates, and the right-hand sides of
+/// grammar rules in the CFPQ layer) are regexes whose alphabet is relation
+/// labels, not characters. Labels are identifiers; the inverse relation of
+/// `x` is written `x_r` (the paper's x̄).
+///
+/// Concrete syntax accepted by parse():
+///   alt    := cat ('|' cat)*
+///   cat    := unary+                 (juxtaposition or '.' is concatenation)
+///   unary  := atom ('*' | '+' | '?')*
+///   atom   := IDENT | '(' alt ')' | 'eps'
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spbla::rpq {
+
+struct Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Immutable regex AST node.
+struct Regex {
+    enum class Kind { Empty, Epsilon, Symbol, Concat, Alt, Star, Plus, Optional };
+
+    Kind kind;
+    std::string symbol;  // for Kind::Symbol
+    RegexPtr left;       // operand / left operand
+    RegexPtr right;      // right operand of Concat / Alt
+};
+
+/// AST constructors.
+[[nodiscard]] RegexPtr empty();
+[[nodiscard]] RegexPtr eps();
+[[nodiscard]] RegexPtr sym(std::string name);
+[[nodiscard]] RegexPtr cat(RegexPtr a, RegexPtr b);
+[[nodiscard]] RegexPtr alt(RegexPtr a, RegexPtr b);
+[[nodiscard]] RegexPtr star(RegexPtr a);
+[[nodiscard]] RegexPtr plus(RegexPtr a);
+[[nodiscard]] RegexPtr opt(RegexPtr a);
+
+/// n-ary helpers.
+[[nodiscard]] RegexPtr cat_all(std::span<const RegexPtr> parts);
+[[nodiscard]] RegexPtr alt_all(std::span<const RegexPtr> parts);
+
+/// Parse the concrete syntax; throws Error{InvalidArgument} on bad input.
+[[nodiscard]] RegexPtr parse(const std::string& text);
+
+/// Render back to (parseable) concrete syntax.
+[[nodiscard]] std::string to_string(const Regex& re);
+
+/// All distinct symbols occurring in the regex.
+[[nodiscard]] std::vector<std::string> symbols_of(const Regex& re);
+
+/// True iff the regex accepts the empty word.
+[[nodiscard]] bool nullable(const Regex& re);
+
+/// Reference matcher (memoized set-of-end-positions recursion) used by the
+/// property tests to cross-check the automata pipeline. Polynomial time.
+[[nodiscard]] bool matches(const Regex& re, std::span<const std::string> word);
+
+}  // namespace spbla::rpq

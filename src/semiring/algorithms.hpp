@@ -1,0 +1,108 @@
+/// \file algorithms.hpp
+/// \brief Graph algorithms over non-Boolean semirings.
+///
+/// The payoff of the semiring generalisation: the same closure loop the
+/// Boolean library runs for reachability computes all-pairs shortest paths
+/// over MinPlus and bounded walk counts over PlusTimes.
+#pragma once
+
+#include "core/csr.hpp"
+#include "semiring/valued_csr.hpp"
+
+namespace spbla::semiring {
+
+/// All-pairs shortest paths: the MinPlus closure D+ of a weighted adjacency
+/// matrix (distances over paths with >= 1 edge; absent cell = unreachable).
+/// Converges because min is idempotent and weights are assumed non-negative.
+[[nodiscard]] inline ValuedCsr<MinPlus> apsp(backend::Context& ctx,
+                                             const ValuedCsr<MinPlus>& adj,
+                                             std::size_t* rounds_out = nullptr) {
+    check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
+          "apsp: matrix must be square");
+    ValuedCsr<MinPlus> d = adj;
+    std::size_t rounds = 0;
+    for (;;) {
+        ++rounds;
+        const auto next = ewise_add(ctx, d, multiply(ctx, d, d));
+        if (next == d) break;
+        d = next;
+    }
+    if (rounds_out != nullptr) *rounds_out = rounds;
+    return d;
+}
+
+/// Number of distinct walks of exactly \p length edges between every vertex
+/// pair: adj^length over the counting semiring.
+[[nodiscard]] inline ValuedCsr<PlusTimes> count_walks(backend::Context& ctx,
+                                                      const ValuedCsr<PlusTimes>& adj,
+                                                      Index length) {
+    check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
+          "count_walks: matrix must be square");
+    check(length >= 1, Status::InvalidArgument, "count_walks: length must be >= 1");
+    ValuedCsr<PlusTimes> power = adj;
+    for (Index step = 1; step < length; ++step) {
+        power = multiply(ctx, power, adj);
+    }
+    return power;
+}
+
+/// Lift a Boolean matrix into a semiring matrix: stored cells get weight
+/// \p weight (default: the semiring one).
+template <Semiring S>
+[[nodiscard]] ValuedCsr<S> lift(const CsrMatrix& m,
+                                typename S::Value weight = S::one()) {
+    std::vector<std::tuple<Index, Index, typename S::Value>> triplets;
+    triplets.reserve(m.nnz());
+    for (const auto& c : m.to_coords()) triplets.emplace_back(c.row, c.col, weight);
+    return ValuedCsr<S>::from_triplets(m.nrows(), m.ncols(), std::move(triplets));
+}
+
+/// Dense semiring vector (size == matrix dimension; zero() = "absent").
+template <Semiring S>
+using DenseVector = std::vector<typename S::Value>;
+
+/// y = x A over semiring S: y[j] = add over i of mul(x[i], A(i, j)) — the
+/// frontier push generalised beyond Boolean.
+template <Semiring S>
+[[nodiscard]] DenseVector<S> vxm(backend::Context& ctx, const DenseVector<S>& x,
+                                 const ValuedCsr<S>& a) {
+    check(x.size() == a.nrows(), Status::DimensionMismatch, "semiring vxm");
+    (void)ctx;  // single pass; the row loop is data-dependent on x's support
+    DenseVector<S> y(a.ncols(), S::zero());
+    for (Index i = 0; i < a.nrows(); ++i) {
+        if (x[i] == S::zero()) continue;
+        const auto cols = a.row(i);
+        const auto vals = a.row_vals(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            y[cols[k]] = S::add(y[cols[k]], S::mul(x[i], vals[k]));
+        }
+    }
+    return y;
+}
+
+/// Single-source shortest paths: Bellman-Ford expressed as repeated MinPlus
+/// vxm with self-accumulation (distance vector relaxation to fixpoint).
+[[nodiscard]] inline DenseVector<MinPlus> sssp(backend::Context& ctx,
+                                               const ValuedCsr<MinPlus>& adj,
+                                               Index source) {
+    check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
+          "sssp: matrix must be square");
+    check(source < adj.nrows(), Status::OutOfRange, "sssp: source out of range");
+    DenseVector<MinPlus> dist(adj.nrows(), MinPlus::zero());
+    dist[source] = MinPlus::one();  // 0.0
+    for (;;) {
+        auto relaxed = vxm<MinPlus>(ctx, dist, adj);
+        bool changed = false;
+        for (Index v = 0; v < adj.nrows(); ++v) {
+            const auto next = MinPlus::add(dist[v], relaxed[v]);
+            if (next != dist[v]) {
+                dist[v] = next;
+                changed = true;
+            }
+        }
+        if (!changed) break;
+    }
+    return dist;
+}
+
+}  // namespace spbla::semiring

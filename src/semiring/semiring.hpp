@@ -1,0 +1,70 @@
+/// \file semiring.hpp
+/// \brief Semiring definitions for the generalised kernels.
+///
+/// The paper's conclusion names custom semirings (explicitly Min-Plus) as a
+/// future-work direction for the library. This header defines the semiring
+/// concept the generalised containers/kernels are parameterised over, plus
+/// the three instances the tests and benchmarks use:
+///  - BoolOrAnd   — the library's native semiring, for cross-checking the
+///                  generic path against the specialised kernels,
+///  - MinPlus     — tropical semiring; its matrix closure is all-pairs
+///                  shortest paths,
+///  - PlusTimes   — counting semiring over uint64; powers of the adjacency
+///                  matrix count walks.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace spbla::semiring {
+
+/// A semiring supplies the value type, the two monoid operations and their
+/// identities. `add` must be commutative and associative with identity
+/// `zero()`; `mul` associative with identity `one()` and annihilator
+/// `zero()`. Kernels drop entries equal to `zero()` (sparsity).
+template <class S>
+concept Semiring = requires(typename S::Value a, typename S::Value b) {
+    { S::zero() } -> std::convertible_to<typename S::Value>;
+    { S::one() } -> std::convertible_to<typename S::Value>;
+    { S::add(a, b) } -> std::convertible_to<typename S::Value>;
+    { S::mul(a, b) } -> std::convertible_to<typename S::Value>;
+};
+
+/// The Boolean semiring ({0,1}, or, and). Value is uint8 rather than bool
+/// so the storage is a plain array (std::vector<bool> has no data()).
+struct BoolOrAnd {
+    using Value = std::uint8_t;
+    static constexpr Value zero() noexcept { return 0; }
+    static constexpr Value one() noexcept { return 1; }
+    static constexpr Value add(Value a, Value b) noexcept {
+        return static_cast<Value>(a | b);
+    }
+    static constexpr Value mul(Value a, Value b) noexcept {
+        return static_cast<Value>(a & b);
+    }
+};
+
+/// The tropical semiring (R u {inf}, min, +).
+struct MinPlus {
+    using Value = double;
+    static constexpr Value zero() noexcept {
+        return std::numeric_limits<double>::infinity();
+    }
+    static constexpr Value one() noexcept { return 0.0; }
+    static constexpr Value add(Value a, Value b) noexcept { return std::min(a, b); }
+    static constexpr Value mul(Value a, Value b) noexcept { return a + b; }
+};
+
+/// The counting semiring (N, +, x) over uint64 (wraps on overflow, which is
+/// fine for bounded-length walk counting).
+struct PlusTimes {
+    using Value = std::uint64_t;
+    static constexpr Value zero() noexcept { return 0; }
+    static constexpr Value one() noexcept { return 1; }
+    static constexpr Value add(Value a, Value b) noexcept { return a + b; }
+    static constexpr Value mul(Value a, Value b) noexcept { return a * b; }
+};
+
+}  // namespace spbla::semiring

@@ -1,0 +1,31 @@
+/// \file bit_ops.hpp
+/// \brief Small bit-manipulation helpers shared across kernels.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace spbla::util {
+
+/// Round \p x up to the next power of two. next_pow2(0) == 1.
+[[nodiscard]] constexpr std::uint32_t next_pow2(std::uint32_t x) noexcept {
+    return x <= 1 ? 1u : std::bit_ceil(x);
+}
+
+/// Round \p x up to the next power of two (64-bit).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+    return x <= 1 ? 1u : std::bit_ceil(x);
+}
+
+/// Integer ceiling division; \p b must be non-zero.
+[[nodiscard]] constexpr std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+    return (a + b - 1) / b;
+}
+
+/// True iff \p x is a power of two (and non-zero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace spbla::util

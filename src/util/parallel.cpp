@@ -1,0 +1,53 @@
+#include "util/parallel.hpp"
+
+#include "util/bit_ops.hpp"
+
+namespace spbla::util {
+
+void parallel_for_chunks(ThreadPool* pool, std::size_t n, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    const std::size_t workers = pool ? pool->size() : 1;
+    const std::size_t max_chunks = workers * 4;
+    std::size_t chunk = grain;
+    if (ceil_div(n, chunk) > max_chunks) chunk = ceil_div(n, max_chunks);
+    if (pool == nullptr || workers == 1 || n <= chunk) {
+        body(0, n);
+        return;
+    }
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+        const std::size_t end = begin + chunk < n ? begin + chunk : n;
+        pool->submit([&body, begin, end] { body(begin, end); });
+    }
+    pool->wait_idle();
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+    parallel_for_chunks(pool, n, grain, [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+}
+
+std::uint64_t exclusive_scan(std::vector<std::uint32_t>& data) {
+    std::uint64_t sum = 0;
+    for (auto& v : data) {
+        const std::uint64_t next = sum + v;
+        v = static_cast<std::uint32_t>(sum);
+        sum = next;
+    }
+    return sum;
+}
+
+std::uint64_t exclusive_scan(std::vector<std::uint64_t>& data) {
+    std::uint64_t sum = 0;
+    for (auto& v : data) {
+        const std::uint64_t next = sum + v;
+        v = sum;
+        sum = next;
+    }
+    return sum;
+}
+
+}  // namespace spbla::util

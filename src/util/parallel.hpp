@@ -1,0 +1,37 @@
+/// \file parallel.hpp
+/// \brief Data-parallel primitives (the "kernel launch" surface).
+///
+/// These functions are the reproduction's analog of CUDA grid launches and
+/// Thrust algorithms used by cuBool: parallel_for replaces a one-thread-per-
+/// row kernel, exclusive_scan replaces thrust::exclusive_scan. A null pool or
+/// a single-worker pool degrades to plain sequential loops, which stands in
+/// for SPbLA's CPU fallback backend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace spbla::util {
+
+/// Partition [0, n) into contiguous chunks of at least \p grain elements and
+/// run \p body(begin, end) on each chunk via \p pool. Blocks until complete.
+/// With pool == nullptr the body runs once on the full range.
+void parallel_for_chunks(ThreadPool* pool, std::size_t n, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Element-wise parallel loop: runs \p body(i) for every i in [0, n).
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+
+/// In-place exclusive prefix sum over \p data; returns the total sum.
+/// data[i] becomes sum of original data[0..i). Mirrors thrust::exclusive_scan.
+std::uint64_t exclusive_scan(std::vector<std::uint32_t>& data);
+
+/// Exclusive prefix sum of 64-bit counters.
+std::uint64_t exclusive_scan(std::vector<std::uint64_t>& data);
+
+}  // namespace spbla::util

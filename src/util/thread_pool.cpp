@@ -1,0 +1,59 @@
+#include "util/thread_pool.hpp"
+
+#include <utility>
+
+namespace spbla::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0) num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    cv_job_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    {
+        std::lock_guard lock(mutex_);
+        jobs_.push(std::move(job));
+        ++in_flight_;
+    }
+    cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock lock(mutex_);
+            cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            if (stop_ && jobs_.empty()) return;
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+        {
+            std::lock_guard lock(mutex_);
+            if (--in_flight_ == 0) cv_idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace spbla::util

@@ -1,0 +1,57 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool backing the simulated GPU device.
+///
+/// The original SPbLA executes kernels on CUDA/OpenCL devices. In this
+/// reproduction the "device" is a shared-memory thread pool: a kernel launch
+/// becomes a blocking fan-out of index ranges over workers. The pool is
+/// deliberately simple (mutex + condvar queue) — kernel granularity in the
+/// library is coarse enough that queue overhead is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spbla::util {
+
+/// A fixed pool of worker threads executing submitted jobs FIFO.
+///
+/// Thread-safe. Jobs must not throw; exceptions escaping a job terminate the
+/// process (kernels report failures through status codes, mirroring how CUDA
+/// kernels cannot throw across the launch boundary).
+class ThreadPool {
+public:
+    /// Create a pool with \p num_threads workers (0 → hardware concurrency).
+    explicit ThreadPool(std::size_t num_threads = 0);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool();
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue \p job for asynchronous execution.
+    void submit(std::function<void()> job);
+
+    /// Block until every submitted job has finished executing.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable cv_job_;
+    std::condition_variable cv_idle_;
+    std::size_t in_flight_{0};
+    bool stop_{false};
+};
+
+}  // namespace spbla::util

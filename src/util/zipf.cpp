@@ -1,0 +1,25 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spbla::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+    cdf_.resize(n == 0 ? 1 : n);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < cdf_.size(); ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                     : it - cdf_.begin());
+}
+
+}  // namespace spbla::util

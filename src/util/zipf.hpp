@@ -1,0 +1,34 @@
+/// \file zipf.hpp
+/// \brief Zipf-distributed integer sampler.
+///
+/// Real RDF graphs have heavily skewed relation-frequency distributions;
+/// the synthetic dataset generators use a Zipf law to reproduce that skew
+/// (the most frequent relations dominate, which is what makes the paper's
+/// "most frequent relations were used as symbols in the query template"
+/// methodology meaningful).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spbla::util {
+
+/// Samples integers in [0, n) with P(k) proportional to 1/(k+1)^s.
+class ZipfSampler {
+public:
+    /// \p n number of distinct values, \p s skew exponent (s=0 → uniform).
+    ZipfSampler(std::size_t n, double s);
+
+    /// Draw one sample using \p rng.
+    [[nodiscard]] std::size_t operator()(Rng& rng) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;  // normalized cumulative distribution
+};
+
+}  // namespace spbla::util

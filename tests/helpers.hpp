@@ -1,0 +1,55 @@
+/// \file helpers.hpp
+/// \brief Shared utilities for the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/context.hpp"
+#include "core/convert.hpp"
+#include "core/coo.hpp"
+#include "core/csr.hpp"
+#include "core/dense.hpp"
+#include "core/spvector.hpp"
+#include "util/rng.hpp"
+
+namespace spbla::testing {
+
+/// Shared parallel context for the whole test binary.
+inline backend::Context& ctx() {
+    static backend::Context instance{backend::Policy::Parallel};
+    return instance;
+}
+
+/// Shared sequential context (the CPU-fallback backend path).
+inline backend::Context& seq_ctx() {
+    static backend::Context instance{backend::Policy::Sequential};
+    return instance;
+}
+
+/// Random Boolean matrix with ~density fraction of cells set.
+inline CsrMatrix random_csr(Index nrows, Index ncols, double density,
+                            std::uint64_t seed) {
+    util::Rng rng{seed};
+    std::vector<Coord> coords;
+    const auto target = static_cast<std::size_t>(
+        density * static_cast<double>(nrows) * static_cast<double>(ncols));
+    for (std::size_t k = 0; k < target; ++k) {
+        coords.push_back({static_cast<Index>(rng.below(nrows)),
+                          static_cast<Index>(rng.below(ncols))});
+    }
+    return CsrMatrix::from_coords(nrows, ncols, std::move(coords));
+}
+
+/// Random word over an alphabet of labels.
+inline std::vector<std::string> random_word(const std::vector<std::string>& alphabet,
+                                            std::size_t length, util::Rng& rng) {
+    std::vector<std::string> word;
+    word.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        word.push_back(alphabet[rng.below(alphabet.size())]);
+    }
+    return word;
+}
+
+}  // namespace spbla::testing

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "rpq/dfa.hpp"
+#include "rpq/nfa.hpp"
+#include "rpq/query_templates.hpp"
+#include "rpq/regex.hpp"
+
+namespace spbla::rpq {
+namespace {
+
+using util::Rng;
+
+TEST(Glushkov, SymbolAutomatonShape) {
+    const auto nfa = glushkov(*parse("a"));
+    EXPECT_EQ(nfa.num_states, 2u);  // initial + one position
+    EXPECT_FALSE(nfa.accepting[nfa.start]);
+    EXPECT_TRUE(nfa.accepts(std::vector<std::string>{"a"}));
+    EXPECT_FALSE(nfa.accepts(std::vector<std::string>{"b"}));
+    EXPECT_FALSE(nfa.accepts({}));
+}
+
+TEST(Glushkov, EpsilonFreeByConstruction) {
+    const auto nfa = glushkov(*parse("(a | eps) b*"));
+    EXPECT_FALSE(nfa.delta.contains("eps"));
+    EXPECT_TRUE(nfa.accepts({}));
+}
+
+TEST(Glushkov, StateCountIsPositionsPlusOne) {
+    // Glushkov automata have exactly one state per symbol occurrence + 1.
+    EXPECT_EQ(glushkov(*parse("a b c")).num_states, 4u);
+    EXPECT_EQ(glushkov(*parse("(a | a)* a")).num_states, 4u);
+}
+
+TEST(Glushkov, MatrixViewMatchesDelta) {
+    const auto nfa = glushkov(*parse("a b"));
+    const auto ma = nfa.matrix("a");
+    EXPECT_EQ(ma.nrows(), nfa.num_states);
+    EXPECT_EQ(ma.nnz(), nfa.delta.at("a").size());
+    EXPECT_EQ(nfa.matrix("zz").nnz(), 0u);
+}
+
+TEST(Determinize, ProducesDeterministicMoves) {
+    const auto dfa = determinize(glushkov(*parse("(a | b)* a")));
+    for (const auto& [symbol, edges] : dfa.delta) {
+        std::set<Index> froms;
+        for (const auto& [from, to] : edges) {
+            EXPECT_TRUE(froms.insert(from).second)
+                << "two " << symbol << " moves from state " << from;
+        }
+    }
+}
+
+TEST(Minimize, ClassicSuffixLanguage) {
+    // (a|b)* a (a|b): minimal DFA has 4 states.
+    const auto dfa = minimize(determinize(glushkov(*parse("(a | b)* a (a | b)"))));
+    EXPECT_EQ(dfa.num_states, 4u);
+}
+
+TEST(Minimize, EmptyLanguageCollapses) {
+    const auto dfa = minimize(determinize(glushkov(*rpq::empty())));
+    EXPECT_EQ(dfa.num_states, 1u);
+    EXPECT_FALSE(dfa.accepts({}));
+    EXPECT_FALSE(dfa.accepts(std::vector<std::string>{"a"}));
+}
+
+TEST(Minimize, NeverGrows) {
+    for (const auto* text : {"a*", "(a | b)+", "a b c", "(a b)* | (c d)*"}) {
+        const auto big = determinize(glushkov(*parse(text)));
+        const auto small = minimize(big);
+        EXPECT_LE(small.num_states, big.num_states) << text;
+    }
+}
+
+TEST(CompileQuery, EndToEnd) {
+    const auto dfa = compile_query("a b* c");
+    EXPECT_TRUE(dfa.accepts(std::vector<std::string>{"a", "c"}));
+    EXPECT_TRUE(dfa.accepts(std::vector<std::string>{"a", "b", "b", "c"}));
+    EXPECT_FALSE(dfa.accepts(std::vector<std::string>{"a", "b"}));
+}
+
+/// The central property: regex, Glushkov NFA, raw DFA and minimal DFA agree
+/// with the reference matcher on random words, for every Table II template.
+class PipelineAgreement : public ::testing::TestWithParam<QueryTemplate> {};
+
+TEST_P(PipelineAgreement, AllRepresentationsAcceptTheSameWords) {
+    const auto& tpl = GetParam();
+    const std::vector<std::string> alphabet{"a", "b", "c", "d", "e", "f"};
+    const auto re = tpl.instantiate(alphabet);
+    const auto nfa = glushkov(*re);
+    const auto dfa = determinize(nfa);
+    const auto min = minimize(dfa);
+
+    Rng rng{static_cast<std::uint64_t>(std::hash<std::string>{}(tpl.name))};
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto len = rng.below(8);
+        const auto w = spbla::testing::random_word(alphabet, len, rng);
+        const bool expected = matches(*re, w);
+        ASSERT_EQ(nfa.accepts(w), expected) << tpl.name << " NFA";
+        ASSERT_EQ(dfa.accepts(w), expected) << tpl.name << " DFA";
+        ASSERT_EQ(min.accepts(w), expected) << tpl.name << " minimal DFA";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, PipelineAgreement,
+                         ::testing::ValuesIn(table2_templates()),
+                         [](const ::testing::TestParamInfo<QueryTemplate>& info) {
+                             std::string name = info.param.name;
+                             for (auto& c : name) {
+                                 if (c == '^') c = '_';
+                             }
+                             return name;
+                         });
+
+TEST(Templates, TableHasTwentyEightRows) {
+    EXPECT_EQ(table2_templates().size(), 28u);
+}
+
+TEST(Templates, LookupByName) {
+    EXPECT_EQ(template_by_name("Q14").text, "(a b (c d)*)+ (e | f)*");
+    EXPECT_THROW((void)template_by_name("Q99"), Error);
+}
+
+TEST(Templates, InstantiationSubstitutesLabels) {
+    const auto re = template_by_name("Q11^2").instantiate({"works", "likes"});
+    EXPECT_TRUE(matches(*re, std::vector<std::string>{"works", "likes"}));
+    EXPECT_FALSE(matches(*re, std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Templates, TooFewLabelsRejected) {
+    EXPECT_THROW((void)template_by_name("Q14").instantiate({"x"}), Error);
+}
+
+}  // namespace
+}  // namespace spbla::rpq

@@ -1,0 +1,122 @@
+/// \file test_coo_backend.cpp
+/// \brief The clBool-style COO backend must agree with the cuBool-style CSR
+/// backend on every operation of the paper's list.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "helpers.hpp"
+#include "ops/ops.hpp"
+
+namespace spbla {
+namespace {
+
+using testing::ctx;
+using testing::random_csr;
+
+TEST(CooMultiply, AgreesWithCsrKernel) {
+    for (const auto seed : {1, 2, 3}) {
+        const auto a = random_csr(40, 50, 0.1, seed);
+        const auto b = random_csr(50, 30, 0.1, seed + 10);
+        const auto coo_result = ops::multiply(ctx(), to_coo(a), to_coo(b));
+        coo_result.validate();
+        EXPECT_EQ(to_csr(coo_result), ops::multiply(ctx(), a, b)) << seed;
+    }
+}
+
+TEST(CooMultiply, EmptyAndShapeChecks) {
+    const CooMatrix a{3, 4}, b{4, 5};
+    const auto c = ops::multiply(ctx(), a, b);
+    EXPECT_EQ(c.nrows(), 3u);
+    EXPECT_EQ(c.ncols(), 5u);
+    EXPECT_EQ(c.nnz(), 0u);
+    const CooMatrix bad{5, 5};
+    EXPECT_THROW((void)ops::multiply(ctx(), a, bad), Error);
+}
+
+TEST(CooMultiply, DeduplicatesPartialProducts) {
+    // Two middle vertices produce the same output cell exactly once.
+    const auto a = CooMatrix::from_coords(2, 3, {{0, 0}, {0, 1}});
+    const auto b = CooMatrix::from_coords(3, 2, {{0, 1}, {1, 1}});
+    const auto c = ops::multiply(ctx(), a, b);
+    EXPECT_EQ(c.nnz(), 1u);
+    EXPECT_TRUE(c.get(0, 1));
+}
+
+TEST(CooMultiply, ExpansionBufferIsTracked) {
+    backend::Context local{backend::Policy::Sequential};
+    const auto a = to_coo(random_csr(20, 20, 0.3, 5));
+    (void)ops::multiply(local, a, a);
+    EXPECT_EQ(local.tracker().current_bytes(), 0u);
+    EXPECT_GT(local.tracker().peak_bytes(), 0u);
+}
+
+TEST(CooTranspose, AgreesWithCsrKernel) {
+    const auto m = random_csr(25, 35, 0.15, 6);
+    const auto t = ops::transpose(ctx(), to_coo(m));
+    t.validate();
+    EXPECT_EQ(to_csr(t), ops::transpose(ctx(), m));
+}
+
+TEST(CooTranspose, Involution) {
+    const auto m = to_coo(random_csr(20, 20, 0.2, 7));
+    EXPECT_EQ(ops::transpose(ctx(), ops::transpose(ctx(), m)), m);
+}
+
+TEST(CooSubmatrix, AgreesWithCsrKernel) {
+    const auto m = random_csr(30, 30, 0.2, 8);
+    const auto s = ops::submatrix(ctx(), to_coo(m), 5, 7, 12, 9);
+    s.validate();
+    EXPECT_EQ(to_csr(s), ops::submatrix(ctx(), m, 5, 7, 12, 9));
+}
+
+TEST(CooSubmatrix, WindowChecks) {
+    const auto m = to_coo(random_csr(10, 10, 0.2, 9));
+    EXPECT_THROW((void)ops::submatrix(ctx(), m, 5, 5, 6, 5), Error);
+    EXPECT_EQ(ops::submatrix(ctx(), m, 0, 0, 10, 10), m);
+}
+
+TEST(CooReduce, AgreesWithCsrKernel) {
+    const auto m = random_csr(40, 40, 0.08, 10);
+    EXPECT_EQ(ops::reduce_to_column(ctx(), to_coo(m)),
+              ops::reduce_to_column(ctx(), m));
+}
+
+TEST(CooReduce, EmptyMatrix) {
+    EXPECT_EQ(ops::reduce_to_column(ctx(), CooMatrix{5, 5}).nnz(), 0u);
+}
+
+/// The backend-parity property, swept across shapes and densities: CSR and
+/// COO pipelines compute identical algebra.
+struct ParityCase {
+    Index m, k, n;
+    double density;
+    std::uint64_t seed;
+};
+
+class CooParitySweep : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(CooParitySweep, FullExpressionParity) {
+    const auto p = GetParam();
+    const auto a = random_csr(p.m, p.k, p.density, p.seed);
+    const auto b = random_csr(p.k, p.n, p.density, p.seed + 1);
+    const auto c = random_csr(p.m, p.n, p.density, p.seed + 2);
+
+    // (C | A*B)^T computed entirely in each backend.
+    const auto csr_expr = ops::transpose(
+        ctx(), ops::ewise_add(ctx(), c, ops::multiply(ctx(), a, b)));
+    const auto coo_expr = ops::transpose(
+        ctx(),
+        ops::ewise_add(ctx(), to_coo(c), ops::multiply(ctx(), to_coo(a), to_coo(b))));
+    EXPECT_EQ(to_csr(coo_expr), csr_expr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CooParitySweep,
+    ::testing::Values(ParityCase{1, 1, 1, 1.0, 1}, ParityCase{16, 16, 16, 0.2, 2},
+                      ParityCase{50, 10, 50, 0.1, 3}, ParityCase{10, 50, 10, 0.3, 4},
+                      ParityCase{64, 64, 64, 0.05, 5},
+                      ParityCase{33, 77, 21, 0.15, 6}));
+
+}  // namespace
+}  // namespace spbla

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "data/io.hpp"
+#include "data/kernel_alias.hpp"
+#include "data/labeled_graph.hpp"
+#include "data/lubm.hpp"
+#include "data/rdflike.hpp"
+#include "data/rmat.hpp"
+#include "data/worstcase.hpp"
+#include "helpers.hpp"
+
+namespace spbla::data {
+namespace {
+
+TEST(LabeledGraph, FromEdgesGroupsByLabel) {
+    const auto g = LabeledGraph::from_edges(
+        4, {{0, "a", 1}, {1, "b", 2}, {0, "a", 2}, {0, "a", 1}});
+    EXPECT_EQ(g.num_vertices(), 4u);
+    EXPECT_EQ(g.num_edges(), 3u);  // duplicate (0,a,1) collapses
+    EXPECT_EQ(g.label_count("a"), 2u);
+    EXPECT_EQ(g.label_count("b"), 1u);
+    EXPECT_EQ(g.label_count("missing"), 0u);
+    EXPECT_EQ(g.labels(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LabeledGraph, MissingLabelGivesZeroMatrix) {
+    const auto g = LabeledGraph::from_edges(3, {{0, "a", 1}});
+    const auto& zero = g.matrix("nothere");
+    EXPECT_EQ(zero.nrows(), 3u);
+    EXPECT_EQ(zero.nnz(), 0u);
+    EXPECT_FALSE(g.has_label("nothere"));
+}
+
+TEST(LabeledGraph, OutOfRangeVertexRejected) {
+    EXPECT_THROW(LabeledGraph::from_edges(2, {{0, "a", 2}}), Error);
+}
+
+TEST(LabeledGraph, FrequencyOrderIsDescending) {
+    const auto g = LabeledGraph::from_edges(
+        5, {{0, "x", 1}, {1, "x", 2}, {2, "x", 3}, {0, "y", 1}, {1, "y", 2}, {0, "z", 1}});
+    EXPECT_EQ(g.labels_by_frequency(), (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(LabeledGraph, InverseLabelsAreTransposes) {
+    auto g = LabeledGraph::from_edges(4, {{0, "a", 1}, {2, "a", 3}});
+    g.add_inverse_labels();
+    EXPECT_TRUE(g.has_label("a_r"));
+    EXPECT_TRUE(g.matrix("a_r").get(1, 0));
+    EXPECT_TRUE(g.matrix("a_r").get(3, 2));
+    EXPECT_EQ(g.matrix("a_r").nnz(), 2u);
+}
+
+TEST(LabeledGraph, UnionMatrixMergesAllLabels) {
+    const auto g = LabeledGraph::from_edges(3, {{0, "a", 1}, {0, "b", 1}, {1, "b", 2}});
+    const auto u = g.union_matrix();
+    EXPECT_EQ(u.nnz(), 2u);  // (0,1) shared between labels
+    EXPECT_TRUE(u.get(0, 1));
+    EXPECT_TRUE(u.get(1, 2));
+}
+
+TEST(Lubm, DeterministicAndScalable) {
+    const auto small = make_lubm(2);
+    const auto same = make_lubm(2);
+    EXPECT_EQ(small.num_vertices(), same.num_vertices());
+    EXPECT_EQ(small.num_edges(), same.num_edges());
+
+    const auto big = make_lubm(8);
+    // Vertices scale linearly with university count.
+    EXPECT_GT(big.num_vertices(), 3 * small.num_vertices());
+    EXPECT_GT(big.num_edges(), 3 * small.num_edges());
+}
+
+TEST(Lubm, HasTheBenchmarkLabels) {
+    const auto g = make_lubm(3);
+    for (const auto* label :
+         {"subOrganizationOf", "memberOf", "takesCourse", "worksFor", "type",
+          "subClassOf", "teacherOf", "undergraduateDegreeFrom"}) {
+        EXPECT_TRUE(g.has_label(label)) << label;
+    }
+}
+
+TEST(Lubm, DensityMatchesRealBenchmark) {
+    // LUBM has ~4 edges per vertex; the generator must stay in that regime
+    // so the scaling figures are comparable.
+    const auto g = make_lubm(10);
+    const double ratio = static_cast<double>(g.num_edges()) /
+                         static_cast<double>(g.num_vertices());
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Geospecies, HasDeepBroaderTransitiveChains) {
+    const auto g = make_geospecies(500, 24);
+    EXPECT_TRUE(g.has_label("broaderTransitive"));
+    // Follow parent pointers from the guaranteed spine leaf.
+    const auto& bt = g.matrix("broaderTransitive");
+    Index v = 24, depth = 0;
+    while (bt.row_nnz(v) > 0) {
+        v = bt.row(v)[0];
+        ++depth;
+    }
+    EXPECT_EQ(depth, 24u);
+}
+
+TEST(Taxonomy, SubClassOfAndTypeDominate) {
+    const auto g = make_taxonomy(1000, 2);
+    EXPECT_GT(g.label_count("subClassOf"), 900u);
+    EXPECT_GT(g.label_count("type"), 1500u);
+}
+
+TEST(PropertyGraph, LabelFrequenciesAreSkewed) {
+    const auto g = make_property_graph(2000, 20, 3.0);
+    const auto labels = g.labels_by_frequency();
+    ASSERT_GE(labels.size(), 3u);
+    EXPECT_GT(g.label_count(labels[0]), 2 * g.label_count(labels[labels.size() / 2]));
+}
+
+TEST(Ontology, InstanceFractionControlsTypeEdges) {
+    const auto pure = make_ontology(500, 0.0);
+    EXPECT_EQ(pure.label_count("type"), 0u);
+    const auto mixed = make_ontology(500, 2.0);
+    EXPECT_GT(mixed.label_count("type"), 900u);
+}
+
+TEST(KernelAlias, RatiosMatchTableThree) {
+    const auto g = make_alias_graph(2000);
+    const auto a = g.label_count("a");
+    const auto d = g.label_count("d");
+    EXPECT_GT(a, 0u);
+    EXPECT_GT(d, 0u);
+    // Table III: d edges outnumber a edges roughly 3.4:1.
+    const double ratio = static_cast<double>(d) / static_cast<double>(a);
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 5.0);
+    // Inverses present for the MA grammar.
+    EXPECT_EQ(g.label_count("a_r"), a);
+    EXPECT_EQ(g.label_count("d_r"), d);
+}
+
+TEST(Rmat, ShapeAndEdgeBudget) {
+    const auto m = make_rmat(8, 4);
+    EXPECT_EQ(m.nrows(), 256u);
+    EXPECT_EQ(m.ncols(), 256u);
+    EXPECT_LE(m.nnz(), 4u * 256u);
+    EXPECT_GT(m.nnz(), 256u);  // collisions exist but not that many
+    m.validate();
+}
+
+TEST(Rmat, SkewProducesHubs) {
+    const auto m = make_rmat(10, 8);
+    Index max_row = 0;
+    for (Index r = 0; r < m.nrows(); ++r) max_row = std::max(max_row, m.row_nnz(r));
+    const double avg = static_cast<double>(m.nnz()) / m.nrows();
+    EXPECT_GT(max_row, 4 * avg);  // power-law hubs
+}
+
+TEST(Rmat, BadParametersRejected) {
+    EXPECT_THROW((void)make_rmat(0, 4), Error);
+    EXPECT_THROW((void)make_rmat(8, 4, 1, 0.5, 0.5, 0.5), Error);
+}
+
+TEST(Uniform, DensityIsApproximate) {
+    const auto m = make_uniform(100, 100, 0.1);
+    EXPECT_NEAR(static_cast<double>(m.nnz()), 1000.0, 150.0);
+}
+
+TEST(Worstcase, TwoCyclesStructure) {
+    const auto g = make_two_cycles(4, 3);
+    EXPECT_EQ(g.num_vertices(), 6u);
+    EXPECT_EQ(g.label_count("a"), 4u);
+    EXPECT_EQ(g.label_count("b"), 3u);
+    // Both cycles pass through vertex 0.
+    EXPECT_TRUE(g.matrix("a").get(3, 0));
+    EXPECT_TRUE(g.matrix("b").get(5, 0));
+}
+
+TEST(Worstcase, BipartiteIsComplete) {
+    const auto g = make_bipartite(3, 4);
+    EXPECT_EQ(g.label_count("a"), 12u);
+}
+
+TEST(Io, RoundTripThroughText) {
+    auto g = make_lubm(2);
+    g.add_inverse_labels();
+    std::stringstream ss;
+    save_triples(ss, g);
+    const auto loaded = load_triples(ss);
+    EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+    EXPECT_EQ(loaded.num_edges(), g.num_edges());
+    for (const auto& label : g.labels()) {
+        EXPECT_EQ(loaded.matrix(label), g.matrix(label)) << label;
+    }
+}
+
+TEST(Io, MalformedInputRejected) {
+    std::stringstream empty{""};
+    EXPECT_THROW((void)load_triples(empty), Error);
+    std::stringstream bad{"5\nnot_a_number edge 3\n"};
+    EXPECT_THROW((void)load_triples(bad), Error);
+}
+
+TEST(Io, FileRoundTrip) {
+    const auto g = make_cycle(5);
+    const std::string path = ::testing::TempDir() + "/spbla_io_test.triples";
+    save_triples_file(path, g);
+    const auto loaded = load_triples_file(path);
+    EXPECT_EQ(loaded.matrix("a"), g.matrix("a"));
+}
+
+TEST(Io, MissingFileThrows) {
+    EXPECT_THROW((void)load_triples_file("/nonexistent/path/x.triples"), Error);
+}
+
+}  // namespace
+}  // namespace spbla::data

@@ -1,0 +1,154 @@
+/// \file test_edge_cases.cpp
+/// \brief Degenerate and adversarial inputs across the whole stack:
+/// empty graphs, empty languages, single-vertex graphs, queries over
+/// absent labels, self loops, maximal-density matrices.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algorithms/closure.hpp"
+#include "cfpq/azimov.hpp"
+#include "cfpq/cyk.hpp"
+#include "cfpq/queries.hpp"
+#include "cfpq/tensor.hpp"
+#include "cfpq/worklist.hpp"
+#include "data/worstcase.hpp"
+#include "helpers.hpp"
+#include "ops/ops.hpp"
+#include "rpq/engine.hpp"
+
+namespace spbla {
+namespace {
+
+using testing::ctx;
+
+TEST(EdgeCases, SingleVertexGraphEverywhere) {
+    const auto g = data::LabeledGraph::from_edges(1, {{0, "a", 0}});  // self loop
+    // RPQ: a+ from the loop reaches (0,0).
+    EXPECT_TRUE(rpq::evaluate(ctx(), g, rpq::compile_query("a+")).get(0, 0));
+    EXPECT_TRUE(rpq::evaluate_from(ctx(), g, rpq::compile_query("a+"), 0).get(0));
+    // CFPQ: S -> a S | a.
+    const auto grammar = cfpq::Grammar::parse("S -> a S | a\n");
+    EXPECT_TRUE(cfpq::azimov_cfpq(ctx(), g, grammar).reachable().get(0, 0));
+    EXPECT_TRUE(cfpq::tensor_cfpq(ctx(), g, grammar).reachable(grammar).get(0, 0));
+    EXPECT_TRUE(cfpq::worklist_cfpq(g, grammar).get(0, 0));
+}
+
+TEST(EdgeCases, EdgelessGraph) {
+    const data::LabeledGraph g{16};
+    EXPECT_EQ(rpq::evaluate(ctx(), g, rpq::compile_query("a b*")).nnz(), 0u);
+    // Nullable query still matches every vertex trivially.
+    EXPECT_EQ(rpq::evaluate(ctx(), g, rpq::compile_query("a*")).nnz(), 16u);
+    const auto grammar = cfpq::Grammar::parse("S -> a S b | a b\n");
+    EXPECT_EQ(cfpq::azimov_cfpq(ctx(), g, grammar).reachable().nnz(), 0u);
+    EXPECT_EQ(cfpq::tensor_cfpq(ctx(), g, grammar).reachable(grammar).nnz(), 0u);
+}
+
+TEST(EdgeCases, QueryOverAbsentLabels) {
+    const auto g = data::make_path(5, "walk");
+    EXPECT_EQ(rpq::evaluate(ctx(), g, rpq::compile_query("fly+")).nnz(), 0u);
+    const auto grammar = cfpq::Grammar::parse("S -> fly S | fly\n");
+    EXPECT_EQ(cfpq::azimov_cfpq(ctx(), g, grammar).reachable().nnz(), 0u);
+    EXPECT_EQ(cfpq::tensor_cfpq(ctx(), g, grammar).reachable(grammar).nnz(), 0u);
+    EXPECT_EQ(cfpq::worklist_cfpq(g, grammar).nnz(), 0u);
+}
+
+TEST(EdgeCases, EpsilonOnlyGrammar) {
+    const auto g = data::make_path(4);
+    const auto grammar = cfpq::Grammar::parse("S -> eps\n");
+    const auto mtx = cfpq::azimov_cfpq(ctx(), g, grammar).reachable();
+    EXPECT_EQ(mtx, CsrMatrix::identity(4));
+    EXPECT_EQ(cfpq::tensor_cfpq(ctx(), g, grammar).reachable(grammar),
+              CsrMatrix::identity(4));
+    EXPECT_TRUE(cfpq::accepts(grammar, {}));
+    EXPECT_FALSE(cfpq::accepts(grammar, std::vector<std::string>{"a"}));
+}
+
+TEST(EdgeCases, SelfLoopSaturatesStarQueries) {
+    // A vertex with a self loop makes a* reach everything downstream at
+    // every power.
+    const auto g = data::LabeledGraph::from_edges(
+        3, {{0, "a", 0}, {0, "a", 1}, {1, "a", 2}});
+    const auto reach = rpq::evaluate(ctx(), g, rpq::compile_query("a+"));
+    EXPECT_TRUE(reach.get(0, 0));
+    EXPECT_TRUE(reach.get(0, 2));
+    EXPECT_FALSE(reach.get(2, 0));
+}
+
+TEST(EdgeCases, FullDensityMatrixOps) {
+    // All-ones square matrix: every op has a closed-form result.
+    std::vector<Coord> coords;
+    for (Index i = 0; i < 20; ++i) {
+        for (Index j = 0; j < 20; ++j) coords.push_back({i, j});
+    }
+    const auto full = CsrMatrix::from_coords(20, 20, std::move(coords));
+    EXPECT_EQ(ops::multiply(ctx(), full, full), full);
+    EXPECT_EQ(ops::ewise_add(ctx(), full, full), full);
+    EXPECT_EQ(ops::ewise_mult(ctx(), full, full), full);
+    EXPECT_EQ(ops::ewise_diff(ctx(), full, full).nnz(), 0u);
+    EXPECT_EQ(ops::transpose(ctx(), full), full);
+    EXPECT_EQ(algorithms::transitive_closure(ctx(), full), full);
+}
+
+TEST(EdgeCases, OneByOneMatrices) {
+    const auto set = CsrMatrix::from_coords(1, 1, {{0, 0}});
+    const CsrMatrix empty{1, 1};
+    EXPECT_EQ(ops::multiply(ctx(), set, set), set);
+    EXPECT_EQ(ops::multiply(ctx(), set, empty).nnz(), 0u);
+    EXPECT_EQ(ops::kronecker(ctx(), set, set), set);
+    EXPECT_EQ(ops::kronecker(ctx(), set, empty).nnz(), 0u);
+    EXPECT_EQ(ops::transpose(ctx(), set), set);
+}
+
+TEST(EdgeCases, ZeroDimensionMatrices) {
+    const CsrMatrix zero_rows{0, 5};
+    const CsrMatrix zero_all{0, 0};
+    EXPECT_EQ(ops::transpose(ctx(), zero_rows).nrows(), 5u);
+    EXPECT_EQ(ops::transpose(ctx(), zero_rows).nnz(), 0u);
+    EXPECT_EQ(ops::ewise_add(ctx(), zero_all, zero_all).nnz(), 0u);
+    const CsrMatrix a{5, 0}, b{0, 7};
+    const auto c = ops::multiply(ctx(), a, b);
+    EXPECT_EQ(c.nrows(), 5u);
+    EXPECT_EQ(c.ncols(), 7u);
+    EXPECT_EQ(c.nnz(), 0u);
+}
+
+TEST(EdgeCases, GrammarWithUnproductiveNonterminal) {
+    // U derives nothing; rules through U contribute no answers but must not
+    // break any algorithm.
+    const auto g = data::make_path(4);
+    const auto grammar = cfpq::Grammar::parse("S -> a | U b\nU -> U a\n");
+    const auto ref = cfpq::worklist_cfpq(g, grammar);
+    EXPECT_EQ(ref.nnz(), 3u);  // just the a-edges
+    EXPECT_EQ(cfpq::azimov_cfpq(ctx(), g, grammar).reachable(), ref);
+    EXPECT_EQ(cfpq::tensor_cfpq(ctx(), g, grammar).reachable(grammar), ref);
+}
+
+TEST(EdgeCases, DeeplyNestedRegexCompiles) {
+    std::string text = "a";
+    for (int depth = 0; depth < 40; ++depth) text = "(" + text + ")*";
+    const auto q = rpq::compile_query(text);
+    EXPECT_TRUE(q.accepts(std::vector<std::string>{"a", "a"}));
+    EXPECT_TRUE(q.accepts({}));
+}
+
+TEST(EdgeCases, LongCykWord) {
+    const auto grammar = cfpq::Grammar::parse("S -> a S b | a b\n");
+    const auto cnf = cfpq::to_cnf(grammar);
+    std::vector<std::string> word;
+    for (int i = 0; i < 24; ++i) word.push_back("a");
+    for (int i = 0; i < 24; ++i) word.push_back("b");
+    EXPECT_TRUE(cfpq::cyk_accepts(cnf, word));
+    word.push_back("b");
+    EXPECT_FALSE(cfpq::cyk_accepts(cnf, word));
+}
+
+TEST(EdgeCases, KroneckerOverflowDetected) {
+    // 2^17 x 2^17 operands would overflow the 32-bit index space.
+    const CsrMatrix big{1u << 17, 1u << 17};
+    EXPECT_THROW((void)ops::kronecker(ctx(), big, big), Error);
+}
+
+}  // namespace
+}  // namespace spbla

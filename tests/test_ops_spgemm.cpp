@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "helpers.hpp"
+#include "ops/ewise_add.hpp"
+#include "ops/spgemm.hpp"
+
+namespace spbla {
+namespace {
+
+using testing::ctx;
+using testing::random_csr;
+using testing::seq_ctx;
+
+CsrMatrix reference_multiply(const CsrMatrix& a, const CsrMatrix& b) {
+    return to_csr(to_dense(a).multiply(to_dense(b)));
+}
+
+TEST(SpGemm, EmptyTimesEmpty) {
+    const CsrMatrix a{3, 4}, b{4, 5};
+    const auto c = ops::multiply(ctx(), a, b);
+    EXPECT_EQ(c.nrows(), 3u);
+    EXPECT_EQ(c.ncols(), 5u);
+    EXPECT_EQ(c.nnz(), 0u);
+}
+
+TEST(SpGemm, DimensionMismatchThrows) {
+    const CsrMatrix a{3, 4}, b{5, 5};
+    EXPECT_THROW((void)ops::multiply(ctx(), a, b), Error);
+}
+
+TEST(SpGemm, IdentityIsNeutral) {
+    const auto a = random_csr(20, 20, 0.2, 77);
+    const auto i = CsrMatrix::identity(20);
+    EXPECT_EQ(ops::multiply(ctx(), a, i), a);
+    EXPECT_EQ(ops::multiply(ctx(), i, a), a);
+}
+
+TEST(SpGemm, SingleCellChain) {
+    // (0,1) x (1,2) -> (0,2)
+    const auto a = CsrMatrix::from_coords(3, 3, {{0, 1}});
+    const auto b = CsrMatrix::from_coords(3, 3, {{1, 2}});
+    const auto c = ops::multiply(ctx(), a, b);
+    EXPECT_EQ(c.to_coords(), (std::vector<Coord>{{0, 2}}));
+}
+
+TEST(SpGemm, BooleanSaturationNoDuplicates) {
+    // Two distinct middle vertices produce the same output cell; the Boolean
+    // semiring must collapse them into one.
+    const auto a = CsrMatrix::from_coords(2, 3, {{0, 0}, {0, 1}});
+    const auto b = CsrMatrix::from_coords(3, 2, {{0, 1}, {1, 1}});
+    const auto c = ops::multiply(ctx(), a, b);
+    EXPECT_EQ(c.nnz(), 1u);
+    EXPECT_TRUE(c.get(0, 1));
+}
+
+TEST(SpGemm, RectangularShapes) {
+    const auto a = random_csr(7, 50, 0.15, 101);
+    const auto b = random_csr(50, 13, 0.15, 102);
+    EXPECT_EQ(ops::multiply(ctx(), a, b), reference_multiply(a, b));
+}
+
+TEST(SpGemm, MultiplyAddAccumulates) {
+    const auto c0 = random_csr(20, 20, 0.1, 1);
+    const auto a = random_csr(20, 20, 0.1, 2);
+    const auto b = random_csr(20, 20, 0.1, 3);
+    const auto result = ops::multiply_add(ctx(), c0, a, b);
+    const auto expected = ops::ewise_add(ctx(), c0, reference_multiply(a, b));
+    EXPECT_EQ(result, expected);
+}
+
+TEST(SpGemm, MultiplyAddShapeCheck) {
+    const CsrMatrix c{3, 3}, a{3, 4}, b{4, 4};
+    EXPECT_THROW((void)ops::multiply_add(ctx(), c, a, b), Error);
+    const CsrMatrix ok{3, 4};
+    EXPECT_NO_THROW((void)ops::multiply_add(ctx(), ok, a, b));
+}
+
+TEST(SpGemm, SequentialAndParallelBackendsAgree) {
+    const auto a = random_csr(60, 60, 0.08, 55);
+    const auto b = random_csr(60, 60, 0.08, 56);
+    EXPECT_EQ(ops::multiply(ctx(), a, b), ops::multiply(seq_ctx(), a, b));
+}
+
+TEST(SpGemm, DenseRowFallbackProducesSameResult) {
+    // A dense row (bipartite hub) exceeds the dense-row threshold.
+    std::vector<Coord> coords;
+    for (Index j = 0; j < 300; ++j) coords.push_back({0, j});
+    const auto a = CsrMatrix::from_coords(2, 300, coords);
+    const auto b = random_csr(300, 300, 0.05, 57);
+
+    ops::SpGemmOptions with_binning;
+    ops::SpGemmOptions without_binning;
+    without_binning.use_binning = false;
+    const auto c1 = ops::multiply(ctx(), a, b, with_binning);
+    const auto c2 = ops::multiply(ctx(), a, b, without_binning);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(c1, reference_multiply(a, b));
+}
+
+TEST(SpGemm, TinyRowPathAgrees) {
+    ops::SpGemmOptions all_tiny;
+    all_tiny.tiny_row_threshold = 0xFFFFFFFFu;  // force the sort-merge path
+    const auto a = random_csr(40, 40, 0.1, 58);
+    const auto b = random_csr(40, 40, 0.1, 59);
+    EXPECT_EQ(ops::multiply(ctx(), a, b, all_tiny), reference_multiply(a, b));
+}
+
+TEST(SpGemm, HashOnlyPathAgrees) {
+    ops::SpGemmOptions hash_only;
+    hash_only.tiny_row_threshold = 0;  // no tiny rows
+    hash_only.use_binning = false;     // no dense fallback
+    const auto a = random_csr(40, 40, 0.1, 60);
+    const auto b = random_csr(40, 40, 0.1, 61);
+    EXPECT_EQ(ops::multiply(ctx(), a, b, hash_only), reference_multiply(a, b));
+}
+
+TEST(SpGemm, LoadFactorExtremesAgree) {
+    const auto a = random_csr(50, 50, 0.1, 62);
+    const auto b = random_csr(50, 50, 0.1, 63);
+    for (const double load : {0.1, 0.5, 0.99}) {
+        ops::SpGemmOptions opts;
+        opts.hash_load_factor = load;
+        EXPECT_EQ(ops::multiply(ctx(), a, b, opts), reference_multiply(a, b))
+            << "load factor " << load;
+    }
+}
+
+TEST(SpGemm, LeavesNoTrackedMemoryBehind) {
+    backend::Context local{backend::Policy::Sequential};
+    const auto a = random_csr(30, 30, 0.2, 64);
+    const auto b = random_csr(30, 30, 0.2, 65);
+    (void)ops::multiply(local, a, b);
+    EXPECT_EQ(local.tracker().current_bytes(), 0u);
+    EXPECT_GT(local.tracker().peak_bytes(), 0u);
+}
+
+// Property sweep: random matrices across shapes and densities must match
+// the dense reference on both backends.
+struct MultiplyCase {
+    Index m, k, n;
+    double da, db;
+    std::uint64_t seed;
+};
+
+class SpGemmSweep : public ::testing::TestWithParam<MultiplyCase> {};
+
+TEST_P(SpGemmSweep, MatchesDenseReference) {
+    const auto p = GetParam();
+    const auto a = random_csr(p.m, p.k, p.da, p.seed);
+    const auto b = random_csr(p.k, p.n, p.db, p.seed + 1);
+    const auto expected = reference_multiply(a, b);
+    const auto got = ops::multiply(ctx(), a, b);
+    got.validate();
+    EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpGemmSweep,
+    ::testing::Values(MultiplyCase{1, 1, 1, 1.0, 1.0, 1},
+                      MultiplyCase{10, 10, 10, 0.05, 0.05, 2},
+                      MultiplyCase{10, 10, 10, 0.9, 0.9, 3},
+                      MultiplyCase{33, 65, 17, 0.1, 0.2, 4},
+                      MultiplyCase{100, 100, 100, 0.02, 0.02, 5},
+                      MultiplyCase{100, 5, 100, 0.3, 0.3, 6},
+                      MultiplyCase{5, 100, 5, 0.3, 0.3, 7},
+                      MultiplyCase{128, 128, 128, 0.08, 0.01, 8},
+                      MultiplyCase{64, 256, 64, 0.05, 0.05, 9},
+                      MultiplyCase{50, 50, 50, 0.5, 0.5, 10}));
+
+}  // namespace
+}  // namespace spbla

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "rpq/regex.hpp"
+
+namespace spbla::rpq {
+namespace {
+
+std::vector<std::string> word(std::initializer_list<const char*> tokens) {
+    std::vector<std::string> out;
+    for (const auto* t : tokens) out.emplace_back(t);
+    return out;
+}
+
+TEST(RegexParse, SingleSymbol) {
+    const auto r = parse("hello_r");
+    EXPECT_EQ(r->kind, Regex::Kind::Symbol);
+    EXPECT_EQ(r->symbol, "hello_r");
+}
+
+TEST(RegexParse, EpsKeyword) {
+    EXPECT_EQ(parse("eps")->kind, Regex::Kind::Epsilon);
+}
+
+TEST(RegexParse, ConcatAltPrecedence) {
+    // a b | c parses as (a.b) | c.
+    const auto r = parse("a b | c");
+    ASSERT_EQ(r->kind, Regex::Kind::Alt);
+    EXPECT_EQ(r->left->kind, Regex::Kind::Concat);
+    EXPECT_EQ(r->right->symbol, "c");
+}
+
+TEST(RegexParse, ExplicitDotConcatenation) {
+    const auto r = parse("a . b");
+    ASSERT_EQ(r->kind, Regex::Kind::Concat);
+    EXPECT_EQ(r->left->symbol, "a");
+    EXPECT_EQ(r->right->symbol, "b");
+}
+
+TEST(RegexParse, PostfixOperators) {
+    EXPECT_EQ(parse("a*")->kind, Regex::Kind::Star);
+    EXPECT_EQ(parse("a+")->kind, Regex::Kind::Plus);
+    EXPECT_EQ(parse("a?")->kind, Regex::Kind::Optional);
+    // Stacked postfix binds innermost-first.
+    const auto r = parse("a*?");
+    ASSERT_EQ(r->kind, Regex::Kind::Optional);
+    EXPECT_EQ(r->left->kind, Regex::Kind::Star);
+}
+
+TEST(RegexParse, ParenthesesGroup) {
+    const auto r = parse("(a | b)*");
+    ASSERT_EQ(r->kind, Regex::Kind::Star);
+    EXPECT_EQ(r->left->kind, Regex::Kind::Alt);
+}
+
+TEST(RegexParse, BadInputsThrow) {
+    EXPECT_THROW((void)parse(""), Error);
+    EXPECT_THROW((void)parse("("), Error);
+    EXPECT_THROW((void)parse("a )"), Error);
+    EXPECT_THROW((void)parse("| a"), Error);
+    EXPECT_THROW((void)parse("a $ b"), Error);
+}
+
+TEST(RegexParse, RoundTripThroughToString) {
+    for (const auto* text :
+         {"a", "a b", "a | b", "(a | b)*", "a b* c?", "(a (b c)*)+ | (d f)+"}) {
+        const auto r = parse(text);
+        const auto again = parse(to_string(*r));
+        // Compare by matching behaviour on a few words.
+        const std::vector<std::vector<std::string>> probes = {
+            {}, word({"a"}), word({"a", "b"}), word({"b", "c"}),
+            word({"a", "b", "c"}), word({"d", "f"}), word({"a", "b", "c", "d"})};
+        for (const auto& w : probes) {
+            EXPECT_EQ(matches(*r, w), matches(*again, w))
+                << text << " on word size " << w.size();
+        }
+    }
+}
+
+TEST(RegexSymbols, CollectsDistinctSorted) {
+    const auto r = parse("b a | a c* b");
+    EXPECT_EQ(symbols_of(*r), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(RegexNullable, Cases) {
+    EXPECT_TRUE(nullable(*parse("eps")));
+    EXPECT_TRUE(nullable(*parse("a*")));
+    EXPECT_TRUE(nullable(*parse("a?")));
+    EXPECT_FALSE(nullable(*parse("a")));
+    EXPECT_FALSE(nullable(*parse("a+")));
+    EXPECT_TRUE(nullable(*parse("(a*)(b*)")));
+    EXPECT_FALSE(nullable(*parse("a* b")));
+    EXPECT_TRUE(nullable(*parse("a | b*")));
+    EXPECT_TRUE(nullable(*parse("(a+)?")));
+}
+
+TEST(RegexMatch, Symbol) {
+    const auto r = parse("a");
+    EXPECT_TRUE(matches(*r, word({"a"})));
+    EXPECT_FALSE(matches(*r, {}));
+    EXPECT_FALSE(matches(*r, word({"b"})));
+    EXPECT_FALSE(matches(*r, word({"a", "a"})));
+}
+
+TEST(RegexMatch, Concat) {
+    const auto r = parse("a b");
+    EXPECT_TRUE(matches(*r, word({"a", "b"})));
+    EXPECT_FALSE(matches(*r, word({"b", "a"})));
+    EXPECT_FALSE(matches(*r, word({"a"})));
+}
+
+TEST(RegexMatch, StarAcceptsRepetitions) {
+    const auto r = parse("a*");
+    EXPECT_TRUE(matches(*r, {}));
+    EXPECT_TRUE(matches(*r, word({"a"})));
+    EXPECT_TRUE(matches(*r, word({"a", "a", "a", "a"})));
+    EXPECT_FALSE(matches(*r, word({"a", "b"})));
+}
+
+TEST(RegexMatch, PlusNeedsOne) {
+    const auto r = parse("(a b)+");
+    EXPECT_FALSE(matches(*r, {}));
+    EXPECT_TRUE(matches(*r, word({"a", "b"})));
+    EXPECT_TRUE(matches(*r, word({"a", "b", "a", "b"})));
+    EXPECT_FALSE(matches(*r, word({"a", "b", "a"})));
+}
+
+TEST(RegexMatch, ComplexPaperTemplate) {
+    // Q14: (a b (c d)*)+ (e | f)*
+    const auto r = parse("(a b (c d)*)+ (e | f)*");
+    EXPECT_TRUE(matches(*r, word({"a", "b"})));
+    EXPECT_TRUE(matches(*r, word({"a", "b", "c", "d", "e", "f"})));
+    EXPECT_TRUE(matches(*r, word({"a", "b", "a", "b", "c", "d"})));
+    EXPECT_FALSE(matches(*r, word({"c", "d"})));
+    EXPECT_FALSE(matches(*r, word({"a", "b", "c"})));
+}
+
+TEST(RegexMatch, NestedStarsTerminate) {
+    // Nullable inner loop must not hang the matcher.
+    const auto r = parse("(a*)*");
+    EXPECT_TRUE(matches(*r, {}));
+    EXPECT_TRUE(matches(*r, word({"a", "a"})));
+    EXPECT_FALSE(matches(*r, word({"b"})));
+}
+
+TEST(RegexBuilders, NaryHelpers) {
+    const std::vector<RegexPtr> parts{sym("x"), sym("y"), sym("z")};
+    EXPECT_TRUE(matches(*cat_all(parts), word({"x", "y", "z"})));
+    EXPECT_TRUE(matches(*alt_all(parts), word({"y"})));
+    EXPECT_FALSE(matches(*alt_all(parts), word({"x", "y"})));
+}
+
+TEST(RegexBuilders, EmptyMatchesNothing) {
+    const auto r = empty();
+    EXPECT_FALSE(matches(*r, {}));
+    EXPECT_FALSE(matches(*r, word({"a"})));
+}
+
+}  // namespace
+}  // namespace spbla::rpq

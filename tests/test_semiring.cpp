@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "helpers.hpp"
+#include "ops/ewise_add.hpp"
+#include "ops/spgemm.hpp"
+#include "semiring/algorithms.hpp"
+#include "semiring/valued_csr.hpp"
+
+namespace spbla::semiring {
+namespace {
+
+using testing::ctx;
+using testing::random_csr;
+
+using MinPlusCsr = ValuedCsr<MinPlus>;
+using CountCsr = ValuedCsr<PlusTimes>;
+using BoolCsr = ValuedCsr<BoolOrAnd>;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ValuedCsr, TripletsCombineAndDropZeros) {
+    const auto m = CountCsr::from_triplets(
+        2, 3, {{0, 1, 2}, {0, 1, 3}, {1, 2, 0}, {1, 0, 7}});
+    EXPECT_EQ(m.nnz(), 2u);           // (1,2,0) dropped, (0,1) combined
+    EXPECT_EQ(m.get(0, 1), 5u);       // 2 + 3
+    EXPECT_EQ(m.get(1, 0), 7u);
+    EXPECT_EQ(m.get(1, 2), 0u);       // semiring zero for absent cells
+}
+
+TEST(ValuedCsr, OutOfRangeRejected) {
+    EXPECT_THROW((void)CountCsr::from_triplets(2, 2, {{2, 0, 1}}), Error);
+}
+
+TEST(SemiringMultiply, CountingMatchesManual) {
+    // Walks of length 2 on the diamond 0->{1,2}->3: exactly 2.
+    const auto adj = CountCsr::from_triplets(
+        4, 4, {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}});
+    const auto sq = multiply(ctx(), adj, adj);
+    EXPECT_EQ(sq.get(0, 3), 2u);
+    EXPECT_EQ(sq.get(0, 1), 0u);
+}
+
+TEST(SemiringMultiply, MinPlusRelaxesPaths) {
+    const auto adj = MinPlusCsr::from_triplets(
+        3, 3, {{0, 1, 5.0}, {1, 2, 7.0}, {0, 2, 20.0}});
+    const auto two_hop = multiply(ctx(), adj, adj);
+    EXPECT_DOUBLE_EQ(two_hop.get(0, 2), 12.0);  // 5 + 7 beats nothing here
+    const auto relaxed = ewise_add(ctx(), adj, two_hop);
+    EXPECT_DOUBLE_EQ(relaxed.get(0, 2), 12.0);  // min(20, 12)
+}
+
+TEST(SemiringMultiply, BooleanInstanceMatchesNativeKernel) {
+    const auto a = random_csr(25, 25, 0.15, 11);
+    const auto b = random_csr(25, 25, 0.15, 12);
+    const auto generic = multiply(ctx(), lift<BoolOrAnd>(a), lift<BoolOrAnd>(b));
+    const auto native = spbla::ops::multiply(ctx(), a, b);
+    EXPECT_EQ(generic.nnz(), native.nnz());
+    for (const auto& c : native.to_coords()) {
+        EXPECT_TRUE(generic.get(c.row, c.col));
+    }
+}
+
+TEST(SemiringEwiseAdd, BooleanInstanceMatchesNativeKernel) {
+    const auto a = random_csr(30, 30, 0.2, 13);
+    const auto b = random_csr(30, 30, 0.2, 14);
+    const auto generic = ewise_add(ctx(), lift<BoolOrAnd>(a), lift<BoolOrAnd>(b));
+    EXPECT_EQ(generic.nnz(), spbla::ops::ewise_add(ctx(), a, b).nnz());
+}
+
+/// Floyd-Warshall oracle for APSP.
+std::vector<std::vector<double>> floyd_warshall(const MinPlusCsr& adj) {
+    const Index n = adj.nrows();
+    std::vector<std::vector<double>> d(n, std::vector<double>(n, kInf));
+    for (Index i = 0; i < n; ++i) {
+        for (std::size_t t = 0; t < adj.row(i).size(); ++t) {
+            d[i][adj.row(i)[t]] = adj.row_vals(i)[t];
+        }
+    }
+    for (Index k = 0; k < n; ++k) {
+        for (Index i = 0; i < n; ++i) {
+            for (Index j = 0; j < n; ++j) {
+                d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+            }
+        }
+    }
+    return d;
+}
+
+TEST(Apsp, MatchesFloydWarshallOnRandomGraphs) {
+    util::Rng rng{77};
+    for (int trial = 0; trial < 4; ++trial) {
+        const Index n = 12 + static_cast<Index>(rng.below(12));
+        std::vector<std::tuple<Index, Index, double>> triplets;
+        for (std::size_t k = 0; k < static_cast<std::size_t>(n) * 3; ++k) {
+            triplets.emplace_back(static_cast<Index>(rng.below(n)),
+                                  static_cast<Index>(rng.below(n)),
+                                  1.0 + static_cast<double>(rng.below(9)));
+        }
+        const auto adj = MinPlusCsr::from_triplets(n, n, std::move(triplets));
+        const auto result = apsp(ctx(), adj);
+        const auto oracle = floyd_warshall(adj);
+        for (Index i = 0; i < n; ++i) {
+            for (Index j = 0; j < n; ++j) {
+                ASSERT_DOUBLE_EQ(result.get(i, j), oracle[i][j])
+                    << "trial " << trial << " pair " << i << "," << j;
+            }
+        }
+    }
+}
+
+TEST(Apsp, ReportsRoundsAndHandlesChains) {
+    std::vector<std::tuple<Index, Index, double>> triplets;
+    for (Index v = 0; v + 1 < 16; ++v) triplets.emplace_back(v, v + 1, 2.0);
+    const auto adj = MinPlusCsr::from_triplets(16, 16, std::move(triplets));
+    std::size_t rounds = 0;
+    const auto d = apsp(ctx(), adj, &rounds);
+    EXPECT_DOUBLE_EQ(d.get(0, 15), 30.0);
+    EXPECT_LE(rounds, 6u);  // squaring-style doubling
+}
+
+TEST(CountWalks, PowersOfACycle) {
+    // On a 3-cycle there is exactly one walk of any length from u to
+    // (u + len) mod 3.
+    const auto adj = CountCsr::from_triplets(3, 3, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}});
+    for (Index len = 1; len <= 6; ++len) {
+        const auto p = count_walks(ctx(), adj, len);
+        for (Index u = 0; u < 3; ++u) {
+            EXPECT_EQ(p.get(u, (u + len) % 3), 1u) << len;
+        }
+        EXPECT_EQ(p.nnz(), 3u) << len;
+    }
+}
+
+TEST(CountWalks, BinaryTreeFanout) {
+    // Complete binary out-tree of depth 3: 2^k walks of length k from the
+    // root (to all level-k nodes combined).
+    std::vector<std::tuple<Index, Index, std::uint64_t>> triplets;
+    for (Index v = 0; v < 7; ++v) {
+        triplets.emplace_back(v, 2 * v + 1, 1);
+        triplets.emplace_back(v, 2 * v + 2, 1);
+    }
+    const auto adj = CountCsr::from_triplets(15, 15, std::move(triplets));
+    const auto p3 = count_walks(ctx(), adj, 3);
+    std::uint64_t from_root = 0;
+    for (Index v = 0; v < 15; ++v) from_root += p3.get(0, v);
+    EXPECT_EQ(from_root, 8u);
+}
+
+TEST(SemiringVxm, MatchesManualExpansion) {
+    const auto adj = MinPlusCsr::from_triplets(
+        3, 3, {{0, 1, 4.0}, {0, 2, 9.0}, {1, 2, 3.0}});
+    DenseVector<MinPlus> x(3, kInf);
+    x[0] = 0.0;
+    const auto y = vxm<MinPlus>(ctx(), x, adj);
+    EXPECT_DOUBLE_EQ(y[1], 4.0);
+    EXPECT_DOUBLE_EQ(y[2], 9.0);
+    EXPECT_EQ(y[0], kInf);
+}
+
+TEST(Sssp, MatchesApspRow) {
+    util::Rng rng{88};
+    const Index n = 20;
+    std::vector<std::tuple<Index, Index, double>> triplets;
+    for (std::size_t k = 0; k < 60; ++k) {
+        triplets.emplace_back(static_cast<Index>(rng.below(n)),
+                              static_cast<Index>(rng.below(n)),
+                              1.0 + static_cast<double>(rng.below(7)));
+    }
+    const auto adj = MinPlusCsr::from_triplets(n, n, std::move(triplets));
+    const auto all = apsp(ctx(), adj);
+    for (const Index source : {Index{0}, Index{7}, Index{19}}) {
+        const auto dist = sssp(ctx(), adj, source);
+        EXPECT_DOUBLE_EQ(dist[source], 0.0);
+        for (Index v = 0; v < n; ++v) {
+            if (v == source) continue;
+            EXPECT_DOUBLE_EQ(dist[v], all.get(source, v)) << source << "->" << v;
+        }
+    }
+}
+
+TEST(Sssp, UnreachableStaysInfinite) {
+    const auto adj = MinPlusCsr::from_triplets(3, 3, {{0, 1, 2.0}});
+    const auto dist = sssp(ctx(), adj, 0);
+    EXPECT_DOUBLE_EQ(dist[1], 2.0);
+    EXPECT_EQ(dist[2], kInf);
+    EXPECT_THROW((void)sssp(ctx(), adj, 3), Error);
+}
+
+TEST(CountWalks, RejectsBadArguments) {
+    const auto adj = CountCsr::from_triplets(2, 2, {{0, 1, 1}});
+    EXPECT_THROW((void)count_walks(ctx(), adj, 0), Error);
+    const auto rect = CountCsr::from_triplets(2, 3, {{0, 1, 1}});
+    EXPECT_THROW((void)count_walks(ctx(), rect, 2), Error);
+}
+
+}  // namespace
+}  // namespace spbla::semiring
