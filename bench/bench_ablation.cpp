@@ -47,6 +47,48 @@ int main() {
                     t3 * 1e3);
     }
 
+    std::printf("\nE10a2: SpGEMM schedule + single-pass ablation (C = A * A)\n");
+    std::printf("%-14s %10s %10s %10s %10s %10s\n", "matrix", "full ms", "no-cache",
+                "no-binsch", "no-ticket", "baseline");
+    bench::rule(70);
+    {
+        // Each column removes one mechanism from the full pipeline;
+        // "baseline" is the pre-bin-scheduler two-pass static-chunk kernel.
+        ops::SpGemmOptions full;
+        ops::SpGemmOptions no_cache = full;
+        no_cache.symbolic_cache_budget = 0;
+        ops::SpGemmOptions no_binsched = full;
+        no_binsched.use_bin_scheduler = false;
+        ops::SpGemmOptions no_ticket = full;
+        no_ticket.use_ticket_scheduler = false;
+        ops::SpGemmOptions baseline;
+        baseline.legacy_accumulator_reset = true;
+        baseline.dense_row_fraction = 0.25;
+        baseline.symbolic_cache_budget = 0;
+        baseline.use_bin_scheduler = false;
+        baseline.use_ticket_scheduler = false;
+        struct Case {
+            const char* name;
+            CsrMatrix m;
+        };
+        const Case cases[] = {
+            {"rmat-13-8", data::make_rmat(13, 8)},
+            {"zipf-4096-16", data::make_zipf(4096, 4096, 16, 1.0)},
+            {"zipf-8192-8", data::make_zipf(8192, 8192, 8, 1.1)},
+        };
+        for (const auto& c : cases) {
+            const auto time_of = [&](const ops::SpGemmOptions& opts) {
+                return bench::time_runs(
+                           [&] { (void)ops::multiply(bench::ctx(), c.m, c.m, opts); }, 3) *
+                       1e3;
+            };
+            std::printf("%-14s %10.2f %10.2f %10.2f %10.2f %10.2f\n", c.name,
+                        time_of(full), time_of(no_cache), time_of(no_binsched),
+                        time_of(no_ticket), time_of(baseline));
+            std::fflush(stdout);
+        }
+    }
+
     std::printf("\nE10b: hash-table load factor (C = A * A, rmat scale 13)\n");
     std::printf("%-8s %12s\n", "load", "ms");
     bench::rule(22);

@@ -1,17 +1,26 @@
 /// \file bench_ops_micro.cpp
-/// \brief Google-benchmark micro suite for every library primitive.
+/// \brief Google-benchmark micro suite for every library primitive, plus the
+/// SpGEMM performance-trajectory harness.
 ///
 /// Not a paper artifact per se: this is the per-kernel performance
 /// regression net, parameterised over the R-MAT scale, that backs the
-/// ablation discussion in DESIGN.md.
+/// ablation discussion in DESIGN.md. The custom main() first writes
+/// BENCH_spgemm.json — machine-readable SpGEMM timings on skewed (R-MAT and
+/// Zipf) inputs for the scheduler/caching configurations, so the perf
+/// trajectory of the multiplication kernel is tracked across PRs — and then
+/// runs the google-benchmark suite as usual.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "algorithms/closure.hpp"
 #include "backend/context.hpp"
 #include "baseline/generic_spgemm.hpp"
+#include "common.hpp"
 #include "core/convert.hpp"
 #include "data/rmat.hpp"
 #include "ops/ops.hpp"
@@ -43,6 +52,17 @@ void BM_SpGemmBoolean(benchmark::State& state) {
                             static_cast<std::int64_t>(a.nnz()));
 }
 BENCHMARK(BM_SpGemmBoolean)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_SpGemmBooleanZipf(benchmark::State& state) {
+    const auto a = data::make_zipf(Index{1} << static_cast<Index>(state.range(0)),
+                                   Index{1} << static_cast<Index>(state.range(0)), 8, 1.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::multiply(ctx(), a, a));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpGemmBooleanZipf)->Arg(10)->Arg(12);
 
 void BM_SpGemmGenericHash(benchmark::State& state) {
     const auto g = baseline::GenericCsr::from_boolean(rmat(static_cast<int>(state.range(0))));
@@ -130,4 +150,113 @@ void BM_TransitiveClosureLinear(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitiveClosureLinear)->Arg(8)->Arg(10);
 
+// ---------------- SpGEMM perf trajectory (BENCH_spgemm.json) ----------------
+
+/// The ablation ladder from the pre-bin-scheduler implementation to the full
+/// pipeline; each rung enables exactly one mechanism on top of the previous,
+/// so consecutive ratios attribute the gain to that mechanism.
+struct SpGemmConfig {
+    const char* name;
+    ops::SpGemmOptions opts;
+};
+
+std::vector<SpGemmConfig> spgemm_ladder() {
+    ops::SpGemmOptions baseline;  // the pre-PR two-pass static-chunk kernel
+    baseline.legacy_accumulator_reset = true;
+    baseline.dense_row_fraction = 0.25;  // the pre-PR dense-bin threshold
+    baseline.use_ticket_scheduler = false;
+    baseline.use_bin_scheduler = false;
+    baseline.symbolic_cache_budget = 0;
+    ops::SpGemmOptions reset_fix = baseline;  // + touched-word / re-probe resets
+    reset_fix.legacy_accumulator_reset = false;
+    ops::SpGemmOptions retune = reset_fix;  // + 1/64 dense-bitmap crossover
+    retune.dense_row_fraction = ops::SpGemmOptions{}.dense_row_fraction;
+    ops::SpGemmOptions ticket = retune;
+    ticket.use_ticket_scheduler = true;
+    ops::SpGemmOptions binned = ticket;
+    binned.use_bin_scheduler = true;
+    const ops::SpGemmOptions full;  // + symbolic-column caching (defaults)
+    return {{"two_pass_static", baseline},
+            {"plus_accumulator_reset_fix", reset_fix},
+            {"plus_dense_bitmap_retune", retune},
+            {"plus_ticket_scheduler", ticket},
+            {"plus_bin_scheduler", binned},
+            {"plus_symbolic_cache", full}};
+}
+
+/// Times C = A * A for every ladder rung, appends one JSON input record, and
+/// returns full-pipeline speedup over the pre-PR baseline rung.
+double write_spgemm_record(std::FILE* f, const char* name, const CsrMatrix& a,
+                           bool last) {
+    const auto configs = spgemm_ladder();
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"nrows\": %u, \"nnz\": %zu,\n"
+                 "     \"configs\": [\n",
+                 name, a.nrows(), a.nnz());
+    double baseline_ms = 0, full_ms = 0;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const double ms =
+            bench::time_best([&] { (void)ops::multiply(ctx(), a, a, configs[i].opts); },
+                             5) *
+            1e3;
+        if (i == 0) baseline_ms = ms;
+        if (i + 1 == configs.size()) full_ms = ms;
+        std::fprintf(f, "      {\"name\": \"%s\", \"ms\": %.3f}%s\n", configs[i].name,
+                     ms, i + 1 < configs.size() ? "," : "");
+    }
+    const double speedup = full_ms > 0 ? baseline_ms / full_ms : 0.0;
+    std::fprintf(f, "     ],\n     \"speedup_full_vs_two_pass_static\": %.3f}%s\n",
+                 speedup, last ? "" : ",");
+    std::fflush(f);
+    return speedup;
+}
+
+/// Writes BENCH_spgemm.json (path overridable via SPBLA_BENCH_JSON) with the
+/// scheduler/caching ladder on the skewed SpGEMM stress inputs.
+void write_spgemm_trajectory() {
+    const char* path = std::getenv("SPBLA_BENCH_JSON");
+    if (path == nullptr) path = "BENCH_spgemm.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_ops_micro: cannot open %s for writing\n", path);
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"spgemm\",\n  \"operation\": \"C = A * A\",\n"
+                 "  \"policy\": \"parallel\",\n  \"threads\": %zu,\n  \"runs\": 5,\n"
+                 "  \"aggregate\": \"min\",\n  \"inputs\": [\n",
+                 ctx().pool() ? ctx().pool()->size() : 1);
+    struct Input {
+        const char* name;
+        CsrMatrix m;
+    };
+    const Input inputs[] = {
+        {"rmat-12-8", data::make_rmat(12, 8)},
+        {"rmat-13-8", data::make_rmat(13, 8)},
+        {"zipf-4096-16", data::make_zipf(4096, 4096, 16, 1.0)},
+        {"zipf-8192-8", data::make_zipf(8192, 8192, 8, 1.1)},
+    };
+    constexpr std::size_t kNumInputs = std::size(inputs);
+    double log_sum = 0.0;
+    for (std::size_t i = 0; i < kNumInputs; ++i) {
+        const double s =
+            write_spgemm_record(f, inputs[i].name, inputs[i].m, i + 1 == kNumInputs);
+        log_sum += std::log(s > 0 ? s : 1.0);
+    }
+    const double geomean = std::exp(log_sum / kNumInputs);
+    std::fprintf(f, "  ],\n  \"geomean_speedup\": %.3f\n}\n", geomean);
+    std::fclose(f);
+    std::printf("SpGEMM trajectory written to %s (geomean speedup %.2fx)\n", path,
+                geomean);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+    write_spgemm_trajectory();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

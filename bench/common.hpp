@@ -15,6 +15,21 @@ namespace spbla::bench {
 /// Number of repetitions benchmarks average over (the paper uses 5).
 inline constexpr int kRuns = 5;
 
+/// Best (minimum) wall-clock seconds of \p body over \p runs runs, plus one
+/// untimed warm-up. The minimum filters scheduler noise out of short kernels,
+/// so it is what the machine-readable perf trajectory records.
+inline double time_best(const std::function<void()>& body, int runs = kRuns) {
+    body();  // warm-up
+    double best = 0.0;
+    for (int r = 0; r < runs; ++r) {
+        util::Timer timer;
+        body();
+        const double s = timer.seconds();
+        if (r == 0 || s < best) best = s;
+    }
+    return best;
+}
+
 /// Average wall-clock seconds of \p body over kRuns runs (plus one
 /// untimed warm-up run).
 inline double time_runs(const std::function<void()>& body, int runs = kRuns) {

@@ -43,15 +43,25 @@ public:
     }
 
     /// Launch body(i) for i in [0, n) ("one thread per row" kernel shape).
+    /// Chunks are dynamically scheduled (work-stealing tickets) by default;
+    /// pass util::Schedule::Static for the FIFO one-closure-per-chunk path.
     void parallel_for(std::size_t n, std::size_t grain,
-                      const std::function<void(std::size_t)>& body) const {
-        util::parallel_for(pool(), n, grain, body);
+                      const std::function<void(std::size_t)>& body,
+                      util::Schedule schedule = util::Schedule::Dynamic) const {
+        util::parallel_for(pool(), n, grain, body, schedule);
     }
 
     /// Launch body(begin, end) over contiguous chunks of [0, n).
     void parallel_for_chunks(std::size_t n, std::size_t grain,
-                             const std::function<void(std::size_t, std::size_t)>& body) const {
-        util::parallel_for_chunks(pool(), n, grain, body);
+                             const std::function<void(std::size_t, std::size_t)>& body,
+                             util::Schedule schedule = util::Schedule::Dynamic) const {
+        util::parallel_for_chunks(pool(), n, grain, body, schedule);
+    }
+
+    /// Exclusive prefix sum on the device pool (thrust::exclusive_scan
+    /// analog); parallel two-level scan for large inputs.
+    std::uint64_t exclusive_scan(std::vector<std::uint32_t>& data) const {
+        return util::exclusive_scan(pool(), data);
     }
 
     /// Allocate a tracked device buffer of \p count elements.

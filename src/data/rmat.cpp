@@ -2,6 +2,7 @@
 
 #include "core/types.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 namespace spbla::data {
 
@@ -42,6 +43,23 @@ CsrMatrix make_uniform(Index nrows, Index ncols, double density, std::uint64_t s
     for (std::size_t k = 0; k < target; ++k) {
         coords.push_back({static_cast<Index>(rng.below(nrows)),
                           static_cast<Index>(rng.below(ncols))});
+    }
+    return CsrMatrix::from_coords(nrows, ncols, std::move(coords));
+}
+
+CsrMatrix make_zipf(Index nrows, Index ncols, Index mean_degree, double skew,
+                    std::uint64_t seed) {
+    check(nrows >= 1 && ncols >= 1, Status::InvalidArgument, "make_zipf: empty shape");
+    check(skew >= 0, Status::InvalidArgument, "make_zipf: negative skew");
+    util::Rng rng{seed};
+    const util::ZipfSampler row_law{nrows, skew};
+    const util::ZipfSampler col_law{ncols, skew};
+    const std::size_t target = static_cast<std::size_t>(mean_degree) * nrows;
+    std::vector<Coord> coords;
+    coords.reserve(target);
+    for (std::size_t k = 0; k < target; ++k) {
+        coords.push_back({static_cast<Index>(row_law(rng)),
+                          static_cast<Index>(col_law(rng))});
     }
     return CsrMatrix::from_coords(nrows, ncols, std::move(coords));
 }

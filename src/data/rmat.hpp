@@ -22,4 +22,12 @@ namespace spbla::data {
 [[nodiscard]] CsrMatrix make_uniform(Index nrows, Index ncols, double density,
                                      std::uint64_t seed = 31);
 
+/// Zipf-skewed Boolean matrix: ~\p mean_degree * nrows cells whose row and
+/// column indices are both drawn from a Zipf law with exponent \p skew.
+/// Low-index rows become hubs (row 0 holds a constant fraction of all
+/// cells), which is the degree profile that breaks statically-chunked
+/// SpGEMM schedules — the scheduler stress input.
+[[nodiscard]] CsrMatrix make_zipf(Index nrows, Index ncols, Index mean_degree,
+                                  double skew = 1.0, std::uint64_t seed = 37);
+
 }  // namespace spbla::data

@@ -30,20 +30,14 @@ CsrMatrix ewise_add(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& 
           "ewise_add: shape mismatch");
     const Index m = a.nrows();
 
-    // Pass 1: exact union size per row (enables precise allocation).
-    auto row_sizes = ctx.alloc<Index>(m);
+    // Pass 1: exact union size per row (enables precise allocation), scanned
+    // in place into CSR offsets (trailing 0 receives the total).
+    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
     ctx.parallel_for(m, 512, [&](std::size_t i) {
         const auto r = static_cast<Index>(i);
-        row_sizes[i] = union_size(a.row(r), b.row(r));
+        row_offsets[i] = union_size(a.row(r), b.row(r));
     });
-
-    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
-    std::uint64_t total = 0;
-    for (Index i = 0; i < m; ++i) {
-        row_offsets[i] = static_cast<Index>(total);
-        total += row_sizes[i];
-    }
-    row_offsets[m] = static_cast<Index>(total);
+    const std::uint64_t total = ctx.exclusive_scan(row_offsets);
     check(total <= 0xFFFFFFFFull, Status::OutOfRange, "ewise_add: nnz overflows Index");
 
     // Pass 2: merge each row pair into its exact slot.

@@ -1,6 +1,8 @@
 #include "ops/spgemm.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -18,12 +20,17 @@ constexpr Index kEmptySlot = 0xFFFFFFFFu;
 /// memory; here both are worker-local arrays.
 struct RowScratch {
     std::vector<Index> hash_slots;
+    std::vector<Index> inserted;  ///< values placed in hash_slots by the current row
     std::vector<Index> tiny_buffer;
     std::vector<std::uint64_t> bitmap_words;
+    std::vector<std::uint32_t> touched_words;  ///< bitmap words set by the current row
     std::vector<Index> extracted;
 };
 
-enum class RowKind { Empty, Tiny, Hash, Dense };
+/// Size classes double as scheduling bins; kNumKinds bins are launched
+/// heaviest-first so straggler rows overlap with the light bins.
+enum class RowKind : std::uint8_t { Empty, Tiny, HashSmall, HashLarge, Dense };
+constexpr std::size_t kNumKinds = 5;
 
 /// Upper bound on the number of products contributing to row \p i of A*B.
 [[nodiscard]] std::uint64_t row_upper_bound(const CsrMatrix& a, const CsrMatrix& b,
@@ -42,7 +49,7 @@ enum class RowKind { Empty, Tiny, Hash, Dense };
             static_cast<double>(b_ncols) * opts.dense_row_fraction) {
         return RowKind::Dense;
     }
-    return RowKind::Hash;
+    return ub <= opts.hash_large_threshold ? RowKind::HashSmall : RowKind::HashLarge;
 }
 
 /// Compute the distinct column set of row \p i of A*B into s.extracted
@@ -71,31 +78,78 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
         }
 
         case RowKind::Dense: {
-            // Dense bitmap accumulator; output is naturally sorted.
+            // Dense bitmap accumulator; output is naturally sorted. The
+            // bitmap is all-zero on entry and restored to all-zero on exit
+            // by clearing only the words this row touched — rezeroing the
+            // full ncols/64-word bitmap per row is what made hub-heavy
+            // inputs crawl.
             const std::size_t words = (static_cast<std::size_t>(b.ncols()) + 63) / 64;
-            s.bitmap_words.assign(words, 0);
+            if (opts.legacy_accumulator_reset) {
+                s.bitmap_words.assign(words, 0);
+                for (const auto k : a.row(i)) {
+                    for (const auto c : b.row(k)) {
+                        s.bitmap_words[c >> 6] |= std::uint64_t{1} << (c & 63);
+                    }
+                }
+                Index count = 0;
+                for (std::size_t w = 0; w < words; ++w) {
+                    std::uint64_t bits = s.bitmap_words[w];
+                    count += static_cast<Index>(std::popcount(bits));
+                    if (need_columns) {
+                        while (bits != 0) {
+                            s.extracted.push_back(static_cast<Index>(
+                                w * 64 +
+                                static_cast<std::size_t>(std::countr_zero(bits))));
+                            bits &= bits - 1;
+                        }
+                    }
+                }
+                return count;
+            }
+            if (s.bitmap_words.size() < words) s.bitmap_words.resize(words, 0);
+            s.touched_words.clear();
             for (const auto k : a.row(i)) {
                 for (const auto c : b.row(k)) {
-                    s.bitmap_words[c >> 6] |= std::uint64_t{1} << (c & 63);
+                    const std::size_t w = c >> 6;
+                    if (s.bitmap_words[w] == 0) {
+                        s.touched_words.push_back(static_cast<std::uint32_t>(w));
+                    }
+                    s.bitmap_words[w] |= std::uint64_t{1} << (c & 63);
                 }
             }
+            std::sort(s.touched_words.begin(), s.touched_words.end());
             Index count = 0;
-            for (std::size_t w = 0; w < words; ++w) {
+            if (!need_columns) {
+                for (const auto w : s.touched_words) {
+                    count += static_cast<Index>(std::popcount(s.bitmap_words[w]));
+                    s.bitmap_words[w] = 0;
+                }
+                return count;
+            }
+            for (const auto w : s.touched_words) {
+                count += static_cast<Index>(std::popcount(s.bitmap_words[w]));
+            }
+            s.extracted.resize(count);
+            Index* out = s.extracted.data();
+            for (const auto w : s.touched_words) {
                 std::uint64_t bits = s.bitmap_words[w];
-                count += static_cast<Index>(std::popcount(bits));
-                if (need_columns) {
-                    while (bits != 0) {
-                        s.extracted.push_back(static_cast<Index>(
-                            w * 64 + static_cast<std::size_t>(std::countr_zero(bits))));
-                        bits &= bits - 1;
-                    }
+                s.bitmap_words[w] = 0;
+                const Index base = static_cast<Index>(w) << 6;
+                while (bits != 0) {
+                    *out++ = base + static_cast<Index>(std::countr_zero(bits));
+                    bits &= bits - 1;
                 }
             }
             return count;
         }
 
-        case RowKind::Hash: {
+        case RowKind::HashSmall:
+        case RowKind::HashLarge: {
             // Open-addressing hash *set* (Boolean specialisation: no values).
+            // The table is all-empty on entry; the invariant is restored on
+            // exit by erasing only the slots this row filled (tracked in
+            // s.inserted) — a full-table assign per row costs several times
+            // the insert work at the default load factor.
             const double load = opts.hash_load_factor > 0 ? opts.hash_load_factor : 0.5;
             std::uint64_t want =
                 util::next_pow2(static_cast<std::uint64_t>(
@@ -105,9 +159,40 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
             if (want > cap) want = cap;
             if (want < 16) want = 16;
             const Index mask = static_cast<Index>(want - 1);
-            s.hash_slots.assign(static_cast<std::size_t>(want), kEmptySlot);
+            if (opts.legacy_accumulator_reset) {
+                s.hash_slots.assign(static_cast<std::size_t>(want), kEmptySlot);
+                Index count = 0;
+                for (const auto k : a.row(i)) {
+                    for (const auto c : b.row(k)) {
+                        Index h = (c * 2654435761u) & mask;
+                        for (;;) {
+                            const Index cur = s.hash_slots[h];
+                            if (cur == c) break;
+                            if (cur == kEmptySlot) {
+                                s.hash_slots[h] = c;
+                                ++count;
+                                break;
+                            }
+                            h = (h + 1) & mask;
+                        }
+                    }
+                }
+                if (need_columns) {
+                    s.extracted.reserve(count);
+                    for (std::size_t slot = 0; slot < want; ++slot) {
+                        if (s.hash_slots[slot] != kEmptySlot) {
+                            s.extracted.push_back(s.hash_slots[slot]);
+                        }
+                    }
+                    std::sort(s.extracted.begin(), s.extracted.end());
+                }
+                return count;
+            }
+            if (s.hash_slots.size() < want) {
+                s.hash_slots.resize(static_cast<std::size_t>(want), kEmptySlot);
+            }
+            s.inserted.clear();
 
-            Index count = 0;
             for (const auto k : a.row(i)) {
                 for (const auto c : b.row(k)) {
                     Index h = (c * 2654435761u) & mask;
@@ -116,18 +201,30 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
                         if (cur == c) break;  // duplicate: Boolean OR is idempotent
                         if (cur == kEmptySlot) {
                             s.hash_slots[h] = c;
-                            ++count;
+                            s.inserted.push_back(c);
                             break;
                         }
                         h = (h + 1) & mask;
                     }
                 }
             }
-            if (need_columns) {
-                s.extracted.reserve(count);
-                for (const auto slot : s.hash_slots) {
-                    if (slot != kEmptySlot) s.extracted.push_back(slot);
+            const Index count = static_cast<Index>(s.inserted.size());
+            if (static_cast<std::uint64_t>(count) * 2 >= want) {
+                std::fill(s.hash_slots.begin(),
+                          s.hash_slots.begin() + static_cast<std::ptrdiff_t>(want),
+                          kEmptySlot);
+            } else {
+                // Re-probe each inserted value; earlier erasures may punch
+                // holes in a later value's chain, so skip over empties
+                // instead of stopping at them.
+                for (const auto c : s.inserted) {
+                    Index h = (c * 2654435761u) & mask;
+                    while (s.hash_slots[h] != c) h = (h + 1) & mask;
+                    s.hash_slots[h] = kEmptySlot;
                 }
+            }
+            if (need_columns) {
+                s.extracted.swap(s.inserted);
                 std::sort(s.extracted.begin(), s.extracted.end());
             }
             return count;
@@ -136,6 +233,74 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
     return 0;  // unreachable
 }
 
+/// Chunk grain per bin: heavy bins get one row per ticket so a hub row
+/// cannot stall the rows queued behind it; light bins amortise ticket
+/// claims over many rows.
+[[nodiscard]] constexpr std::size_t bin_grain(RowKind kind) {
+    switch (kind) {
+        case RowKind::Dense:
+        case RowKind::HashLarge:
+            return 1;
+        case RowKind::HashSmall:
+            return 32;
+        case RowKind::Tiny:
+            return 256;
+        case RowKind::Empty:
+            break;
+    }
+    return 256;
+}
+
+/// Per-size-class row lists, built once from the upper bounds and reused by
+/// the symbolic and numeric launches.
+struct BinSchedule {
+    std::array<std::vector<Index>, kNumKinds> rows;
+
+    /// One ticket of the fused launch: a slice of one bin's row list.
+    struct Chunk {
+        const std::vector<Index>* rows;
+        std::size_t begin;
+        std::size_t end;
+    };
+    std::vector<Chunk> chunks;
+
+    void build(const std::uint64_t* ub, Index m, Index b_ncols,
+               const SpGemmOptions& opts) {
+        for (Index i = 0; i < m; ++i) {
+            const auto kind = classify_row(ub[i], b_ncols, opts);
+            if (kind == RowKind::Empty) continue;
+            rows[static_cast<std::size_t>(kind)].push_back(i);
+        }
+        // Heaviest bins first: their stragglers overlap with the light work
+        // that follows in ticket order.
+        for (const RowKind kind : {RowKind::Dense, RowKind::HashLarge,
+                                   RowKind::HashSmall, RowKind::Tiny}) {
+            const auto& bin = rows[static_cast<std::size_t>(kind)];
+            const std::size_t grain = bin_grain(kind);
+            for (std::size_t begin = 0; begin < bin.size(); begin += grain) {
+                chunks.push_back({&bin, begin, std::min(begin + grain, bin.size())});
+            }
+        }
+    }
+};
+
+/// Frees a one-shot aggregate MemoryTracker charge on scope exit (the
+/// symbolic-column cache stands in for device scratch, so its footprint
+/// must appear in the tracker like any other device allocation).
+struct ScratchCharge {
+    backend::MemoryTracker* tracker{nullptr};
+    std::size_t bytes{0};
+
+    void charge(backend::MemoryTracker& t, std::size_t b) {
+        tracker = &t;
+        bytes = b;
+        t.on_alloc(b);
+    }
+    ~ScratchCharge() {
+        if (tracker) tracker->on_free(bytes);
+    }
+};
+
 }  // namespace
 
 CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b,
@@ -143,43 +308,113 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
     check(a.ncols() == b.nrows(), Status::DimensionMismatch,
           "spgemm: A.ncols must equal B.nrows");
     const Index m = a.nrows();
+    const util::Schedule sched =
+        opts.use_ticket_scheduler ? util::Schedule::Dynamic : util::Schedule::Static;
 
     // Symbolic phase 1: per-row product upper bounds (tracked device array).
     auto ub = ctx.alloc<std::uint64_t>(m);
-    ctx.parallel_for(m, 1024, [&](std::size_t i) {
-        ub[i] = row_upper_bound(a, b, static_cast<Index>(i));
-    });
+    ctx.parallel_for(
+        m, 1024, [&](std::size_t i) { ub[i] = row_upper_bound(a, b, static_cast<Index>(i)); },
+        sched);
 
-    // Symbolic phase 2: exact per-row sizes via the accumulators.
-    auto row_sizes = ctx.alloc<Index>(static_cast<std::size_t>(m) + 1);
-    ctx.parallel_for_chunks(m, 64, [&](std::size_t begin, std::size_t end) {
-        RowScratch scratch;
-        for (std::size_t i = begin; i < end; ++i) {
-            row_sizes[i] = accumulate_row(a, b, static_cast<Index>(i), ub[i], opts,
-                                          scratch, /*need_columns=*/false);
+    // Launch helper shared by the symbolic and numeric passes: runs
+    // row_fn(row, scratch) for every non-empty row, either as the bin
+    // schedule's fused heavy-first grid or as a flat chunked sweep.
+    BinSchedule bins;
+    if (opts.use_bin_scheduler) bins.build(ub.data(), m, b.ncols(), opts);
+    const auto launch_rows = [&](const std::function<void(Index, RowScratch&)>& row_fn) {
+        if (opts.use_bin_scheduler) {
+            ctx.parallel_for_chunks(
+                bins.chunks.size(), 1,
+                [&](std::size_t cb, std::size_t ce) {
+                    RowScratch scratch;
+                    for (std::size_t c = cb; c < ce; ++c) {
+                        const auto& chunk = bins.chunks[c];
+                        for (std::size_t p = chunk.begin; p < chunk.end; ++p) {
+                            row_fn((*chunk.rows)[p], scratch);
+                        }
+                    }
+                },
+                sched);
+        } else {
+            ctx.parallel_for_chunks(
+                m, 64,
+                [&](std::size_t begin, std::size_t end) {
+                    RowScratch scratch;
+                    for (std::size_t i = begin; i < end; ++i) {
+                        row_fn(static_cast<Index>(i), scratch);
+                    }
+                },
+                sched);
+        }
+    };
+
+    // Symbolic-column cache: rows whose extracted column set fits the budget
+    // keep it between the count and fill passes, making the numeric phase a
+    // plain copy for them. ub (clamped to ncols) over-reserves; the refund
+    // after the exact count keeps the accounting tight.
+    const bool caching = opts.symbolic_cache_budget > 0;
+    std::vector<std::vector<Index>> cache;
+    std::vector<std::uint8_t> cached;
+    std::atomic<std::size_t> cache_bytes{0};
+    if (caching) {
+        cache.resize(m);
+        cached.assign(m, 0);
+    }
+
+    // Symbolic phase 2: exact per-row sizes via the accumulators (columns
+    // extracted along the way for rows the cache accepts).
+    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
+    launch_rows([&](Index i, RowScratch& scratch) {
+        std::size_t reserved = 0;
+        bool keep = false;
+        if (caching) {
+            reserved = static_cast<std::size_t>(
+                           std::min<std::uint64_t>(ub[i], b.ncols())) *
+                       sizeof(Index);
+            const std::size_t prior = cache_bytes.fetch_add(reserved);
+            if (prior + reserved <= opts.symbolic_cache_budget) {
+                keep = true;
+            } else {
+                cache_bytes.fetch_sub(reserved);
+                reserved = 0;
+            }
+        }
+        const Index size =
+            accumulate_row(a, b, i, ub[i], opts, scratch, /*need_columns=*/keep);
+        row_offsets[i] = size;
+        if (keep) {
+            // Steal the extraction buffer for big rows (a pointer swap
+            // instead of copying the row); small rows copy so the scratch
+            // keeps its capacity.
+            if (scratch.extracted.size() > 64) {
+                cache[i].swap(scratch.extracted);
+            } else {
+                cache[i].assign(scratch.extracted.begin(), scratch.extracted.end());
+            }
+            cached[i] = 1;
+            cache_bytes.fetch_sub(reserved - cache[i].size() * sizeof(Index));
         }
     });
+    ScratchCharge cache_charge;
+    if (caching) cache_charge.charge(ctx.tracker(), cache_bytes.load());
 
-    // Exact allocation: exclusive scan of row sizes (thrust analog).
-    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
-    std::uint64_t total = 0;
-    for (Index i = 0; i < m; ++i) {
-        row_offsets[i] = static_cast<Index>(total);
-        total += row_sizes[i];
-    }
-    row_offsets[m] = static_cast<Index>(total);
+    // Exact allocation: exclusive scan of row sizes (thrust analog; the
+    // trailing 0 turns the scanned array into the CSR offsets directly).
+    const std::uint64_t total = ctx.exclusive_scan(row_offsets);
     check(total <= 0xFFFFFFFFull, Status::OutOfRange, "spgemm: result nnz overflows Index");
 
-    // Numeric phase: re-run the accumulators and emit sorted columns.
+    // Numeric phase: cached rows are copied straight out; only rows the
+    // budget excluded re-run their accumulator.
     std::vector<Index> cols(static_cast<std::size_t>(total));
-    ctx.parallel_for_chunks(m, 64, [&](std::size_t begin, std::size_t end) {
-        RowScratch scratch;
-        for (std::size_t i = begin; i < end; ++i) {
-            accumulate_row(a, b, static_cast<Index>(i), ub[i], opts, scratch,
-                           /*need_columns=*/true);
-            std::copy(scratch.extracted.begin(), scratch.extracted.end(),
-                      cols.begin() + row_offsets[i]);
+    launch_rows([&](Index i, RowScratch& scratch) {
+        if (caching && cached[i]) {
+            std::copy(cache[i].begin(), cache[i].end(), cols.begin() + row_offsets[i]);
+            return;
         }
+        accumulate_row(a, b, i, ub[i], opts, scratch, /*need_columns=*/true);
+        std::copy(scratch.extracted.begin(), scratch.extracted.end(),
+                  cols.begin() + row_offsets[i]);
     });
 
     return CsrMatrix::from_raw(m, b.ncols(), std::move(row_offsets), std::move(cols));

@@ -8,22 +8,27 @@
 /// value array is ever read, written, or allocated, which is where the
 /// paper's time and memory advantage over generic SpGEMM comes from.
 ///
-/// Structure (faithful to Nsparse):
+/// Structure (Nsparse symbolic/numeric split, OpSparse-style bin schedule):
 ///  1. symbolic upper bound: ub(i) = sum over k in A(i,:) of nnz(B(k,:))
-///  2. rows are binned by ub into size classes; each class uses the
-///     cheapest accumulator that fits (tiny sorted buffer / open-addressing
-///     hash set / dense bitmap for pathological rows)
-///  3. count pass computes exact row sizes, an exclusive scan allocates the
-///     result exactly, and the fill pass re-runs the accumulator and emits
-///     sorted column indices.
+///  2. rows are binned by ub into size classes (empty / tiny / hash-small /
+///     hash-large / dense); each class uses the cheapest accumulator that
+///     fits, and the bins are launched heavy-first as one dynamically
+///     scheduled grid so straggler rows overlap with the light bins
+///  3. the count pass computes exact row sizes — and, for rows within the
+///     symbolic cache budget, already extracts the sorted column set into a
+///     per-row cache; an exclusive scan allocates the result exactly, and
+///     the fill pass copies cached rows straight out, re-running the
+///     accumulator only for rows the budget excluded.
 #pragma once
+
+#include <cstddef>
 
 #include "backend/context.hpp"
 #include "core/csr.hpp"
 
 namespace spbla::ops {
 
-/// Tuning knobs for the hash SpGEMM (defaults follow Nsparse).
+/// Tuning knobs for the hash SpGEMM (defaults follow Nsparse/OpSparse).
 struct SpGemmOptions {
     /// Hash-table slots = next_pow2(upper_bound / load_factor).
     double hash_load_factor = 0.5;
@@ -31,11 +36,34 @@ struct SpGemmOptions {
     /// a hash table (the "pwarp" bin analog).
     Index tiny_row_threshold = 32;
     /// Rows whose upper bound exceeds ncols(B) * this fraction fall back to a
-    /// dense bitmap accumulator (the "global bin" analog).
-    double dense_row_fraction = 0.25;
+    /// dense bitmap accumulator (the "global bin" analog). The default is the
+    /// one-bit-per-bitmap-word crossover (1/64): past it the bitmap insert
+    /// (one OR, no probing) plus the already-sorted touched-word extraction
+    /// beats the hash path, which must sort its column list per row.
+    double dense_row_fraction = 1.0 / 64.0;
     /// Disable size-class binning: every non-tiny row uses the hash path.
     /// Exists for the ablation benchmark.
     bool use_binning = true;
+    /// Hash rows with upper bound above this go to the hash-large bin
+    /// (scheduled one row per chunk so a hub row cannot stall a chunk).
+    Index hash_large_threshold = 4096;
+    /// Schedule rows as per-size-class bins, heaviest bin first, instead of
+    /// in natural row order. Off reproduces the pre-bin flat schedule.
+    bool use_bin_scheduler = true;
+    /// Claim chunks off the pool's atomic ticket counter (work stealing).
+    /// Off reproduces the static one-closure-per-chunk schedule.
+    bool use_ticket_scheduler = true;
+    /// Byte budget for caching symbolic column sets between the count and
+    /// fill passes (the single-pass numeric optimisation). The cache stands
+    /// in for device scratch and is charged to the context's MemoryTracker.
+    /// 0 disables caching and recomputes every row (the pre-PR two-pass
+    /// behaviour).
+    std::size_t symbolic_cache_budget = std::size_t{64} << 20;
+    /// Reset accumulators the pre-PR way: rezero the full dense bitmap and
+    /// the full hash table on every row and extract columns by scanning the
+    /// whole table. Exists only so the perf-trajectory benchmark can measure
+    /// against a faithful pre-PR baseline; never enable otherwise.
+    bool legacy_accumulator_reset = false;
 };
 
 /// C = A x B over the Boolean semiring. Shapes: (m x k) * (k x n) -> (m x n).

@@ -33,25 +33,78 @@ void ThreadPool::submit(std::function<void()> job) {
     cv_job_.notify_one();
 }
 
+void ThreadPool::submit_many(std::vector<std::function<void()>> jobs) {
+    if (jobs.empty()) return;
+    {
+        std::lock_guard lock(mutex_);
+        for (auto& job : jobs) jobs_.push(std::move(job));
+        in_flight_ += jobs.size();
+    }
+    cv_job_.notify_all();
+}
+
 void ThreadPool::wait_idle() {
     std::unique_lock lock(mutex_);
     cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::execute_bulk(BulkTask& task) {
+    std::size_t t;
+    while ((t = task.next.fetch_add(1)) < task.count) {
+        (*task.body)(t);
+        if (task.done.fetch_add(1) + 1 == task.count) {
+            // Last ticket completed: wake the launcher. The lock pairs with
+            // the launcher's predicate check so the notify cannot be missed.
+            std::lock_guard lock(mutex_);
+            cv_bulk_done_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::run_dynamic(std::size_t num_tickets,
+                             const std::function<void(std::size_t)>& body) {
+    if (num_tickets == 0) return;
+    auto task = std::make_shared<BulkTask>();
+    task->body = &body;
+    task->count = num_tickets;
+    {
+        std::lock_guard lock(mutex_);
+        bulk_ = task;
+    }
+    cv_job_.notify_all();
+    execute_bulk(*task);  // the launcher claims tickets alongside the workers
+    std::unique_lock lock(mutex_);
+    cv_bulk_done_.wait(lock, [&] { return task->done.load() == task->count; });
+    if (bulk_ == task) bulk_.reset();
+}
+
 void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> job;
+        std::shared_ptr<BulkTask> bulk;
         {
             std::unique_lock lock(mutex_);
-            cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            cv_job_.wait(lock, [this] {
+                return stop_ || !jobs_.empty() || bulk_ != nullptr;
+            });
             if (stop_ && jobs_.empty()) return;
-            job = std::move(jobs_.front());
-            jobs_.pop();
+            if (!jobs_.empty()) {
+                job = std::move(jobs_.front());
+                jobs_.pop();
+            } else {
+                bulk = bulk_;
+            }
         }
-        job();
-        {
+        if (job) {
+            job();
             std::lock_guard lock(mutex_);
             if (--in_flight_ == 0) cv_idle_.notify_all();
+        } else if (bulk) {
+            execute_bulk(*bulk);
+            // Tickets exhausted: retire the slot so idle workers stop
+            // re-checking it (in-flight bodies still hold their shared_ptr).
+            std::lock_guard lock(mutex_);
+            if (bulk_ == bulk) bulk_.reset();
         }
     }
 }

@@ -2,15 +2,25 @@
 /// \brief Fixed-size worker pool backing the simulated GPU device.
 ///
 /// The original SPbLA executes kernels on CUDA/OpenCL devices. In this
-/// reproduction the "device" is a shared-memory thread pool: a kernel launch
-/// becomes a blocking fan-out of index ranges over workers. The pool is
-/// deliberately simple (mutex + condvar queue) — kernel granularity in the
-/// library is coarse enough that queue overhead is negligible.
+/// reproduction the "device" is a shared-memory thread pool. Two launch
+/// shapes are offered:
+///
+///  - submit / submit_many + wait_idle: a FIFO job queue (mutex + condvar),
+///    the original "one closure per chunk" path. Kept for irregular task
+///    graphs and as the static-schedule fallback.
+///  - run_dynamic: a persistent-worker bulk launch. The caller publishes one
+///    body and a ticket count; every worker (and the caller itself) claims
+///    tickets off an atomic counter until the range is exhausted. This is
+///    the work-stealing analog of a GPU grid launch with a global work
+///    queue: no per-chunk std::function allocation, no mutex round-trip per
+///    chunk, and a straggler chunk never idles the remaining workers.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -18,7 +28,8 @@
 
 namespace spbla::util {
 
-/// A fixed pool of worker threads executing submitted jobs FIFO.
+/// A fixed pool of worker threads executing submitted jobs FIFO and
+/// dynamically-scheduled bulk launches.
 ///
 /// Thread-safe. Jobs must not throw; exceptions escaping a job terminate the
 /// process (kernels report failures through status codes, mirroring how CUDA
@@ -39,17 +50,47 @@ public:
     /// Enqueue \p job for asynchronous execution.
     void submit(std::function<void()> job);
 
+    /// Enqueue a batch of jobs under a single lock acquisition and a single
+    /// notify_all — callers submitting one closure per chunk stop paying one
+    /// mutex round-trip per chunk.
+    void submit_many(std::vector<std::function<void()>> jobs);
+
     /// Block until every submitted job has finished executing.
     void wait_idle();
 
+    /// Bulk launch: invoke body(t) for every ticket t in [0, num_tickets).
+    /// Tickets are claimed dynamically off an atomic counter by the pool
+    /// workers and by the calling thread, which participates too. Blocks
+    /// until every ticket's body invocation has completed.
+    ///
+    /// Safe to call concurrently from several threads and re-entrantly from
+    /// inside a ticket body (the inner call's tickets are then served by the
+    /// calling worker plus any workers that have drained their outer
+    /// tickets); progress never depends on other workers being free.
+    void run_dynamic(std::size_t num_tickets,
+                     const std::function<void(std::size_t)>& body);
+
 private:
+    /// One bulk launch. Workers hold it via shared_ptr, so a stale worker
+    /// waking up after the launch retired only sees an exhausted ticket
+    /// counter — it can never claim a ticket against a dead body.
+    struct BulkTask {
+        const std::function<void(std::size_t)>* body{nullptr};
+        std::size_t count{0};
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+    };
+
     void worker_loop();
+    void execute_bulk(BulkTask& task);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> jobs_;
+    std::shared_ptr<BulkTask> bulk_;
     std::mutex mutex_;
     std::condition_variable cv_job_;
     std::condition_variable cv_idle_;
+    std::condition_variable cv_bulk_done_;
     std::size_t in_flight_{0};
     bool stop_{false};
 };

@@ -1,0 +1,200 @@
+/// \file test_skewed_workloads.cpp
+/// \brief Correctness of the bin-scheduled SpGEMM pipeline on skewed inputs.
+///
+/// The bin scheduler, ticket parallel-for, and symbolic-column cache were
+/// motivated by power-law matrices (R-MAT, Zipf) whose hub rows break static
+/// schedules. These tests pin the Boolean kernels against the generic
+/// (value-carrying) baseline on exactly those inputs, across the sequential
+/// and parallel policies and every scheduler/caching configuration, plus the
+/// structural edge cases (empty bins, a single heavy row, all-dense rows).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/generic_ewise_add.hpp"
+#include "baseline/generic_spgemm.hpp"
+#include "data/rmat.hpp"
+#include "helpers.hpp"
+#include "ops/ewise_add.hpp"
+#include "ops/spgemm.hpp"
+#include "ops/transpose.hpp"
+
+namespace spbla {
+namespace {
+
+using testing::ctx;
+using testing::seq_ctx;
+
+/// Generic-baseline reference: lift to floats, multiply, drop values.
+CsrMatrix generic_multiply(const CsrMatrix& a, const CsrMatrix& b) {
+    const auto ga = baseline::GenericCsr::from_boolean(a);
+    const auto gb = baseline::GenericCsr::from_boolean(b);
+    return baseline::multiply_hash(testing::ctx(), ga, gb).pattern();
+}
+
+CsrMatrix generic_add(const CsrMatrix& a, const CsrMatrix& b) {
+    const auto ga = baseline::GenericCsr::from_boolean(a);
+    const auto gb = baseline::GenericCsr::from_boolean(b);
+    return baseline::ewise_add(testing::ctx(), ga, gb).pattern();
+}
+
+/// Every scheduler/caching combination the options expose, including the
+/// pre-PR-equivalent two-pass static-chunk configuration.
+std::vector<ops::SpGemmOptions> all_schedules() {
+    std::vector<ops::SpGemmOptions> configs;
+    for (const bool bins : {true, false}) {
+        for (const bool tickets : {true, false}) {
+            for (const std::size_t budget :
+                 {std::size_t{0}, std::size_t{1} << 12, std::size_t{64} << 20}) {
+                ops::SpGemmOptions opts;
+                opts.use_bin_scheduler = bins;
+                opts.use_ticket_scheduler = tickets;
+                opts.symbolic_cache_budget = budget;
+                configs.push_back(opts);
+            }
+        }
+    }
+    return configs;
+}
+
+class SkewedSpGemm : public ::testing::TestWithParam<const char*> {
+protected:
+    CsrMatrix matrix() const {
+        const std::string name = GetParam();
+        if (name == "rmat") return data::make_rmat(8, 8, 91);
+        if (name == "zipf-mild") return data::make_zipf(300, 300, 10, 0.8, 92);
+        return data::make_zipf(256, 256, 16, 1.4, 93);  // "zipf-heavy": hub rows
+    }
+};
+
+TEST_P(SkewedSpGemm, AllConfigurationsMatchGenericBaseline) {
+    const auto a = matrix();
+    const auto expected = generic_multiply(a, a);
+    for (const auto& opts : all_schedules()) {
+        const auto par = ops::multiply(ctx(), a, a, opts);
+        par.validate();
+        EXPECT_EQ(par, expected)
+            << "bins=" << opts.use_bin_scheduler
+            << " tickets=" << opts.use_ticket_scheduler
+            << " budget=" << opts.symbolic_cache_budget << " (parallel)";
+        const auto seq = ops::multiply(seq_ctx(), a, a, opts);
+        EXPECT_EQ(seq, expected)
+            << "bins=" << opts.use_bin_scheduler
+            << " tickets=" << opts.use_ticket_scheduler
+            << " budget=" << opts.symbolic_cache_budget << " (sequential)";
+    }
+}
+
+TEST_P(SkewedSpGemm, EwiseAddMatchesGenericBaseline) {
+    const auto a = matrix();
+    const auto at = ops::transpose(ctx(), a);
+    const auto expected = generic_add(a, at);
+    EXPECT_EQ(ops::ewise_add(ctx(), a, at), expected);
+    EXPECT_EQ(ops::ewise_add(seq_ctx(), a, at), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, SkewedSpGemm,
+                         ::testing::Values("rmat", "zipf-mild", "zipf-heavy"));
+
+TEST(SkewedEdgeCases, EmptyBinsEverywhere) {
+    // All-empty operand: every bin is empty, no launch does any work.
+    const CsrMatrix a{100, 100};
+    const auto c = ops::multiply(ctx(), a, a);
+    EXPECT_EQ(c.nnz(), 0u);
+    EXPECT_EQ(c.nrows(), 100u);
+}
+
+TEST(SkewedEdgeCases, SingleHeavyRowAmongEmptyOnes) {
+    // One full row (dense bin), everything else empty — the straggler the
+    // heavy-first schedule exists for.
+    std::vector<Coord> coords;
+    for (Index j = 0; j < 512; ++j) coords.push_back({7, j});
+    const auto a = CsrMatrix::from_coords(512, 512, coords);
+    const auto b = data::make_zipf(512, 512, 4, 1.0, 94);
+    const auto expected = generic_multiply(a, b);
+    for (const auto& opts : all_schedules()) {
+        EXPECT_EQ(ops::multiply(ctx(), a, b, opts), expected);
+    }
+    EXPECT_EQ(ops::multiply(seq_ctx(), a, b), expected);
+}
+
+TEST(SkewedEdgeCases, AllDenseRows) {
+    // Near-full operands: every non-empty row lands in the dense bin.
+    const auto a = data::make_uniform(300, 300, 0.6, 95);
+    const auto b = data::make_uniform(300, 300, 0.6, 96);
+    const auto expected = generic_multiply(a, b);
+    for (const auto& opts : all_schedules()) {
+        EXPECT_EQ(ops::multiply(ctx(), a, b, opts), expected);
+    }
+}
+
+TEST(SkewedEdgeCases, AllTinyRows) {
+    // Ultra-sparse operands: every non-empty row lands in the tiny bin.
+    const auto a = testing::random_csr(400, 400, 0.004, 97);
+    const auto b = testing::random_csr(400, 400, 0.004, 98);
+    const auto expected = generic_multiply(a, b);
+    for (const auto& opts : all_schedules()) {
+        EXPECT_EQ(ops::multiply(ctx(), a, b, opts), expected);
+    }
+}
+
+TEST(SkewedEdgeCases, HashLargeBinBoundary) {
+    // Rows straddling the hash-small/hash-large threshold agree either way.
+    const auto a = data::make_zipf(512, 512, 12, 1.0, 99);
+    ops::SpGemmOptions tiny_split;
+    tiny_split.hash_large_threshold = 64;  // push most hash rows into "large"
+    ops::SpGemmOptions huge_split;
+    huge_split.hash_large_threshold = 0xFFFFFFFFu;  // nothing is "large"
+    const auto c1 = ops::multiply(ctx(), a, a, tiny_split);
+    const auto c2 = ops::multiply(ctx(), a, a, huge_split);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(c1, generic_multiply(a, a));
+}
+
+TEST(SkewedEdgeCases, LegacyAccumulatorResetMatches) {
+    // The benchmark-only pre-PR accumulator mode must stay correct so the
+    // perf trajectory compares two right answers.
+    const auto a = data::make_zipf(300, 300, 14, 1.2, 103);
+    const auto expected = generic_multiply(a, a);
+    ops::SpGemmOptions legacy;
+    legacy.legacy_accumulator_reset = true;
+    legacy.use_bin_scheduler = false;
+    legacy.use_ticket_scheduler = false;
+    legacy.symbolic_cache_budget = 0;
+    EXPECT_EQ(ops::multiply(ctx(), a, a, legacy), expected);
+    EXPECT_EQ(ops::multiply(seq_ctx(), a, a, legacy), expected);
+}
+
+TEST(SkewedEdgeCases, TightCacheBudgetFallsBackPerRow) {
+    // A budget big enough for some rows but not all exercises the mixed
+    // cached/recomputed numeric path.
+    const auto a = data::make_zipf(256, 256, 16, 1.2, 100);
+    const auto expected = generic_multiply(a, a);
+    for (const std::size_t budget : {std::size_t{64}, std::size_t{1} << 10,
+                                     std::size_t{1} << 16}) {
+        ops::SpGemmOptions opts;
+        opts.symbolic_cache_budget = budget;
+        EXPECT_EQ(ops::multiply(ctx(), a, a, opts), expected) << "budget=" << budget;
+    }
+}
+
+TEST(SkewedEdgeCases, CacheLeavesNoTrackedMemoryBehind) {
+    backend::Context local{backend::Policy::Parallel, 2};
+    const auto a = data::make_zipf(256, 256, 8, 1.0, 101);
+    (void)ops::multiply(local, a, a);  // caching on by default
+    EXPECT_EQ(local.tracker().current_bytes(), 0u);
+    EXPECT_GT(local.tracker().peak_bytes(), 0u);
+}
+
+TEST(SkewedEdgeCases, ZipfGeneratorShapeAndSkew) {
+    const auto a = data::make_zipf(1000, 1000, 8, 1.2, 102);
+    a.validate();
+    EXPECT_EQ(a.nrows(), 1000u);
+    EXPECT_EQ(a.ncols(), 1000u);
+    EXPECT_GT(a.nnz(), 0u);
+    // Hub property: the first row dominates a median row by a wide margin.
+    EXPECT_GT(a.row_nnz(0), 20 * a.row_nnz(500) + 10);
+}
+
+}  // namespace
+}  // namespace spbla

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <functional>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/bit_ops.hpp"
@@ -128,6 +130,88 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPool, SubmitManyRunsAllJobs) {
+    ThreadPool pool{4};
+    std::atomic<int> counter{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 250; ++i) jobs.emplace_back([&counter] { ++counter; });
+    pool.submit_many(std::move(jobs));
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 250);
+}
+
+TEST(ThreadPool, SubmitManyEmptyBatchIsNoop) {
+    ThreadPool pool{2};
+    pool.submit_many({});
+    pool.wait_idle();
+    SUCCEED();
+}
+
+TEST(ThreadPool, RunDynamicCoversEveryTicketExactlyOnce) {
+    ThreadPool pool{4};
+    std::vector<std::atomic<int>> hits(1000);
+    pool.run_dynamic(hits.size(), [&](std::size_t t) { hits[t].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunDynamicZeroTicketsReturns) {
+    ThreadPool pool{2};
+    bool called = false;
+    pool.run_dynamic(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RunDynamicSingleTicket) {
+    ThreadPool pool{4};
+    std::atomic<int> counter{0};
+    pool.run_dynamic(1, [&](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RunDynamicBackToBackLaunches) {
+    ThreadPool pool{4};
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 20; ++round) {
+        pool.run_dynamic(50, [&](std::size_t) { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, RunDynamicReentrantFromTicketBody) {
+    // A ticket body launching its own bulk must make progress even when every
+    // other worker is busy: the inner launcher claims its own tickets.
+    ThreadPool pool{2};
+    std::atomic<int> counter{0};
+    pool.run_dynamic(4, [&](std::size_t) {
+        pool.run_dynamic(8, [&](std::size_t) { ++counter; });
+    });
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, RunDynamicConcurrentLaunchers) {
+    ThreadPool pool{4};
+    std::atomic<int> counter{0};
+    std::vector<std::thread> launchers;
+    for (int l = 0; l < 3; ++l) {
+        launchers.emplace_back([&pool, &counter] {
+            pool.run_dynamic(200, [&](std::size_t) { ++counter; });
+        });
+    }
+    for (auto& t : launchers) t.join();
+    EXPECT_EQ(counter.load(), 600);
+}
+
+TEST(ThreadPool, RunDynamicInterleavesWithSubmit) {
+    ThreadPool pool{4};
+    std::atomic<int> jobs{0};
+    std::atomic<int> tickets{0};
+    for (int i = 0; i < 50; ++i) pool.submit([&jobs] { ++jobs; });
+    pool.run_dynamic(100, [&](std::size_t) { ++tickets; });
+    pool.wait_idle();
+    EXPECT_EQ(jobs.load(), 50);
+    EXPECT_EQ(tickets.load(), 100);
+}
+
 // ------------------------------- parallel --------------------------------
 
 TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
@@ -168,6 +252,49 @@ TEST(Parallel, ChunksPartitionTheRange) {
     EXPECT_EQ(expected_begin, 1000u);
 }
 
+TEST(Parallel, StaticScheduleCoversEveryIndexExactlyOnce) {
+    ThreadPool pool{4};
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(
+        &pool, hits.size(), 16, [&](std::size_t i) { hits[i].fetch_add(1); },
+        Schedule::Static);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, BothSchedulesHandleGrainEdgeCases) {
+    ThreadPool pool{3};
+    for (const auto schedule : {Schedule::Dynamic, Schedule::Static}) {
+        for (const std::size_t grain : {std::size_t{0}, std::size_t{1}}) {
+            std::vector<std::atomic<int>> hits(97);
+            parallel_for(
+                &pool, hits.size(), grain, [&](std::size_t i) { hits[i].fetch_add(1); },
+                schedule);
+            for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+        }
+    }
+}
+
+TEST(Parallel, StaticChunksPartitionTheRange) {
+    ThreadPool pool{4};
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    parallel_for_chunks(
+        &pool, 1000, 10,
+        [&](std::size_t b, std::size_t e) {
+            std::lock_guard lock{m};
+            chunks.emplace_back(b, e);
+        },
+        Schedule::Static);
+    std::sort(chunks.begin(), chunks.end());
+    std::size_t expected_begin = 0;
+    for (const auto& [b, e] : chunks) {
+        EXPECT_EQ(b, expected_begin);
+        EXPECT_LT(b, e);
+        expected_begin = e;
+    }
+    EXPECT_EQ(expected_begin, 1000u);
+}
+
 TEST(Parallel, ExclusiveScanMatchesStdVersion) {
     std::vector<std::uint32_t> data{3, 0, 7, 1, 4};
     const auto total = exclusive_scan(data);
@@ -184,6 +311,28 @@ TEST(Parallel, ExclusiveScan64) {
     std::vector<std::uint64_t> data{1, 2, 3};
     EXPECT_EQ(exclusive_scan(data), 6u);
     EXPECT_EQ(data, (std::vector<std::uint64_t>{0, 1, 3}));
+}
+
+TEST(Parallel, ParallelExclusiveScanMatchesSequential) {
+    ThreadPool pool{4};
+    Rng rng{99};
+    // Spans both the sequential small-input fallback and the two-level path.
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{1000},
+                                std::size_t{100000}}) {
+        std::vector<std::uint32_t> data(n);
+        for (auto& v : data) v = static_cast<std::uint32_t>(rng.below(100));
+        auto expected = data;
+        const auto expected_total = exclusive_scan(expected);
+        const auto total = exclusive_scan(&pool, data);
+        EXPECT_EQ(total, expected_total) << "n=" << n;
+        EXPECT_EQ(data, expected) << "n=" << n;
+    }
+}
+
+TEST(Parallel, ParallelExclusiveScanNullPoolFallsBack) {
+    std::vector<std::uint32_t> data{5, 1, 2};
+    EXPECT_EQ(exclusive_scan(nullptr, data), 8u);
+    EXPECT_EQ(data, (std::vector<std::uint32_t>{0, 5, 6}));
 }
 
 // --------------------------------- zipf ----------------------------------
