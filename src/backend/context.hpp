@@ -30,6 +30,13 @@ public:
     /// \p policy execution policy, \p num_threads pool size (0 → hardware).
     explicit Context(Policy policy = Policy::Parallel, std::size_t num_threads = 0);
 
+    /// In checked builds (SPBLA_CHECKS=cheap or full) a context that is torn
+    /// down with device bytes still charged prints the tracker's leak report
+    /// to stderr — the analog of a cudaFree audit at device shutdown. The
+    /// test harness upgrades this to a hard per-test assertion via
+    /// testing::CheckedContext.
+    ~Context();
+
     Context(const Context&) = delete;
     Context& operator=(const Context&) = delete;
 

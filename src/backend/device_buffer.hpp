@@ -4,15 +4,28 @@
 /// In cuBool this is a cudaMalloc'd array; here it is host memory whose size
 /// is charged against the owning context's MemoryTracker, so the benchmark
 /// harness can report the same footprint numbers the paper does.
+///
+/// Contract checking: element access is bounds-asserted at SPBLA_CHECKS=cheap
+/// and above; at SPBLA_CHECKS=full the storage is poison-filled on allocation
+/// and release, so kernels that read device scratch before writing it (or
+/// after freeing it) compute from 0xA5 garbage instead of silently correct
+/// zeroes — mirroring what real cudaMalloc'd memory guarantees (nothing).
 #pragma once
 
 #include <cstddef>
+#include <cstring>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "backend/memory_tracker.hpp"
+#include "util/contracts.hpp"
 
 namespace spbla::backend {
+
+/// Byte written over checked-build allocations before first use and after
+/// release; chosen to form implausible indices/counters when interpreted.
+inline constexpr unsigned char kPoisonByte = 0xA5;
 
 /// Fixed-capacity trivially-copyable array charged to a MemoryTracker.
 template <class T>
@@ -23,6 +36,7 @@ public:
     DeviceBuffer(MemoryTracker* tracker, std::size_t count)
         : tracker_{tracker}, data_(count) {
         if (tracker_) tracker_->on_alloc(bytes());
+        SPBLA_CHECKED(poison());
     }
 
     DeviceBuffer(const DeviceBuffer& other)
@@ -51,6 +65,7 @@ public:
 
     /// Free the storage and un-charge the tracker.
     void release() noexcept {
+        SPBLA_CHECKED(poison());
         if (tracker_) tracker_->on_free(bytes());
         tracker_ = nullptr;
         data_.clear();
@@ -64,8 +79,14 @@ public:
     [[nodiscard]] T* data() noexcept { return data_.data(); }
     [[nodiscard]] const T* data() const noexcept { return data_.data(); }
 
-    [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
-    [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+    [[nodiscard]] T& operator[](std::size_t i) noexcept {
+        SPBLA_ASSERT(i < data_.size(), "DeviceBuffer: index out of bounds");
+        return data_[i];
+    }
+    [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+        SPBLA_ASSERT(i < data_.size(), "DeviceBuffer: index out of bounds");
+        return data_[i];
+    }
 
     [[nodiscard]] auto begin() noexcept { return data_.begin(); }
     [[nodiscard]] auto end() noexcept { return data_.end(); }
@@ -73,6 +94,12 @@ public:
     [[nodiscard]] auto end() const noexcept { return data_.end(); }
 
 private:
+    void poison() noexcept {
+        if constexpr (std::is_trivially_copyable_v<T>) {
+            if (!data_.empty()) std::memset(data_.data(), kPoisonByte, bytes());
+        }
+    }
+
     MemoryTracker* tracker_{nullptr};
     std::vector<T> data_;
 };

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace spbla::backend {
 
@@ -29,6 +30,7 @@ public:
     /// Record a deallocation of \p bytes.
     void on_free(std::size_t bytes) noexcept {
         current_.fetch_sub(bytes, std::memory_order_relaxed);
+        frees_.fetch_add(1, std::memory_order_relaxed);
     }
 
     /// Bytes currently allocated.
@@ -46,6 +48,25 @@ public:
         return allocs_.load(std::memory_order_relaxed);
     }
 
+    /// Total number of deallocations observed.
+    [[nodiscard]] std::uint64_t free_count() const noexcept {
+        return frees_.load(std::memory_order_relaxed);
+    }
+
+    /// True iff every charged byte has been released.
+    [[nodiscard]] bool balanced() const noexcept { return current_bytes() == 0; }
+
+    /// End-of-context leak report: one line summarising outstanding bytes
+    /// and the alloc/free pairing. The test harness asserts this is the
+    /// zero-leak line after every op suite; Context prints it to stderr at
+    /// destruction in checked builds when the balance is non-zero.
+    [[nodiscard]] std::string leak_report() const {
+        return "MemoryTracker: " + std::to_string(current_bytes()) +
+               " bytes outstanding (allocs=" + std::to_string(alloc_count()) +
+               ", frees=" + std::to_string(free_count()) +
+               ", peak=" + std::to_string(peak_bytes()) + ")";
+    }
+
     /// Reset the high-water mark to the current usage.
     void reset_peak() noexcept {
         peak_.store(current_.load(std::memory_order_relaxed),
@@ -56,6 +77,7 @@ private:
     std::atomic<std::size_t> current_{0};
     std::atomic<std::size_t> peak_{0};
     std::atomic<std::uint64_t> allocs_{0};
+    std::atomic<std::uint64_t> frees_{0};
 };
 
 }  // namespace spbla::backend

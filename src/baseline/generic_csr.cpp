@@ -1,5 +1,7 @@
 #include "baseline/generic_csr.hpp"
 
+#include "util/contracts.hpp"
+
 namespace spbla::baseline {
 
 GenericCsr::GenericCsr(Index nrows, Index ncols)
@@ -19,7 +21,7 @@ GenericCsr GenericCsr::from_raw(Index nrows, Index ncols, std::vector<Index> row
     g.row_offsets_ = std::move(row_offsets);
     g.cols_ = std::move(cols);
     g.vals_ = std::move(vals);
-#ifndef NDEBUG
+#if SPBLA_CHECKS_LEVEL >= SPBLA_CHECKS_FULL || !defined(NDEBUG)
     g.validate();
 #endif
     return g;

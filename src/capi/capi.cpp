@@ -125,7 +125,8 @@ spbla_Status spbla_Matrix_New(spbla_Matrix* matrix, spbla_Index nrows, spbla_Ind
             g_last_error = "spbla_Matrix_New: null output handle";
             return SPBLA_STATUS_INVALID_ARGUMENT;
         }
-        *matrix = new spbla_Matrix_t{spbla::CsrMatrix{nrows, ncols}};
+        // FFI handles are raw by contract; freed in spbla_Matrix_Free.
+        *matrix = new spbla_Matrix_t{spbla::CsrMatrix{nrows, ncols}};  // lint:allow(raw-new-delete)
         g_live_objects.fetch_add(1);
         return SPBLA_STATUS_SUCCESS;
     });
@@ -138,7 +139,7 @@ spbla_Status spbla_Matrix_Free(spbla_Matrix* matrix) {
             g_last_error = "spbla_Matrix_Free: null handle";
             return SPBLA_STATUS_INVALID_ARGUMENT;
         }
-        delete *matrix;
+        delete *matrix;  // lint:allow(raw-new-delete)
         *matrix = nullptr;
         g_live_objects.fetch_sub(1);
         return SPBLA_STATUS_SUCCESS;
@@ -224,7 +225,7 @@ spbla_Status spbla_Matrix_Duplicate(spbla_Matrix matrix, spbla_Matrix* duplicate
     return guarded([&]() -> spbla_Status {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (matrix == nullptr || duplicate == nullptr) return SPBLA_STATUS_INVALID_ARGUMENT;
-        *duplicate = new spbla_Matrix_t{matrix->data};
+        *duplicate = new spbla_Matrix_t{matrix->data};  // lint:allow(raw-new-delete)
         g_live_objects.fetch_add(1);
         return SPBLA_STATUS_SUCCESS;
     });
@@ -312,7 +313,8 @@ spbla_Status spbla_Vector_New(spbla_Vector* vector, spbla_Index size) {
     return guarded([&]() -> spbla_Status {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (vector == nullptr) return SPBLA_STATUS_INVALID_ARGUMENT;
-        *vector = new spbla_Vector_t{spbla::SpVector{size}};
+        // FFI handles are raw by contract; freed in spbla_Vector_Free.
+        *vector = new spbla_Vector_t{spbla::SpVector{size}};  // lint:allow(raw-new-delete)
         g_live_objects.fetch_add(1);
         return SPBLA_STATUS_SUCCESS;
     });
@@ -323,7 +325,7 @@ spbla_Status spbla_Vector_Free(spbla_Vector* vector) {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (vector == nullptr || *vector == nullptr)
             return SPBLA_STATUS_INVALID_ARGUMENT;
-        delete *vector;
+        delete *vector;  // lint:allow(raw-new-delete)
         *vector = nullptr;
         g_live_objects.fetch_sub(1);
         return SPBLA_STATUS_SUCCESS;

@@ -1,11 +1,15 @@
 #include "cfpq/azimov.hpp"
 
+#include "core/validate.hpp"
 #include "ops/ewise_add.hpp"
+#include "util/contracts.hpp"
 
 namespace spbla::cfpq {
 
 AzimovIndex azimov_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
                         const Grammar& g, const ops::SpGemmOptions& opts) {
+    SPBLA_CHECKED(for (const auto& label : graph.labels())
+                      core::validate(graph.matrix(label)));
     AzimovIndex index;
     index.cnf = to_cnf(g);
     const Index n = graph.num_vertices();
@@ -35,6 +39,7 @@ AzimovIndex azimov_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
             if (index.nt_matrix[a].nnz() != before) changed = true;
         }
     }
+    SPBLA_CHECKED(for (const auto& m : index.nt_matrix) core::validate(m));
     return index;
 }
 

@@ -1,13 +1,17 @@
 #include "cfpq/tensor.hpp"
 
+#include "core/validate.hpp"
 #include "ops/ewise_add.hpp"
 #include "ops/kronecker.hpp"
 #include "ops/submatrix.hpp"
+#include "util/contracts.hpp"
 
 namespace spbla::cfpq {
 
 TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
                         const Grammar& g, const TensorOptions& opts) {
+    SPBLA_CHECKED(for (const auto& label : graph.labels())
+                      core::validate(graph.matrix(label)));
     const Rsm rsm = build_rsm(g);
     const Index n = graph.num_vertices();
     const Index k = rsm.num_states;
@@ -64,6 +68,10 @@ TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
     }
 
     index.closure = std::move(closure);
+    SPBLA_CHECKED({
+        core::validate(index.closure);
+        for (const auto& [nt, m] : index.nt_matrix) core::validate(m);
+    });
     return index;
 }
 

@@ -4,6 +4,9 @@
 #include <set>
 #include <vector>
 
+#include "core/validate.hpp"
+#include "util/contracts.hpp"
+
 namespace spbla::cfpq {
 
 CsrMatrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g) {
@@ -62,7 +65,9 @@ CsrMatrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g) {
     if (cnf.start_nullable) {
         for (Index u = 0; u < n; ++u) answers.push_back({u, u});
     }
-    return CsrMatrix::from_coords(n, n, std::move(answers));
+    CsrMatrix result = CsrMatrix::from_coords(n, n, std::move(answers));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 SinglePathIndex::SinglePathIndex(const data::LabeledGraph& graph, const Grammar& g)

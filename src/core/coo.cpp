@@ -1,7 +1,8 @@
 #include "core/coo.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/contracts.hpp"
 
 namespace spbla {
 
@@ -32,7 +33,7 @@ CooMatrix CooMatrix::from_sorted(Index nrows, Index ncols, std::vector<Index> ro
     CooMatrix m{nrows, ncols};
     m.rows_ = std::move(rows);
     m.cols_ = std::move(cols);
-#ifndef NDEBUG
+#if SPBLA_CHECKS_LEVEL >= SPBLA_CHECKS_FULL || !defined(NDEBUG)
     m.validate();
 #endif
     return m;

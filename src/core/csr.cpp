@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contracts.hpp"
+
 namespace spbla {
 
 CsrMatrix::CsrMatrix(Index nrows, Index ncols)
@@ -30,7 +32,9 @@ CsrMatrix CsrMatrix::from_raw(Index nrows, Index ncols, std::vector<Index> row_o
     CsrMatrix m{nrows, ncols};
     m.row_offsets_ = std::move(row_offsets);
     m.cols_ = std::move(cols);
-#ifndef NDEBUG
+    // Adopted arrays are trusted in the default build; SPBLA_CHECKS=full (and
+    // classic debug builds) re-check every structural invariant here.
+#if SPBLA_CHECKS_LEVEL >= SPBLA_CHECKS_FULL || !defined(NDEBUG)
     m.validate();
 #endif
     return m;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/validate.hpp"
+#include "util/contracts.hpp"
+
 namespace spbla::ops {
 namespace {
 
@@ -18,8 +21,10 @@ std::vector<std::size_t> row_segments(const CooMatrix& m) {
 }  // namespace
 
 CooMatrix multiply(backend::Context& ctx, const CooMatrix& a, const CooMatrix& b) {
-    check(a.ncols() == b.nrows(), Status::DimensionMismatch,
-          "coo multiply: A.ncols must equal B.nrows");
+    SPBLA_REQUIRE(a.ncols() == b.nrows(), Status::DimensionMismatch,
+                  "coo multiply: A.ncols must equal B.nrows");
+    SPBLA_VALIDATE(a);
+    SPBLA_VALIDATE(b);
     const auto b_offsets = row_segments(b);
     const auto a_rows = a.rows();
     const auto a_cols = a.cols();
@@ -54,11 +59,14 @@ CooMatrix multiply(backend::Context& ctx, const CooMatrix& a, const CooMatrix& b
         rows[k] = static_cast<Index>(keys[k] / b.ncols());
         cols[k] = static_cast<Index>(keys[k] % b.ncols());
     }
-    return CooMatrix::from_sorted(a.nrows(), b.ncols(), std::move(rows),
-                                  std::move(cols));
+    CooMatrix result = CooMatrix::from_sorted(a.nrows(), b.ncols(), std::move(rows),
+                                              std::move(cols));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 CooMatrix transpose(backend::Context& ctx, const CooMatrix& n) {
+    SPBLA_VALIDATE(n);
     // Pack as (col, row) keys and sort — simple and exactly nnz extra words.
     auto keys = ctx.alloc<std::uint64_t>(n.nnz());
     const auto rows = n.rows();
@@ -73,16 +81,19 @@ CooMatrix transpose(backend::Context& ctx, const CooMatrix& n) {
         out_rows[k] = static_cast<Index>(keys[k] >> 32);
         out_cols[k] = static_cast<Index>(keys[k] & 0xFFFFFFFFu);
     }
-    return CooMatrix::from_sorted(n.ncols(), n.nrows(), std::move(out_rows),
-                                  std::move(out_cols));
+    CooMatrix result = CooMatrix::from_sorted(n.ncols(), n.nrows(), std::move(out_rows),
+                                              std::move(out_cols));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 CooMatrix submatrix(backend::Context& ctx, const CooMatrix& src, Index row0, Index col0,
                     Index m, Index n) {
     (void)ctx;
-    check(static_cast<std::uint64_t>(row0) + m <= src.nrows() &&
-              static_cast<std::uint64_t>(col0) + n <= src.ncols(),
-          Status::OutOfRange, "coo submatrix: window exceeds source shape");
+    SPBLA_REQUIRE(static_cast<std::uint64_t>(row0) + m <= src.nrows() &&
+                      static_cast<std::uint64_t>(col0) + n <= src.ncols(),
+                  Status::OutOfRange, "coo submatrix: window exceeds source shape");
+    SPBLA_VALIDATE(src);
     std::vector<Index> rows;
     std::vector<Index> cols;
     const auto src_rows = src.rows();
@@ -95,11 +106,14 @@ CooMatrix submatrix(backend::Context& ctx, const CooMatrix& src, Index row0, Ind
             cols.push_back(c - col0);
         }
     }
-    return CooMatrix::from_sorted(m, n, std::move(rows), std::move(cols));
+    CooMatrix result = CooMatrix::from_sorted(m, n, std::move(rows), std::move(cols));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 SpVector reduce_to_column(backend::Context& ctx, const CooMatrix& m) {
     (void)ctx;
+    SPBLA_VALIDATE(m);
     std::vector<Index> indices;
     Index last = 0;
     bool have_last = false;
@@ -110,7 +124,9 @@ SpVector reduce_to_column(backend::Context& ctx, const CooMatrix& m) {
             have_last = true;
         }
     }
-    return SpVector::from_indices(m.nrows(), std::move(indices));
+    SpVector out = SpVector::from_indices(m.nrows(), std::move(indices));
+    SPBLA_VALIDATE(out);
+    return out;
 }
 
 }  // namespace spbla::ops

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/validate.hpp"
+#include "util/contracts.hpp"
+
 namespace spbla::ops {
 namespace {
 
@@ -26,8 +29,10 @@ namespace {
 }  // namespace
 
 CsrMatrix ewise_add(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b) {
-    check(a.nrows() == b.nrows() && a.ncols() == b.ncols(), Status::DimensionMismatch,
-          "ewise_add: shape mismatch");
+    SPBLA_REQUIRE(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+                  Status::DimensionMismatch, "ewise_add: shape mismatch");
+    SPBLA_VALIDATE(a);
+    SPBLA_VALIDATE(b);
     const Index m = a.nrows();
 
     // Pass 1: exact union size per row (enables precise allocation), scanned
@@ -50,12 +55,17 @@ CsrMatrix ewise_add(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& 
                        cols.begin() + row_offsets[i]);
     });
 
-    return CsrMatrix::from_raw(m, a.ncols(), std::move(row_offsets), std::move(cols));
+    CsrMatrix out =
+        CsrMatrix::from_raw(m, a.ncols(), std::move(row_offsets), std::move(cols));
+    SPBLA_VALIDATE(out);
+    return out;
 }
 
 CooMatrix ewise_add(backend::Context& ctx, const CooMatrix& a, const CooMatrix& b) {
-    check(a.nrows() == b.nrows() && a.ncols() == b.ncols(), Status::DimensionMismatch,
-          "ewise_add: shape mismatch");
+    SPBLA_REQUIRE(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+                  Status::DimensionMismatch, "ewise_add: shape mismatch");
+    SPBLA_VALIDATE(a);
+    SPBLA_VALIDATE(b);
     // One-pass merge into a buffer of size nnz(A) + nnz(B); duplicates
     // (entries present in both operands) are dropped during the merge.
     auto rows_buf = ctx.alloc<Index>(a.nnz() + b.nnz());
@@ -96,7 +106,10 @@ CooMatrix ewise_add(backend::Context& ctx, const CooMatrix& a, const CooMatrix& 
 
     std::vector<Index> rows(rows_buf.begin(), rows_buf.begin() + static_cast<std::ptrdiff_t>(out));
     std::vector<Index> cols(cols_buf.begin(), cols_buf.begin() + static_cast<std::ptrdiff_t>(out));
-    return CooMatrix::from_sorted(a.nrows(), a.ncols(), std::move(rows), std::move(cols));
+    CooMatrix result =
+        CooMatrix::from_sorted(a.nrows(), a.ncols(), std::move(rows), std::move(cols));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 }  // namespace spbla::ops

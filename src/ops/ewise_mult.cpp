@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/validate.hpp"
+#include "util/contracts.hpp"
+
 namespace spbla::ops {
 
 CsrMatrix ewise_mult(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b) {
-    check(a.nrows() == b.nrows() && a.ncols() == b.ncols(), Status::DimensionMismatch,
-          "ewise_mult: shape mismatch");
+    SPBLA_REQUIRE(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+                  Status::DimensionMismatch, "ewise_mult: shape mismatch");
+    SPBLA_VALIDATE(a);
+    SPBLA_VALIDATE(b);
     const Index m = a.nrows();
 
     // Pass 1: intersection size per row.
@@ -44,12 +49,17 @@ CsrMatrix ewise_mult(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix&
                               cols.begin() + row_offsets[i]);
     });
 
-    return CsrMatrix::from_raw(m, a.ncols(), std::move(row_offsets), std::move(cols));
+    CsrMatrix out =
+        CsrMatrix::from_raw(m, a.ncols(), std::move(row_offsets), std::move(cols));
+    SPBLA_VALIDATE(out);
+    return out;
 }
 
 CsrMatrix ewise_diff(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b) {
-    check(a.nrows() == b.nrows() && a.ncols() == b.ncols(), Status::DimensionMismatch,
-          "ewise_diff: shape mismatch");
+    SPBLA_REQUIRE(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+                  Status::DimensionMismatch, "ewise_diff: shape mismatch");
+    SPBLA_VALIDATE(a);
+    SPBLA_VALIDATE(b);
     const Index m = a.nrows();
 
     auto row_sizes = ctx.alloc<Index>(m);
@@ -84,7 +94,10 @@ CsrMatrix ewise_diff(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix&
                             cols.begin() + row_offsets[i]);
     });
 
-    return CsrMatrix::from_raw(m, a.ncols(), std::move(row_offsets), std::move(cols));
+    CsrMatrix out =
+        CsrMatrix::from_raw(m, a.ncols(), std::move(row_offsets), std::move(cols));
+    SPBLA_VALIDATE(out);
+    return out;
 }
 
 }  // namespace spbla::ops

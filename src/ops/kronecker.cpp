@@ -2,15 +2,21 @@
 
 #include <vector>
 
+#include "core/validate.hpp"
+#include "util/contracts.hpp"
+
 namespace spbla::ops {
 
 CsrMatrix kronecker(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b) {
+    SPBLA_VALIDATE(a);
+    SPBLA_VALIDATE(b);
     const std::uint64_t out_rows = static_cast<std::uint64_t>(a.nrows()) * b.nrows();
     const std::uint64_t out_cols = static_cast<std::uint64_t>(a.ncols()) * b.ncols();
-    check(out_rows <= 0xFFFFFFFFull && out_cols <= 0xFFFFFFFFull, Status::OutOfRange,
-          "kronecker: result shape overflows Index");
+    SPBLA_REQUIRE(out_rows <= 0xFFFFFFFFull && out_cols <= 0xFFFFFFFFull,
+                  Status::OutOfRange, "kronecker: result shape overflows Index");
     const std::uint64_t total = static_cast<std::uint64_t>(a.nnz()) * b.nnz();
-    check(total <= 0xFFFFFFFFull, Status::OutOfRange, "kronecker: result nnz overflows Index");
+    SPBLA_REQUIRE(total <= 0xFFFFFFFFull, Status::OutOfRange,
+                  "kronecker: result nnz overflows Index");
 
     const Index m = static_cast<Index>(out_rows);
     std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
@@ -40,8 +46,10 @@ CsrMatrix kronecker(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& 
         }
     });
 
-    return CsrMatrix::from_raw(m, static_cast<Index>(out_cols), std::move(row_offsets),
-                               std::move(cols));
+    CsrMatrix out = CsrMatrix::from_raw(m, static_cast<Index>(out_cols),
+                                        std::move(row_offsets), std::move(cols));
+    SPBLA_VALIDATE(out);
+    return out;
 }
 
 }  // namespace spbla::ops

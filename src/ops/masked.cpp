@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/validate.hpp"
 #include "ops/ewise_mult.hpp"
 #include "ops/spgemm.hpp"
 #include "ops/transpose.hpp"
+#include "util/contracts.hpp"
 
 namespace spbla::ops {
 namespace {
@@ -29,10 +31,13 @@ namespace {
 CsrMatrix multiply_masked(backend::Context& ctx, const CsrMatrix& mask,
                           const CsrMatrix& a, const CsrMatrix& b_transposed,
                           bool complement) {
-    check(a.ncols() == b_transposed.ncols(), Status::DimensionMismatch,
-          "multiply_masked: A.ncols must equal B.nrows (B passed transposed)");
-    check(mask.nrows() == a.nrows() && mask.ncols() == b_transposed.nrows(),
-          Status::DimensionMismatch, "multiply_masked: mask shape mismatch");
+    SPBLA_REQUIRE(a.ncols() == b_transposed.ncols(), Status::DimensionMismatch,
+                  "multiply_masked: A.ncols must equal B.nrows (B passed transposed)");
+    SPBLA_REQUIRE(mask.nrows() == a.nrows() && mask.ncols() == b_transposed.nrows(),
+                  Status::DimensionMismatch, "multiply_masked: mask shape mismatch");
+    SPBLA_VALIDATE(mask);
+    SPBLA_VALIDATE(a);
+    SPBLA_VALIDATE(b_transposed);
 
     if (complement) {
         // The complement mask permits almost everything; the dot formulation
@@ -70,8 +75,10 @@ CsrMatrix multiply_masked(backend::Context& ctx, const CsrMatrix& mask,
         }
     });
 
-    return CsrMatrix::from_raw(m, mask.ncols(), std::move(row_offsets),
-                               std::move(cols));
+    CsrMatrix result = CsrMatrix::from_raw(m, mask.ncols(), std::move(row_offsets),
+                                           std::move(cols));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 }  // namespace spbla::ops

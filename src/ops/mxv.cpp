@@ -4,10 +4,16 @@
 #include <atomic>
 #include <vector>
 
+#include "core/validate.hpp"
+#include "util/contracts.hpp"
+
 namespace spbla::ops {
 
 SpVector mxv(backend::Context& ctx, const CsrMatrix& m, const SpVector& x) {
-    check(m.ncols() == x.size(), Status::DimensionMismatch, "mxv: shape mismatch");
+    SPBLA_REQUIRE(m.ncols() == x.size(), Status::DimensionMismatch,
+                  "mxv: shape mismatch");
+    SPBLA_VALIDATE(m);
+    SPBLA_VALIDATE(x);
     const auto xs = x.indices();
     std::vector<std::uint8_t> hit(m.nrows(), 0);
     ctx.parallel_for(m.nrows(), 512, [&](std::size_t i) {
@@ -29,12 +35,17 @@ SpVector mxv(backend::Context& ctx, const CsrMatrix& m, const SpVector& x) {
     for (Index i = 0; i < m.nrows(); ++i) {
         if (hit[i]) out.push_back(i);
     }
-    return SpVector::from_indices(m.nrows(), std::move(out));
+    SpVector result = SpVector::from_indices(m.nrows(), std::move(out));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 SpVector vxm(backend::Context& ctx, const SpVector& x, const CsrMatrix& m) {
     (void)ctx;
-    check(m.nrows() == x.size(), Status::DimensionMismatch, "vxm: shape mismatch");
+    SPBLA_REQUIRE(m.nrows() == x.size(), Status::DimensionMismatch,
+                  "vxm: shape mismatch");
+    SPBLA_VALIDATE(m);
+    SPBLA_VALIDATE(x);
     // Union of the rows selected by the frontier.
     std::vector<std::uint8_t> hit(m.ncols(), 0);
     for (const auto i : x.indices()) {
@@ -44,7 +55,9 @@ SpVector vxm(backend::Context& ctx, const SpVector& x, const CsrMatrix& m) {
     for (Index c = 0; c < m.ncols(); ++c) {
         if (hit[c]) out.push_back(c);
     }
-    return SpVector::from_indices(m.ncols(), std::move(out));
+    SpVector result = SpVector::from_indices(m.ncols(), std::move(out));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 }  // namespace spbla::ops

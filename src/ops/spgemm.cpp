@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/validate.hpp"
 #include "ops/ewise_add.hpp"
 #include "util/bit_ops.hpp"
+#include "util/contracts.hpp"
 
 namespace spbla::ops {
 namespace {
@@ -305,8 +307,10 @@ struct ScratchCharge {
 
 CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b,
                    const SpGemmOptions& opts) {
-    check(a.ncols() == b.nrows(), Status::DimensionMismatch,
-          "spgemm: A.ncols must equal B.nrows");
+    SPBLA_REQUIRE(a.ncols() == b.nrows(), Status::DimensionMismatch,
+                  "spgemm: A.ncols must equal B.nrows");
+    SPBLA_VALIDATE(a);
+    SPBLA_VALIDATE(b);
     const Index m = a.nrows();
     const util::Schedule sched =
         opts.use_ticket_scheduler ? util::Schedule::Dynamic : util::Schedule::Static;
@@ -402,7 +406,8 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
     // Exact allocation: exclusive scan of row sizes (thrust analog; the
     // trailing 0 turns the scanned array into the CSR offsets directly).
     const std::uint64_t total = ctx.exclusive_scan(row_offsets);
-    check(total <= 0xFFFFFFFFull, Status::OutOfRange, "spgemm: result nnz overflows Index");
+    SPBLA_REQUIRE(total <= 0xFFFFFFFFull, Status::OutOfRange,
+                  "spgemm: result nnz overflows Index");
 
     // Numeric phase: cached rows are copied straight out; only rows the
     // budget excluded re-run their accumulator.
@@ -417,13 +422,18 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
                   cols.begin() + row_offsets[i]);
     });
 
-    return CsrMatrix::from_raw(m, b.ncols(), std::move(row_offsets), std::move(cols));
+    CsrMatrix out =
+        CsrMatrix::from_raw(m, b.ncols(), std::move(row_offsets), std::move(cols));
+    SPBLA_VALIDATE(out);
+    return out;
 }
 
 CsrMatrix multiply_add(backend::Context& ctx, const CsrMatrix& c, const CsrMatrix& a,
                        const CsrMatrix& b, const SpGemmOptions& opts) {
-    check(c.nrows() == a.nrows() && c.ncols() == b.ncols(), Status::DimensionMismatch,
-          "spgemm: accumulator shape must match A.nrows x B.ncols");
+    SPBLA_REQUIRE(c.nrows() == a.nrows() && c.ncols() == b.ncols(),
+                  Status::DimensionMismatch,
+                  "spgemm: accumulator shape must match A.nrows x B.ncols");
+    SPBLA_VALIDATE(c);
     const CsrMatrix product = multiply(ctx, a, b, opts);
     return ewise_add(ctx, c, product);
 }

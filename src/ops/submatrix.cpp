@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/validate.hpp"
+#include "util/contracts.hpp"
+
 namespace spbla::ops {
 
 CsrMatrix submatrix(backend::Context& ctx, const CsrMatrix& src, Index row0, Index col0,
                     Index m, Index n) {
-    check(static_cast<std::uint64_t>(row0) + m <= src.nrows() &&
-              static_cast<std::uint64_t>(col0) + n <= src.ncols(),
-          Status::OutOfRange, "submatrix: window exceeds source shape");
+    SPBLA_REQUIRE(static_cast<std::uint64_t>(row0) + m <= src.nrows() &&
+                      static_cast<std::uint64_t>(col0) + n <= src.ncols(),
+                  Status::OutOfRange, "submatrix: window exceeds source shape");
+    SPBLA_VALIDATE(src);
 
     // Pass 1: per-row count via two binary searches into [col0, col0 + n).
     auto row_sizes = ctx.alloc<Index>(m);
@@ -34,7 +38,9 @@ CsrMatrix submatrix(backend::Context& ctx, const CsrMatrix& src, Index row0, Ind
         }
     });
 
-    return CsrMatrix::from_raw(m, n, std::move(row_offsets), std::move(cols));
+    CsrMatrix result = CsrMatrix::from_raw(m, n, std::move(row_offsets), std::move(cols));
+    SPBLA_VALIDATE(result);
+    return result;
 }
 
 }  // namespace spbla::ops

@@ -4,15 +4,19 @@
 #include <map>
 #include <set>
 
+#include "core/validate.hpp"
 #include "ops/ewise_add.hpp"
 #include "ops/kronecker.hpp"
 #include "ops/mxv.hpp"
 #include "ops/submatrix.hpp"
+#include "util/contracts.hpp"
 
 namespace spbla::rpq {
 
 RpqIndex build_index(backend::Context& ctx, const data::LabeledGraph& graph,
                      const Dfa& query, algorithms::ClosureStrategy strategy) {
+    SPBLA_CHECKED(for (const auto& label : graph.labels())
+                      core::validate(graph.matrix(label)));
     const Index n = graph.num_vertices();
     const Index k = query.num_states;
 
@@ -45,6 +49,11 @@ RpqIndex build_index(backend::Context& ctx, const data::LabeledGraph& graph,
     }
     index.product = std::move(product);
     index.reachable = std::move(reachable);
+    SPBLA_CHECKED({
+        core::validate(index.product);
+        core::validate(index.closure);
+        core::validate(index.reachable);
+    });
     return index;
 }
 

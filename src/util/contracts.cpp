@@ -1,0 +1,16 @@
+#include "util/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spbla::util {
+
+void contract_violation(const char* expr, const char* file, int line,
+                        const char* msg) noexcept {
+    std::fprintf(stderr, "spbla: invariant violated: %s\n  at %s:%d\n  %s\n", expr,
+                 file, line, msg);
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace spbla::util

@@ -1,0 +1,85 @@
+/// \file contracts.hpp
+/// \brief Compile-time-gated runtime contracts for kernels and containers.
+///
+/// The Boolean kernels are aggressively specialised (hash sets, bitmap
+/// accumulators, cached symbolic passes), which is exactly the code shape
+/// where structural corruption — unsorted columns, stale accumulator state,
+/// racy buffer reuse — produces wrong-but-plausible results instead of
+/// crashes. Three contract forms keep them honest:
+///
+///  - SPBLA_REQUIRE(cond, status, msg): API precondition. Always on; throws
+///    spbla::Error carrying the status code plus file:line context. Replaces
+///    bare check() at op entry points.
+///  - SPBLA_ASSERT(cond, msg): internal invariant. Active at checks level
+///    "cheap" and above; prints the expression and location to stderr and
+///    aborts (an invariant violation means in-memory state is already
+///    corrupt — unwinding through it would only move the crash).
+///  - SPBLA_CHECKED(stmt...): statement compiled only at level "full"; used
+///    for O(nnz) structural validation and poison fills too expensive for
+///    the default build.
+///
+/// The level is selected at configure time via -DSPBLA_CHECKS=off|cheap|full
+/// (CMake knob), which defines SPBLA_CHECKS_LEVEL to 0/1/2.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+#define SPBLA_CHECKS_OFF 0
+#define SPBLA_CHECKS_CHEAP 1
+#define SPBLA_CHECKS_FULL 2
+
+#ifndef SPBLA_CHECKS_LEVEL
+#define SPBLA_CHECKS_LEVEL SPBLA_CHECKS_OFF
+#endif
+
+namespace spbla::util {
+
+/// Contract-checking level this translation unit was compiled with.
+[[nodiscard]] constexpr int checks_level() noexcept { return SPBLA_CHECKS_LEVEL; }
+
+/// Human-readable name of the active checks level.
+[[nodiscard]] constexpr const char* checks_level_name() noexcept {
+    return SPBLA_CHECKS_LEVEL >= SPBLA_CHECKS_FULL    ? "full"
+           : SPBLA_CHECKS_LEVEL >= SPBLA_CHECKS_CHEAP ? "cheap"
+                                                      : "off";
+}
+
+/// Report an invariant violation and abort. Never returns; noexcept so it is
+/// safe to call from noexcept accessors (DeviceBuffer::operator[]).
+[[noreturn]] void contract_violation(const char* expr, const char* file, int line,
+                                     const char* msg) noexcept;
+
+/// Throw Error(status) with file:line context when \p ok is false.
+inline void require(bool ok, Status status, const char* msg, const char* file,
+                    int line) {
+    if (!ok) {
+        throw Error(status, std::string{msg} + " [" + file + ":" +
+                                std::to_string(line) + "]");
+    }
+}
+
+}  // namespace spbla::util
+
+#define SPBLA_REQUIRE(cond, status, msg) \
+    ::spbla::util::require((cond), (status), (msg), __FILE__, __LINE__)
+
+#if SPBLA_CHECKS_LEVEL >= SPBLA_CHECKS_CHEAP
+#define SPBLA_ASSERT(cond, msg)                                              \
+    ((cond) ? static_cast<void>(0)                                           \
+            : ::spbla::util::contract_violation(#cond, __FILE__, __LINE__, (msg)))
+#else
+// sizeof keeps the condition type-checked without evaluating it (and without
+// unused-variable warnings for assert-only locals).
+#define SPBLA_ASSERT(cond, msg) (static_cast<void>(sizeof((cond) ? 1 : 0)))
+#endif
+
+#if SPBLA_CHECKS_LEVEL >= SPBLA_CHECKS_FULL
+#define SPBLA_CHECKED(...)  \
+    do {                    \
+        __VA_ARGS__;        \
+    } while (false)
+#else
+#define SPBLA_CHECKED(...) static_cast<void>(0)
+#endif

@@ -2,6 +2,8 @@
 /// \brief Shared utilities for the test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <string>
 #include <vector>
 
@@ -26,6 +28,38 @@ inline backend::Context& seq_ctx() {
     static backend::Context instance{backend::Policy::Sequential};
     return instance;
 }
+
+/// Fixture asserting the MemoryTracker leak report on teardown: every op
+/// test runs against the shared contexts, so any kernel that leaks device
+/// scratch (or double-frees, driving the balance negative and thus huge)
+/// fails the *specific test* that leaked rather than poisoning the footprint
+/// numbers of whatever benchmark runs next. Op suites adopt it by deriving
+/// their suite type: `using SpGemm = spbla::testing::CheckedContext;`.
+class CheckedContext : public ::testing::Test {
+protected:
+    void SetUp() override {
+        start_parallel_ = ctx().tracker().current_bytes();
+        start_sequential_ = seq_ctx().tracker().current_bytes();
+    }
+
+    void TearDown() override {
+        EXPECT_EQ(ctx().tracker().current_bytes(), start_parallel_)
+            << "parallel context leaked device memory: "
+            << ctx().tracker().leak_report();
+        EXPECT_EQ(seq_ctx().tracker().current_bytes(), start_sequential_)
+            << "sequential context leaked device memory: "
+            << seq_ctx().tracker().leak_report();
+    }
+
+private:
+    std::size_t start_parallel_{0};
+    std::size_t start_sequential_{0};
+};
+
+/// Parameterised-test variant of CheckedContext (for TEST_P sweeps).
+template <class Param>
+class CheckedContextWithParam : public CheckedContext,
+                                public ::testing::WithParamInterface<Param> {};
 
 /// Random Boolean matrix with ~density fraction of cells set.
 inline CsrMatrix random_csr(Index nrows, Index ncols, double density,

@@ -14,7 +14,14 @@ namespace {
 using testing::ctx;
 using testing::random_csr;
 
-TEST(CooMultiply, AgreesWithCsrKernel) {
+// Op suites run on the shared contexts; CheckedContext asserts the
+// MemoryTracker leak report is clean after every test.
+using CooMultiply = ::spbla::testing::CheckedContext;
+using CooTranspose = ::spbla::testing::CheckedContext;
+using CooSubmatrix = ::spbla::testing::CheckedContext;
+using CooReduce = ::spbla::testing::CheckedContext;
+
+TEST_F(CooMultiply, AgreesWithCsrKernel) {
     for (const auto seed : {1, 2, 3}) {
         const auto a = random_csr(40, 50, 0.1, seed);
         const auto b = random_csr(50, 30, 0.1, seed + 10);
@@ -24,7 +31,7 @@ TEST(CooMultiply, AgreesWithCsrKernel) {
     }
 }
 
-TEST(CooMultiply, EmptyAndShapeChecks) {
+TEST_F(CooMultiply, EmptyAndShapeChecks) {
     const CooMatrix a{3, 4}, b{4, 5};
     const auto c = ops::multiply(ctx(), a, b);
     EXPECT_EQ(c.nrows(), 3u);
@@ -34,7 +41,7 @@ TEST(CooMultiply, EmptyAndShapeChecks) {
     EXPECT_THROW((void)ops::multiply(ctx(), a, bad), Error);
 }
 
-TEST(CooMultiply, DeduplicatesPartialProducts) {
+TEST_F(CooMultiply, DeduplicatesPartialProducts) {
     // Two middle vertices produce the same output cell exactly once.
     const auto a = CooMatrix::from_coords(2, 3, {{0, 0}, {0, 1}});
     const auto b = CooMatrix::from_coords(3, 2, {{0, 1}, {1, 1}});
@@ -43,7 +50,7 @@ TEST(CooMultiply, DeduplicatesPartialProducts) {
     EXPECT_TRUE(c.get(0, 1));
 }
 
-TEST(CooMultiply, ExpansionBufferIsTracked) {
+TEST_F(CooMultiply, ExpansionBufferIsTracked) {
     backend::Context local{backend::Policy::Sequential};
     const auto a = to_coo(random_csr(20, 20, 0.3, 5));
     (void)ops::multiply(local, a, a);
@@ -51,38 +58,38 @@ TEST(CooMultiply, ExpansionBufferIsTracked) {
     EXPECT_GT(local.tracker().peak_bytes(), 0u);
 }
 
-TEST(CooTranspose, AgreesWithCsrKernel) {
+TEST_F(CooTranspose, AgreesWithCsrKernel) {
     const auto m = random_csr(25, 35, 0.15, 6);
     const auto t = ops::transpose(ctx(), to_coo(m));
     t.validate();
     EXPECT_EQ(to_csr(t), ops::transpose(ctx(), m));
 }
 
-TEST(CooTranspose, Involution) {
+TEST_F(CooTranspose, Involution) {
     const auto m = to_coo(random_csr(20, 20, 0.2, 7));
     EXPECT_EQ(ops::transpose(ctx(), ops::transpose(ctx(), m)), m);
 }
 
-TEST(CooSubmatrix, AgreesWithCsrKernel) {
+TEST_F(CooSubmatrix, AgreesWithCsrKernel) {
     const auto m = random_csr(30, 30, 0.2, 8);
     const auto s = ops::submatrix(ctx(), to_coo(m), 5, 7, 12, 9);
     s.validate();
     EXPECT_EQ(to_csr(s), ops::submatrix(ctx(), m, 5, 7, 12, 9));
 }
 
-TEST(CooSubmatrix, WindowChecks) {
+TEST_F(CooSubmatrix, WindowChecks) {
     const auto m = to_coo(random_csr(10, 10, 0.2, 9));
     EXPECT_THROW((void)ops::submatrix(ctx(), m, 5, 5, 6, 5), Error);
     EXPECT_EQ(ops::submatrix(ctx(), m, 0, 0, 10, 10), m);
 }
 
-TEST(CooReduce, AgreesWithCsrKernel) {
+TEST_F(CooReduce, AgreesWithCsrKernel) {
     const auto m = random_csr(40, 40, 0.08, 10);
     EXPECT_EQ(ops::reduce_to_column(ctx(), to_coo(m)),
               ops::reduce_to_column(ctx(), m));
 }
 
-TEST(CooReduce, EmptyMatrix) {
+TEST_F(CooReduce, EmptyMatrix) {
     EXPECT_EQ(ops::reduce_to_column(ctx(), CooMatrix{5, 5}).nnz(), 0u);
 }
 
@@ -94,7 +101,7 @@ struct ParityCase {
     std::uint64_t seed;
 };
 
-class CooParitySweep : public ::testing::TestWithParam<ParityCase> {};
+class CooParitySweep : public ::spbla::testing::CheckedContextWithParam<ParityCase> {};
 
 TEST_P(CooParitySweep, FullExpressionParity) {
     const auto p = GetParam();

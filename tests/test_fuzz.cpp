@@ -9,6 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "baseline/generic_ewise_add.hpp"
+#include "baseline/generic_spgemm.hpp"
+#include "core/validate.hpp"
 #include "helpers.hpp"
 #include "ops/ops.hpp"
 #include "util/rng.hpp"
@@ -29,11 +32,15 @@ Mirrored make_random(Index nrows, Index ncols, double density, util::Rng& rng) {
 }
 
 void expect_consistent(const Mirrored& m, const char* op) {
-    ASSERT_NO_THROW(m.sparse.validate()) << op;
+    // Structural invariants first (sorted rows, in-range columns, offset
+    // monotonicity) via the library validator the checked builds wire into
+    // every op, then value-level equality against the dense mirror.
+    ASSERT_NO_THROW(core::validate(m.sparse)) << op;
     ASSERT_EQ(to_dense(m.sparse), m.dense) << op;
 }
 
-class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class FuzzSweep
+    : public ::spbla::testing::CheckedContextWithParam<std::uint64_t> {};
 
 TEST_P(FuzzSweep, RandomOpSequencesStayConsistentWithDenseMirror) {
     util::Rng rng{GetParam()};
@@ -51,11 +58,18 @@ TEST_P(FuzzSweep, RandomOpSequencesStayConsistentWithDenseMirror) {
         Mirrored result;
         const char* name = "";
         switch (op) {
-            case 0:
+            case 0: {
                 name = "ewise_add";
                 result = {ops::ewise_add(ctx(), a.sparse, b.sparse),
                           a.dense.ewise_or(b.dense)};
+                // Second, independent oracle: the value-carrying generic
+                // merge must produce the same pattern the Boolean kernel does.
+                const auto generic = baseline::ewise_add(
+                    ctx(), baseline::GenericCsr::from_boolean(a.sparse),
+                    baseline::GenericCsr::from_boolean(b.sparse));
+                ASSERT_EQ(generic.pattern(), result.sparse) << name;
                 break;
+            }
             case 1: {
                 name = "ewise_mult";
                 result.sparse = ops::ewise_mult(ctx(), a.sparse, b.sparse);
@@ -76,11 +90,19 @@ TEST_P(FuzzSweep, RandomOpSequencesStayConsistentWithDenseMirror) {
                 result.dense = std::move(d);
                 break;
             }
-            case 3:
+            case 3: {
                 name = "multiply";
                 result = {ops::multiply(ctx(), a.sparse, b.sparse),
                           a.dense.multiply(b.dense)};
+                // Cross-check against the generic hash-SpGEMM oracle: same
+                // Nsparse structure, float accumulators, so any divergence
+                // isolates a bug in the Boolean specialisation itself.
+                const auto generic = baseline::multiply_hash(
+                    ctx(), baseline::GenericCsr::from_boolean(a.sparse),
+                    baseline::GenericCsr::from_boolean(b.sparse));
+                ASSERT_EQ(generic.pattern(), result.sparse) << name;
                 break;
+            }
             case 4:
                 name = "multiply_add";
                 result = {ops::multiply_add(ctx(), a.sparse, a.sparse, b.sparse),

@@ -13,43 +13,50 @@ using testing::ctx;
 using testing::random_csr;
 using testing::seq_ctx;
 
-TEST(EwiseAddCsr, EmptyPlusEmpty) {
+// Op suites run on the shared contexts; CheckedContext asserts the
+// MemoryTracker leak report is clean after every test.
+using EwiseAddCsr = ::spbla::testing::CheckedContext;
+using EwiseAddCoo = ::spbla::testing::CheckedContext;
+using EwiseMult = ::spbla::testing::CheckedContext;
+using EwiseDiff = ::spbla::testing::CheckedContext;
+
+TEST_F(EwiseAddCsr, EmptyPlusEmpty) {
     const CsrMatrix a{4, 4}, b{4, 4};
     const auto c = ops::ewise_add(ctx(), a, b);
     EXPECT_EQ(c.nnz(), 0u);
 }
 
-TEST(EwiseAddCsr, ShapeMismatchThrows) {
+TEST_F(EwiseAddCsr, ShapeMismatchThrows) {
     const CsrMatrix a{4, 4}, b{4, 5};
     EXPECT_THROW((void)ops::ewise_add(ctx(), a, b), Error);
 }
 
-TEST(EwiseAddCsr, UnionOfDisjoint) {
+TEST_F(EwiseAddCsr, UnionOfDisjoint) {
     const auto a = CsrMatrix::from_coords(2, 4, {{0, 0}, {1, 2}});
     const auto b = CsrMatrix::from_coords(2, 4, {{0, 3}, {1, 1}});
     const auto c = ops::ewise_add(ctx(), a, b);
     EXPECT_EQ(c.to_coords(), (std::vector<Coord>{{0, 0}, {0, 3}, {1, 1}, {1, 2}}));
 }
 
-TEST(EwiseAddCsr, OverlapCollapses) {
+TEST_F(EwiseAddCsr, OverlapCollapses) {
     const auto a = CsrMatrix::from_coords(1, 3, {{0, 1}});
     const auto b = CsrMatrix::from_coords(1, 3, {{0, 1}, {0, 2}});
     const auto c = ops::ewise_add(ctx(), a, b);
     EXPECT_EQ(c.nnz(), 2u);
 }
 
-TEST(EwiseAddCsr, IsIdempotent) {
+TEST_F(EwiseAddCsr, IsIdempotent) {
     const auto a = random_csr(30, 30, 0.15, 42);
     EXPECT_EQ(ops::ewise_add(ctx(), a, a), a);
 }
 
-TEST(EwiseAddCsr, IsCommutative) {
+TEST_F(EwiseAddCsr, IsCommutative) {
     const auto a = random_csr(25, 40, 0.1, 43);
     const auto b = random_csr(25, 40, 0.1, 44);
     EXPECT_EQ(ops::ewise_add(ctx(), a, b), ops::ewise_add(ctx(), b, a));
 }
 
-TEST(EwiseAddCsr, IsAssociative) {
+TEST_F(EwiseAddCsr, IsAssociative) {
     const auto a = random_csr(20, 20, 0.1, 45);
     const auto b = random_csr(20, 20, 0.1, 46);
     const auto c = random_csr(20, 20, 0.1, 47);
@@ -58,20 +65,20 @@ TEST(EwiseAddCsr, IsAssociative) {
     EXPECT_EQ(left, right);
 }
 
-TEST(EwiseAddCsr, ZeroIsNeutral) {
+TEST_F(EwiseAddCsr, ZeroIsNeutral) {
     const auto a = random_csr(30, 30, 0.2, 48);
     const CsrMatrix zero{30, 30};
     EXPECT_EQ(ops::ewise_add(ctx(), a, zero), a);
     EXPECT_EQ(ops::ewise_add(ctx(), zero, a), a);
 }
 
-TEST(EwiseAddCsr, BackendsAgree) {
+TEST_F(EwiseAddCsr, BackendsAgree) {
     const auto a = random_csr(80, 80, 0.05, 49);
     const auto b = random_csr(80, 80, 0.05, 50);
     EXPECT_EQ(ops::ewise_add(ctx(), a, b), ops::ewise_add(seq_ctx(), a, b));
 }
 
-TEST(EwiseAddCoo, MatchesCsrPath) {
+TEST_F(EwiseAddCoo, MatchesCsrPath) {
     const auto a = random_csr(40, 40, 0.1, 51);
     const auto b = random_csr(40, 40, 0.1, 52);
     const auto coo_sum = ops::ewise_add(ctx(), to_coo(a), to_coo(b));
@@ -79,12 +86,12 @@ TEST(EwiseAddCoo, MatchesCsrPath) {
     EXPECT_EQ(to_csr(coo_sum), ops::ewise_add(ctx(), a, b));
 }
 
-TEST(EwiseAddCoo, ShapeMismatchThrows) {
+TEST_F(EwiseAddCoo, ShapeMismatchThrows) {
     const CooMatrix a{4, 4}, b{5, 4};
     EXPECT_THROW((void)ops::ewise_add(ctx(), a, b), Error);
 }
 
-TEST(EwiseAddCoo, DuplicateEntriesMergeOnce) {
+TEST_F(EwiseAddCoo, DuplicateEntriesMergeOnce) {
     const auto a = CooMatrix::from_coords(3, 3, {{0, 0}, {1, 1}});
     const auto b = CooMatrix::from_coords(3, 3, {{0, 0}, {2, 2}});
     const auto c = ops::ewise_add(ctx(), a, b);
@@ -92,7 +99,7 @@ TEST(EwiseAddCoo, DuplicateEntriesMergeOnce) {
     c.validate();
 }
 
-TEST(EwiseAddCoo, TrackedBufferIsTransient) {
+TEST_F(EwiseAddCoo, TrackedBufferIsTransient) {
     backend::Context local{backend::Policy::Sequential};
     const auto a = to_coo(random_csr(30, 30, 0.2, 53));
     const auto b = to_coo(random_csr(30, 30, 0.2, 54));
@@ -104,53 +111,53 @@ TEST(EwiseAddCoo, TrackedBufferIsTransient) {
 
 // ------------------------------ ewise_mult -------------------------------
 
-TEST(EwiseMult, IntersectionBasics) {
+TEST_F(EwiseMult, IntersectionBasics) {
     const auto a = CsrMatrix::from_coords(2, 4, {{0, 0}, {0, 2}, {1, 1}});
     const auto b = CsrMatrix::from_coords(2, 4, {{0, 2}, {0, 3}, {1, 1}});
     const auto c = ops::ewise_mult(ctx(), a, b);
     EXPECT_EQ(c.to_coords(), (std::vector<Coord>{{0, 2}, {1, 1}}));
 }
 
-TEST(EwiseMult, DisjointGivesEmpty) {
+TEST_F(EwiseMult, DisjointGivesEmpty) {
     const auto a = CsrMatrix::from_coords(2, 2, {{0, 0}});
     const auto b = CsrMatrix::from_coords(2, 2, {{1, 1}});
     EXPECT_EQ(ops::ewise_mult(ctx(), a, b).nnz(), 0u);
 }
 
-TEST(EwiseMult, IsIdempotentAndCommutative) {
+TEST_F(EwiseMult, IsIdempotentAndCommutative) {
     const auto a = random_csr(30, 30, 0.2, 60);
     const auto b = random_csr(30, 30, 0.2, 61);
     EXPECT_EQ(ops::ewise_mult(ctx(), a, a), a);
     EXPECT_EQ(ops::ewise_mult(ctx(), a, b), ops::ewise_mult(ctx(), b, a));
 }
 
-TEST(EwiseMult, AbsorptionWithAdd) {
+TEST_F(EwiseMult, AbsorptionWithAdd) {
     // A & (A | B) == A over the Boolean lattice.
     const auto a = random_csr(25, 25, 0.15, 62);
     const auto b = random_csr(25, 25, 0.15, 63);
     EXPECT_EQ(ops::ewise_mult(ctx(), a, ops::ewise_add(ctx(), a, b)), a);
 }
 
-TEST(EwiseMult, ShapeMismatchThrows) {
+TEST_F(EwiseMult, ShapeMismatchThrows) {
     const CsrMatrix a{2, 3}, b{3, 3};
     EXPECT_THROW((void)ops::ewise_mult(ctx(), a, b), Error);
 }
 
 // ------------------------------ ewise_diff -------------------------------
 
-TEST(EwiseDiff, SetDifferenceBasics) {
+TEST_F(EwiseDiff, SetDifferenceBasics) {
     const auto a = CsrMatrix::from_coords(2, 4, {{0, 0}, {0, 2}, {1, 1}});
     const auto b = CsrMatrix::from_coords(2, 4, {{0, 2}});
     const auto c = ops::ewise_diff(ctx(), a, b);
     EXPECT_EQ(c.to_coords(), (std::vector<Coord>{{0, 0}, {1, 1}}));
 }
 
-TEST(EwiseDiff, SelfDifferenceIsEmpty) {
+TEST_F(EwiseDiff, SelfDifferenceIsEmpty) {
     const auto a = random_csr(20, 20, 0.3, 64);
     EXPECT_EQ(ops::ewise_diff(ctx(), a, a).nnz(), 0u);
 }
 
-TEST(EwiseDiff, PartitionLaw) {
+TEST_F(EwiseDiff, PartitionLaw) {
     // (A \ B) | (A & B) == A, and the two parts are disjoint.
     const auto a = random_csr(30, 30, 0.2, 65);
     const auto b = random_csr(30, 30, 0.2, 66);
@@ -160,7 +167,7 @@ TEST(EwiseDiff, PartitionLaw) {
     EXPECT_EQ(ops::ewise_mult(ctx(), diff, inter).nnz(), 0u);
 }
 
-TEST(EwiseDiff, EmptySubtrahendIsIdentity) {
+TEST_F(EwiseDiff, EmptySubtrahendIsIdentity) {
     const auto a = random_csr(10, 10, 0.3, 67);
     EXPECT_EQ(ops::ewise_diff(ctx(), a, CsrMatrix{10, 10}), a);
 }
@@ -172,7 +179,7 @@ struct AddCase {
     std::uint64_t seed;
 };
 
-class EwiseAddSweep : public ::testing::TestWithParam<AddCase> {};
+class EwiseAddSweep : public ::spbla::testing::CheckedContextWithParam<AddCase> {};
 
 TEST_P(EwiseAddSweep, MatchesDenseReference) {
     const auto p = GetParam();

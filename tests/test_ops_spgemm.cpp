@@ -13,11 +13,15 @@ using testing::ctx;
 using testing::random_csr;
 using testing::seq_ctx;
 
+// Op suites run on the shared contexts; CheckedContext asserts the
+// MemoryTracker leak report is clean after every test.
+using SpGemm = ::spbla::testing::CheckedContext;
+
 CsrMatrix reference_multiply(const CsrMatrix& a, const CsrMatrix& b) {
     return to_csr(to_dense(a).multiply(to_dense(b)));
 }
 
-TEST(SpGemm, EmptyTimesEmpty) {
+TEST_F(SpGemm, EmptyTimesEmpty) {
     const CsrMatrix a{3, 4}, b{4, 5};
     const auto c = ops::multiply(ctx(), a, b);
     EXPECT_EQ(c.nrows(), 3u);
@@ -25,19 +29,19 @@ TEST(SpGemm, EmptyTimesEmpty) {
     EXPECT_EQ(c.nnz(), 0u);
 }
 
-TEST(SpGemm, DimensionMismatchThrows) {
+TEST_F(SpGemm, DimensionMismatchThrows) {
     const CsrMatrix a{3, 4}, b{5, 5};
     EXPECT_THROW((void)ops::multiply(ctx(), a, b), Error);
 }
 
-TEST(SpGemm, IdentityIsNeutral) {
+TEST_F(SpGemm, IdentityIsNeutral) {
     const auto a = random_csr(20, 20, 0.2, 77);
     const auto i = CsrMatrix::identity(20);
     EXPECT_EQ(ops::multiply(ctx(), a, i), a);
     EXPECT_EQ(ops::multiply(ctx(), i, a), a);
 }
 
-TEST(SpGemm, SingleCellChain) {
+TEST_F(SpGemm, SingleCellChain) {
     // (0,1) x (1,2) -> (0,2)
     const auto a = CsrMatrix::from_coords(3, 3, {{0, 1}});
     const auto b = CsrMatrix::from_coords(3, 3, {{1, 2}});
@@ -45,7 +49,7 @@ TEST(SpGemm, SingleCellChain) {
     EXPECT_EQ(c.to_coords(), (std::vector<Coord>{{0, 2}}));
 }
 
-TEST(SpGemm, BooleanSaturationNoDuplicates) {
+TEST_F(SpGemm, BooleanSaturationNoDuplicates) {
     // Two distinct middle vertices produce the same output cell; the Boolean
     // semiring must collapse them into one.
     const auto a = CsrMatrix::from_coords(2, 3, {{0, 0}, {0, 1}});
@@ -55,13 +59,13 @@ TEST(SpGemm, BooleanSaturationNoDuplicates) {
     EXPECT_TRUE(c.get(0, 1));
 }
 
-TEST(SpGemm, RectangularShapes) {
+TEST_F(SpGemm, RectangularShapes) {
     const auto a = random_csr(7, 50, 0.15, 101);
     const auto b = random_csr(50, 13, 0.15, 102);
     EXPECT_EQ(ops::multiply(ctx(), a, b), reference_multiply(a, b));
 }
 
-TEST(SpGemm, MultiplyAddAccumulates) {
+TEST_F(SpGemm, MultiplyAddAccumulates) {
     const auto c0 = random_csr(20, 20, 0.1, 1);
     const auto a = random_csr(20, 20, 0.1, 2);
     const auto b = random_csr(20, 20, 0.1, 3);
@@ -70,20 +74,20 @@ TEST(SpGemm, MultiplyAddAccumulates) {
     EXPECT_EQ(result, expected);
 }
 
-TEST(SpGemm, MultiplyAddShapeCheck) {
+TEST_F(SpGemm, MultiplyAddShapeCheck) {
     const CsrMatrix c{3, 3}, a{3, 4}, b{4, 4};
     EXPECT_THROW((void)ops::multiply_add(ctx(), c, a, b), Error);
     const CsrMatrix ok{3, 4};
     EXPECT_NO_THROW((void)ops::multiply_add(ctx(), ok, a, b));
 }
 
-TEST(SpGemm, SequentialAndParallelBackendsAgree) {
+TEST_F(SpGemm, SequentialAndParallelBackendsAgree) {
     const auto a = random_csr(60, 60, 0.08, 55);
     const auto b = random_csr(60, 60, 0.08, 56);
     EXPECT_EQ(ops::multiply(ctx(), a, b), ops::multiply(seq_ctx(), a, b));
 }
 
-TEST(SpGemm, DenseRowFallbackProducesSameResult) {
+TEST_F(SpGemm, DenseRowFallbackProducesSameResult) {
     // A dense row (bipartite hub) exceeds the dense-row threshold.
     std::vector<Coord> coords;
     for (Index j = 0; j < 300; ++j) coords.push_back({0, j});
@@ -99,7 +103,7 @@ TEST(SpGemm, DenseRowFallbackProducesSameResult) {
     EXPECT_EQ(c1, reference_multiply(a, b));
 }
 
-TEST(SpGemm, TinyRowPathAgrees) {
+TEST_F(SpGemm, TinyRowPathAgrees) {
     ops::SpGemmOptions all_tiny;
     all_tiny.tiny_row_threshold = 0xFFFFFFFFu;  // force the sort-merge path
     const auto a = random_csr(40, 40, 0.1, 58);
@@ -107,7 +111,7 @@ TEST(SpGemm, TinyRowPathAgrees) {
     EXPECT_EQ(ops::multiply(ctx(), a, b, all_tiny), reference_multiply(a, b));
 }
 
-TEST(SpGemm, HashOnlyPathAgrees) {
+TEST_F(SpGemm, HashOnlyPathAgrees) {
     ops::SpGemmOptions hash_only;
     hash_only.tiny_row_threshold = 0;  // no tiny rows
     hash_only.use_binning = false;     // no dense fallback
@@ -116,7 +120,7 @@ TEST(SpGemm, HashOnlyPathAgrees) {
     EXPECT_EQ(ops::multiply(ctx(), a, b, hash_only), reference_multiply(a, b));
 }
 
-TEST(SpGemm, LoadFactorExtremesAgree) {
+TEST_F(SpGemm, LoadFactorExtremesAgree) {
     const auto a = random_csr(50, 50, 0.1, 62);
     const auto b = random_csr(50, 50, 0.1, 63);
     for (const double load : {0.1, 0.5, 0.99}) {
@@ -127,7 +131,7 @@ TEST(SpGemm, LoadFactorExtremesAgree) {
     }
 }
 
-TEST(SpGemm, LeavesNoTrackedMemoryBehind) {
+TEST_F(SpGemm, LeavesNoTrackedMemoryBehind) {
     backend::Context local{backend::Policy::Sequential};
     const auto a = random_csr(30, 30, 0.2, 64);
     const auto b = random_csr(30, 30, 0.2, 65);
@@ -144,7 +148,7 @@ struct MultiplyCase {
     std::uint64_t seed;
 };
 
-class SpGemmSweep : public ::testing::TestWithParam<MultiplyCase> {};
+class SpGemmSweep : public ::spbla::testing::CheckedContextWithParam<MultiplyCase> {};
 
 TEST_P(SpGemmSweep, MatchesDenseReference) {
     const auto p = GetParam();

@@ -19,9 +19,21 @@ using testing::ctx;
 using testing::random_csr;
 using testing::seq_ctx;
 
+// Op suites run on the shared contexts; CheckedContext asserts the
+// MemoryTracker leak report is clean after every test.
+using Transpose = ::spbla::testing::CheckedContext;
+using Submatrix = ::spbla::testing::CheckedContext;
+using Kronecker = ::spbla::testing::CheckedContext;
+using Reduce = ::spbla::testing::CheckedContext;
+using Mxv = ::spbla::testing::CheckedContext;
+using Vxm = ::spbla::testing::CheckedContext;
+using MxvVxm = ::spbla::testing::CheckedContext;
+using MaskedMultiply = ::spbla::testing::CheckedContext;
+using Structural = ::spbla::testing::CheckedContext;
+
 // ------------------------------- kronecker -------------------------------
 
-TEST(Kronecker, SmallManualCase) {
+TEST_F(Kronecker, SmallManualCase) {
     const auto a = CsrMatrix::from_coords(2, 2, {{0, 1}});
     const auto b = CsrMatrix::from_coords(2, 2, {{1, 0}});
     const auto k = ops::kronecker(ctx(), a, b);
@@ -30,26 +42,26 @@ TEST(Kronecker, SmallManualCase) {
     EXPECT_EQ(k.to_coords(), (std::vector<Coord>{{1, 2}}));
 }
 
-TEST(Kronecker, WithEmptyOperandIsEmpty) {
+TEST_F(Kronecker, WithEmptyOperandIsEmpty) {
     const auto a = random_csr(4, 4, 0.5, 1);
     const CsrMatrix empty{3, 3};
     EXPECT_EQ(ops::kronecker(ctx(), a, empty).nnz(), 0u);
     EXPECT_EQ(ops::kronecker(ctx(), empty, a).nnz(), 0u);
 }
 
-TEST(Kronecker, NnzIsProductOfNnz) {
+TEST_F(Kronecker, NnzIsProductOfNnz) {
     const auto a = random_csr(6, 7, 0.3, 2);
     const auto b = random_csr(5, 4, 0.3, 3);
     const auto k = ops::kronecker(ctx(), a, b);
     EXPECT_EQ(k.nnz(), a.nnz() * b.nnz());
 }
 
-TEST(Kronecker, IdentityTimesIdentity) {
+TEST_F(Kronecker, IdentityTimesIdentity) {
     const auto k = ops::kronecker(ctx(), CsrMatrix::identity(3), CsrMatrix::identity(4));
     EXPECT_EQ(k, CsrMatrix::identity(12));
 }
 
-TEST(Kronecker, MixedProductProperty) {
+TEST_F(Kronecker, MixedProductProperty) {
     // (A (x) B) * (C (x) D) == (A*C) (x) (B*D) over the Boolean semiring.
     const auto a = random_csr(5, 6, 0.3, 4);
     const auto b = random_csr(3, 4, 0.3, 5);
@@ -63,7 +75,7 @@ TEST(Kronecker, MixedProductProperty) {
 }
 
 class KroneckerSweep
-    : public ::testing::TestWithParam<std::tuple<Index, Index, double>> {};
+    : public ::spbla::testing::CheckedContextWithParam<std::tuple<Index, Index, double>> {};
 
 TEST_P(KroneckerSweep, MatchesDenseReference) {
     const auto [ar, br, density] = GetParam();
@@ -81,7 +93,7 @@ INSTANTIATE_TEST_SUITE_P(Cases, KroneckerSweep,
 
 // ------------------------------- transpose -------------------------------
 
-TEST(Transpose, SmallManualCase) {
+TEST_F(Transpose, SmallManualCase) {
     const auto m = CsrMatrix::from_coords(2, 3, {{0, 2}, {1, 0}});
     const auto t = ops::transpose(ctx(), m);
     EXPECT_EQ(t.nrows(), 3u);
@@ -89,19 +101,19 @@ TEST(Transpose, SmallManualCase) {
     EXPECT_EQ(t.to_coords(), (std::vector<Coord>{{0, 1}, {2, 0}}));
 }
 
-TEST(Transpose, InvolutionProperty) {
+TEST_F(Transpose, InvolutionProperty) {
     const auto m = random_csr(31, 47, 0.1, 30);
     EXPECT_EQ(ops::transpose(ctx(), ops::transpose(ctx(), m)), m);
 }
 
-TEST(Transpose, EmptyMatrix) {
+TEST_F(Transpose, EmptyMatrix) {
     const CsrMatrix m{5, 3};
     const auto t = ops::transpose(ctx(), m);
     EXPECT_EQ(t.nrows(), 3u);
     EXPECT_EQ(t.nnz(), 0u);
 }
 
-TEST(Transpose, MatchesDenseReference) {
+TEST_F(Transpose, MatchesDenseReference) {
     const auto m = random_csr(60, 40, 0.15, 31);
     const auto t = ops::transpose(ctx(), m);
     t.validate();
@@ -110,32 +122,32 @@ TEST(Transpose, MatchesDenseReference) {
 
 // ------------------------------- submatrix -------------------------------
 
-TEST(Submatrix, FullWindowIsIdentityOp) {
+TEST_F(Submatrix, FullWindowIsIdentityOp) {
     const auto m = random_csr(20, 30, 0.2, 40);
     EXPECT_EQ(ops::submatrix(ctx(), m, 0, 0, 20, 30), m);
 }
 
-TEST(Submatrix, WindowBeyondShapeThrows) {
+TEST_F(Submatrix, WindowBeyondShapeThrows) {
     const auto m = random_csr(10, 10, 0.2, 41);
     EXPECT_THROW((void)ops::submatrix(ctx(), m, 5, 5, 6, 5), Error);
     EXPECT_THROW((void)ops::submatrix(ctx(), m, 5, 5, 5, 6), Error);
 }
 
-TEST(Submatrix, EmptyWindow) {
+TEST_F(Submatrix, EmptyWindow) {
     const auto m = random_csr(10, 10, 0.3, 42);
     const auto s = ops::submatrix(ctx(), m, 3, 3, 0, 0);
     EXPECT_EQ(s.nrows(), 0u);
     EXPECT_EQ(s.nnz(), 0u);
 }
 
-TEST(Submatrix, RebasesIndices) {
+TEST_F(Submatrix, RebasesIndices) {
     const auto m = CsrMatrix::from_coords(4, 4, {{2, 3}, {3, 2}});
     const auto s = ops::submatrix(ctx(), m, 2, 2, 2, 2);
     EXPECT_EQ(s.to_coords(), (std::vector<Coord>{{0, 1}, {1, 0}}));
 }
 
 class SubmatrixSweep
-    : public ::testing::TestWithParam<std::tuple<Index, Index, Index, Index>> {};
+    : public ::spbla::testing::CheckedContextWithParam<std::tuple<Index, Index, Index, Index>> {};
 
 TEST_P(SubmatrixSweep, MatchesDenseReference) {
     const auto [r0, c0, h, w] = GetParam();
@@ -154,45 +166,45 @@ INSTANTIATE_TEST_SUITE_P(Cases, SubmatrixSweep,
 
 // -------------------------------- reduce ---------------------------------
 
-TEST(Reduce, ToColumnMarksNonEmptyRows) {
+TEST_F(Reduce, ToColumnMarksNonEmptyRows) {
     const auto m = CsrMatrix::from_coords(4, 4, {{0, 1}, {2, 2}, {2, 3}});
     const auto v = ops::reduce_to_column(ctx(), m);
     EXPECT_EQ(v, SpVector::from_indices(4, {0, 2}));
 }
 
-TEST(Reduce, ToRowMarksNonEmptyColumns) {
+TEST_F(Reduce, ToRowMarksNonEmptyColumns) {
     const auto m = CsrMatrix::from_coords(4, 4, {{0, 1}, {2, 2}, {3, 1}});
     const auto v = ops::reduce_to_row(ctx(), m);
     EXPECT_EQ(v, SpVector::from_indices(4, {1, 2}));
 }
 
-TEST(Reduce, RowColumnDuality) {
+TEST_F(Reduce, RowColumnDuality) {
     const auto m = random_csr(25, 35, 0.1, 44);
     EXPECT_EQ(ops::reduce_to_row(ctx(), m),
               ops::reduce_to_column(ctx(), ops::transpose(ctx(), m)));
 }
 
-TEST(Reduce, ScalarIsNnz) {
+TEST_F(Reduce, ScalarIsNnz) {
     const auto m = random_csr(10, 10, 0.4, 45);
     EXPECT_EQ(ops::reduce_scalar(m), m.nnz());
 }
 
 // ------------------------------- mxv / vxm -------------------------------
 
-TEST(Mxv, SelectsRowsHittingFrontier) {
+TEST_F(Mxv, SelectsRowsHittingFrontier) {
     const auto m = CsrMatrix::from_coords(3, 3, {{0, 1}, {2, 0}});
     const auto x = SpVector::from_indices(3, {1});
     // Row 0 contains column 1 -> hit; rows 1, 2 do not.
     EXPECT_EQ(ops::mxv(ctx(), m, x), SpVector::from_indices(3, {0}));
 }
 
-TEST(Vxm, PushesFrontierAlongEdges) {
+TEST_F(Vxm, PushesFrontierAlongEdges) {
     const auto m = CsrMatrix::from_coords(3, 3, {{0, 1}, {1, 2}});
     const auto x = SpVector::from_indices(3, {0});
     EXPECT_EQ(ops::vxm(ctx(), x, m), SpVector::from_indices(3, {1}));
 }
 
-TEST(MxvVxm, ShapeMismatchThrows) {
+TEST_F(MxvVxm, ShapeMismatchThrows) {
     const CsrMatrix m{3, 4};
     const auto bad = SpVector::from_indices(3, {0});
     EXPECT_THROW((void)ops::mxv(ctx(), m, bad), Error);
@@ -200,7 +212,7 @@ TEST(MxvVxm, ShapeMismatchThrows) {
     EXPECT_THROW((void)ops::vxm(ctx(), bad2, m), Error);
 }
 
-TEST(MxvVxm, AgreeWithDenseSemantics) {
+TEST_F(MxvVxm, AgreeWithDenseSemantics) {
     const auto m = random_csr(30, 30, 0.1, 46);
     const auto x = SpVector::from_indices(30, {1, 5, 7, 20, 29});
     const auto y = ops::mxv(ctx(), m, x);
@@ -218,7 +230,7 @@ TEST(MxvVxm, AgreeWithDenseSemantics) {
     }
 }
 
-TEST(MxvVxm, VxmEqualsMxvOnTranspose) {
+TEST_F(MxvVxm, VxmEqualsMxvOnTranspose) {
     const auto m = random_csr(40, 40, 0.08, 47);
     const auto x = SpVector::from_indices(40, {0, 3, 9, 33});
     EXPECT_EQ(ops::vxm(ctx(), x, m), ops::mxv(ctx(), ops::transpose(ctx(), m), x));
@@ -226,7 +238,7 @@ TEST(MxvVxm, VxmEqualsMxvOnTranspose) {
 
 // ---------------------------- masked multiply ----------------------------
 
-TEST(MaskedMultiply, EqualsMultiplyThenFilter) {
+TEST_F(MaskedMultiply, EqualsMultiplyThenFilter) {
     for (const auto seed : {70, 71, 72}) {
         const auto a = random_csr(30, 30, 0.12, seed);
         const auto b = random_csr(30, 30, 0.12, seed + 5);
@@ -239,7 +251,7 @@ TEST(MaskedMultiply, EqualsMultiplyThenFilter) {
     }
 }
 
-TEST(MaskedMultiply, ComplementEqualsMultiplyThenSubtract) {
+TEST_F(MaskedMultiply, ComplementEqualsMultiplyThenSubtract) {
     const auto a = random_csr(25, 25, 0.15, 80);
     const auto b = random_csr(25, 25, 0.15, 81);
     const auto mask = random_csr(25, 25, 0.3, 82);
@@ -249,20 +261,20 @@ TEST(MaskedMultiply, ComplementEqualsMultiplyThenSubtract) {
     EXPECT_EQ(masked, expected);
 }
 
-TEST(MaskedMultiply, EmptyMaskGivesEmptyResult) {
+TEST_F(MaskedMultiply, EmptyMaskGivesEmptyResult) {
     const auto a = random_csr(10, 10, 0.4, 83);
     const auto bt = ops::transpose(ctx(), a);
     EXPECT_EQ(ops::multiply_masked(ctx(), CsrMatrix{10, 10}, a, bt).nnz(), 0u);
 }
 
-TEST(MaskedMultiply, ShapeChecks) {
+TEST_F(MaskedMultiply, ShapeChecks) {
     const CsrMatrix a{3, 4}, bt{5, 4}, bad_mask{3, 4};
     EXPECT_THROW((void)ops::multiply_masked(ctx(), bad_mask, a, bt), Error);
     const CsrMatrix mask{3, 5};
     EXPECT_NO_THROW((void)ops::multiply_masked(ctx(), mask, a, bt));
 }
 
-TEST(MaskedMultiply, TriangleEdgeIdiom) {
+TEST_F(MaskedMultiply, TriangleEdgeIdiom) {
     // C<A> = A x A over a symmetric adjacency marks edges on triangles.
     const auto adj = CsrMatrix::from_coords(
         4, 4, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}, {2, 3}, {3, 2}});
@@ -273,7 +285,7 @@ TEST(MaskedMultiply, TriangleEdgeIdiom) {
     EXPECT_FALSE(on_triangle.get(2, 3));  // the pendant edge
 }
 
-TEST(Structural, SequentialBackendAgreesEverywhere) {
+TEST_F(Structural, SequentialBackendAgreesEverywhere) {
     const auto a = random_csr(24, 24, 0.15, 48);
     const auto b = random_csr(4, 4, 0.4, 49);
     EXPECT_EQ(ops::kronecker(ctx(), b, a), ops::kronecker(seq_ctx(), b, a));

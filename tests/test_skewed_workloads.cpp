@@ -25,6 +25,10 @@ namespace {
 using testing::ctx;
 using testing::seq_ctx;
 
+// Op suites run on the shared contexts; CheckedContext asserts the
+// MemoryTracker leak report is clean after every test.
+using SkewedEdgeCases = ::spbla::testing::CheckedContext;
+
 /// Generic-baseline reference: lift to floats, multiply, drop values.
 CsrMatrix generic_multiply(const CsrMatrix& a, const CsrMatrix& b) {
     const auto ga = baseline::GenericCsr::from_boolean(a);
@@ -57,7 +61,7 @@ std::vector<ops::SpGemmOptions> all_schedules() {
     return configs;
 }
 
-class SkewedSpGemm : public ::testing::TestWithParam<const char*> {
+class SkewedSpGemm : public ::spbla::testing::CheckedContextWithParam<const char*> {
 protected:
     CsrMatrix matrix() const {
         const std::string name = GetParam();
@@ -96,7 +100,7 @@ TEST_P(SkewedSpGemm, EwiseAddMatchesGenericBaseline) {
 INSTANTIATE_TEST_SUITE_P(Inputs, SkewedSpGemm,
                          ::testing::Values("rmat", "zipf-mild", "zipf-heavy"));
 
-TEST(SkewedEdgeCases, EmptyBinsEverywhere) {
+TEST_F(SkewedEdgeCases, EmptyBinsEverywhere) {
     // All-empty operand: every bin is empty, no launch does any work.
     const CsrMatrix a{100, 100};
     const auto c = ops::multiply(ctx(), a, a);
@@ -104,7 +108,7 @@ TEST(SkewedEdgeCases, EmptyBinsEverywhere) {
     EXPECT_EQ(c.nrows(), 100u);
 }
 
-TEST(SkewedEdgeCases, SingleHeavyRowAmongEmptyOnes) {
+TEST_F(SkewedEdgeCases, SingleHeavyRowAmongEmptyOnes) {
     // One full row (dense bin), everything else empty — the straggler the
     // heavy-first schedule exists for.
     std::vector<Coord> coords;
@@ -118,7 +122,7 @@ TEST(SkewedEdgeCases, SingleHeavyRowAmongEmptyOnes) {
     EXPECT_EQ(ops::multiply(seq_ctx(), a, b), expected);
 }
 
-TEST(SkewedEdgeCases, AllDenseRows) {
+TEST_F(SkewedEdgeCases, AllDenseRows) {
     // Near-full operands: every non-empty row lands in the dense bin.
     const auto a = data::make_uniform(300, 300, 0.6, 95);
     const auto b = data::make_uniform(300, 300, 0.6, 96);
@@ -128,7 +132,7 @@ TEST(SkewedEdgeCases, AllDenseRows) {
     }
 }
 
-TEST(SkewedEdgeCases, AllTinyRows) {
+TEST_F(SkewedEdgeCases, AllTinyRows) {
     // Ultra-sparse operands: every non-empty row lands in the tiny bin.
     const auto a = testing::random_csr(400, 400, 0.004, 97);
     const auto b = testing::random_csr(400, 400, 0.004, 98);
@@ -138,7 +142,7 @@ TEST(SkewedEdgeCases, AllTinyRows) {
     }
 }
 
-TEST(SkewedEdgeCases, HashLargeBinBoundary) {
+TEST_F(SkewedEdgeCases, HashLargeBinBoundary) {
     // Rows straddling the hash-small/hash-large threshold agree either way.
     const auto a = data::make_zipf(512, 512, 12, 1.0, 99);
     ops::SpGemmOptions tiny_split;
@@ -151,7 +155,7 @@ TEST(SkewedEdgeCases, HashLargeBinBoundary) {
     EXPECT_EQ(c1, generic_multiply(a, a));
 }
 
-TEST(SkewedEdgeCases, LegacyAccumulatorResetMatches) {
+TEST_F(SkewedEdgeCases, LegacyAccumulatorResetMatches) {
     // The benchmark-only pre-PR accumulator mode must stay correct so the
     // perf trajectory compares two right answers.
     const auto a = data::make_zipf(300, 300, 14, 1.2, 103);
@@ -165,7 +169,7 @@ TEST(SkewedEdgeCases, LegacyAccumulatorResetMatches) {
     EXPECT_EQ(ops::multiply(seq_ctx(), a, a, legacy), expected);
 }
 
-TEST(SkewedEdgeCases, TightCacheBudgetFallsBackPerRow) {
+TEST_F(SkewedEdgeCases, TightCacheBudgetFallsBackPerRow) {
     // A budget big enough for some rows but not all exercises the mixed
     // cached/recomputed numeric path.
     const auto a = data::make_zipf(256, 256, 16, 1.2, 100);
@@ -178,7 +182,7 @@ TEST(SkewedEdgeCases, TightCacheBudgetFallsBackPerRow) {
     }
 }
 
-TEST(SkewedEdgeCases, CacheLeavesNoTrackedMemoryBehind) {
+TEST_F(SkewedEdgeCases, CacheLeavesNoTrackedMemoryBehind) {
     backend::Context local{backend::Policy::Parallel, 2};
     const auto a = data::make_zipf(256, 256, 8, 1.0, 101);
     (void)ops::multiply(local, a, a);  // caching on by default
@@ -186,7 +190,7 @@ TEST(SkewedEdgeCases, CacheLeavesNoTrackedMemoryBehind) {
     EXPECT_GT(local.tracker().peak_bytes(), 0u);
 }
 
-TEST(SkewedEdgeCases, ZipfGeneratorShapeAndSkew) {
+TEST_F(SkewedEdgeCases, ZipfGeneratorShapeAndSkew) {
     const auto a = data::make_zipf(1000, 1000, 8, 1.2, 102);
     a.validate();
     EXPECT_EQ(a.nrows(), 1000u);

@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Project lint gate for the spbla reproduction.
+
+Enforces the correctness conventions that keep the specialised kernels
+auditable (run as the `lint` ctest target; CI runs it on every push):
+
+  raw-new-delete    No raw `new` / `delete` expressions. All device memory
+                    goes through DeviceBuffer / containers so the
+                    MemoryTracker accounting (the paper's footprint numbers)
+                    cannot be bypassed. The C API's opaque FFI handles are
+                    the one sanctioned exception (suppressed inline).
+  std-thread        No `std::thread` outside util/thread_pool: every worker
+                    must come from the pool the TSan preset race-checks.
+  ops-file-state    No mutable file-scope state in src/ops/ — kernels are
+                    re-entrant and run concurrently on the pool; hidden
+                    globals are exactly how racy buffer reuse starts.
+  nondeterminism    No rand()/srand()/argless time calls anywhere: every
+                    experiment must be reproducible bit-for-bit from a seed
+                    (util::Rng) and timed via util::Timer.
+  bare-assert       No <cassert>/assert() in src/ — invariants use
+                    SPBLA_ASSERT / SPBLA_CHECKED so they obey the
+                    SPBLA_CHECKS level instead of vanishing under NDEBUG.
+  contracts-include Files using SPBLA_* contract macros must include
+                    util/contracts.hpp (or core/validate.hpp, which
+                    re-exports it).
+  ops-validation    Every kernel translation unit in src/ops/ must wire
+                    SPBLA_VALIDATE / SPBLA_CHECKED at its boundaries.
+
+A finding can be suppressed for one line with a trailing
+`// lint:allow(<rule>)` comment; use sparingly and say why nearby.
+
+Usage: tools/lint.py [--root DIR]    exits 0 iff no violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "include", "tests", "bench", "examples")
+EXTENSIONS = {".hpp", ".cpp", ".h"}
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def strip_code(text: str) -> str:
+    """Replace comments and string/char literals with spaces, preserving
+    line structure so reported line numbers match the source."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class File:
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.raw = path.read_text(encoding="utf-8")
+        self.raw_lines = self.raw.splitlines()
+        self.code_lines = strip_code(self.raw).splitlines()
+        # Suppressions live in comments, so collect them from the raw text.
+        self.allows: dict[int, set[str]] = {}
+        for idx, line in enumerate(self.raw_lines, start=1):
+            m = ALLOW_RE.search(line)
+            if m:
+                self.allows[idx] = {r.strip() for r in m.group(1).split(",")}
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[tuple[str, int, str, str]] = []
+
+    def report(self, f: File, line_no: int, rule: str, msg: str) -> None:
+        if rule in f.allows.get(line_no, ()):  # inline suppression
+            return
+        self.violations.append((f.rel, line_no, rule, msg))
+
+    # --- rules ---------------------------------------------------------
+
+    def rule_raw_new_delete(self, f: File) -> None:
+        new_re = re.compile(r"\bnew\b(?!\s*\()")  # `new (addr) T` is still new
+        delete_re = re.compile(r"\bdelete\b")
+        deleted_fn_re = re.compile(r"=\s*delete\b")
+        for no, line in enumerate(f.code_lines, start=1):
+            if re.search(r"\bnew\b", line):
+                self.report(f, no, "raw-new-delete",
+                            "raw `new` — use DeviceBuffer / standard containers")
+            if delete_re.search(line) and not deleted_fn_re.search(
+                    re.sub(r"=\s*delete\b", "", line) if False else line):
+                if not re.fullmatch(r".*=\s*delete\s*;?.*", line):
+                    self.report(f, no, "raw-new-delete",
+                                "raw `delete` — use RAII ownership")
+        _ = new_re  # placement-new nuance folded into the `new` check above
+
+    def rule_std_thread(self, f: File) -> None:
+        if f.rel.startswith("src/util/thread_pool"):
+            return
+        for no, line in enumerate(f.code_lines, start=1):
+            if "std::thread" in line:
+                self.report(f, no, "std-thread",
+                            "std::thread outside util/thread_pool — use the "
+                            "Context's pool (parallel_for / submit_many)")
+
+    def rule_nondeterminism(self, f: File) -> None:
+        patterns = [
+            (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() — use util::Rng"),
+            (re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+             "wall-clock seeding — use util::Timer / explicit seeds"),
+            (re.compile(r"\brandom_device\b"), "std::random_device — use util::Rng"),
+        ]
+        for no, line in enumerate(f.code_lines, start=1):
+            for pat, msg in patterns:
+                if pat.search(line):
+                    self.report(f, no, "nondeterminism", msg)
+
+    def rule_bare_assert(self, f: File) -> None:
+        if not f.rel.startswith("src/"):
+            return
+        for no, line in enumerate(f.code_lines, start=1):
+            if re.search(r"(?<!\w)assert\s*\(", line) and "static_assert" not in line:
+                self.report(f, no, "bare-assert",
+                            "bare assert() — use SPBLA_ASSERT (obeys SPBLA_CHECKS)")
+        for no, line in enumerate(f.raw_lines, start=1):
+            if re.search(r'#\s*include\s*<cassert>', line):
+                self.report(f, no, "bare-assert",
+                            "<cassert> include — use util/contracts.hpp")
+
+    def rule_contracts_include(self, f: File) -> None:
+        if f.rel.endswith("util/contracts.hpp"):
+            return
+        uses = any(re.search(r"\bSPBLA_(ASSERT|REQUIRE|CHECKED|VALIDATE)\b", l)
+                   for l in f.code_lines)
+        if not uses:
+            return
+        includes = "\n".join(f.raw_lines)
+        if not re.search(r'#\s*include\s*"(util/contracts|core/validate)\.hpp"',
+                         includes):
+            self.report(f, 1, "contracts-include",
+                        "uses SPBLA_* contract macros without including "
+                        "util/contracts.hpp or core/validate.hpp")
+
+    def rule_ops_validation(self, f: File) -> None:
+        if not (f.rel.startswith("src/ops/") and f.rel.endswith(".cpp")):
+            return
+        text = "\n".join(f.code_lines)
+        if not re.search(r"\bSPBLA_(VALIDATE|CHECKED)\b", text):
+            self.report(f, 1, "ops-validation",
+                        "kernel translation unit has no SPBLA_VALIDATE / "
+                        "SPBLA_CHECKED wiring at its op boundaries")
+
+    def rule_ops_file_state(self, f: File) -> None:
+        if not f.rel.startswith("src/ops/"):
+            return
+        # Track whether we are at namespace (file) scope: every brace opened
+        # by a namespace is transparent, any other brace (function, class,
+        # struct, enum, lambda, initialiser) is opaque.
+        scope: list[str] = []
+        pending: str | None = None
+        decl_re = re.compile(
+            r"^\s*(?:static\s+|thread_local\s+)?"
+            r"(?!using\b|typedef\b|struct\b|class\b|enum\b|template\b|friend\b|"
+            r"namespace\b|extern\b|return\b|if\b|for\b|while\b|switch\b|case\b)"
+            r"[A-Za-z_][\w:<>,\s\*&]*?\s+[A-Za-z_]\w*\s*(?:=[^=]|\{)")
+        continuation = False  # inside a statement spanning multiple lines
+        for no, line in enumerate(f.code_lines, start=1):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                continue
+            if re.search(r"\bnamespace\b[^;{]*$", stripped) or re.search(
+                    r"\bnamespace\b[^;{]*\{", stripped):
+                pending = "namespace"
+            at_file_scope = all(s == "namespace" for s in scope)
+            if (at_file_scope and not continuation and decl_re.match(line)
+                    and not re.search(r"\b(const|constexpr|constinit)\b", line)
+                    and not re.search(r"\([^)]*\)\s*(\{|;)\s*$", stripped)):
+                self.report(f, no, "ops-file-state",
+                            "mutable file-scope state in a kernel TU — kernels "
+                            "must be re-entrant; move it into the function or "
+                            "the Context")
+            for ch in line:
+                if ch == "{":
+                    scope.append(pending if pending else "block")
+                    pending = None
+                elif ch == "}":
+                    if scope:
+                        scope.pop()
+            if stripped.endswith(";"):
+                pending = None
+            if stripped:
+                continuation = not stripped.endswith((";", "{", "}", ":"))
+
+    # --- driver --------------------------------------------------------
+
+    def run(self) -> int:
+        files = []
+        for d in SCAN_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for p in sorted(base.rglob("*")):
+                if p.suffix in EXTENSIONS and p.is_file():
+                    files.append(File(p, p.relative_to(self.root).as_posix()))
+        for f in files:
+            self.rule_raw_new_delete(f)
+            self.rule_std_thread(f)
+            self.rule_nondeterminism(f)
+            self.rule_bare_assert(f)
+            self.rule_contracts_include(f)
+            self.rule_ops_validation(f)
+            self.rule_ops_file_state(f)
+        for rel, no, rule, msg in sorted(self.violations):
+            print(f"{rel}:{no}: [{rule}] {msg}")
+        print(f"lint: scanned {len(files)} files, "
+              f"{len(self.violations)} violation(s)")
+        return 1 if self.violations else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root to scan (default: repo containing "
+                         "this script)")
+    args = ap.parse_args()
+    return Linter(args.root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
