@@ -185,29 +185,43 @@ std::vector<SpGemmConfig> spgemm_ladder() {
 }
 
 /// Times C = A * A for every ladder rung, appends one JSON input record, and
-/// returns full-pipeline speedup over the pre-PR baseline rung.
-double write_spgemm_record(std::FILE* f, const char* name, const CsrMatrix& a,
-                           bool last) {
+/// returns full-pipeline speedup over the pre-PR baseline rung. The "ms"
+/// field stays the minimum (the trajectory metric tracked across PRs); the
+/// "time" object adds the dispersion and, when the library was built with
+/// SPBLA_PROFILE=counters|trace, each rung carries a "counters" object from
+/// one instrumented (untimed) multiplication — nnz, bin occupancy, hash
+/// probe/collision rates and pool steals per rung, so the ladder attributes
+/// not just time but also the mechanism-level effects.
+double write_spgemm_record(bench::JsonWriter& w, const char* name,
+                           const CsrMatrix& a) {
     const auto configs = spgemm_ladder();
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"nrows\": %u, \"nnz\": %zu,\n"
-                 "     \"configs\": [\n",
-                 name, a.nrows(), a.nnz());
+    w.begin_object();
+    w.field("name", name);
+    w.field("nrows", static_cast<std::uint64_t>(a.nrows()));
+    w.field("nnz", static_cast<std::uint64_t>(a.nnz()));
+    w.begin_array("configs");
     double baseline_ms = 0, full_ms = 0;
     for (std::size_t i = 0; i < configs.size(); ++i) {
-        const double ms =
-            bench::time_best([&] { (void)ops::multiply(ctx(), a, a, configs[i].opts); },
-                             5) *
-            1e3;
+        const auto stats = bench::time_stats(
+            [&] { (void)ops::multiply(ctx(), a, a, configs[i].opts); }, 5);
+        const double ms = stats.min_ms();
         if (i == 0) baseline_ms = ms;
         if (i + 1 == configs.size()) full_ms = ms;
-        std::fprintf(f, "      {\"name\": \"%s\", \"ms\": %.3f}%s\n", configs[i].name,
-                     ms, i + 1 < configs.size() ? "," : "");
+        w.begin_object();
+        w.field("name", configs[i].name);
+        w.field("ms", ms);
+        w.field("time", stats);
+        if (prof::counting()) {
+            prof::reset();
+            (void)ops::multiply(ctx(), a, a, configs[i].opts);
+            bench::write_prof_counters(w);
+        }
+        w.end_object();
     }
+    w.end_array();
     const double speedup = full_ms > 0 ? baseline_ms / full_ms : 0.0;
-    std::fprintf(f, "     ],\n     \"speedup_full_vs_two_pass_static\": %.3f}%s\n",
-                 speedup, last ? "" : ",");
-    std::fflush(f);
+    w.field("speedup_full_vs_two_pass_static", speedup);
+    w.end_object();
     return speedup;
 }
 
@@ -221,11 +235,16 @@ void write_spgemm_trajectory() {
         std::fprintf(stderr, "bench_ops_micro: cannot open %s for writing\n", path);
         return;
     }
-    std::fprintf(f,
-                 "{\n  \"bench\": \"spgemm\",\n  \"operation\": \"C = A * A\",\n"
-                 "  \"policy\": \"parallel\",\n  \"threads\": %zu,\n  \"runs\": 5,\n"
-                 "  \"aggregate\": \"min\",\n  \"inputs\": [\n",
-                 ctx().pool() ? ctx().pool()->size() : 1);
+    bench::JsonWriter w(f);
+    w.begin_object();
+    w.field("bench", "spgemm");
+    w.field("operation", "C = A * A");
+    w.field("policy", "parallel");
+    w.field("threads", static_cast<std::uint64_t>(ctx().pool() ? ctx().pool()->size() : 1));
+    w.field("runs", 5);
+    w.field("aggregate", "min");
+    w.field("profile", prof::compiled_level_name());
+    w.begin_array("inputs");
     struct Input {
         const char* name;
         CsrMatrix m;
@@ -239,12 +258,13 @@ void write_spgemm_trajectory() {
     constexpr std::size_t kNumInputs = std::size(inputs);
     double log_sum = 0.0;
     for (std::size_t i = 0; i < kNumInputs; ++i) {
-        const double s =
-            write_spgemm_record(f, inputs[i].name, inputs[i].m, i + 1 == kNumInputs);
+        const double s = write_spgemm_record(w, inputs[i].name, inputs[i].m);
         log_sum += std::log(s > 0 ? s : 1.0);
     }
+    w.end_array();
     const double geomean = std::exp(log_sum / kNumInputs);
-    std::fprintf(f, "  ],\n  \"geomean_speedup\": %.3f\n}\n", geomean);
+    w.field("geomean_speedup", geomean);
+    w.end_object();
     std::fclose(f);
     std::printf("SpGEMM trajectory written to %s (geomean speedup %.2fx)\n", path,
                 geomean);

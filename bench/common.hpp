@@ -2,12 +2,15 @@
 /// \brief Shared harness utilities for the paper-reproduction benchmarks.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "backend/context.hpp"
+#include "prof/prof.hpp"
 #include "util/timer.hpp"
 
 namespace spbla::bench {
@@ -15,28 +18,58 @@ namespace spbla::bench {
 /// Number of repetitions benchmarks average over (the paper uses 5).
 inline constexpr int kRuns = 5;
 
-/// Best (minimum) wall-clock seconds of \p body over \p runs runs, plus one
-/// untimed warm-up. The minimum filters scheduler noise out of short kernels,
-/// so it is what the machine-readable perf trajectory records.
-inline double time_best(const std::function<void()>& body, int runs = kRuns) {
+/// Timing dispersion of one measured body over repeated runs. The minimum
+/// filters scheduler noise out of short kernels (so it remains the metric the
+/// machine-readable perf trajectory tracks across PRs); mean and sample
+/// standard deviation record how noisy the measurement itself was, so a
+/// regression can be told apart from jitter.
+struct Stats {
+    double min_s = 0.0;
+    double mean_s = 0.0;
+    double stddev_s = 0.0;
+    int runs = 0;
+
+    [[nodiscard]] double min_ms() const { return min_s * 1e3; }
+    [[nodiscard]] double mean_ms() const { return mean_s * 1e3; }
+    [[nodiscard]] double stddev_ms() const { return stddev_s * 1e3; }
+};
+
+/// Time \p body over \p runs runs (plus one untimed warm-up) and return
+/// min / mean / sample-stddev wall-clock seconds.
+inline Stats time_stats(const std::function<void()>& body, int runs = kRuns) {
     body();  // warm-up
-    double best = 0.0;
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(runs));
     for (int r = 0; r < runs; ++r) {
         util::Timer timer;
         body();
-        const double s = timer.seconds();
-        if (r == 0 || s < best) best = s;
+        samples.push_back(timer.seconds());
     }
-    return best;
+    Stats stats;
+    stats.runs = runs;
+    stats.min_s = samples.front();
+    double sum = 0.0;
+    for (const double s : samples) {
+        sum += s;
+        if (s < stats.min_s) stats.min_s = s;
+    }
+    stats.mean_s = sum / runs;
+    double sq = 0.0;
+    for (const double s : samples) {
+        sq += (s - stats.mean_s) * (s - stats.mean_s);
+    }
+    stats.stddev_s = runs > 1 ? std::sqrt(sq / (runs - 1)) : 0.0;
+    return stats;
 }
 
-/// Average wall-clock seconds of \p body over kRuns runs (plus one
-/// untimed warm-up run).
+/// Best (minimum) wall-clock seconds of \p body over \p runs runs.
+inline double time_best(const std::function<void()>& body, int runs = kRuns) {
+    return time_stats(body, runs).min_s;
+}
+
+/// Average wall-clock seconds of \p body over \p runs runs.
 inline double time_runs(const std::function<void()>& body, int runs = kRuns) {
-    body();  // warm-up
-    util::Timer timer;
-    for (int r = 0; r < runs; ++r) body();
-    return timer.seconds() / runs;
+    return time_stats(body, runs).mean_s;
 }
 
 /// Shared parallel context for all benchmarks.
@@ -62,6 +95,93 @@ inline std::string with_commas(std::uint64_t v) {
         ++count;
     }
     return {out.rbegin(), out.rend()};
+}
+
+/// Minimal streaming JSON writer shared by the benchmark executables, so
+/// every BENCH_*.json carries the same shapes — timings as
+/// {min_ms, mean_ms, stddev_ms, runs} objects, profiling counters under a
+/// "counters" key — without each bench hand-rolling fprintf format strings
+/// (and their comma/escaping bugs).
+class JsonWriter {
+public:
+    explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+    void begin_object(const char* key = nullptr) { open(key, '{'); }
+    void end_object() { close('}'); }
+    void begin_array(const char* key = nullptr) { open(key, '['); }
+    void end_array() { close(']'); }
+
+    void field(const char* key, const char* value) {
+        prefix(key);
+        std::fputc('"', f_);
+        for (const char* p = value; *p != '\0'; ++p) {
+            if (*p == '"' || *p == '\\') std::fputc('\\', f_);
+            std::fputc(*p, f_);
+        }
+        std::fputc('"', f_);
+    }
+    void field(const char* key, const std::string& value) { field(key, value.c_str()); }
+    void field(const char* key, std::uint64_t value) {
+        prefix(key);
+        std::fprintf(f_, "%llu", static_cast<unsigned long long>(value));
+    }
+    void field(const char* key, int value) {
+        field(key, static_cast<std::uint64_t>(value));
+    }
+    void field(const char* key, double value) {
+        prefix(key);
+        std::fprintf(f_, "%.3f", value);
+    }
+    /// A timing with dispersion: {"min_ms":…, "mean_ms":…, "stddev_ms":…,
+    /// "runs":…}.
+    void field(const char* key, const Stats& stats) {
+        begin_object(key);
+        field("min_ms", stats.min_ms());
+        field("mean_ms", stats.mean_ms());
+        field("stddev_ms", stats.stddev_ms());
+        field("runs", stats.runs);
+        end_object();
+    }
+
+private:
+    void open(const char* key, char bracket) {
+        prefix(key);
+        std::fputc(bracket, f_);
+        first_.push_back(true);
+    }
+    void close(char bracket) {
+        first_.pop_back();
+        newline();
+        std::fputc(bracket, f_);
+        if (first_.empty()) std::fputc('\n', f_);
+    }
+    void prefix(const char* key) {
+        if (!first_.empty()) {
+            if (!first_.back()) std::fputc(',', f_);
+            first_.back() = false;
+            newline();
+        }
+        if (key != nullptr) std::fprintf(f_, "\"%s\": ", key);
+    }
+    void newline() {
+        std::fputc('\n', f_);
+        for (std::size_t i = 0; i < 2 * first_.size(); ++i) std::fputc(' ', f_);
+    }
+
+    std::FILE* f_;
+    std::vector<bool> first_;  ///< one entry per open scope; true until first item
+};
+
+/// Emit every profiling counter aggregated since the last prof::reset() as a
+/// "span/counter" keyed object. Empty when the library was built with
+/// SPBLA_PROFILE=off (the counter tables stay silent) or profiling is
+/// disabled at runtime.
+inline void write_prof_counters(JsonWriter& w, const char* key = "counters") {
+    w.begin_object(key);
+    for (const auto& row : prof::counter_rows()) {
+        w.field((row.span + "/" + row.counter).c_str(), row.value);
+    }
+    w.end_object();
 }
 
 }  // namespace spbla::bench

@@ -2,6 +2,7 @@
 
 #include "ops/ewise_add.hpp"
 #include "ops/ewise_mult.hpp"
+#include "prof/prof.hpp"
 
 namespace spbla::algorithms {
 namespace {
@@ -16,6 +17,8 @@ CsrMatrix closure_delta(backend::Context& ctx, const CsrMatrix& adj,
     CsrMatrix frontier = adj;
     while (!frontier.empty()) {
         ++rounds;
+        SPBLA_PROF_SPAN_ITER("closure.round", rounds);
+        SPBLA_PROF_COUNT(frontier_nnz, frontier.nnz());
         const CsrMatrix extended = ops::multiply(ctx, frontier, adj, opts);
         frontier = ops::ewise_diff(ctx, extended, m);
         m = ops::ewise_add(ctx, m, frontier);
@@ -30,6 +33,7 @@ CsrMatrix transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
                              const ops::SpGemmOptions& opts) {
     check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
           "transitive_closure: matrix must be square");
+    SPBLA_PROF_SPAN("closure");
     std::size_t rounds = 0;
     CsrMatrix m{0, 0};
     if (strategy == ClosureStrategy::Delta) {
@@ -38,6 +42,7 @@ CsrMatrix transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
         m = adj;
         for (;;) {
             const std::size_t before = m.nnz();
+            SPBLA_PROF_SPAN_ITER("closure.round", rounds + 1);
             m = strategy == ClosureStrategy::Squaring
                     ? ops::multiply_add(ctx, m, m, m, opts)
                     : ops::multiply_add(ctx, m, m, adj, opts);

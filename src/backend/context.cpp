@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::backend {
@@ -20,6 +21,8 @@ Context::~Context() {
     }
 #endif
 }
+
+std::string Context::profile_summary() { return prof::text_summary(); }
 
 Context& default_context() {
     static Context ctx{Policy::Parallel};

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "prof/prof.hpp"
+
 namespace spbla::backend {
 
 /// Thread-safe byte counter with a high-water mark.
@@ -25,12 +27,20 @@ public:
                !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
         }
         allocs_.fetch_add(1, std::memory_order_relaxed);
+        // Fold the post-alloc total into the active span's device-memory
+        // high-water mark (mem_high_bytes) and event counters.
+        if constexpr (prof::kCompiledLevel >= SPBLA_PROFILE_COUNTERS) {
+            prof::note_alloc(bytes, cur);
+        }
     }
 
     /// Record a deallocation of \p bytes.
     void on_free(std::size_t bytes) noexcept {
         current_.fetch_sub(bytes, std::memory_order_relaxed);
         frees_.fetch_add(1, std::memory_order_relaxed);
+        if constexpr (prof::kCompiledLevel >= SPBLA_PROFILE_COUNTERS) {
+            prof::note_free(bytes);
+        }
     }
 
     /// Bytes currently allocated.

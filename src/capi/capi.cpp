@@ -14,6 +14,7 @@
 #include "backend/context.hpp"
 #include "core/csr.hpp"
 #include "ops/ops.hpp"
+#include "prof/prof.hpp"
 
 struct spbla_Matrix_t {
     spbla::CsrMatrix data;
@@ -117,6 +118,31 @@ const char* spbla_GetLastError(void) { return g_last_error.c_str(); }
 uint32_t spbla_GetVersion(void) { return 1 * 10000 + 0 * 100 + 0; }
 
 uint64_t spbla_GetLiveObjects(void) { return g_live_objects.load(); }
+
+spbla_Status spbla_ProfEnable(int level) {
+    return guarded([&]() -> spbla_Status {
+        if (level < 0 || level > 2) {
+            g_last_error = "spbla_ProfEnable: level must be 0, 1 or 2";
+            return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        spbla::prof::set_runtime_level(level);
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
+
+spbla_Status spbla_ProfDump(const char* path) {
+    return guarded([&]() -> spbla_Status {
+        if (path == nullptr || path[0] == '\0') {
+            g_last_error = "spbla_ProfDump: path must be non-empty";
+            return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        if (!spbla::prof::write_chrome_trace(path)) {
+            g_last_error = std::string("spbla_ProfDump: cannot write ") + path;
+            return SPBLA_STATUS_ERROR;
+        }
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
 
 spbla_Status spbla_Matrix_New(spbla_Matrix* matrix, spbla_Index nrows, spbla_Index ncols) {
     return guarded([&]() -> spbla_Status {

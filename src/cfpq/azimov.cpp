@@ -2,6 +2,7 @@
 
 #include "core/validate.hpp"
 #include "ops/ewise_add.hpp"
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::cfpq {
@@ -10,6 +11,7 @@ AzimovIndex azimov_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
                         const Grammar& g, const ops::SpGemmOptions& opts) {
     SPBLA_CHECKED(for (const auto& label : graph.labels())
                       core::validate(graph.matrix(label)));
+    SPBLA_PROF_SPAN("cfpq.azimov");
     AzimovIndex index;
     index.cnf = to_cnf(g);
     const Index n = graph.num_vertices();
@@ -31,6 +33,9 @@ AzimovIndex azimov_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
     for (bool changed = true; changed;) {
         changed = false;
         ++index.rounds;
+        // One span per round: the trace shows how much work each fixpoint
+        // iteration does and how quickly the rounds shrink to convergence.
+        SPBLA_PROF_SPAN_ITER("cfpq.azimov.round", index.rounds);
         for (const auto& [a, b, c] : index.cnf.binary_rules) {
             const std::size_t before = index.nt_matrix[a].nnz();
             index.nt_matrix[a] = ops::multiply_add(ctx, index.nt_matrix[a],

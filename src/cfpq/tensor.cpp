@@ -4,6 +4,7 @@
 #include "ops/ewise_add.hpp"
 #include "ops/kronecker.hpp"
 #include "ops/submatrix.hpp"
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::cfpq {
@@ -12,6 +13,7 @@ TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
                         const Grammar& g, const TensorOptions& opts) {
     SPBLA_CHECKED(for (const auto& label : graph.labels())
                       core::validate(graph.matrix(label)));
+    SPBLA_PROF_SPAN("cfpq.tensor");
     const Rsm rsm = build_rsm(g);
     const Index n = graph.num_vertices();
     const Index k = rsm.num_states;
@@ -34,6 +36,7 @@ TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
 
     for (;;) {
         ++index.rounds;
+        SPBLA_PROF_SPAN_ITER("cfpq.tensor.round", index.rounds);
 
         // M = sum over RSM symbols of RSM_s (x) G_s.
         CsrMatrix product{k * n, k * n};

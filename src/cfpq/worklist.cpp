@@ -5,11 +5,13 @@
 #include <vector>
 
 #include "core/validate.hpp"
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::cfpq {
 
 CsrMatrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g) {
+    SPBLA_PROF_SPAN("cfpq.worklist");
     const CnfGrammar cnf = to_cnf(g);
     const Index n = graph.num_vertices();
     const Index k = cnf.num_nonterminals();

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/validate.hpp"
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::ops {
@@ -25,6 +26,8 @@ CooMatrix multiply(backend::Context& ctx, const CooMatrix& a, const CooMatrix& b
                   "coo multiply: A.ncols must equal B.nrows");
     SPBLA_VALIDATE(a);
     SPBLA_VALIDATE(b);
+    SPBLA_PROF_SPAN("coo.multiply");
+    SPBLA_PROF_COUNT(nnz_in, a.nnz() + b.nnz());
     const auto b_offsets = row_segments(b);
     const auto a_rows = a.rows();
     const auto a_cols = a.cols();
@@ -35,6 +38,7 @@ CooMatrix multiply(backend::Context& ctx, const CooMatrix& a, const CooMatrix& b
     // trade-off the paper describes for the one-pass COO addition.
     std::size_t products = 0;
     for (const auto k : a_cols) products += b_offsets[k + 1] - b_offsets[k];
+    SPBLA_PROF_COUNT(esc_products, products);
     auto keys = ctx.alloc<std::uint64_t>(products);
 
     std::size_t out = 0;
@@ -52,6 +56,7 @@ CooMatrix multiply(backend::Context& ctx, const CooMatrix& a, const CooMatrix& b
     const auto unique_end = std::unique(keys.begin(), keys.end());
     const auto distinct =
         static_cast<std::size_t>(std::distance(keys.begin(), unique_end));
+    SPBLA_PROF_COUNT(nnz_out, distinct);
 
     std::vector<Index> rows(distinct);
     std::vector<Index> cols(distinct);
@@ -67,6 +72,9 @@ CooMatrix multiply(backend::Context& ctx, const CooMatrix& a, const CooMatrix& b
 
 CooMatrix transpose(backend::Context& ctx, const CooMatrix& n) {
     SPBLA_VALIDATE(n);
+    SPBLA_PROF_SPAN("coo.transpose");
+    SPBLA_PROF_COUNT(nnz_in, n.nnz());
+    SPBLA_PROF_COUNT(nnz_out, n.nnz());
     // Pack as (col, row) keys and sort — simple and exactly nnz extra words.
     auto keys = ctx.alloc<std::uint64_t>(n.nnz());
     const auto rows = n.rows();

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/validate.hpp"
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::ops {
@@ -13,6 +14,8 @@ CsrMatrix ewise_mult(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix&
                   Status::DimensionMismatch, "ewise_mult: shape mismatch");
     SPBLA_VALIDATE(a);
     SPBLA_VALIDATE(b);
+    SPBLA_PROF_SPAN("ewise_mult");
+    SPBLA_PROF_COUNT(nnz_in, a.nnz() + b.nnz());
     const Index m = a.nrows();
 
     // Pass 1: intersection size per row.
@@ -39,6 +42,8 @@ CsrMatrix ewise_mult(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix&
     std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
     for (Index i = 0; i < m; ++i) row_offsets[i + 1] = row_offsets[i] + row_sizes[i];
 
+    SPBLA_PROF_COUNT(nnz_out, row_offsets[m]);
+
     // Pass 2: emit the intersections.
     std::vector<Index> cols(row_offsets[m]);
     ctx.parallel_for(m, 512, [&](std::size_t i) {
@@ -60,6 +65,8 @@ CsrMatrix ewise_diff(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix&
                   Status::DimensionMismatch, "ewise_diff: shape mismatch");
     SPBLA_VALIDATE(a);
     SPBLA_VALIDATE(b);
+    SPBLA_PROF_SPAN("ewise_diff");
+    SPBLA_PROF_COUNT(nnz_in, a.nnz() + b.nnz());
     const Index m = a.nrows();
 
     auto row_sizes = ctx.alloc<Index>(m);
@@ -85,6 +92,7 @@ CsrMatrix ewise_diff(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix&
     std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
     for (Index i = 0; i < m; ++i) row_offsets[i + 1] = row_offsets[i] + row_sizes[i];
 
+    SPBLA_PROF_COUNT(nnz_out, row_offsets[m]);
     std::vector<Index> cols(row_offsets[m]);
     ctx.parallel_for(m, 512, [&](std::size_t i) {
         const auto r = static_cast<Index>(i);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/validate.hpp"
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::ops {
@@ -17,6 +18,9 @@ CsrMatrix kronecker(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& 
     const std::uint64_t total = static_cast<std::uint64_t>(a.nnz()) * b.nnz();
     SPBLA_REQUIRE(total <= 0xFFFFFFFFull, Status::OutOfRange,
                   "kronecker: result nnz overflows Index");
+    SPBLA_PROF_SPAN("kronecker");
+    SPBLA_PROF_COUNT(nnz_in, a.nnz() + b.nnz());
+    SPBLA_PROF_COUNT(nnz_out, total);
 
     const Index m = static_cast<Index>(out_rows);
     std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);

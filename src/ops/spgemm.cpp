@@ -9,6 +9,7 @@
 
 #include "core/validate.hpp"
 #include "ops/ewise_add.hpp"
+#include "prof/prof.hpp"
 #include "util/bit_ops.hpp"
 #include "util/contracts.hpp"
 
@@ -161,6 +162,10 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
             if (want > cap) want = cap;
             if (want < 16) want = 16;
             const Index mask = static_cast<Index>(want - 1);
+            // Probe/collision tallies stay in registers inside the row loop;
+            // one prof flush per row keeps the hot path unperturbed.
+            std::uint64_t probes = 0;
+            std::uint64_t collisions = 0;
             if (opts.legacy_accumulator_reset) {
                 s.hash_slots.assign(static_cast<std::size_t>(want), kEmptySlot);
                 Index count = 0;
@@ -168,6 +173,7 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
                     for (const auto c : b.row(k)) {
                         Index h = (c * 2654435761u) & mask;
                         for (;;) {
+                            ++probes;
                             const Index cur = s.hash_slots[h];
                             if (cur == c) break;
                             if (cur == kEmptySlot) {
@@ -175,10 +181,13 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
                                 ++count;
                                 break;
                             }
+                            ++collisions;
                             h = (h + 1) & mask;
                         }
                     }
                 }
+                SPBLA_PROF_COUNT(hash_probes, probes);
+                SPBLA_PROF_COUNT(hash_collisions, collisions);
                 if (need_columns) {
                     s.extracted.reserve(count);
                     for (std::size_t slot = 0; slot < want; ++slot) {
@@ -199,6 +208,7 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
                 for (const auto c : b.row(k)) {
                     Index h = (c * 2654435761u) & mask;
                     for (;;) {
+                        ++probes;
                         const Index cur = s.hash_slots[h];
                         if (cur == c) break;  // duplicate: Boolean OR is idempotent
                         if (cur == kEmptySlot) {
@@ -206,10 +216,13 @@ Index accumulate_row(const CsrMatrix& a, const CsrMatrix& b, Index i, std::uint6
                             s.inserted.push_back(c);
                             break;
                         }
+                        ++collisions;
                         h = (h + 1) & mask;
                     }
                 }
             }
+            SPBLA_PROF_COUNT(hash_probes, probes);
+            SPBLA_PROF_COUNT(hash_collisions, collisions);
             const Index count = static_cast<Index>(s.inserted.size());
             if (static_cast<std::uint64_t>(count) * 2 >= want) {
                 std::fill(s.hash_slots.begin(),
@@ -311,6 +324,8 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
                   "spgemm: A.ncols must equal B.nrows");
     SPBLA_VALIDATE(a);
     SPBLA_VALIDATE(b);
+    SPBLA_PROF_SPAN("spgemm.multiply");
+    SPBLA_PROF_COUNT(nnz_in, a.nnz() + b.nnz());
     const Index m = a.nrows();
     const util::Schedule sched =
         opts.use_ticket_scheduler ? util::Schedule::Dynamic : util::Schedule::Static;
@@ -326,6 +341,25 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
     // schedule's fused heavy-first grid or as a flat chunked sweep.
     BinSchedule bins;
     if (opts.use_bin_scheduler) bins.build(ub.data(), m, b.ncols(), opts);
+
+    // Bin-occupancy counters: an O(m) classify tally on the calling thread,
+    // so the numbers land deterministically on this span's trace event.
+    if constexpr (prof::kCompiledLevel >= SPBLA_PROFILE_COUNTERS) {
+        if (prof::counting()) {
+            std::array<std::uint64_t, kNumKinds> tally{};
+            for (Index i = 0; i < m; ++i) {
+                ++tally[static_cast<std::size_t>(classify_row(ub[i], b.ncols(), opts))];
+            }
+            SPBLA_PROF_COUNT(rows_total, m);
+            SPBLA_PROF_COUNT(rows_empty, tally[static_cast<std::size_t>(RowKind::Empty)]);
+            SPBLA_PROF_COUNT(rows_tiny, tally[static_cast<std::size_t>(RowKind::Tiny)]);
+            SPBLA_PROF_COUNT(rows_hash_small,
+                             tally[static_cast<std::size_t>(RowKind::HashSmall)]);
+            SPBLA_PROF_COUNT(rows_hash_large,
+                             tally[static_cast<std::size_t>(RowKind::HashLarge)]);
+            SPBLA_PROF_COUNT(rows_dense, tally[static_cast<std::size_t>(RowKind::Dense)]);
+        }
+    }
     const auto launch_rows = [&](const std::function<void(Index, RowScratch&)>& row_fn) {
         if (opts.use_bin_scheduler) {
             ctx.parallel_for_chunks(
@@ -369,6 +403,8 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
     // Symbolic phase 2: exact per-row sizes via the accumulators (columns
     // extracted along the way for rows the cache accepts).
     std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
+    {
+    SPBLA_PROF_SPAN("spgemm.symbolic");
     launch_rows([&](Index i, RowScratch& scratch) {
         std::size_t reserved = 0;
         bool keep = false;
@@ -400,6 +436,7 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
             cache_bytes.fetch_sub(reserved - cache[i].size() * sizeof(Index));
         }
     });
+    }
     ScratchCharge cache_charge;
     if (caching) cache_charge.charge(ctx.tracker(), cache_bytes.load());
 
@@ -412,6 +449,8 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
     // Numeric phase: cached rows are copied straight out; only rows the
     // budget excluded re-run their accumulator.
     std::vector<Index> cols(static_cast<std::size_t>(total));
+    {
+    SPBLA_PROF_SPAN("spgemm.numeric");
     launch_rows([&](Index i, RowScratch& scratch) {
         if (caching && cached[i]) {
             std::copy(cache[i].begin(), cache[i].end(), cols.begin() + row_offsets[i]);
@@ -421,6 +460,15 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
         std::copy(scratch.extracted.begin(), scratch.extracted.end(),
                   cols.begin() + row_offsets[i]);
     });
+    }
+    SPBLA_PROF_COUNT(nnz_out, total);
+    if constexpr (prof::kCompiledLevel >= SPBLA_PROFILE_COUNTERS) {
+        if (caching && prof::counting()) {
+            std::uint64_t kept = 0;
+            for (Index i = 0; i < m; ++i) kept += cached[i];
+            SPBLA_PROF_COUNT(cached_rows, kept);
+        }
+    }
 
     CsrMatrix out =
         CsrMatrix::from_raw(m, b.ncols(), std::move(row_offsets), std::move(cols));

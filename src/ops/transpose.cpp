@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/validate.hpp"
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::ops {
@@ -10,6 +11,9 @@ namespace spbla::ops {
 CsrMatrix transpose(backend::Context& ctx, const CsrMatrix& n) {
     (void)ctx;  // histogram + placement are cheap; kept single-launch
     SPBLA_VALIDATE(n);
+    SPBLA_PROF_SPAN("transpose");
+    SPBLA_PROF_COUNT(nnz_in, n.nnz());
+    SPBLA_PROF_COUNT(nnz_out, n.nnz());
     std::vector<Index> row_offsets(static_cast<std::size_t>(n.ncols()) + 1, 0);
     for (const auto c : n.cols()) ++row_offsets[c + 1];
     for (Index c = 0; c < n.ncols(); ++c) row_offsets[c + 1] += row_offsets[c];

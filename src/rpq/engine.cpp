@@ -9,6 +9,7 @@
 #include "ops/kronecker.hpp"
 #include "ops/mxv.hpp"
 #include "ops/submatrix.hpp"
+#include "prof/prof.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::rpq {
@@ -17,6 +18,7 @@ RpqIndex build_index(backend::Context& ctx, const data::LabeledGraph& graph,
                      const Dfa& query, algorithms::ClosureStrategy strategy) {
     SPBLA_CHECKED(for (const auto& label : graph.labels())
                       core::validate(graph.matrix(label)));
+    SPBLA_PROF_SPAN("rpq.build_index");
     const Index n = graph.num_vertices();
     const Index k = query.num_states;
 
@@ -103,6 +105,7 @@ SpVector evaluate_from(backend::Context& ctx, const data::LabeledGraph& graph,
                        const Dfa& query, Index source) {
     const Index n = graph.num_vertices();
     check(source < n, Status::OutOfRange, "evaluate_from: source out of range");
+    SPBLA_PROF_SPAN("rpq.evaluate_from");
 
     // visited[q] = set of graph vertices reached in automaton state q.
     std::vector<SpVector> visited(query.num_states, SpVector{n});
@@ -110,7 +113,9 @@ SpVector evaluate_from(backend::Context& ctx, const data::LabeledGraph& graph,
     std::vector<SpVector> frontier = visited;
 
     bool any_frontier = true;
+    std::uint64_t bfs_round = 0;
     while (any_frontier) {
+        SPBLA_PROF_SPAN_ITER("rpq.evaluate_from.round", ++bfs_round);
         std::vector<SpVector> next(query.num_states, SpVector{n});
         for (Index q = 0; q < query.num_states; ++q) {
             if (frontier[q].empty()) continue;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/prof.hpp"
 #include "util/bit_ops.hpp"
 
 namespace spbla::util {
@@ -10,6 +11,27 @@ namespace {
 /// Bound on tickets per dynamic launch: past this, claim overhead dominates
 /// any balance gain, so chunks are widened instead.
 constexpr std::size_t kMaxDynamicChunks = 1u << 14;
+
+void dispatch_chunks(ThreadPool* pool, std::size_t n, std::size_t chunk,
+                     const std::function<void(std::size_t, std::size_t)>& body,
+                     Schedule schedule) {
+    if (schedule == Schedule::Dynamic) {
+        const std::size_t tickets = ceil_div(n, chunk);
+        pool->run_dynamic(tickets, [&body, chunk, n](std::size_t t) {
+            const std::size_t begin = t * chunk;
+            body(begin, std::min(begin + chunk, n));
+        });
+        return;
+    }
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(ceil_div(n, chunk));
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+        const std::size_t end = begin + chunk < n ? begin + chunk : n;
+        jobs.emplace_back([&body, begin, end] { body(begin, end); });
+    }
+    pool->submit_many(std::move(jobs));
+    pool->wait_idle();
+}
 
 }  // namespace
 
@@ -32,22 +54,26 @@ void parallel_for_chunks(ThreadPool* pool, std::size_t n, std::size_t grain,
         body(0, n);
         return;
     }
-    if (schedule == Schedule::Dynamic) {
-        const std::size_t tickets = ceil_div(n, chunk);
-        pool->run_dynamic(tickets, [&body, chunk, n](std::size_t t) {
-            const std::size_t begin = t * chunk;
-            body(begin, std::min(begin + chunk, n));
-        });
-        return;
+    // Workers inherit the launcher's innermost span so kernel counters
+    // incremented on the pool aggregate under the op that launched them
+    // (plus pool_steals / pool_busy_ns bookkeeping per stolen chunk).
+    if constexpr (prof::kCompiledLevel >= SPBLA_PROFILE_COUNTERS) {
+        if (prof::counting()) {
+            const prof::SiteId site = prof::current_span_site();
+            if (site != prof::kNoSite) {
+                const std::uint32_t launcher = prof::thread_id();
+                dispatch_chunks(
+                    pool, n, chunk,
+                    [&body, site, launcher](std::size_t begin, std::size_t end) {
+                        const prof::WorkerScope scope(site, launcher);
+                        body(begin, end);
+                    },
+                    schedule);
+                return;
+            }
+        }
     }
-    std::vector<std::function<void()>> jobs;
-    jobs.reserve(ceil_div(n, chunk));
-    for (std::size_t begin = 0; begin < n; begin += chunk) {
-        const std::size_t end = begin + chunk < n ? begin + chunk : n;
-        jobs.emplace_back([&body, begin, end] { body(begin, end); });
-    }
-    pool->submit_many(std::move(jobs));
-    pool->wait_idle();
+    dispatch_chunks(pool, n, chunk, body, schedule);
 }
 
 void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,

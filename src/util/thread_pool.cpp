@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "prof/prof.hpp"
+
 namespace spbla::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -64,6 +66,10 @@ void ThreadPool::execute_bulk(BulkTask& task) {
 void ThreadPool::run_dynamic(std::size_t num_tickets,
                              const std::function<void(std::size_t)>& body) {
     if (num_tickets == 0) return;
+    // Attributed on the launching thread, so the counters land under the
+    // span of the op doing the launch.
+    SPBLA_PROF_COUNT(pool_bulk_launches, 1);
+    SPBLA_PROF_COUNT(pool_tickets, num_tickets);
     auto task = std::make_shared<BulkTask>();
     task->body = &body;
     task->count = num_tickets;
@@ -97,6 +103,7 @@ void ThreadPool::worker_loop() {
         }
         if (job) {
             job();
+            SPBLA_PROF_COUNT(pool_tasks, 1);
             std::lock_guard lock(mutex_);
             if (--in_flight_ == 0) cv_idle_.notify_all();
         } else if (bulk) {

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by spbla::prof.
+
+Checks, in order:
+
+  structure   The file parses as JSON and has the sections the exporter
+              promises: "traceEvents" (list) plus the spbla-specific
+              "spbla_counters" aggregate and "otherData" metadata (which
+              chrome://tracing / Perfetto simply ignore).
+  events      Every trace event is well-formed: metadata ("M") events name a
+              thread, duration ("X") events carry numeric ts/dur/pid/tid and
+              a non-empty name. The exporter only emits self-contained "X"
+              events, so no begin/end ("B"/"E") pairing can dangle.
+  balance     Per thread, span windows [ts, ts+dur] properly nest: any two
+              either contain one another or are disjoint. A partial overlap
+              means a corrupted ring entry or a broken scope stack.
+  counters    "spbla_counters" rows are {span, counter, kind, value} with
+              kind in {sum, max}; value is a non-negative integer.
+  spgemm      (--require-spgemm) The trace demonstrably covers the SpGEMM
+              pipeline: "spgemm.multiply" spans exist; under that span the
+              nnz_in / nnz_out counters are present; the bin classes
+              partition the rows (empty + tiny + hash_small + hash_large +
+              dense == total); hash_probes >= hash_collisions; and, when the
+              trace involves more than one thread (on a single-core host the
+              kernels legitimately fall back to serial execution), the pool
+              recorded work (pool_tasks or pool_steals).
+
+Usage: tools/check_trace.py TRACE.json [--require-spgemm]
+Exits 0 iff every check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+# ts/dur are microseconds with three decimals (nanosecond resolution), so
+# anything below half a nanosecond is formatting noise, not overlap.
+EPS_US = 0.0005
+
+
+class Checker:
+    def __init__(self) -> None:
+        self.errors: list[str] = []
+
+    def error(self, msg: str) -> None:
+        self.errors.append(msg)
+
+    # --- checks ---------------------------------------------------------
+
+    def check_structure(self, doc: object) -> dict | None:
+        if not isinstance(doc, dict):
+            self.error("top level is not a JSON object")
+            return None
+        for key, kind in (("traceEvents", list), ("spbla_counters", list),
+                          ("otherData", dict)):
+            if key not in doc:
+                self.error(f"missing top-level key {key!r}")
+            elif not isinstance(doc[key], kind):
+                self.error(f"top-level {key!r} is not a {kind.__name__}")
+        return doc if not self.errors else None
+
+    def check_events(self, events: list) -> list[dict]:
+        spans = []
+        for i, e in enumerate(events):
+            where = f"traceEvents[{i}]"
+            if not isinstance(e, dict):
+                self.error(f"{where}: not an object")
+                continue
+            ph = e.get("ph")
+            if ph == "M":
+                if e.get("name") != "thread_name":
+                    self.error(f"{where}: metadata event is not a thread_name")
+                if not isinstance(e.get("args", {}).get("name"), str):
+                    self.error(f"{where}: thread_name without args.name")
+                continue
+            if ph != "X":
+                self.error(f"{where}: unexpected phase {ph!r} "
+                           "(exporter emits only X and M)")
+                continue
+            if not isinstance(e.get("name"), str) or not e["name"]:
+                self.error(f"{where}: X event without a name")
+            for field in ("ts", "dur", "pid", "tid"):
+                if not isinstance(e.get(field), (int, float)):
+                    self.error(f"{where}: X event missing numeric {field!r}")
+            if isinstance(e.get("dur"), (int, float)) and e["dur"] < 0:
+                self.error(f"{where}: negative duration")
+            if isinstance(e.get("ts"), (int, float)) and e["ts"] < -EPS_US:
+                self.error(f"{where}: negative timestamp")
+            spans.append(e)
+        return spans
+
+    def check_balance(self, spans: list[dict]) -> None:
+        by_tid: dict[object, list[dict]] = defaultdict(list)
+        for e in spans:
+            if isinstance(e.get("ts"), (int, float)) and isinstance(
+                    e.get("dur"), (int, float)):
+                by_tid[e.get("tid")].append(e)
+        for tid, tid_spans in by_tid.items():
+            # Sweep in start order, outermost (longest) first on ties, with a
+            # stack of open end times: an event beginning inside an open span
+            # must also end inside it.
+            tid_spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+            stack: list[float] = []
+            for e in tid_spans:
+                start, end = e["ts"], e["ts"] + e["dur"]
+                while stack and stack[-1] <= start + EPS_US:
+                    stack.pop()
+                if stack and end > stack[-1] + EPS_US:
+                    self.error(
+                        f"tid {tid}: span {e['name']!r} [{start:.3f}, "
+                        f"{end:.3f}] partially overlaps an enclosing span "
+                        f"ending at {stack[-1]:.3f} — spans must nest")
+                stack.append(end)
+
+    def check_counters(self, rows: list) -> dict[tuple[str, str], int]:
+        table: dict[tuple[str, str], int] = {}
+        for i, row in enumerate(rows):
+            where = f"spbla_counters[{i}]"
+            if not isinstance(row, dict):
+                self.error(f"{where}: not an object")
+                continue
+            span, counter = row.get("span"), row.get("counter")
+            if not isinstance(span, str) or not isinstance(counter, str):
+                self.error(f"{where}: missing span/counter names")
+                continue
+            if row.get("kind") not in ("sum", "max"):
+                self.error(f"{where}: kind must be 'sum' or 'max'")
+            value = row.get("value")
+            if not isinstance(value, int) or value < 0:
+                self.error(f"{where}: value must be a non-negative integer")
+                continue
+            table[(span, counter)] = value
+        return table
+
+    def check_spgemm(self, spans: list[dict],
+                     counters: dict[tuple[str, str], int]) -> None:
+        names = {e.get("name") for e in spans}
+        if "spgemm.multiply" not in names:
+            self.error("no 'spgemm.multiply' span recorded")
+
+        def under_multiply(counter: str) -> int | None:
+            return counters.get(("spgemm.multiply", counter))
+
+        for required in ("nnz_in", "nnz_out", "rows_total"):
+            if under_multiply(required) is None:
+                self.error(f"counter {required!r} missing under spgemm.multiply")
+        total = under_multiply("rows_total")
+        if total is not None:
+            bins = ["rows_empty", "rows_tiny", "rows_hash_small",
+                    "rows_hash_large", "rows_dense"]
+            got = sum(under_multiply(b) or 0 for b in bins)
+            if got != total:
+                self.error(f"bin classes sum to {got}, expected rows_total "
+                           f"= {total} (bins must partition the rows)")
+
+        probes = sum(v for (s, c), v in counters.items() if c == "hash_probes")
+        collisions = sum(v for (s, c), v in counters.items()
+                         if c == "hash_collisions")
+        if probes == 0:
+            self.error("no hash_probes recorded — the hash kernel never ran "
+                       "or its counters are unwired")
+        if collisions > probes:
+            self.error(f"hash_collisions ({collisions}) exceeds hash_probes "
+                       f"({probes}) — every collision is a probe")
+
+        # On a single-core host every launch takes the serial fallback, so
+        # only a genuinely multi-threaded trace must show pool bookkeeping.
+        tids = {e.get("tid") for e in spans}
+        if len(tids) > 1:
+            pool_work = sum(v for (s, c), v in counters.items()
+                            if c in ("pool_tasks", "pool_steals",
+                                     "pool_bulk_launches"))
+            if pool_work == 0:
+                self.error("multi-threaded trace but no pool_tasks/"
+                           "pool_steals/pool_bulk_launches recorded — the "
+                           "thread-pool counters are unwired")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", type=Path, help="Chrome trace-event JSON to check")
+    ap.add_argument("--require-spgemm", action="store_true",
+                    help="additionally require the SpGEMM pipeline counters "
+                         "(bin classes, hash probes, pool work)")
+    args = ap.parse_args()
+
+    try:
+        doc = json.loads(args.trace.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_trace: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    checker = Checker()
+    top = checker.check_structure(doc)
+    if top is not None:
+        spans = checker.check_events(top["traceEvents"])
+        checker.check_balance(spans)
+        counters = checker.check_counters(top["spbla_counters"])
+        if args.require_spgemm:
+            checker.check_spgemm(spans, counters)
+        n_spans, n_counters = len(spans), len(counters)
+    else:
+        n_spans = n_counters = 0
+
+    for err in checker.errors:
+        print(f"check_trace: {args.trace}: {err}", file=sys.stderr)
+    status = "FAILED" if checker.errors else "ok"
+    print(f"check_trace: {args.trace}: {n_spans} span event(s), "
+          f"{n_counters} counter row(s), {len(checker.errors)} error(s) — "
+          f"{status}")
+    return 1 if checker.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

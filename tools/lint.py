@@ -20,6 +20,11 @@ auditable (run as the `lint` ctest target; CI runs it on every push):
   bare-assert       No <cassert>/assert() in src/ — invariants use
                     SPBLA_ASSERT / SPBLA_CHECKED so they obey the
                     SPBLA_CHECKS level instead of vanishing under NDEBUG.
+  raw-chrono        No direct `std::chrono` (or <chrono> include) in src/
+                    outside util/timer.hpp and src/prof/ — timing goes
+                    through util::Timer and the profiling layer so kernels
+                    never grow ad-hoc clocks the SPBLA_PROFILE=off build
+                    would still pay for.
   contracts-include Files using SPBLA_* contract macros must include
                     util/contracts.hpp (or core/validate.hpp, which
                     re-exports it).
@@ -177,6 +182,22 @@ class Linter:
                 self.report(f, no, "bare-assert",
                             "<cassert> include — use util/contracts.hpp")
 
+    def rule_raw_chrono(self, f: File) -> None:
+        if not f.rel.startswith("src/"):
+            return
+        if f.rel == "src/util/timer.hpp" or f.rel.startswith("src/prof/"):
+            return
+        for no, line in enumerate(f.code_lines, start=1):
+            if "std::chrono" in line:
+                self.report(f, no, "raw-chrono",
+                            "direct std::chrono — use util::Timer or the "
+                            "spbla::prof span/counter layer")
+        for no, line in enumerate(f.raw_lines, start=1):
+            if re.search(r"#\s*include\s*<chrono>", line):
+                self.report(f, no, "raw-chrono",
+                            "<chrono> include — use util/timer.hpp or "
+                            "prof/prof.hpp")
+
     def rule_contracts_include(self, f: File) -> None:
         if f.rel.endswith("util/contracts.hpp"):
             return
@@ -256,6 +277,7 @@ class Linter:
             self.rule_raw_new_delete(f)
             self.rule_std_thread(f)
             self.rule_nondeterminism(f)
+            self.rule_raw_chrono(f)
             self.rule_bare_assert(f)
             self.rule_contracts_include(f)
             self.rule_ops_validation(f)
