@@ -30,7 +30,7 @@ int main() {
                 "hash-only ms");
     bench::rule(50);
     for (const Index scale : {12u, 13u}) {
-        const auto a = data::make_rmat(scale, 8);
+        const CsrMatrix a = data::make_rmat(scale, 8).csr();
         ops::SpGemmOptions binned;
         ops::SpGemmOptions nobin;
         nobin.use_binning = false;
@@ -72,9 +72,9 @@ int main() {
             CsrMatrix m;
         };
         const Case cases[] = {
-            {"rmat-13-8", data::make_rmat(13, 8)},
-            {"zipf-4096-16", data::make_zipf(4096, 4096, 16, 1.0)},
-            {"zipf-8192-8", data::make_zipf(8192, 8192, 8, 1.1)},
+            {"rmat-13-8", data::make_rmat(13, 8).csr()},
+            {"zipf-4096-16", data::make_zipf(4096, 4096, 16, 1.0).csr()},
+            {"zipf-8192-8", data::make_zipf(8192, 8192, 8, 1.1).csr()},
         };
         for (const auto& c : cases) {
             const auto time_of = [&](const ops::SpGemmOptions& opts) {
@@ -93,7 +93,7 @@ int main() {
     std::printf("%-8s %12s\n", "load", "ms");
     bench::rule(22);
     {
-        const auto a = data::make_rmat(13, 8);
+        const CsrMatrix a = data::make_rmat(13, 8).csr();
         for (const double load : {0.125, 0.25, 0.5, 0.75, 0.95}) {
             ops::SpGemmOptions opts;
             opts.hash_load_factor = load;
@@ -113,7 +113,7 @@ int main() {
     {
         struct Case {
             const char* name;
-            CsrMatrix m;
+            Matrix m;
         };
         const Case cases[] = {
             {"path-1024", data::make_path(1024).matrix("a")},
@@ -199,12 +199,13 @@ int main() {
                     if (!g.has_label(symbol)) continue;
                     product = ops::ewise_add(
                         bench::ctx(), product,
-                        ops::kronecker(bench::ctx(), automaton.matrix(symbol),
-                                       g.matrix(symbol)));
+                        ops::kronecker(bench::ctx(), automaton.matrix(symbol).csr(),
+                                       g.matrix(symbol).csr()));
                 }
                 const std::size_t nnz = product.nnz();
+                const Matrix wrapped{product, bench::ctx()};
                 const double s = bench::time_runs(
-                    [&] { (void)algorithms::transitive_closure(bench::ctx(), product); },
+                    [&] { (void)algorithms::transitive_closure(bench::ctx(), wrapped); },
                     3);
                 return std::make_pair(nnz, s);
             };

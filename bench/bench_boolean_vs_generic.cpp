@@ -149,14 +149,14 @@ void write_json(const std::vector<SquareRow>& squares, const std::vector<AddRow>
 
 int main() {
     std::vector<Workload> workloads;
-    workloads.push_back({"rmat-11-8", data::make_rmat(11, 8)});
-    workloads.push_back({"rmat-13-8", data::make_rmat(13, 8)});
-    workloads.push_back({"rmat-14-4", data::make_rmat(14, 4)});
-    workloads.push_back({"lubm-100", data::make_lubm(100).union_matrix()});
+    workloads.push_back({"rmat-11-8", data::make_rmat(11, 8).csr()});
+    workloads.push_back({"rmat-13-8", data::make_rmat(13, 8).csr()});
+    workloads.push_back({"rmat-14-4", data::make_rmat(14, 4).csr()});
+    workloads.push_back({"lubm-100", data::make_lubm(100).union_matrix().csr()});
     workloads.push_back(
-        {"taxonomy-20k", data::make_taxonomy(20000, 2).union_matrix()});
+        {"taxonomy-20k", data::make_taxonomy(20000, 2).union_matrix().csr()});
     workloads.push_back(
-        {"geospecies-30k", data::make_geospecies(30000, 24).union_matrix()});
+        {"geospecies-30k", data::make_geospecies(30000, 24).union_matrix().csr()});
 
     std::vector<SquareRow> squares;
     std::vector<AddRow> adds;

@@ -19,7 +19,7 @@ int main() {
     const Index n = 65536;
     for (const double per_row : {0.05, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
         const double density = per_row / n;
-        const auto csr = data::make_uniform(n, n, density, 900 + per_row * 10);
+        const CsrMatrix csr = data::make_uniform(n, n, density, 900 + per_row * 10).csr();
         const auto coo = to_coo(csr);
         const double ratio = static_cast<double>(coo.device_bytes()) /
                              static_cast<double>(csr.device_bytes());

@@ -41,7 +41,7 @@ int main() {
     std::printf("%10s %14s %16s\n", "length", "ms", "total walks");
     bench::rule(42);
     {
-        const auto boolean = data::make_rmat(9, 2, 5);
+        const CsrMatrix boolean = data::make_rmat(9, 2, 5).csr();
         const auto adj = lift<PlusTimes>(boolean);
         for (const Index len : {2u, 3u, 4u}) {
             ValuedCsr<PlusTimes> power{adj.nrows(), adj.ncols()};
@@ -61,7 +61,7 @@ int main() {
     std::printf("%10s %12s %14s %10s\n", "scale", "native ms", "generic ms", "ratio");
     bench::rule(50);
     for (const Index scale : {9u, 10u, 11u}) {
-        const auto a = data::make_rmat(scale, 4, 7);
+        const CsrMatrix a = data::make_rmat(scale, 4, 7).csr();
         const auto lifted = lift<BoolOrAnd>(a);
         const double native = bench::time_runs(
             [&] { (void)ops::multiply(bench::ctx(), a, a); }, 3);

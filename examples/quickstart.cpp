@@ -7,12 +7,11 @@
 #include <cstdio>
 
 #include "backend/context.hpp"
-#include "core/csr.hpp"
-#include "ops/ops.hpp"
+#include "spbla/matrix.hpp"
 
 namespace {
 
-void print_matrix(const char* name, const spbla::CsrMatrix& m) {
+void print_matrix(const char* name, const spbla::Matrix& m) {
     std::printf("%s (%u x %u, %zu nnz):\n", name, m.nrows(), m.ncols(), m.nnz());
     for (const auto& c : m.to_coords()) std::printf("  (%u, %u)\n", c.row, c.col);
 }
@@ -26,30 +25,31 @@ int main() {
     backend::Context ctx{backend::Policy::Parallel};
 
     // Fill matrix with values {(i, j)_k}_k — a tiny directed graph.
-    const auto a = CsrMatrix::from_coords(4, 4, {{0, 1}, {1, 2}, {2, 3}});
-    const auto b = CsrMatrix::from_coords(4, 4, {{1, 0}, {2, 1}, {3, 2}});
+    const auto a = Matrix::from_coords(4, 4, {{0, 1}, {1, 2}, {2, 3}}, ctx);
+    const auto b = Matrix::from_coords(4, 4, {{1, 0}, {2, 1}, {3, 2}}, ctx);
     print_matrix("A", a);
     print_matrix("B", b);
 
-    // C += A x B over the Boolean semiring.
-    const auto c = ops::multiply_add(ctx, CsrMatrix{4, 4}, a, b);
+    // C += A x B over the Boolean semiring. The storage engine picks the
+    // representation (CSR, COO or dense bitmap) per operation.
+    const auto c = storage::multiply_add(ctx, Matrix{4, 4, ctx}, a, b);
     print_matrix("A * B", c);
 
     // M += N (element-wise addition).
-    print_matrix("A + B", ops::ewise_add(ctx, a, b));
+    print_matrix("A + B", storage::ewise_add(ctx, a, b));
 
     // K = A (x) B (Kronecker product).
-    const auto k = ops::kronecker(ctx, a, b);
+    const auto k = storage::kronecker(ctx, a, b);
     std::printf("A (x) B: %u x %u with %zu nnz\n", k.nrows(), k.ncols(), k.nnz());
 
     // M = N^T.
-    print_matrix("A^T", ops::transpose(ctx, a));
+    print_matrix("A^T", storage::transpose(ctx, a));
 
     // M = N[0..2, 1..3].
-    print_matrix("A[0..2, 1..3]", ops::submatrix(ctx, a, 0, 1, 2, 2));
+    print_matrix("A[0..2, 1..3]", storage::submatrix(ctx, a, 0, 1, 2, 2));
 
     // V = reduceToColumn(A).
-    const auto v = ops::reduce_to_column(ctx, a);
+    const auto v = storage::reduce_to_column(ctx, a);
     std::printf("reduceToColumn(A): %zu non-empty rows\n", v.nnz());
 
     // The memory story: Boolean CSR costs (m + 1 + nnz) indices.

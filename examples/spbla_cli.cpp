@@ -90,7 +90,7 @@ int cmd_closure(const std::string& in, const char* out) {
 int cmd_square(const std::string& in, const char* out) {
     const auto m = data::load_matrix_market_file(in);
     util::Timer timer;
-    const auto c = ops::multiply(ctx(), m, m);
+    const auto c = storage::multiply(ctx(), m, m);
     std::printf("square of %s: nnz %zu -> %zu (%.2f ms, peak temp %zu bytes)\n",
                 in.c_str(), m.nnz(), c.nnz(), timer.millis(),
                 ctx().tracker().peak_bytes());

@@ -5,7 +5,6 @@
 
 #include "algorithms/triangles.hpp"
 #include "backend/context.hpp"
-#include "core/csr.hpp"
 #include "data/rmat.hpp"
 #include "util/timer.hpp"
 
@@ -22,7 +21,7 @@ int main() {
             sym.push_back(c);
             sym.push_back({c.col, c.row});
         }
-        const auto adj = CsrMatrix::from_coords(raw.nrows(), raw.ncols(), std::move(sym));
+        const auto adj = Matrix::from_coords(raw.nrows(), raw.ncols(), std::move(sym), ctx);
 
         util::Timer timer;
         const auto triangles = algorithms::count_triangles(ctx, adj);

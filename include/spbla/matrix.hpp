@@ -2,96 +2,13 @@
 /// \brief High-level C++ facade over the SPbLA kernels.
 ///
 /// The paper ships pyspbla, a thin object wrapper over the C API that makes
-/// the operation set pleasant to compose. This header is the same layer for
-/// C++ users: a value-semantic Matrix bound to a Context, with operators for
-/// the Boolean semiring (`*` = multiply, `+` = element-wise or, `kron`).
-/// Everything forwards to the kernels in spbla::ops; nothing here adds
-/// state beyond the context pointer.
+/// the operation set pleasant to compose. As of the storage-engine refactor
+/// the facade class *is* the format-polymorphic handle: spbla::Matrix lives
+/// in src/storage/matrix.hpp, owns one of the three representations (CSR,
+/// COO, dense-bitmap), and routes every operator through the cost-driven
+/// dispatch layer. This header re-exports it together with the dispatch
+/// entry points so user code keeps a single include.
 #pragma once
 
-#include "backend/context.hpp"
-#include "core/csr.hpp"
-#include "ops/ops.hpp"
-
-namespace spbla {
-
-/// Value-semantic Boolean matrix bound to an execution context.
-class Matrix {
-public:
-    /// Empty matrix of the given shape on \p ctx (default: process context).
-    Matrix(Index nrows, Index ncols, backend::Context& ctx = backend::default_context())
-        : ctx_{&ctx}, data_{nrows, ncols} {}
-
-    /// Wrap an existing CSR matrix.
-    Matrix(CsrMatrix data, backend::Context& ctx = backend::default_context())
-        : ctx_{&ctx}, data_{std::move(data)} {}
-
-    /// Build from a coordinate list (duplicates collapse).
-    static Matrix from_coords(Index nrows, Index ncols, std::vector<Coord> coords,
-                              backend::Context& ctx = backend::default_context()) {
-        return Matrix{CsrMatrix::from_coords(nrows, ncols, std::move(coords)), ctx};
-    }
-
-    /// Identity matrix.
-    static Matrix identity(Index n, backend::Context& ctx = backend::default_context()) {
-        return Matrix{CsrMatrix::identity(n), ctx};
-    }
-
-    [[nodiscard]] Index nrows() const noexcept { return data_.nrows(); }
-    [[nodiscard]] Index ncols() const noexcept { return data_.ncols(); }
-    [[nodiscard]] std::size_t nnz() const noexcept { return data_.nnz(); }
-    [[nodiscard]] bool get(Index r, Index c) const { return data_.get(r, c); }
-    [[nodiscard]] std::vector<Coord> to_coords() const { return data_.to_coords(); }
-    [[nodiscard]] const CsrMatrix& csr() const noexcept { return data_; }
-    [[nodiscard]] backend::Context& context() const noexcept { return *ctx_; }
-
-    /// this := this | other (the paper's M += N).
-    Matrix& operator+=(const Matrix& other) {
-        data_ = ops::ewise_add(*ctx_, data_, other.data_);
-        return *this;
-    }
-
-    /// this := this | a * b (the paper's C += M x N fused form).
-    Matrix& multiply_add(const Matrix& a, const Matrix& b) {
-        data_ = ops::multiply_add(*ctx_, data_, a.data_, b.data_);
-        return *this;
-    }
-
-    [[nodiscard]] friend Matrix operator+(const Matrix& a, const Matrix& b) {
-        return Matrix{ops::ewise_add(*a.ctx_, a.data_, b.data_), *a.ctx_};
-    }
-
-    [[nodiscard]] friend Matrix operator*(const Matrix& a, const Matrix& b) {
-        return Matrix{ops::multiply(*a.ctx_, a.data_, b.data_), *a.ctx_};
-    }
-
-    /// Kronecker product K = this (x) other.
-    [[nodiscard]] Matrix kron(const Matrix& other) const {
-        return Matrix{ops::kronecker(*ctx_, data_, other.data_), *ctx_};
-    }
-
-    /// Transpose.
-    [[nodiscard]] Matrix transposed() const {
-        return Matrix{ops::transpose(*ctx_, data_), *ctx_};
-    }
-
-    /// Sub-matrix extraction M = this[r0..r0+m, c0..c0+n].
-    [[nodiscard]] Matrix submatrix(Index r0, Index c0, Index m, Index n) const {
-        return Matrix{ops::submatrix(*ctx_, data_, r0, c0, m, n), *ctx_};
-    }
-
-    /// V = reduceToColumn(this).
-    [[nodiscard]] SpVector reduce_to_column() const {
-        return ops::reduce_to_column(*ctx_, data_);
-    }
-
-    friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
-        return a.data_ == b.data_;
-    }
-
-private:
-    backend::Context* ctx_;
-    CsrMatrix data_;
-};
-
-}  // namespace spbla
+#include "storage/dispatch.hpp"  // IWYU pragma: export
+#include "storage/matrix.hpp"    // IWYU pragma: export

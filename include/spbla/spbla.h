@@ -48,6 +48,14 @@ typedef enum spbla_OpHint {
     SPBLA_HINT_ACCUMULATE = 1   /**< OR the result into the result operand */
 } spbla_OpHint;
 
+/** Storage-format hints for the storage engine's dispatch layer. */
+typedef enum spbla_FormatHint {
+    SPBLA_FORMAT_AUTO = 0,  /**< cost-driven per-op format selection */
+    SPBLA_FORMAT_CSR = 1,   /**< force the CSR (cuBool-style) backend */
+    SPBLA_FORMAT_COO = 2,   /**< force the COO (clBool-style) backend */
+    SPBLA_FORMAT_DENSE = 3  /**< force the dense bit-packed backend */
+} spbla_FormatHint;
+
 /** Opaque sparse Boolean matrix handle. */
 typedef struct spbla_Matrix_t* spbla_Matrix;
 
@@ -96,6 +104,25 @@ spbla_Status spbla_ProfEnable(int level);
  *  chrome://tracing or Perfetto) to the file at `path`. Call at a quiescent
  *  point (no operation in flight). May be called before spbla_Initialize. */
 spbla_Status spbla_ProfDump(const char* path);
+
+/* --------------------------- storage engine ----------------------------
+ * Matrices are format-polymorphic: the library stores each one in CSR, COO
+ * or a dense bitmap and picks the representation per operation with a cost
+ * model (conversions are cached under a memory budget). These calls are the
+ * escape hatch when the caller knows better than the model. */
+
+/** Force every subsequent operation onto one backend (or restore AUTO).
+ *  Operations the forced backend does not implement fall back to CSR, so
+ *  results are always identical to AUTO. May be called any time. */
+spbla_Status spbla_SetFormatHint(spbla_FormatHint hint);
+
+/** Bound, in bytes, on cached secondary representations kept alive across
+ *  operations (0 disables caching). Default: 256 MiB. */
+spbla_Status spbla_SetCacheBudget(uint64_t bytes);
+
+/** Re-anchor one matrix's primary storage format (converting if needed).
+ *  SPBLA_FORMAT_AUTO is invalid here. */
+spbla_Status spbla_Matrix_SetFormatHint(spbla_Matrix matrix, spbla_FormatHint hint);
 
 /* -------------------------------- matrix ------------------------------- */
 

@@ -1,10 +1,10 @@
 #include "algorithms/bfs.hpp"
 
-#include "ops/mxv.hpp"
+#include "storage/dispatch.hpp"
 
 namespace spbla::algorithms {
 
-std::vector<int> bfs_levels(backend::Context& ctx, const CsrMatrix& adj, Index source) {
+std::vector<int> bfs_levels(backend::Context& ctx, const Matrix& adj, Index source) {
     check(adj.nrows() == adj.ncols(), Status::DimensionMismatch, "bfs: square matrix");
     check(source < adj.nrows(), Status::OutOfRange, "bfs: source out of range");
 
@@ -14,7 +14,7 @@ std::vector<int> bfs_levels(backend::Context& ctx, const CsrMatrix& adj, Index s
     int depth = 0;
     while (!frontier.empty()) {
         ++depth;
-        const SpVector next = ops::vxm(ctx, frontier, adj);
+        const SpVector next = storage::vxm(ctx, frontier, adj);
         std::vector<Index> fresh;
         for (const auto v : next.indices()) {
             if (level[v] < 0) {
@@ -27,7 +27,7 @@ std::vector<int> bfs_levels(backend::Context& ctx, const CsrMatrix& adj, Index s
     return level;
 }
 
-SpVector reachable_from(backend::Context& ctx, const CsrMatrix& adj, Index source) {
+SpVector reachable_from(backend::Context& ctx, const Matrix& adj, Index source) {
     const auto levels = bfs_levels(ctx, adj, source);
     std::vector<Index> out;
     for (Index v = 0; v < adj.nrows(); ++v) {

@@ -9,17 +9,17 @@
 #include <vector>
 
 #include "backend/context.hpp"
-#include "core/csr.hpp"
 #include "core/spvector.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::algorithms {
 
 /// Per-vertex BFS level from \p source (-1 for unreachable vertices).
-[[nodiscard]] std::vector<int> bfs_levels(backend::Context& ctx, const CsrMatrix& adj,
+[[nodiscard]] std::vector<int> bfs_levels(backend::Context& ctx, const Matrix& adj,
                                           Index source);
 
 /// Set of vertices reachable from \p source (excluding source unless cyclic).
-[[nodiscard]] SpVector reachable_from(backend::Context& ctx, const CsrMatrix& adj,
+[[nodiscard]] SpVector reachable_from(backend::Context& ctx, const Matrix& adj,
                                       Index source);
 
 }  // namespace spbla::algorithms

@@ -1,7 +1,5 @@
 #include "algorithms/closure.hpp"
 
-#include "ops/ewise_add.hpp"
-#include "ops/ewise_mult.hpp"
 #include "prof/prof.hpp"
 
 namespace spbla::algorithms {
@@ -11,31 +9,31 @@ namespace {
 /// extend only those — each closure edge's final hop is recomputed exactly
 /// once instead of every round. This is the standard Datalog optimisation
 /// of the Linear strategy.
-CsrMatrix closure_delta(backend::Context& ctx, const CsrMatrix& adj,
-                        const ops::SpGemmOptions& opts, std::size_t& rounds) {
-    CsrMatrix m = adj;
-    CsrMatrix frontier = adj;
+Matrix closure_delta(backend::Context& ctx, const Matrix& adj,
+                     const ops::SpGemmOptions& opts, std::size_t& rounds) {
+    Matrix m = adj;
+    Matrix frontier = adj;
     while (!frontier.empty()) {
         ++rounds;
         SPBLA_PROF_SPAN_ITER("closure.round", rounds);
         SPBLA_PROF_COUNT(frontier_nnz, frontier.nnz());
-        const CsrMatrix extended = ops::multiply(ctx, frontier, adj, opts);
-        frontier = ops::ewise_diff(ctx, extended, m);
-        m = ops::ewise_add(ctx, m, frontier);
+        const Matrix extended = storage::multiply(ctx, frontier, adj, opts);
+        frontier = storage::ewise_diff(ctx, extended, m);
+        m = storage::ewise_add(ctx, m, frontier);
     }
     return m;
 }
 
 }  // namespace
 
-CsrMatrix transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
-                             ClosureStrategy strategy, ClosureStats* stats,
-                             const ops::SpGemmOptions& opts) {
+Matrix transitive_closure(backend::Context& ctx, const Matrix& adj,
+                          ClosureStrategy strategy, ClosureStats* stats,
+                          const ops::SpGemmOptions& opts) {
     check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
           "transitive_closure: matrix must be square");
     SPBLA_PROF_SPAN("closure");
     std::size_t rounds = 0;
-    CsrMatrix m{0, 0};
+    Matrix m{0, 0, ctx};
     if (strategy == ClosureStrategy::Delta) {
         m = closure_delta(ctx, adj, opts, rounds);
     } else {
@@ -44,8 +42,8 @@ CsrMatrix transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
             const std::size_t before = m.nnz();
             SPBLA_PROF_SPAN_ITER("closure.round", rounds + 1);
             m = strategy == ClosureStrategy::Squaring
-                    ? ops::multiply_add(ctx, m, m, m, opts)
-                    : ops::multiply_add(ctx, m, m, adj, opts);
+                    ? storage::multiply_add(ctx, m, m, m, opts)
+                    : storage::multiply_add(ctx, m, m, adj, opts);
             ++rounds;
             if (m.nnz() == before) break;
         }
@@ -57,10 +55,10 @@ CsrMatrix transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
     return m;
 }
 
-CsrMatrix reflexive_transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
-                                       ClosureStrategy strategy, ClosureStats* stats) {
-    const CsrMatrix plus = transitive_closure(ctx, adj, strategy, stats);
-    return ops::ewise_add(ctx, plus, CsrMatrix::identity(adj.nrows()));
+Matrix reflexive_transitive_closure(backend::Context& ctx, const Matrix& adj,
+                                    ClosureStrategy strategy, ClosureStats* stats) {
+    const Matrix plus = transitive_closure(ctx, adj, strategy, stats);
+    return storage::ewise_add(ctx, plus, Matrix::identity(adj.nrows(), ctx));
 }
 
 }  // namespace spbla::algorithms

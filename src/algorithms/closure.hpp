@@ -7,11 +7,15 @@
 /// (and ablated in bench_ablation):
 ///  - Squaring:  M <- M | M*M     (O(log d) rounds for diameter d)
 ///  - Linear:    M <- M | M*Base  (O(d) rounds, cheaper per round)
+///
+/// Operates on the format-polymorphic spbla::Matrix: the storage dispatch
+/// layer picks the representation per round (CSR while sparse, dense bitmap
+/// once the closure saturates) with hysteresis, so a fixpoint run converts
+/// formats at most a constant number of times.
 #pragma once
 
 #include "backend/context.hpp"
-#include "core/csr.hpp"
-#include "ops/spgemm.hpp"
+#include "storage/dispatch.hpp"
 
 namespace spbla::algorithms {
 
@@ -30,14 +34,14 @@ struct ClosureStats {
 
 /// Transitive closure M+ of a square adjacency matrix (no reflexive edges
 /// added). Optionally reports iteration stats through \p stats.
-[[nodiscard]] CsrMatrix transitive_closure(backend::Context& ctx, const CsrMatrix& adj,
-                                           ClosureStrategy strategy = ClosureStrategy::Squaring,
-                                           ClosureStats* stats = nullptr,
-                                           const ops::SpGemmOptions& opts = {});
+[[nodiscard]] Matrix transitive_closure(backend::Context& ctx, const Matrix& adj,
+                                        ClosureStrategy strategy = ClosureStrategy::Squaring,
+                                        ClosureStats* stats = nullptr,
+                                        const ops::SpGemmOptions& opts = {});
 
 /// Reflexive-transitive closure M* = I | M+.
-[[nodiscard]] CsrMatrix reflexive_transitive_closure(
-    backend::Context& ctx, const CsrMatrix& adj,
+[[nodiscard]] Matrix reflexive_transitive_closure(
+    backend::Context& ctx, const Matrix& adj,
     ClosureStrategy strategy = ClosureStrategy::Squaring, ClosureStats* stats = nullptr);
 
 }  // namespace spbla::algorithms

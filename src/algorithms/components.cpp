@@ -1,16 +1,14 @@
 #include "algorithms/components.hpp"
 
-#include "ops/ewise_add.hpp"
-#include "ops/mxv.hpp"
-#include "ops/transpose.hpp"
+#include "storage/dispatch.hpp"
 
 namespace spbla::algorithms {
 
-std::vector<Index> connected_components(backend::Context& ctx, const CsrMatrix& adj) {
+std::vector<Index> connected_components(backend::Context& ctx, const Matrix& adj) {
     check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
           "connected_components: matrix must be square");
     const Index n = adj.nrows();
-    const CsrMatrix sym = ops::ewise_add(ctx, adj, ops::transpose(ctx, adj));
+    const Matrix sym = storage::ewise_add(ctx, adj, storage::transpose(ctx, adj));
 
     constexpr Index kUnlabeled = 0xFFFFFFFFu;
     std::vector<Index> label(n, kUnlabeled);
@@ -19,7 +17,7 @@ std::vector<Index> connected_components(backend::Context& ctx, const CsrMatrix& 
         label[root] = root;
         SpVector frontier = SpVector::from_indices(n, {root});
         while (!frontier.empty()) {
-            const SpVector next = ops::vxm(ctx, frontier, sym);
+            const SpVector next = storage::vxm(ctx, frontier, sym);
             std::vector<Index> fresh;
             for (const auto v : next.indices()) {
                 if (label[v] == kUnlabeled) {
@@ -33,7 +31,7 @@ std::vector<Index> connected_components(backend::Context& ctx, const CsrMatrix& 
     return label;
 }
 
-std::size_t count_components(backend::Context& ctx, const CsrMatrix& adj) {
+std::size_t count_components(backend::Context& ctx, const Matrix& adj) {
     const auto labels = connected_components(ctx, adj);
     std::size_t count = 0;
     for (Index v = 0; v < adj.nrows(); ++v) {

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "backend/context.hpp"
-#include "core/csr.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::algorithms {
 
@@ -14,9 +14,9 @@ namespace spbla::algorithms {
 /// vertex id in the component). The adjacency matrix is symmetrised
 /// internally, so directed input is fine.
 [[nodiscard]] std::vector<Index> connected_components(backend::Context& ctx,
-                                                      const CsrMatrix& adj);
+                                                      const Matrix& adj);
 
 /// Number of weakly connected components.
-[[nodiscard]] std::size_t count_components(backend::Context& ctx, const CsrMatrix& adj);
+[[nodiscard]] std::size_t count_components(backend::Context& ctx, const Matrix& adj);
 
 }  // namespace spbla::algorithms

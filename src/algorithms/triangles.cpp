@@ -4,19 +4,22 @@
 
 namespace spbla::algorithms {
 
-std::uint64_t count_triangles(backend::Context& ctx, const CsrMatrix& adj) {
+std::uint64_t count_triangles(backend::Context& ctx, const Matrix& adj) {
     check(adj.nrows() == adj.ncols(), Status::DimensionMismatch,
           "count_triangles: matrix must be square");
+    // Materialise the row structure once, outside the parallel region — the
+    // handle's lazy conversion cache is not safe to fill concurrently.
+    const auto& rows = adj.csr(ctx);
     // Edge iterator: for each edge (u, v) with u < v, count common
     // neighbours w with w > v; each triangle u < v < w is counted once.
     std::atomic<std::uint64_t> total{0};
-    ctx.parallel_for(adj.nrows(), 128, [&](std::size_t ui) {
+    ctx.parallel_for(rows.nrows(), 128, [&](std::size_t ui) {
         const auto u = static_cast<Index>(ui);
         std::uint64_t local = 0;
-        const auto nu = adj.row(u);
+        const auto nu = rows.row(u);
         for (const auto v : nu) {
             if (v <= u) continue;
-            const auto nv = adj.row(v);
+            const auto nv = rows.row(v);
             // Intersect the parts of N(u) and N(v) above v.
             std::size_t a = 0, b = 0;
             while (a < nu.size() && nu[a] <= v) ++a;

@@ -8,11 +8,11 @@
 #include <cstdint>
 
 #include "backend/context.hpp"
-#include "core/csr.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::algorithms {
 
 /// Number of triangles in a symmetric adjacency matrix without self loops.
-[[nodiscard]] std::uint64_t count_triangles(backend::Context& ctx, const CsrMatrix& adj);
+[[nodiscard]] std::uint64_t count_triangles(backend::Context& ctx, const Matrix& adj);
 
 }  // namespace spbla::algorithms

@@ -12,12 +12,12 @@
 #include <string>
 
 #include "backend/context.hpp"
-#include "core/csr.hpp"
-#include "ops/ops.hpp"
 #include "prof/prof.hpp"
+#include "storage/dispatch.hpp"
+#include "storage/matrix.hpp"
 
 struct spbla_Matrix_t {
-    spbla::CsrMatrix data;
+    spbla::Matrix data;
 };
 
 struct spbla_Vector_t {
@@ -144,6 +144,62 @@ spbla_Status spbla_ProfDump(const char* path) {
     });
 }
 
+spbla_Status spbla_SetFormatHint(spbla_FormatHint hint) {
+    return guarded([&]() -> spbla_Status {
+        switch (hint) {
+            case SPBLA_FORMAT_AUTO:
+                spbla::storage::set_global_hint(spbla::storage::FormatHint::Auto);
+                break;
+            case SPBLA_FORMAT_CSR:
+                spbla::storage::set_global_hint(spbla::storage::FormatHint::ForceCsr);
+                break;
+            case SPBLA_FORMAT_COO:
+                spbla::storage::set_global_hint(spbla::storage::FormatHint::ForceCoo);
+                break;
+            case SPBLA_FORMAT_DENSE:
+                spbla::storage::set_global_hint(spbla::storage::FormatHint::ForceDense);
+                break;
+            default:
+                g_last_error = "spbla_SetFormatHint: unknown hint";
+                return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
+
+spbla_Status spbla_SetCacheBudget(uint64_t bytes) {
+    return guarded([&]() -> spbla_Status {
+        spbla::storage::set_cache_budget(static_cast<std::size_t>(bytes));
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
+
+spbla_Status spbla_Matrix_SetFormatHint(spbla_Matrix matrix, spbla_FormatHint hint) {
+    return guarded([&]() -> spbla_Status {
+        if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
+        if (matrix == nullptr) {
+            g_last_error = "spbla_Matrix_SetFormatHint: null handle";
+            return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        switch (hint) {
+            case SPBLA_FORMAT_CSR:
+                matrix->data.convert_to(spbla::Format::Csr, *g_context);
+                break;
+            case SPBLA_FORMAT_COO:
+                matrix->data.convert_to(spbla::Format::Coo, *g_context);
+                break;
+            case SPBLA_FORMAT_DENSE:
+                matrix->data.convert_to(spbla::Format::Dense, *g_context);
+                break;
+            case SPBLA_FORMAT_AUTO:
+            default:
+                g_last_error = "spbla_Matrix_SetFormatHint: hint must name a format";
+                return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
+
 spbla_Status spbla_Matrix_New(spbla_Matrix* matrix, spbla_Index nrows, spbla_Index ncols) {
     return guarded([&]() -> spbla_Status {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
@@ -152,7 +208,7 @@ spbla_Status spbla_Matrix_New(spbla_Matrix* matrix, spbla_Index nrows, spbla_Ind
             return SPBLA_STATUS_INVALID_ARGUMENT;
         }
         // FFI handles are raw by contract; freed in spbla_Matrix_Free.
-        *matrix = new spbla_Matrix_t{spbla::CsrMatrix{nrows, ncols}};  // lint:allow(raw-new-delete)
+        *matrix = new spbla_Matrix_t{spbla::Matrix{nrows, ncols, *g_context}};  // lint:allow(raw-new-delete)
         g_live_objects.fetch_add(1);
         return SPBLA_STATUS_SUCCESS;
     });
@@ -184,10 +240,10 @@ spbla_Status spbla_Matrix_Build(spbla_Matrix matrix, const spbla_Index* rows,
         std::vector<spbla::Coord> coords;
         coords.reserve(nvals);
         for (spbla_Index k = 0; k < nvals; ++k) coords.push_back({rows[k], cols[k]});
-        auto built = spbla::CsrMatrix::from_coords(matrix->data.nrows(),
-                                                   matrix->data.ncols(), std::move(coords));
+        auto built = spbla::Matrix::from_coords(matrix->data.nrows(), matrix->data.ncols(),
+                                                std::move(coords), *g_context);
         matrix->data = hint == SPBLA_HINT_ACCUMULATE
-                           ? spbla::ops::ewise_add(*g_context, matrix->data, built)
+                           ? spbla::storage::ewise_add(*g_context, matrix->data, built)
                            : std::move(built);
         return SPBLA_STATUS_SUCCESS;
     });
@@ -264,9 +320,9 @@ spbla_Status spbla_MxM(spbla_Matrix result, spbla_Matrix a, spbla_Matrix b,
         if (result == nullptr || a == nullptr || b == nullptr)
             return SPBLA_STATUS_INVALID_ARGUMENT;
         result->data = hint == SPBLA_HINT_ACCUMULATE
-                           ? spbla::ops::multiply_add(*g_context, result->data, a->data,
-                                                      b->data)
-                           : spbla::ops::multiply(*g_context, a->data, b->data);
+                           ? spbla::storage::multiply_add(*g_context, result->data,
+                                                          a->data, b->data)
+                           : spbla::storage::multiply(*g_context, a->data, b->data);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -276,7 +332,7 @@ spbla_Status spbla_Matrix_EWiseAdd(spbla_Matrix result, spbla_Matrix a, spbla_Ma
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || a == nullptr || b == nullptr)
             return SPBLA_STATUS_INVALID_ARGUMENT;
-        result->data = spbla::ops::ewise_add(*g_context, a->data, b->data);
+        result->data = spbla::storage::ewise_add(*g_context, a->data, b->data);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -286,7 +342,7 @@ spbla_Status spbla_Matrix_EWiseMult(spbla_Matrix result, spbla_Matrix a, spbla_M
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || a == nullptr || b == nullptr)
             return SPBLA_STATUS_INVALID_ARGUMENT;
-        result->data = spbla::ops::ewise_mult(*g_context, a->data, b->data);
+        result->data = spbla::storage::ewise_mult(*g_context, a->data, b->data);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -296,7 +352,7 @@ spbla_Status spbla_Kronecker(spbla_Matrix result, spbla_Matrix a, spbla_Matrix b
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || a == nullptr || b == nullptr)
             return SPBLA_STATUS_INVALID_ARGUMENT;
-        result->data = spbla::ops::kronecker(*g_context, a->data, b->data);
+        result->data = spbla::storage::kronecker(*g_context, a->data, b->data);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -305,7 +361,7 @@ spbla_Status spbla_Matrix_Transpose(spbla_Matrix result, spbla_Matrix a) {
     return guarded([&]() -> spbla_Status {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || a == nullptr) return SPBLA_STATUS_INVALID_ARGUMENT;
-        result->data = spbla::ops::transpose(*g_context, a->data);
+        result->data = spbla::storage::transpose(*g_context, a->data);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -316,7 +372,7 @@ spbla_Status spbla_Matrix_ExtractSubMatrix(spbla_Matrix result, spbla_Matrix a,
     return guarded([&]() -> spbla_Status {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || a == nullptr) return SPBLA_STATUS_INVALID_ARGUMENT;
-        result->data = spbla::ops::submatrix(*g_context, a->data, row0, col0, m, n);
+        result->data = spbla::storage::submatrix(*g_context, a->data, row0, col0, m, n);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -325,12 +381,12 @@ spbla_Status spbla_Matrix_Reduce(spbla_Matrix result, spbla_Matrix a) {
     return guarded([&]() -> spbla_Status {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || a == nullptr) return SPBLA_STATUS_INVALID_ARGUMENT;
-        const auto v = spbla::ops::reduce_to_column(*g_context, a->data);
+        const auto v = spbla::storage::reduce_to_column(*g_context, a->data);
         std::vector<spbla::Coord> coords;
         coords.reserve(v.nnz());
         for (const auto i : v.indices()) coords.push_back({i, 0});
-        result->data =
-            spbla::CsrMatrix::from_coords(a->data.nrows(), 1, std::move(coords));
+        result->data = spbla::Matrix::from_coords(a->data.nrows(), 1, std::move(coords),
+                                                  *g_context);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -432,7 +488,7 @@ spbla_Status spbla_MxV(spbla_Vector result, spbla_Matrix m, spbla_Vector v) {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || m == nullptr || v == nullptr)
             return SPBLA_STATUS_INVALID_ARGUMENT;
-        result->data = spbla::ops::mxv(*g_context, m->data, v->data);
+        result->data = spbla::storage::mxv(*g_context, m->data, v->data);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -442,7 +498,7 @@ spbla_Status spbla_VxM(spbla_Vector result, spbla_Vector v, spbla_Matrix m) {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || m == nullptr || v == nullptr)
             return SPBLA_STATUS_INVALID_ARGUMENT;
-        result->data = spbla::ops::vxm(*g_context, v->data, m->data);
+        result->data = spbla::storage::vxm(*g_context, v->data, m->data);
         return SPBLA_STATUS_SUCCESS;
     });
 }
@@ -451,7 +507,7 @@ spbla_Status spbla_Matrix_ReduceVector(spbla_Vector result, spbla_Matrix m) {
     return guarded([&]() -> spbla_Status {
         if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
         if (result == nullptr || m == nullptr) return SPBLA_STATUS_INVALID_ARGUMENT;
-        result->data = spbla::ops::reduce_to_column(*g_context, m->data);
+        result->data = spbla::storage::reduce_to_column(*g_context, m->data);
         return SPBLA_STATUS_SUCCESS;
     });
 }

@@ -12,19 +12,19 @@
 #include "backend/context.hpp"
 #include "cfpq/cnf.hpp"
 #include "data/labeled_graph.hpp"
-#include "ops/spgemm.hpp"
+#include "storage/dispatch.hpp"
 
 namespace spbla::cfpq {
 
 /// The single-path-style index: one graph-sized matrix per CNF nonterminal.
 struct AzimovIndex {
     CnfGrammar cnf;
-    std::vector<CsrMatrix> nt_matrix;  ///< indexed by CNF nonterminal id
+    std::vector<Matrix> nt_matrix;  ///< indexed by CNF nonterminal id
     std::size_t rounds{0};
 
     /// Answer pairs of the start nonterminal (includes the diagonal when
     /// the start symbol is nullable).
-    [[nodiscard]] const CsrMatrix& reachable() const { return nt_matrix[cnf.start]; }
+    [[nodiscard]] const Matrix& reachable() const { return nt_matrix[cnf.start]; }
 };
 
 /// Run Azimov's algorithm (index creation — the `Mtx` columns of Table IV).

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "ops/transpose.hpp"
+#include "storage/dispatch.hpp"
 
 namespace spbla::cfpq {
 
@@ -12,7 +12,7 @@ PathExtractor::PathExtractor(backend::Context& ctx, const data::LabeledGraph& gr
     const Index k = index.cnf.num_nonterminals();
     transposed_.reserve(k);
     for (Index a = 0; a < k; ++a) {
-        transposed_.push_back(ops::transpose(ctx, index.nt_matrix[a]));
+        transposed_.push_back(storage::transpose(ctx, index.nt_matrix[a]));
     }
     terminals_of_.resize(k);
     for (const auto& [a, label] : index.cnf.terminal_rules) {

@@ -48,7 +48,7 @@ private:
 
     const data::LabeledGraph& graph_;
     const AzimovIndex& index_;
-    std::vector<CsrMatrix> transposed_;  // T_A^T per nonterminal
+    std::vector<Matrix> transposed_;  // T_A^T per nonterminal
     std::vector<std::vector<std::string>> terminals_of_;              // nt -> labels
     std::vector<std::vector<std::pair<Index, Index>>> binaries_of_;   // nt -> (B, C)
 };

@@ -4,10 +4,10 @@
 
 namespace spbla::cfpq {
 
-CsrMatrix Rsm::matrix(const std::string& symbol) const {
+Matrix Rsm::matrix(const std::string& symbol) const {
     const auto it = delta.find(symbol);
-    if (it == delta.end()) return CsrMatrix{num_states, num_states};
-    return CsrMatrix::from_coords(num_states, num_states, it->second);
+    if (it == delta.end()) return Matrix{num_states, num_states};
+    return Matrix::from_coords(num_states, num_states, it->second);
 }
 
 std::vector<std::string> Rsm::symbols() const {

@@ -15,8 +15,8 @@
 #include <vector>
 
 #include "cfpq/grammar.hpp"
-#include "core/csr.hpp"
 #include "rpq/nfa.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::cfpq {
 
@@ -35,7 +35,7 @@ struct Rsm {
     std::vector<std::string> nonterminals;
 
     /// Boolean transition matrix of \p symbol (num_states square).
-    [[nodiscard]] CsrMatrix matrix(const std::string& symbol) const;
+    [[nodiscard]] Matrix matrix(const std::string& symbol) const;
 
     /// Symbols with at least one RSM transition.
     [[nodiscard]] std::vector<std::string> symbols() const;

@@ -1,10 +1,8 @@
 #include "cfpq/tensor.hpp"
 
 #include "core/validate.hpp"
-#include "ops/ewise_add.hpp"
-#include "ops/kronecker.hpp"
-#include "ops/submatrix.hpp"
 #include "prof/prof.hpp"
+#include "storage/dispatch.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::cfpq {
@@ -12,7 +10,7 @@ namespace spbla::cfpq {
 TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
                         const Grammar& g, const TensorOptions& opts) {
     SPBLA_CHECKED(for (const auto& label : graph.labels())
-                      core::validate(graph.matrix(label)));
+                      core::validate(graph.matrix(label).csr(ctx)));
     SPBLA_PROF_SPAN("cfpq.tensor");
     const Rsm rsm = build_rsm(g);
     const Index n = graph.num_vertices();
@@ -22,14 +20,14 @@ TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
     // Initialise nonterminal matrices: nullable NTs hold the identity
     // (every vertex derives them via the empty path).
     for (const auto& nt : rsm.nonterminals) {
-        index.nt_matrix.emplace(nt, CsrMatrix{n, n});
+        index.nt_matrix.emplace(nt, Matrix{n, n});
     }
     for (const auto& nt : rsm.nullable) {
-        index.nt_matrix.insert_or_assign(nt, CsrMatrix::identity(n));
+        index.nt_matrix.insert_or_assign(nt, Matrix::identity(n, ctx));
     }
 
-    CsrMatrix closure{k * n, k * n};  // warm-start accumulator
-    const auto symbol_matrix = [&](const std::string& s) -> const CsrMatrix& {
+    Matrix closure{k * n, k * n};  // warm-start accumulator
+    const auto symbol_matrix = [&](const std::string& s) -> const Matrix& {
         const auto it = index.nt_matrix.find(s);
         return it != index.nt_matrix.end() ? it->second : graph.matrix(s);
     };
@@ -39,17 +37,17 @@ TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
         SPBLA_PROF_SPAN_ITER("cfpq.tensor.round", index.rounds);
 
         // M = sum over RSM symbols of RSM_s (x) G_s.
-        CsrMatrix product{k * n, k * n};
+        Matrix product{k * n, k * n};
         for (const auto& symbol : rsm.symbols()) {
-            const CsrMatrix& gm = symbol_matrix(symbol);
+            const Matrix& gm = symbol_matrix(symbol);
             if (gm.nnz() == 0) continue;
-            product = ops::ewise_add(ctx, product,
-                                     ops::kronecker(ctx, rsm.matrix(symbol), gm));
+            product = storage::ewise_add(
+                ctx, product, storage::kronecker(ctx, rsm.matrix(symbol), gm));
         }
         if (opts.incremental_closure) {
             // Valid warm start: closure(closure(Mprev) | M) == closure(M)
             // because Mprev is a submatrix of M (edges only get added).
-            product = ops::ewise_add(ctx, product, closure);
+            product = storage::ewise_add(ctx, product, closure);
         }
         closure = algorithms::transitive_closure(ctx, product, opts.strategy);
 
@@ -57,10 +55,11 @@ TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
         bool changed = false;
         for (const auto& nt : rsm.nonterminals) {
             const Index q0 = rsm.box_start.at(nt);
-            CsrMatrix updated = index.nt_matrix.at(nt);
+            Matrix updated = index.nt_matrix.at(nt);
             for (const auto qf : rsm.box_final.at(nt)) {
-                const CsrMatrix block = ops::submatrix(ctx, closure, q0 * n, qf * n, n, n);
-                updated = ops::ewise_add(ctx, updated, block);
+                const Matrix block =
+                    storage::submatrix(ctx, closure, q0 * n, qf * n, n, n);
+                updated = storage::ewise_add(ctx, updated, block);
             }
             if (updated.nnz() != index.nt_matrix.at(nt).nnz()) {
                 index.nt_matrix.insert_or_assign(nt, std::move(updated));
@@ -72,8 +71,8 @@ TensorIndex tensor_cfpq(backend::Context& ctx, const data::LabeledGraph& graph,
 
     index.closure = std::move(closure);
     SPBLA_CHECKED({
-        core::validate(index.closure);
-        for (const auto& [nt, m] : index.nt_matrix) core::validate(m);
+        core::validate(index.closure.csr(ctx));
+        for (const auto& [nt, m] : index.nt_matrix) core::validate(m.csr(ctx));
     });
     return index;
 }

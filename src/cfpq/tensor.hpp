@@ -42,13 +42,13 @@ struct TensorOptions {
 /// The all-paths index produced by the tensor algorithm.
 struct TensorIndex {
     /// graph-sized Boolean matrix per nonterminal (reachability via that NT).
-    std::map<std::string, CsrMatrix> nt_matrix;
+    std::map<std::string, Matrix> nt_matrix;
     /// Final product transitive closure (used by path extraction).
-    CsrMatrix closure;
+    Matrix closure;
     std::size_t rounds{0};
 
     /// Answer pairs of the start nonterminal.
-    [[nodiscard]] const CsrMatrix& reachable(const Grammar& g) const {
+    [[nodiscard]] const Matrix& reachable(const Grammar& g) const {
         return nt_matrix.at(g.start_symbol());
     }
 };

@@ -10,7 +10,7 @@
 
 namespace spbla::cfpq {
 
-CsrMatrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g) {
+Matrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g) {
     SPBLA_PROF_SPAN("cfpq.worklist");
     const CnfGrammar cnf = to_cnf(g);
     const Index n = graph.num_vertices();
@@ -67,8 +67,8 @@ CsrMatrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g) {
     if (cnf.start_nullable) {
         for (Index u = 0; u < n; ++u) answers.push_back({u, u});
     }
-    CsrMatrix result = CsrMatrix::from_coords(n, n, std::move(answers));
-    SPBLA_VALIDATE(result);
+    Matrix result = Matrix::from_coords(n, n, std::move(answers));
+    SPBLA_VALIDATE(result.csr());
     return result;
 }
 
@@ -131,7 +131,7 @@ SinglePathIndex::SinglePathIndex(const data::LabeledGraph& graph, const Grammar&
     if (cnf_.start_nullable) {
         for (Index u = 0; u < n; ++u) answers.push_back({u, u});
     }
-    reachable_ = CsrMatrix::from_coords(n, n, std::move(answers));
+    reachable_ = Matrix::from_coords(n, n, std::move(answers));
 }
 
 bool SinglePathIndex::extract_one(Index u, Index v,

@@ -13,14 +13,13 @@
 #include <vector>
 
 #include "cfpq/cnf.hpp"
-#include "core/csr.hpp"
 #include "data/labeled_graph.hpp"
 
 namespace spbla::cfpq {
 
 /// All (u, v) pairs such that u reaches v by a path labelled by a word of
 /// L(g). Cubic worklist algorithm; intended for oracle/baseline use.
-[[nodiscard]] CsrMatrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g);
+[[nodiscard]] Matrix worklist_cfpq(const data::LabeledGraph& graph, const Grammar& g);
 
 /// Single-path semantics (what the paper's `Mtx` computes, in contrast to
 /// the tensor algorithm's all-paths index): every derived fact records *one*
@@ -33,7 +32,7 @@ public:
     SinglePathIndex(const data::LabeledGraph& graph, const Grammar& g);
 
     /// Answer pairs of the start nonterminal.
-    [[nodiscard]] const CsrMatrix& reachable() const noexcept { return reachable_; }
+    [[nodiscard]] const Matrix& reachable() const noexcept { return reachable_; }
 
     /// One witness word for (u, v); false if the pair is not an answer.
     /// The empty word is returned for diagonal answers of a nullable start.
@@ -53,7 +52,7 @@ private:
     CnfGrammar cnf_;
     /// Per CNF nonterminal: derived (u, v) -> its first derivation.
     std::vector<std::map<std::pair<Index, Index>, Provenance>> facts_;
-    CsrMatrix reachable_;
+    Matrix reachable_;
 };
 
 }  // namespace spbla::cfpq

@@ -1,50 +1,149 @@
 #include "core/convert.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
 namespace spbla {
 
-CsrMatrix to_csr(const CooMatrix& coo) {
-    std::vector<Index> row_offsets(static_cast<std::size_t>(coo.nrows()) + 1, 0);
+namespace {
+
+// Grain sizes for the conversion launches: rows are cheap (a search or a
+// popcount each), entries cheaper still, so keep chunks large enough that
+// ticket bookkeeping never dominates.
+constexpr std::size_t kRowGrain = 1024;
+
+/// Row pointers of a sorted COO: offsets[r] = first entry with row >= r,
+/// found independently per row (binary search), so the pass parallelises
+/// with no carried dependency — the two-pass count+scan the serial version
+/// used is replaced by nrows searches over the sorted rows array.
+std::vector<Index> coo_row_offsets(backend::Context& ctx, const CooMatrix& coo) {
     const auto rows = coo.rows();
-    for (const auto r : rows) ++row_offsets[r + 1];
-    for (Index r = 0; r < coo.nrows(); ++r) row_offsets[r + 1] += row_offsets[r];
+    std::vector<Index> offsets(static_cast<std::size_t>(coo.nrows()) + 1, 0);
+    offsets[coo.nrows()] = static_cast<Index>(rows.size());
+    ctx.parallel_for(coo.nrows(), kRowGrain, [&](std::size_t r) {
+        offsets[r] = static_cast<Index>(
+            std::lower_bound(rows.begin(), rows.end(), static_cast<Index>(r)) -
+            rows.begin());
+    });
+    return offsets;
+}
+
+}  // namespace
+
+CsrMatrix to_csr(backend::Context& ctx, const CooMatrix& coo) {
+    std::vector<Index> row_offsets = coo_row_offsets(ctx, coo);
     std::vector<Index> cols(coo.cols().begin(), coo.cols().end());
     return CsrMatrix::from_raw(coo.nrows(), coo.ncols(), std::move(row_offsets),
                                std::move(cols));
 }
 
-CooMatrix to_coo(const CsrMatrix& csr) {
-    std::vector<Index> rows;
-    rows.reserve(csr.nnz());
-    for (Index r = 0; r < csr.nrows(); ++r) {
-        rows.insert(rows.end(), csr.row_nnz(r), r);
-    }
+CooMatrix to_coo(backend::Context& ctx, const CsrMatrix& csr) {
+    std::vector<Index> rows(csr.nnz());
+    ctx.parallel_for(csr.nrows(), kRowGrain, [&](std::size_t r) {
+        const auto offsets = csr.row_offsets();
+        std::fill(rows.begin() + offsets[r], rows.begin() + offsets[r + 1],
+                  static_cast<Index>(r));
+    });
     std::vector<Index> cols(csr.cols().begin(), csr.cols().end());
     return CooMatrix::from_sorted(csr.nrows(), csr.ncols(), std::move(rows),
                                   std::move(cols));
 }
 
-CsrMatrix to_csr(const DenseMatrix& dense) {
-    return CsrMatrix::from_coords(dense.nrows(), dense.ncols(), dense.to_coords());
-}
+namespace {
 
-CooMatrix to_coo(const DenseMatrix& dense) {
-    return CooMatrix::from_coords(dense.nrows(), dense.ncols(), dense.to_coords());
-}
+/// Shared dense -> sparse pass: per-row popcount, exclusive scan for the
+/// destination offsets, then an independent per-row bit scatter.
+struct DenseScatter {
+    std::vector<Index> row_offsets;  // nrows + 1
+    std::vector<Index> cols;         // nnz, sorted within each row
+};
 
-DenseMatrix to_dense(const CsrMatrix& csr) {
-    DenseMatrix out{csr.nrows(), csr.ncols()};
-    for (Index r = 0; r < csr.nrows(); ++r) {
-        for (const auto c : csr.row(r)) out.set(r, c);
-    }
+DenseScatter dense_scatter(backend::Context& ctx, const DenseMatrix& dense) {
+    const Index nrows = dense.nrows();
+    std::vector<std::uint32_t> counts(nrows, 0);
+    ctx.parallel_for(nrows, kRowGrain, [&](std::size_t r) {
+        counts[r] = dense.row_nnz(static_cast<Index>(r));
+    });
+    const std::uint64_t total = ctx.exclusive_scan(counts);
+
+    DenseScatter out;
+    out.cols.resize(total);
+    out.row_offsets.assign(static_cast<std::size_t>(nrows) + 1, 0);
+    out.row_offsets[nrows] = static_cast<Index>(total);
+    ctx.parallel_for(nrows, kRowGrain / 4, [&](std::size_t r) {
+        out.row_offsets[r] = static_cast<Index>(counts[r]);
+        std::size_t dst = counts[r];
+        const auto words = dense.row_words(static_cast<Index>(r));
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            std::uint64_t bits = words[w];
+            while (bits != 0) {
+                out.cols[dst++] = static_cast<Index>(
+                    w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+                bits &= bits - 1;
+            }
+        }
+    });
     return out;
 }
 
-DenseMatrix to_dense(const CooMatrix& coo) {
+}  // namespace
+
+CsrMatrix to_csr(backend::Context& ctx, const DenseMatrix& dense) {
+    DenseScatter s = dense_scatter(ctx, dense);
+    return CsrMatrix::from_raw(dense.nrows(), dense.ncols(), std::move(s.row_offsets),
+                               std::move(s.cols));
+}
+
+CooMatrix to_coo(backend::Context& ctx, const DenseMatrix& dense) {
+    DenseScatter s = dense_scatter(ctx, dense);
+    std::vector<Index> rows(s.cols.size());
+    ctx.parallel_for(dense.nrows(), kRowGrain, [&](std::size_t r) {
+        std::fill(rows.begin() + s.row_offsets[r], rows.begin() + s.row_offsets[r + 1],
+                  static_cast<Index>(r));
+    });
+    return CooMatrix::from_sorted(dense.nrows(), dense.ncols(), std::move(rows),
+                                  std::move(s.cols));
+}
+
+DenseMatrix to_dense(backend::Context& ctx, const CsrMatrix& csr) {
+    DenseMatrix out{csr.nrows(), csr.ncols()};
+    // Rows own disjoint word ranges of the bitmap, so per-row writes do not
+    // race.
+    ctx.parallel_for(csr.nrows(), kRowGrain / 4, [&](std::size_t r) {
+        for (const auto c : csr.row(static_cast<Index>(r))) {
+            out.set(static_cast<Index>(r), c);
+        }
+    });
+    return out;
+}
+
+DenseMatrix to_dense(backend::Context& ctx, const CooMatrix& coo) {
     DenseMatrix out{coo.nrows(), coo.ncols()};
+    const std::vector<Index> offsets = coo_row_offsets(ctx, coo);
     const auto rows = coo.rows();
     const auto cols = coo.cols();
-    for (std::size_t k = 0; k < rows.size(); ++k) out.set(rows[k], cols[k]);
+    ctx.parallel_for(coo.nrows(), kRowGrain / 4, [&](std::size_t r) {
+        for (Index k = offsets[r]; k < offsets[r + 1]; ++k) {
+            out.set(rows[k], cols[k]);
+        }
+    });
     return out;
+}
+
+CsrMatrix to_csr(const CooMatrix& coo) { return to_csr(backend::default_context(), coo); }
+CooMatrix to_coo(const CsrMatrix& csr) { return to_coo(backend::default_context(), csr); }
+CsrMatrix to_csr(const DenseMatrix& dense) {
+    return to_csr(backend::default_context(), dense);
+}
+CooMatrix to_coo(const DenseMatrix& dense) {
+    return to_coo(backend::default_context(), dense);
+}
+DenseMatrix to_dense(const CsrMatrix& csr) {
+    return to_dense(backend::default_context(), csr);
+}
+DenseMatrix to_dense(const CooMatrix& coo) {
+    return to_dense(backend::default_context(), coo);
 }
 
 }  // namespace spbla

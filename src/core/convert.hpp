@@ -3,31 +3,43 @@
 ///
 /// cuBool (CSR) and clBool (COO) are distinct backends in the paper; this
 /// reproduction keeps both formats first-class and converts losslessly
-/// between them and the dense reference.
+/// between them and the dense reference. The Context& overloads run on the
+/// device pool (parallel row passes + exclusive scan) — they are the hot
+/// path of the storage engine's format dispatch; the context-free overloads
+/// delegate to the process default context.
 #pragma once
 
+#include "backend/context.hpp"
 #include "core/coo.hpp"
 #include "core/csr.hpp"
 #include "core/dense.hpp"
 
 namespace spbla {
 
-/// COO -> CSR (O(nnz)).
-[[nodiscard]] CsrMatrix to_csr(const CooMatrix& coo);
+/// COO -> CSR (O(nnz) work, parallel row-pointer search + copy).
+[[nodiscard]] CsrMatrix to_csr(backend::Context& ctx, const CooMatrix& coo);
 
-/// CSR -> COO (O(nnz)).
-[[nodiscard]] CooMatrix to_coo(const CsrMatrix& csr);
+/// CSR -> COO (O(nnz) work, parallel row expansion).
+[[nodiscard]] CooMatrix to_coo(backend::Context& ctx, const CsrMatrix& csr);
 
-/// Dense -> CSR.
-[[nodiscard]] CsrMatrix to_csr(const DenseMatrix& dense);
+/// Dense -> CSR (parallel popcount + exclusive scan + parallel bit scatter).
+[[nodiscard]] CsrMatrix to_csr(backend::Context& ctx, const DenseMatrix& dense);
 
 /// Dense -> COO.
-[[nodiscard]] CooMatrix to_coo(const DenseMatrix& dense);
+[[nodiscard]] CooMatrix to_coo(backend::Context& ctx, const DenseMatrix& dense);
 
-/// CSR -> dense.
-[[nodiscard]] DenseMatrix to_dense(const CsrMatrix& csr);
+/// CSR -> dense (parallel per-row bit fill).
+[[nodiscard]] DenseMatrix to_dense(backend::Context& ctx, const CsrMatrix& csr);
 
 /// COO -> dense.
+[[nodiscard]] DenseMatrix to_dense(backend::Context& ctx, const CooMatrix& coo);
+
+/// Context-free conveniences (default context's pool).
+[[nodiscard]] CsrMatrix to_csr(const CooMatrix& coo);
+[[nodiscard]] CooMatrix to_coo(const CsrMatrix& csr);
+[[nodiscard]] CsrMatrix to_csr(const DenseMatrix& dense);
+[[nodiscard]] CooMatrix to_coo(const DenseMatrix& dense);
+[[nodiscard]] DenseMatrix to_dense(const CsrMatrix& csr);
 [[nodiscard]] DenseMatrix to_dense(const CooMatrix& coo);
 
 }  // namespace spbla

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -41,11 +42,27 @@ public:
     /// Number of true cells.
     [[nodiscard]] std::size_t nnz() const noexcept;
 
+    /// Number of true cells in row \p r (popcount over the row's words).
+    [[nodiscard]] Index row_nnz(Index r) const;
+
+    /// The packed words of row \p r (64 columns per word, LSB-first).
+    [[nodiscard]] std::span<const std::uint64_t> row_words(Index r) const {
+        check(r < nrows_, Status::OutOfRange, "DenseMatrix::row_words");
+        return std::span<const std::uint64_t>(words_)
+            .subspan(static_cast<std::size_t>(r) * words_per_row_, words_per_row_);
+    }
+
     /// Boolean matrix multiply: this (m x k) times other (k x n).
     [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
 
     /// Element-wise OR; shapes must match.
     [[nodiscard]] DenseMatrix ewise_or(const DenseMatrix& other) const;
+
+    /// Element-wise AND; shapes must match.
+    [[nodiscard]] DenseMatrix ewise_and(const DenseMatrix& other) const;
+
+    /// Element-wise difference (this AND NOT other); shapes must match.
+    [[nodiscard]] DenseMatrix ewise_andnot(const DenseMatrix& other) const;
 
     /// Kronecker product.
     [[nodiscard]] DenseMatrix kronecker(const DenseMatrix& other) const;
@@ -58,6 +75,11 @@ public:
 
     /// Coordinate list of all true cells in (row, col) order.
     [[nodiscard]] std::vector<Coord> to_coords() const;
+
+    /// Simulated device footprint: one word per 64 columns per row.
+    [[nodiscard]] std::size_t device_bytes() const noexcept {
+        return words_.size() * sizeof(std::uint64_t);
+    }
 
     friend bool operator==(const DenseMatrix& a, const DenseMatrix& b) noexcept {
         return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ && a.words_ == b.words_;

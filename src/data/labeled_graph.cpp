@@ -7,7 +7,7 @@ namespace spbla::data {
 LabeledGraph LabeledGraph::from_edges(Index num_vertices,
                                       const std::vector<LabeledEdge>& edges) {
     LabeledGraph g{num_vertices};
-    g.zero_ = CsrMatrix{num_vertices, num_vertices};
+    g.zero_ = Matrix{num_vertices, num_vertices};
     std::map<std::string, std::vector<Coord>> by_label;
     for (const auto& e : edges) {
         check(e.src < num_vertices && e.dst < num_vertices, Status::OutOfRange,
@@ -15,8 +15,8 @@ LabeledGraph LabeledGraph::from_edges(Index num_vertices,
         by_label[e.label].push_back({e.src, e.dst});
     }
     for (auto& [label, coords] : by_label) {
-        g.matrices_.emplace(label, CsrMatrix::from_coords(num_vertices, num_vertices,
-                                                          std::move(coords)));
+        g.matrices_.emplace(label, Matrix::from_coords(num_vertices, num_vertices,
+                                                       std::move(coords)));
     }
     return g;
 }
@@ -34,7 +34,7 @@ std::vector<std::string> LabeledGraph::labels() const {
     return out;
 }
 
-const CsrMatrix& LabeledGraph::matrix(const std::string& label) const {
+const Matrix& LabeledGraph::matrix(const std::string& label) const {
     const auto it = matrices_.find(label);
     return it == matrices_.end() ? zero_ : it->second;
 }
@@ -55,7 +55,7 @@ std::vector<std::string> LabeledGraph::labels_by_frequency() const {
 }
 
 void LabeledGraph::add_inverse_labels() {
-    std::vector<std::pair<std::string, CsrMatrix>> inverses;
+    std::vector<std::pair<std::string, Matrix>> inverses;
     for (const auto& [label, m] : matrices_) {
         // Transpose without a context: coordinate flip + rebuild is O(nnz log nnz)
         // and runs once per dataset load, off the measured path.
@@ -63,18 +63,18 @@ void LabeledGraph::add_inverse_labels() {
         flipped.reserve(m.nnz());
         for (const auto& c : m.to_coords()) flipped.push_back({c.col, c.row});
         inverses.emplace_back(inverse_label(label),
-                              CsrMatrix::from_coords(n_, n_, std::move(flipped)));
+                              Matrix::from_coords(n_, n_, std::move(flipped)));
     }
     for (auto& [label, m] : inverses) matrices_.insert_or_assign(label, std::move(m));
 }
 
-CsrMatrix LabeledGraph::union_matrix() const {
+Matrix LabeledGraph::union_matrix() const {
     std::vector<Coord> coords;
     for (const auto& [label, m] : matrices_) {
         const auto c = m.to_coords();
         coords.insert(coords.end(), c.begin(), c.end());
     }
-    return CsrMatrix::from_coords(n_, n_, std::move(coords));
+    return Matrix::from_coords(n_, n_, std::move(coords));
 }
 
 std::string inverse_label(const std::string& label) { return label + "_r"; }

@@ -12,8 +12,8 @@
 #include <string>
 #include <vector>
 
-#include "core/csr.hpp"
 #include "core/types.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::data {
 
@@ -27,7 +27,7 @@ struct LabeledEdge {
 };
 
 /// Directed graph with string-labeled edges, materialised as one Boolean
-/// CSR adjacency matrix per label.
+/// adjacency matrix per label.
 class LabeledGraph {
 public:
     explicit LabeledGraph(Index num_vertices) : n_{num_vertices} {}
@@ -53,7 +53,7 @@ public:
 
     /// Adjacency matrix of \p label; an all-zero matrix if the label is
     /// absent (so queries may mention labels the graph lacks).
-    [[nodiscard]] const CsrMatrix& matrix(const std::string& label) const;
+    [[nodiscard]] const Matrix& matrix(const std::string& label) const;
 
     /// Number of edges carrying \p label.
     [[nodiscard]] std::size_t label_count(const std::string& label) const;
@@ -67,12 +67,12 @@ public:
     void add_inverse_labels();
 
     /// Union of all label matrices (the unlabeled adjacency structure).
-    [[nodiscard]] CsrMatrix union_matrix() const;
+    [[nodiscard]] Matrix union_matrix() const;
 
 private:
     Index n_;
-    std::map<std::string, CsrMatrix> matrices_;
-    CsrMatrix zero_;  // returned for absent labels, shaped n x n
+    std::map<std::string, Matrix> matrices_;
+    Matrix zero_;  // returned for absent labels, shaped n x n
 };
 
 /// Conventional name of the inverse relation of \p label.

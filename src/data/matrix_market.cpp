@@ -18,7 +18,7 @@ std::string lowercase(std::string s) {
 
 }  // namespace
 
-CsrMatrix load_matrix_market(std::istream& is) {
+Matrix load_matrix_market(std::istream& is) {
     std::string line;
     check(static_cast<bool>(std::getline(is, line)), Status::InvalidArgument,
           "matrix market: empty stream");
@@ -73,11 +73,11 @@ CsrMatrix load_matrix_market(std::istream& is) {
             coords.push_back({coord.col, coord.row});
         }
     }
-    return CsrMatrix::from_coords(static_cast<Index>(nrows), static_cast<Index>(ncols),
-                                  std::move(coords));
+    return Matrix::from_coords(static_cast<Index>(nrows), static_cast<Index>(ncols),
+                               std::move(coords));
 }
 
-void save_matrix_market(std::ostream& os, const CsrMatrix& m) {
+void save_matrix_market(std::ostream& os, const Matrix& m) {
     os << "%%MatrixMarket matrix coordinate pattern general\n";
     os << "% written by spbla\n";
     os << m.nrows() << ' ' << m.ncols() << ' ' << m.nnz() << '\n';
@@ -86,14 +86,14 @@ void save_matrix_market(std::ostream& os, const CsrMatrix& m) {
     }
 }
 
-CsrMatrix load_matrix_market_file(const std::string& path) {
+Matrix load_matrix_market_file(const std::string& path) {
     std::ifstream is{path};
     check(is.is_open(), Status::InvalidArgument,
           "load_matrix_market_file: cannot open " + path);
     return load_matrix_market(is);
 }
 
-void save_matrix_market_file(const std::string& path, const CsrMatrix& m) {
+void save_matrix_market_file(const std::string& path, const Matrix& m) {
     std::ofstream os{path};
     check(os.is_open(), Status::InvalidArgument,
           "save_matrix_market_file: cannot open " + path);

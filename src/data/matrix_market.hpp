@@ -12,19 +12,19 @@
 #include <iosfwd>
 #include <string>
 
-#include "core/csr.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::data {
 
 /// Parse a Matrix Market stream; throws Error{InvalidArgument} on anything
 /// malformed or on array (dense) format.
-[[nodiscard]] CsrMatrix load_matrix_market(std::istream& is);
+[[nodiscard]] Matrix load_matrix_market(std::istream& is);
 
 /// Serialise \p m as `matrix coordinate pattern general`.
-void save_matrix_market(std::ostream& os, const CsrMatrix& m);
+void save_matrix_market(std::ostream& os, const Matrix& m);
 
 /// File convenience wrappers.
-[[nodiscard]] CsrMatrix load_matrix_market_file(const std::string& path);
-void save_matrix_market_file(const std::string& path, const CsrMatrix& m);
+[[nodiscard]] Matrix load_matrix_market_file(const std::string& path);
+void save_matrix_market_file(const std::string& path, const Matrix& m);
 
 }  // namespace spbla::data

@@ -6,8 +6,8 @@
 
 namespace spbla::data {
 
-CsrMatrix make_rmat(Index scale, Index edge_factor, std::uint64_t seed, double a, double b,
-                    double c) {
+Matrix make_rmat(Index scale, Index edge_factor, std::uint64_t seed, double a, double b,
+                 double c) {
     check(scale >= 1 && scale < 31, Status::InvalidArgument, "make_rmat: bad scale");
     check(a > 0 && b > 0 && c > 0 && a + b + c < 1, Status::InvalidArgument,
           "make_rmat: quadrant probabilities must be positive and sum below 1");
@@ -29,10 +29,10 @@ CsrMatrix make_rmat(Index scale, Index edge_factor, std::uint64_t seed, double a
         }
         coords.push_back({row, col});
     }
-    return CsrMatrix::from_coords(n, n, std::move(coords));
+    return Matrix::from_coords(n, n, std::move(coords));
 }
 
-CsrMatrix make_uniform(Index nrows, Index ncols, double density, std::uint64_t seed) {
+Matrix make_uniform(Index nrows, Index ncols, double density, std::uint64_t seed) {
     check(density > 0 && density <= 1, Status::InvalidArgument,
           "make_uniform: density must be in (0, 1]");
     util::Rng rng{seed};
@@ -44,11 +44,11 @@ CsrMatrix make_uniform(Index nrows, Index ncols, double density, std::uint64_t s
         coords.push_back({static_cast<Index>(rng.below(nrows)),
                           static_cast<Index>(rng.below(ncols))});
     }
-    return CsrMatrix::from_coords(nrows, ncols, std::move(coords));
+    return Matrix::from_coords(nrows, ncols, std::move(coords));
 }
 
-CsrMatrix make_zipf(Index nrows, Index ncols, Index mean_degree, double skew,
-                    std::uint64_t seed) {
+Matrix make_zipf(Index nrows, Index ncols, Index mean_degree, double skew,
+                 std::uint64_t seed) {
     check(nrows >= 1 && ncols >= 1, Status::InvalidArgument, "make_zipf: empty shape");
     check(skew >= 0, Status::InvalidArgument, "make_zipf: negative skew");
     util::Rng rng{seed};
@@ -61,7 +61,7 @@ CsrMatrix make_zipf(Index nrows, Index ncols, Index mean_degree, double skew,
         coords.push_back({static_cast<Index>(row_law(rng)),
                           static_cast<Index>(col_law(rng))});
     }
-    return CsrMatrix::from_coords(nrows, ncols, std::move(coords));
+    return Matrix::from_coords(nrows, ncols, std::move(coords));
 }
 
 }  // namespace spbla::data

@@ -7,27 +7,27 @@
 
 #include <cstdint>
 
-#include "core/csr.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::data {
 
 /// R-MAT recursive generator: 2^scale vertices, \p edge_factor * 2^scale
 /// edges, quadrant probabilities (a, b, c; d = 1-a-b-c). Defaults are the
 /// Graph500 parameters.
-[[nodiscard]] CsrMatrix make_rmat(Index scale, Index edge_factor, std::uint64_t seed = 29,
-                                  double a = 0.57, double b = 0.19, double c = 0.19);
+[[nodiscard]] Matrix make_rmat(Index scale, Index edge_factor, std::uint64_t seed = 29,
+                               double a = 0.57, double b = 0.19, double c = 0.19);
 
 /// Uniform random Boolean matrix of shape nrows x ncols with the given
 /// expected density in (0, 1].
-[[nodiscard]] CsrMatrix make_uniform(Index nrows, Index ncols, double density,
-                                     std::uint64_t seed = 31);
+[[nodiscard]] Matrix make_uniform(Index nrows, Index ncols, double density,
+                                  std::uint64_t seed = 31);
 
 /// Zipf-skewed Boolean matrix: ~\p mean_degree * nrows cells whose row and
 /// column indices are both drawn from a Zipf law with exponent \p skew.
 /// Low-index rows become hubs (row 0 holds a constant fraction of all
 /// cells), which is the degree profile that breaks statically-chunked
 /// SpGEMM schedules — the scheduler stress input.
-[[nodiscard]] CsrMatrix make_zipf(Index nrows, Index ncols, Index mean_degree,
-                                  double skew = 1.0, std::uint64_t seed = 37);
+[[nodiscard]] Matrix make_zipf(Index nrows, Index ncols, Index mean_degree,
+                               double skew = 1.0, std::uint64_t seed = 37);
 
 }  // namespace spbla::data

@@ -11,8 +11,8 @@
 #include <string>
 #include <vector>
 
-#include "core/csr.hpp"
 #include "rpq/nfa.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::rpq {
 
@@ -24,7 +24,7 @@ struct Dfa {
     std::map<std::string, std::vector<Coord>> delta;  // at most one edge per (state, symbol)
 
     /// Boolean transition matrix of \p symbol.
-    [[nodiscard]] CsrMatrix matrix(const std::string& symbol) const;
+    [[nodiscard]] Matrix matrix(const std::string& symbol) const;
 
     /// Symbols with at least one transition.
     [[nodiscard]] std::vector<std::string> symbols() const;

@@ -5,11 +5,8 @@
 #include <set>
 
 #include "core/validate.hpp"
-#include "ops/ewise_add.hpp"
-#include "ops/kronecker.hpp"
-#include "ops/mxv.hpp"
-#include "ops/submatrix.hpp"
 #include "prof/prof.hpp"
+#include "storage/dispatch.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::rpq {
@@ -17,18 +14,18 @@ namespace spbla::rpq {
 RpqIndex build_index(backend::Context& ctx, const data::LabeledGraph& graph,
                      const Dfa& query, algorithms::ClosureStrategy strategy) {
     SPBLA_CHECKED(for (const auto& label : graph.labels())
-                      core::validate(graph.matrix(label)));
+                      core::validate(graph.matrix(label).csr(ctx)));
     SPBLA_PROF_SPAN("rpq.build_index");
     const Index n = graph.num_vertices();
     const Index k = query.num_states;
 
     // M = sum over symbols of Q_s (x) G_s.
-    CsrMatrix product{k * n, k * n};
+    Matrix product{k * n, k * n};
     for (const auto& symbol : query.symbols()) {
         if (!graph.has_label(symbol)) continue;
-        const CsrMatrix kron =
-            ops::kronecker(ctx, query.matrix(symbol), graph.matrix(symbol));
-        product = ops::ewise_add(ctx, product, kron);
+        const Matrix kron =
+            storage::kronecker(ctx, query.matrix(symbol), graph.matrix(symbol));
+        product = storage::ewise_add(ctx, product, kron);
     }
 
     RpqIndex index;
@@ -39,39 +36,40 @@ RpqIndex build_index(backend::Context& ctx, const data::LabeledGraph& graph,
     index.closure_rounds = stats.rounds;
 
     // Answer pairs: the (start, accepting-state) blocks of the closure.
-    CsrMatrix reachable{n, n};
+    Matrix reachable{n, n};
     for (const auto f : query.accepting_states()) {
-        const CsrMatrix block =
-            ops::submatrix(ctx, index.closure, query.start * n, f * n, n, n);
-        reachable = ops::ewise_add(ctx, reachable, block);
+        const Matrix block =
+            storage::submatrix(ctx, index.closure, query.start * n, f * n, n, n);
+        reachable = storage::ewise_add(ctx, reachable, block);
     }
     // A nullable query additionally matches every empty path (u, u).
     if (query.accepting[query.start]) {
-        reachable = ops::ewise_add(ctx, reachable, CsrMatrix::identity(n));
+        reachable = storage::ewise_add(ctx, reachable, Matrix::identity(n, ctx));
     }
     index.product = std::move(product);
     index.reachable = std::move(reachable);
     SPBLA_CHECKED({
-        core::validate(index.product);
-        core::validate(index.closure);
-        core::validate(index.reachable);
+        core::validate(index.product.csr(ctx));
+        core::validate(index.closure.csr(ctx));
+        core::validate(index.reachable.csr(ctx));
     });
     return index;
 }
 
-CsrMatrix evaluate(backend::Context& ctx, const data::LabeledGraph& graph,
-                   const Dfa& query) {
+Matrix evaluate(backend::Context& ctx, const data::LabeledGraph& graph,
+                const Dfa& query) {
     return build_index(ctx, graph, query).reachable;
 }
 
-CsrMatrix evaluate_reference(const data::LabeledGraph& graph, const Dfa& query) {
+Matrix evaluate_reference(const data::LabeledGraph& graph, const Dfa& query) {
     const Index n = graph.num_vertices();
     std::vector<Coord> answers;
 
-    // Pre-split graph edges by label for the walk.
+    // Pre-split graph edges by label for the walk. Materialise each label's
+    // row structure up front so the inner BFS never converts mid-walk.
     std::map<std::string, const CsrMatrix*> by_label;
     for (const auto& symbol : query.symbols()) {
-        if (graph.has_label(symbol)) by_label.emplace(symbol, &graph.matrix(symbol));
+        if (graph.has_label(symbol)) by_label.emplace(symbol, &graph.matrix(symbol).csr());
     }
 
     for (Index u = 0; u < n; ++u) {
@@ -98,7 +96,7 @@ CsrMatrix evaluate_reference(const data::LabeledGraph& graph, const Dfa& query) 
         }
         for (const auto v : answered) answers.push_back({u, v});
     }
-    return CsrMatrix::from_coords(n, n, std::move(answers));
+    return Matrix::from_coords(n, n, std::move(answers));
 }
 
 SpVector evaluate_from(backend::Context& ctx, const data::LabeledGraph& graph,
@@ -123,7 +121,7 @@ SpVector evaluate_from(backend::Context& ctx, const data::LabeledGraph& graph,
                 const Index q2 = query.step(q, symbol);
                 if (q2 == query.num_states || !graph.has_label(symbol)) continue;
                 const SpVector pushed =
-                    ops::vxm(ctx, frontier[q], graph.matrix(symbol));
+                    storage::vxm(ctx, frontier[q], graph.matrix(symbol));
                 next[q2] = next[q2].ewise_or(pushed);
             }
         }

@@ -22,9 +22,9 @@ namespace spbla::rpq {
 
 /// The index built for one query over one graph, plus run statistics.
 struct RpqIndex {
-    CsrMatrix product;        ///< the summed Kronecker product (|Q||V| square)
-    CsrMatrix closure;        ///< its transitive closure
-    CsrMatrix reachable;      ///< |V| x |V| matrix of answer pairs
+    Matrix product;           ///< the summed Kronecker product (|Q||V| square)
+    Matrix closure;           ///< its transitive closure
+    Matrix reachable;         ///< |V| x |V| matrix of answer pairs
     std::size_t closure_rounds{0};
     std::size_t product_nnz{0};
 };
@@ -36,12 +36,12 @@ struct RpqIndex {
                                        algorithms::ClosureStrategy::Squaring);
 
 /// Answer pairs only (convenience over build_index).
-[[nodiscard]] CsrMatrix evaluate(backend::Context& ctx, const data::LabeledGraph& graph,
-                                 const Dfa& query);
+[[nodiscard]] Matrix evaluate(backend::Context& ctx, const data::LabeledGraph& graph,
+                              const Dfa& query);
 
 /// Naive product-automaton BFS — the reference oracle for the tests.
-[[nodiscard]] CsrMatrix evaluate_reference(const data::LabeledGraph& graph,
-                                           const Dfa& query);
+[[nodiscard]] Matrix evaluate_reference(const data::LabeledGraph& graph,
+                                        const Dfa& query);
 
 /// Extract one shortest witness path (its edge labels) for the answer pair
 /// (u, v) by BFS over the product graph. Empty optional-like: returns false

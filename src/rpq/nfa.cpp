@@ -79,10 +79,10 @@ public:
 
 }  // namespace
 
-CsrMatrix Nfa::matrix(const std::string& symbol) const {
+Matrix Nfa::matrix(const std::string& symbol) const {
     const auto it = delta.find(symbol);
-    if (it == delta.end()) return CsrMatrix{num_states, num_states};
-    return CsrMatrix::from_coords(num_states, num_states, it->second);
+    if (it == delta.end()) return Matrix{num_states, num_states};
+    return Matrix::from_coords(num_states, num_states, it->second);
 }
 
 std::vector<std::string> Nfa::symbols() const {

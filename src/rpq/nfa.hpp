@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "core/csr.hpp"
 #include "rpq/regex.hpp"
+#include "storage/matrix.hpp"
 
 namespace spbla::rpq {
 
@@ -26,7 +26,7 @@ struct Nfa {
     std::map<std::string, std::vector<Coord>> delta;   // symbol -> (from, to) pairs
 
     /// Boolean transition matrix (num_states x num_states) of \p symbol.
-    [[nodiscard]] CsrMatrix matrix(const std::string& symbol) const;
+    [[nodiscard]] Matrix matrix(const std::string& symbol) const;
 
     /// Symbols with at least one transition.
     [[nodiscard]] std::vector<std::string> symbols() const;

@@ -6,7 +6,9 @@
 /// over MinPlus and bounded walk counts over PlusTimes.
 #pragma once
 
-#include "core/csr.hpp"
+// The semiring layer generalises the raw CSR kernels and sits *below* the
+// storage engine, so it lifts from the concrete format directly.
+#include "core/csr.hpp"  // lint:allow(format-leak)
 #include "semiring/valued_csr.hpp"
 
 namespace spbla::semiring {

@@ -1,0 +1,495 @@
+/// \file dispatch.cpp
+/// \brief The storage engine's cost model and per-op format routing.
+///
+/// Cost model, in units of "index touches": for each candidate format the
+/// estimated kernel work is added to the conversion work needed to
+/// materialise any missing operand representation (zero when cached). The
+/// constants are deliberately coarse — the model only has to rank formats,
+/// and the bench ladder (bench_ops_micro --formats) keeps it honest against
+/// the acceptance bar (auto within 10% of best static, strictly above worst).
+///
+/// Hysteresis: for binary ops the primary format of the nnz-dominant operand
+/// is "preferred" and a rival must undercut its cost by kHysteresis (2x) to
+/// win. A fixpoint loop whose iterates stay in one format therefore keeps
+/// dispatching to that format until the balance tips decisively — the
+/// conversion counter stays bounded by the number of regime changes (at most
+/// a couple per run), not by the iteration count.
+
+#include "storage/dispatch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ops/ops.hpp"
+#include "prof/prof.hpp"
+
+namespace spbla::storage {
+
+namespace {
+
+constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+/// A rival format must be this much cheaper than the preferred (incumbent)
+/// format to displace it — the anti-thrash margin.
+constexpr double kHysteresis = 2.0;
+
+/// Dense candidacy gates: a matrix qualifies for bit-parallel kernels only
+/// when it is dense enough that one 64-bit word carries about one set bit…
+constexpr double kDenseMinDensity = 1.0 / 64.0;
+/// …and small enough that materialising the bitmap cannot blow the simulated
+/// device memory (bytes).
+constexpr std::size_t kDenseByteCap = std::size_t{64} << 20;  // 64 MiB
+
+[[nodiscard]] double words_of(Index nrows, Index ncols) noexcept {
+    return static_cast<double>(nrows) *
+           static_cast<double>((static_cast<std::size_t>(ncols) + 63) / 64);
+}
+
+[[nodiscard]] std::size_t dense_bytes_of(Index nrows, Index ncols) noexcept {
+    return static_cast<std::size_t>(words_of(nrows, ncols)) * sizeof(std::uint64_t);
+}
+
+[[nodiscard]] bool dense_eligible(const Matrix& m) noexcept {
+    if (m.nrows() == 0 || m.ncols() == 0) return false;
+    if (m.has_format(Format::Dense)) return true;  // already paid for
+    return m.density() >= kDenseMinDensity &&
+           dense_bytes_of(m.nrows(), m.ncols()) <= kDenseByteCap;
+}
+
+[[nodiscard]] bool dense_output_eligible(Index nrows, Index ncols) noexcept {
+    return dense_bytes_of(nrows, ncols) <= kDenseByteCap;
+}
+
+/// Work to materialise format \p f on \p m; zero when already cached.
+[[nodiscard]] double convert_cost(const Matrix& m, Format f) noexcept {
+    if (m.has_format(f)) return 0.0;
+    const auto nnz = static_cast<double>(m.nnz());
+    switch (f) {
+        case Format::Csr:
+        case Format::Coo:
+            // Sparse <-> sparse conversions are linear scans over the entries
+            // (plus the row-pointer pass for CSR targets).
+            return 2.0 * nnz + 0.5 * static_cast<double>(m.nrows());
+        case Format::Dense:
+            // Clearing the bitmap dominates for sparse sources.
+            return words_of(m.nrows(), m.ncols()) + nnz;
+    }
+    return kInfiniteCost;
+}
+
+/// Estimated multiply work per candidate format.
+struct MultiplyCosts {
+    double csr;
+    double coo;
+    double dense;
+};
+
+[[nodiscard]] MultiplyCosts multiply_costs(const Matrix& a, const Matrix& b) noexcept {
+    const auto nnz_a = static_cast<double>(a.nnz());
+    const auto nnz_b = static_cast<double>(b.nnz());
+    // Expected FLOP proxy: each entry of A selects a row of B of average
+    // population nnz_b / nrows_b; row skew inflates the tail bins.
+    const double rows_b = std::max(1.0, static_cast<double>(b.nrows()));
+    const double flops = nnz_a * (nnz_b / rows_b);
+    const double skew =
+        b.nrows() > 0
+            ? std::max(1.0, static_cast<double>(b.max_row_nnz()) / (nnz_b / rows_b + 1.0))
+            : 1.0;
+    MultiplyCosts costs{};
+    // Hash SpGEMM: symbolic + numeric passes, hash probes ~ constant each.
+    costs.csr = 4.0 * flops + 0.25 * static_cast<double>(a.nrows());
+    // Expand-sort-dedup: the sort pays log of the expanded list, and skewed
+    // rows expand multiplicatively.
+    costs.coo = flops * (1.0 + std::log2(flops + 2.0) * 0.25) * std::min(skew, 4.0);
+    // Bit-parallel row-OR: every entry of A ORs one row of B (word-wide).
+    costs.dense = 0.08 * nnz_a * (words_of(1, b.ncols())) +
+                  words_of(a.nrows(), b.ncols());
+    return costs;
+}
+
+void count_dispatch(Format f) noexcept {
+    switch (f) {
+        case Format::Csr:
+            stats().dispatch_csr.fetch_add(1, std::memory_order_relaxed);
+            SPBLA_PROF_COUNT(dispatch_csr, 1);
+            break;
+        case Format::Coo:
+            stats().dispatch_coo.fetch_add(1, std::memory_order_relaxed);
+            SPBLA_PROF_COUNT(dispatch_coo, 1);
+            break;
+        case Format::Dense:
+            stats().dispatch_dense.fetch_add(1, std::memory_order_relaxed);
+            SPBLA_PROF_COUNT(dispatch_dense, 1);
+            break;
+    }
+}
+
+/// Keep the caches of every operand under the process-wide budget once the
+/// routed kernel has run (their borrowed references are dead by then).
+void trim(std::initializer_list<const Matrix*> operands) noexcept {
+    if (cached_bytes() <= cache_budget()) return;
+    for (const Matrix* m : operands) m->trim_cache();
+}
+
+/// Map a forced hint onto the candidate set; Auto and unsupported formats
+/// yield no override.
+[[nodiscard]] bool forced(FormatHint hint, std::initializer_list<Format> candidates,
+                          Format& out) noexcept {
+    Format want{};
+    switch (hint) {
+        case FormatHint::Auto: return false;
+        case FormatHint::ForceCsr: want = Format::Csr; break;
+        case FormatHint::ForceCoo: want = Format::Coo; break;
+        case FormatHint::ForceDense: want = Format::Dense; break;
+    }
+    for (const Format f : candidates) {
+        if (f == want) {
+            out = want;
+            return true;
+        }
+    }
+    // Forced format has no kernel for this op: CSR is the universal
+    // fallback, keeping forced sweeps semantically identical.
+    out = Format::Csr;
+    return true;
+}
+
+/// Pick the cheapest candidate, honouring the incumbent's hysteresis margin.
+/// \p preferred is the format the dominant operand already owns (or a
+/// sentinel cost of infinity when it is not a candidate).
+[[nodiscard]] Format pick(std::initializer_list<std::pair<Format, double>> costed,
+                          Format preferred) noexcept {
+    Format best = Format::Csr;
+    double best_cost = kInfiniteCost;
+    double preferred_cost = kInfiniteCost;
+    for (const auto& [f, cost] : costed) {
+        if (cost < best_cost) {
+            best = f;
+            best_cost = cost;
+        }
+        if (f == preferred) preferred_cost = cost;
+    }
+    if (preferred_cost < kInfiniteCost && preferred_cost <= kHysteresis * best_cost) {
+        return preferred;
+    }
+    return best;
+}
+
+/// The operand whose format should anchor hysteresis: the larger one.
+[[nodiscard]] Format dominant_format(const Matrix& a, const Matrix& b) noexcept {
+    return (b.nnz() > a.nnz() ? b : a).format();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// multiply / multiply_add
+// ---------------------------------------------------------------------------
+
+Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
+                const ops::SpGemmOptions& opts) {
+    SPBLA_PROF_SPAN("storage.dispatch.multiply");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
+        const auto k = multiply_costs(a, b);
+        const bool dense_ok = dense_eligible(a) && dense_eligible(b) &&
+                              dense_output_eligible(a.nrows(), b.ncols());
+        f = pick({{Format::Csr, k.csr + convert_cost(a, Format::Csr) +
+                                    convert_cost(b, Format::Csr)},
+                  {Format::Coo, k.coo + convert_cost(a, Format::Coo) +
+                                    convert_cost(b, Format::Coo)},
+                  {Format::Dense, dense_ok ? k.dense + convert_cost(a, Format::Dense) +
+                                                 convert_cost(b, Format::Dense)
+                                           : kInfiniteCost}},
+                 dominant_format(a, b));
+    }
+    count_dispatch(f);
+    Matrix out = [&] {
+        switch (f) {
+            case Format::Coo:
+                return Matrix{ops::multiply(ctx, a.coo(ctx), b.coo(ctx)), ctx};
+            case Format::Dense:
+                return Matrix{a.dense(ctx).multiply(b.dense(ctx)), ctx};
+            case Format::Csr:
+            default:
+                return Matrix{ops::multiply(ctx, a.csr(ctx), b.csr(ctx), opts), ctx};
+        }
+    }();
+    trim({&a, &b});
+    return out;
+}
+
+Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
+                    const Matrix& b, const ops::SpGemmOptions& opts) {
+    SPBLA_PROF_SPAN("storage.dispatch.multiply_add");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
+        const auto k = multiply_costs(a, b);
+        const bool dense_ok = dense_eligible(a) && dense_eligible(b) &&
+                              dense_eligible(c) &&
+                              dense_output_eligible(c.nrows(), c.ncols());
+        const double csr_cost = k.csr + 2.0 * static_cast<double>(c.nnz()) +
+                                convert_cost(c, Format::Csr) +
+                                convert_cost(a, Format::Csr) + convert_cost(b, Format::Csr);
+        const double dense_cost =
+            dense_ok ? k.dense + words_of(c.nrows(), c.ncols()) +
+                           convert_cost(c, Format::Dense) + convert_cost(a, Format::Dense) +
+                           convert_cost(b, Format::Dense)
+                     : kInfiniteCost;
+        f = pick({{Format::Csr, csr_cost}, {Format::Dense, dense_cost}}, c.format());
+    }
+    if (f == Format::Coo) f = Format::Csr;  // no fused COO kernel
+    count_dispatch(f);
+    Matrix out = [&] {
+        if (f == Format::Dense) {
+            return Matrix{c.dense(ctx).ewise_or(a.dense(ctx).multiply(b.dense(ctx))), ctx};
+        }
+        return Matrix{ops::multiply_add(ctx, c.csr(ctx), a.csr(ctx), b.csr(ctx), opts), ctx};
+    }();
+    trim({&c, &a, &b});
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// element-wise family
+// ---------------------------------------------------------------------------
+
+Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
+    SPBLA_PROF_SPAN("storage.dispatch.ewise_add");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
+        const auto total = static_cast<double>(a.nnz() + b.nnz());
+        const bool dense_ok = dense_eligible(a) && dense_eligible(b);
+        // CSR pays the per-row merge bookkeeping; the flat COO merge is the
+        // natural very-sparse winner; dense is one OR sweep over the words.
+        f = pick({{Format::Csr, 2.0 * total + 0.5 * static_cast<double>(a.nrows()) +
+                                    convert_cost(a, Format::Csr) +
+                                    convert_cost(b, Format::Csr)},
+                  {Format::Coo, total + convert_cost(a, Format::Coo) +
+                                    convert_cost(b, Format::Coo)},
+                  {Format::Dense, dense_ok ? 0.5 * words_of(a.nrows(), a.ncols()) +
+                                                 convert_cost(a, Format::Dense) +
+                                                 convert_cost(b, Format::Dense)
+                                           : kInfiniteCost}},
+                 dominant_format(a, b));
+    }
+    count_dispatch(f);
+    Matrix out = [&] {
+        switch (f) {
+            case Format::Coo:
+                return Matrix{ops::ewise_add(ctx, a.coo(ctx), b.coo(ctx)), ctx};
+            case Format::Dense:
+                return Matrix{a.dense(ctx).ewise_or(b.dense(ctx)), ctx};
+            case Format::Csr:
+            default:
+                return Matrix{ops::ewise_add(ctx, a.csr(ctx), b.csr(ctx)), ctx};
+        }
+    }();
+    trim({&a, &b});
+    return out;
+}
+
+Matrix ewise_mult(backend::Context& ctx, const Matrix& a, const Matrix& b) {
+    SPBLA_PROF_SPAN("storage.dispatch.ewise_mult");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
+        const auto total = static_cast<double>(a.nnz() + b.nnz());
+        const bool dense_ok = dense_eligible(a) && dense_eligible(b);
+        f = pick({{Format::Csr, 2.0 * total + convert_cost(a, Format::Csr) +
+                                    convert_cost(b, Format::Csr)},
+                  {Format::Dense, dense_ok ? 0.5 * words_of(a.nrows(), a.ncols()) +
+                                                 convert_cost(a, Format::Dense) +
+                                                 convert_cost(b, Format::Dense)
+                                           : kInfiniteCost}},
+                 dominant_format(a, b));
+    }
+    if (f == Format::Coo) f = Format::Csr;
+    count_dispatch(f);
+    Matrix out = [&] {
+        if (f == Format::Dense) return Matrix{a.dense(ctx).ewise_and(b.dense(ctx)), ctx};
+        return Matrix{ops::ewise_mult(ctx, a.csr(ctx), b.csr(ctx)), ctx};
+    }();
+    trim({&a, &b});
+    return out;
+}
+
+Matrix ewise_diff(backend::Context& ctx, const Matrix& a, const Matrix& b) {
+    SPBLA_PROF_SPAN("storage.dispatch.ewise_diff");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
+        const auto total = static_cast<double>(a.nnz() + b.nnz());
+        const bool dense_ok = dense_eligible(a) && dense_eligible(b);
+        f = pick({{Format::Csr, 2.0 * total + convert_cost(a, Format::Csr) +
+                                    convert_cost(b, Format::Csr)},
+                  {Format::Dense, dense_ok ? 0.5 * words_of(a.nrows(), a.ncols()) +
+                                                 convert_cost(a, Format::Dense) +
+                                                 convert_cost(b, Format::Dense)
+                                           : kInfiniteCost}},
+                 dominant_format(a, b));
+    }
+    if (f == Format::Coo) f = Format::Csr;
+    count_dispatch(f);
+    Matrix out = [&] {
+        if (f == Format::Dense) return Matrix{a.dense(ctx).ewise_andnot(b.dense(ctx)), ctx};
+        return Matrix{ops::ewise_diff(ctx, a.csr(ctx), b.csr(ctx)), ctx};
+    }();
+    trim({&a, &b});
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// structural family
+// ---------------------------------------------------------------------------
+
+Matrix kronecker(backend::Context& ctx, const Matrix& a, const Matrix& b) {
+    SPBLA_PROF_SPAN("storage.dispatch.kronecker");
+    // The CSR kernel's work is exactly the nnz_a * nnz_b output entries;
+    // the dense nested loop touches every cell pair and only wins on tiny,
+    // saturated blocks, so route CSR except under an explicit force.
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) f = Format::Csr;
+    if (f == Format::Dense &&
+        !(dense_eligible(a) && dense_eligible(b) &&
+          dense_output_eligible(a.nrows() * b.nrows(), a.ncols() * b.ncols()))) {
+        f = Format::Csr;  // forced-dense sweep on an output too big to bitmap
+    }
+    if (f == Format::Coo) f = Format::Csr;
+    count_dispatch(f);
+    Matrix out = [&] {
+        if (f == Format::Dense) return Matrix{a.dense(ctx).kronecker(b.dense(ctx)), ctx};
+        return Matrix{ops::kronecker(ctx, a.csr(ctx), b.csr(ctx)), ctx};
+    }();
+    trim({&a, &b});
+    return out;
+}
+
+Matrix transpose(backend::Context& ctx, const Matrix& a) {
+    SPBLA_PROF_SPAN("storage.dispatch.transpose");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
+        const auto nnz = static_cast<double>(a.nnz());
+        const bool dense_ok = dense_eligible(a);
+        // COO transpose is swap + sort; CSR is a counting pass + scatter.
+        f = pick({{Format::Csr, 2.0 * nnz + 0.5 * static_cast<double>(a.ncols()) +
+                                    convert_cost(a, Format::Csr)},
+                  {Format::Coo, nnz * (1.0 + 0.25 * std::log2(nnz + 2.0)) +
+                                    convert_cost(a, Format::Coo)},
+                  {Format::Dense, dense_ok ? static_cast<double>(a.nrows()) *
+                                                     static_cast<double>(a.ncols()) +
+                                                 convert_cost(a, Format::Dense)
+                                           : kInfiniteCost}},
+                 a.format());
+    }
+    count_dispatch(f);
+    Matrix out = [&] {
+        switch (f) {
+            case Format::Coo: return Matrix{ops::transpose(ctx, a.coo(ctx)), ctx};
+            case Format::Dense: return Matrix{a.dense(ctx).transpose(), ctx};
+            case Format::Csr:
+            default: return Matrix{ops::transpose(ctx, a.csr(ctx)), ctx};
+        }
+    }();
+    trim({&a});
+    return out;
+}
+
+Matrix submatrix(backend::Context& ctx, const Matrix& a, Index r0, Index c0, Index m,
+                 Index n) {
+    SPBLA_PROF_SPAN("storage.dispatch.submatrix");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
+        const auto nnz = static_cast<double>(a.nnz());
+        const bool dense_ok = dense_eligible(a) && dense_output_eligible(m, n);
+        // CSR touches only the selected row windows; COO scans all entries.
+        const double row_fraction =
+            a.nrows() > 0 ? static_cast<double>(m) / static_cast<double>(a.nrows()) : 1.0;
+        f = pick({{Format::Csr, nnz * row_fraction + 8.0 * static_cast<double>(m) +
+                                    convert_cost(a, Format::Csr)},
+                  {Format::Coo, nnz + convert_cost(a, Format::Coo)},
+                  {Format::Dense, dense_ok ? static_cast<double>(m) *
+                                                     static_cast<double>(n) +
+                                                 convert_cost(a, Format::Dense)
+                                           : kInfiniteCost}},
+                 a.format());
+    }
+    count_dispatch(f);
+    Matrix out = [&] {
+        switch (f) {
+            case Format::Coo:
+                return Matrix{ops::submatrix(ctx, a.coo(ctx), r0, c0, m, n), ctx};
+            case Format::Dense:
+                return Matrix{a.dense(ctx).submatrix(r0, c0, m, n), ctx};
+            case Format::Csr:
+            default:
+                return Matrix{ops::submatrix(ctx, a.csr(ctx), r0, c0, m, n), ctx};
+        }
+    }();
+    trim({&a});
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// reductions and vector products
+// ---------------------------------------------------------------------------
+
+SpVector reduce_to_column(backend::Context& ctx, const Matrix& a) {
+    SPBLA_PROF_SPAN("storage.dispatch.reduce_to_column");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::Coo}, f)) {
+        // Both kernels are linear; whichever representation exists wins.
+        f = pick({{Format::Csr, 0.5 * static_cast<double>(a.nrows()) +
+                                    convert_cost(a, Format::Csr)},
+                  {Format::Coo, static_cast<double>(a.nnz()) +
+                                    convert_cost(a, Format::Coo)}},
+                 a.format());
+    }
+    if (f == Format::Dense) f = Format::Csr;
+    count_dispatch(f);
+    SpVector out = f == Format::Coo ? ops::reduce_to_column(ctx, a.coo(ctx))
+                                    : ops::reduce_to_column(ctx, a.csr(ctx));
+    trim({&a});
+    return out;
+}
+
+SpVector reduce_to_row(backend::Context& ctx, const Matrix& a) {
+    SPBLA_PROF_SPAN("storage.dispatch.reduce_to_row");
+    Format f;
+    if (!forced(global_hint(), {Format::Csr}, f)) f = Format::Csr;
+    if (f != Format::Csr) f = Format::Csr;
+    count_dispatch(f);
+    SpVector out = ops::reduce_to_row(ctx, a.csr(ctx));
+    trim({&a});
+    return out;
+}
+
+std::size_t reduce_scalar(const Matrix& a) noexcept { return a.nnz(); }
+
+SpVector mxv(backend::Context& ctx, const Matrix& a, const SpVector& x) {
+    SPBLA_PROF_SPAN("storage.dispatch.mxv");
+    count_dispatch(Format::Csr);
+    SpVector out = ops::mxv(ctx, a.csr(ctx), x);
+    trim({&a});
+    return out;
+}
+
+SpVector vxm(backend::Context& ctx, const SpVector& x, const Matrix& a) {
+    SPBLA_PROF_SPAN("storage.dispatch.vxm");
+    count_dispatch(Format::Csr);
+    SpVector out = ops::vxm(ctx, x, a.csr(ctx));
+    trim({&a});
+    return out;
+}
+
+Matrix multiply_masked(backend::Context& ctx, const Matrix& mask, const Matrix& a,
+                       const Matrix& b_transposed, bool complement) {
+    SPBLA_PROF_SPAN("storage.dispatch.multiply_masked");
+    count_dispatch(Format::Csr);
+    Matrix out{ops::multiply_masked(ctx, mask.csr(ctx), a.csr(ctx),
+                                    b_transposed.csr(ctx), complement),
+               ctx};
+    trim({&mask, &a, &b_transposed});
+    return out;
+}
+
+}  // namespace spbla::storage

@@ -1,0 +1,475 @@
+/// \file matrix.cpp
+/// \brief Format-polymorphic handle: representation caching + accounting.
+
+#include "storage/matrix.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "core/convert.hpp"
+#include "prof/prof.hpp"
+#include "storage/dispatch.hpp"
+
+namespace spbla {
+
+namespace storage {
+
+namespace {
+
+// Default budget for cached secondary representations: generous enough that
+// fixpoint loops keep both reps of their operands alive, small enough that a
+// sweep over many large matrices recycles instead of doubling the footprint.
+constexpr std::size_t kDefaultCacheBudget = std::size_t{256} << 20;  // 256 MiB
+
+std::atomic<std::size_t> g_cached_bytes{0};
+std::atomic<std::size_t> g_cache_budget{kDefaultCacheBudget};
+std::atomic<FormatHint> g_hint{FormatHint::Auto};
+
+}  // namespace
+
+Stats& stats() noexcept {
+    static Stats instance;
+    return instance;
+}
+
+void reset_stats() noexcept {
+    auto& s = stats();
+    s.format_conversions.store(0, std::memory_order_relaxed);
+    s.repr_cache_hits.store(0, std::memory_order_relaxed);
+    s.repr_cache_stores.store(0, std::memory_order_relaxed);
+    s.repr_cache_drops.store(0, std::memory_order_relaxed);
+    s.dispatch_csr.store(0, std::memory_order_relaxed);
+    s.dispatch_coo.store(0, std::memory_order_relaxed);
+    s.dispatch_dense.store(0, std::memory_order_relaxed);
+}
+
+std::size_t cached_bytes() noexcept {
+    return g_cached_bytes.load(std::memory_order_relaxed);
+}
+
+std::size_t cache_budget() noexcept {
+    return g_cache_budget.load(std::memory_order_relaxed);
+}
+
+void set_cache_budget(std::size_t bytes) noexcept {
+    g_cache_budget.store(bytes, std::memory_order_relaxed);
+}
+
+FormatHint global_hint() noexcept { return g_hint.load(std::memory_order_relaxed); }
+
+void set_global_hint(FormatHint hint) noexcept {
+    g_hint.store(hint, std::memory_order_relaxed);
+}
+
+namespace {
+
+void gauge_add(std::size_t bytes) noexcept {
+    g_cached_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void gauge_sub(std::size_t bytes) noexcept {
+    g_cached_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+}  // namespace storage
+
+// ---------------------------------------------------------------------------
+// Construction / special members
+// ---------------------------------------------------------------------------
+
+Matrix::Matrix(Index nrows, Index ncols, backend::Context& ctx)
+    : ctx_{&ctx}, primary_{Format::Csr}, csr_{std::make_unique<CsrMatrix>(nrows, ncols)} {
+    adopt_shape();
+}
+
+Matrix::Matrix(CsrMatrix data, backend::Context& ctx)
+    : ctx_{&ctx},
+      primary_{Format::Csr},
+      csr_{std::make_unique<const CsrMatrix>(std::move(data))} {
+    adopt_shape();
+}
+
+Matrix::Matrix(CooMatrix data, backend::Context& ctx)
+    : ctx_{&ctx},
+      primary_{Format::Coo},
+      coo_{std::make_unique<const CooMatrix>(std::move(data))} {
+    adopt_shape();
+}
+
+Matrix::Matrix(DenseMatrix data, backend::Context& ctx)
+    : ctx_{&ctx},
+      primary_{Format::Dense},
+      dense_{std::make_unique<const DenseMatrix>(std::move(data))} {
+    adopt_shape();
+}
+
+Matrix Matrix::from_coords(Index nrows, Index ncols, std::vector<Coord> coords,
+                           backend::Context& ctx) {
+    return Matrix{CsrMatrix::from_coords(nrows, ncols, std::move(coords)), ctx};
+}
+
+Matrix Matrix::identity(Index n, backend::Context& ctx) {
+    return Matrix{CsrMatrix::identity(n), ctx};
+}
+
+Matrix::Matrix(const Matrix& other) : ctx_{other.ctx_}, primary_{other.primary_} {
+    // Copies carry the primary only: cached secondaries are a per-handle
+    // device-memory charge that must not silently double.
+    switch (other.primary_) {
+        case Format::Csr:
+            csr_ = std::make_unique<const CsrMatrix>(*other.csr_);
+            break;
+        case Format::Coo:
+            coo_ = std::make_unique<const CooMatrix>(*other.coo_);
+            break;
+        case Format::Dense:
+            dense_ = std::make_unique<const DenseMatrix>(*other.dense_);
+            break;
+    }
+    adopt_shape();
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+    if (this != &other) {
+        Matrix tmp{other};
+        *this = std::move(tmp);
+    }
+    return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : ctx_{other.ctx_},
+      nrows_{other.nrows_},
+      ncols_{other.ncols_},
+      nnz_{other.nnz_},
+      primary_{other.primary_},
+      csr_{std::move(other.csr_)},
+      coo_{std::move(other.coo_)},
+      dense_{std::move(other.dense_)},
+      max_row_nnz_{other.max_row_nnz_},
+      max_row_nnz_valid_{other.max_row_nnz_valid_} {
+    for (std::size_t i = 0; i < kNumFormats; ++i) {
+        charge_[i] = other.charge_[i];
+        other.charge_[i] = SlotCharge{};
+    }
+    other.nnz_ = 0;
+    other.max_row_nnz_valid_ = false;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+    if (this != &other) {
+        release_all();
+        ctx_ = other.ctx_;
+        nrows_ = other.nrows_;
+        ncols_ = other.ncols_;
+        nnz_ = other.nnz_;
+        primary_ = other.primary_;
+        csr_ = std::move(other.csr_);
+        coo_ = std::move(other.coo_);
+        dense_ = std::move(other.dense_);
+        max_row_nnz_ = other.max_row_nnz_;
+        max_row_nnz_valid_ = other.max_row_nnz_valid_;
+        for (std::size_t i = 0; i < kNumFormats; ++i) {
+            charge_[i] = other.charge_[i];
+            other.charge_[i] = SlotCharge{};
+        }
+        other.nnz_ = 0;
+        other.max_row_nnz_valid_ = false;
+    }
+    return *this;
+}
+
+Matrix::~Matrix() { release_all(); }
+
+void Matrix::adopt_shape() noexcept {
+    switch (primary_) {
+        case Format::Csr:
+            nrows_ = csr_->nrows();
+            ncols_ = csr_->ncols();
+            nnz_ = csr_->nnz();
+            break;
+        case Format::Coo:
+            nrows_ = coo_->nrows();
+            ncols_ = coo_->ncols();
+            nnz_ = coo_->nnz();
+            break;
+        case Format::Dense:
+            nrows_ = dense_->nrows();
+            ncols_ = dense_->ncols();
+            nnz_ = dense_->nnz();
+            break;
+    }
+    max_row_nnz_valid_ = false;
+}
+
+void Matrix::release_all() noexcept {
+    for (std::size_t i = 0; i < kNumFormats; ++i) drop_slot(static_cast<Format>(i));
+    csr_.reset();
+    coo_.reset();
+    dense_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Representation cache
+// ---------------------------------------------------------------------------
+
+bool Matrix::has_format(Format f) const noexcept {
+    switch (f) {
+        case Format::Csr: return csr_ != nullptr;
+        case Format::Coo: return coo_ != nullptr;
+        case Format::Dense: return dense_ != nullptr;
+    }
+    return false;
+}
+
+void Matrix::store_secondary(Format f, backend::Context& /*ctx*/) const {
+    std::size_t bytes = 0;
+    switch (f) {
+        case Format::Csr: bytes = csr_->device_bytes(); break;
+        case Format::Coo: bytes = coo_->device_bytes(); break;
+        case Format::Dense: bytes = dense_->device_bytes(); break;
+    }
+    // The charge always lands on the handle's own context: a conversion may
+    // run on a borrowed context's pool, but the cached bytes live as long as
+    // the handle, whose lifetime is bounded by its bound context.
+    ctx_->tracker().on_alloc(bytes);
+    charge_[static_cast<std::size_t>(f)] = SlotCharge{&ctx_->tracker(), bytes};
+    storage::gauge_add(bytes);
+    storage::stats().repr_cache_stores.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Matrix::drop_slot(Format f) const noexcept {
+    auto& charge = charge_[static_cast<std::size_t>(f)];
+    if (charge.tracker == nullptr) return;
+    charge.tracker->on_free(charge.bytes);
+    storage::gauge_sub(charge.bytes);
+    storage::stats().repr_cache_drops.fetch_add(1, std::memory_order_relaxed);
+    charge = SlotCharge{};
+    switch (f) {
+        case Format::Csr: csr_.reset(); break;
+        case Format::Coo: coo_.reset(); break;
+        case Format::Dense: dense_.reset(); break;
+    }
+}
+
+void Matrix::drop_cached() const noexcept {
+    for (std::size_t i = 0; i < kNumFormats; ++i) {
+        const auto f = static_cast<Format>(i);
+        if (f != primary_) drop_slot(f);
+    }
+}
+
+void Matrix::trim_cache() const noexcept {
+    for (std::size_t i = 0; i < kNumFormats; ++i) {
+        if (storage::cached_bytes() <= storage::cache_budget()) return;
+        const auto f = static_cast<Format>(i);
+        if (f != primary_) drop_slot(f);
+    }
+}
+
+std::size_t Matrix::cached_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& charge : charge_) total += charge.bytes;
+    return total;
+}
+
+std::size_t Matrix::device_bytes() const noexcept {
+    switch (primary_) {
+        case Format::Csr: return csr_->device_bytes();
+        case Format::Coo: return coo_->device_bytes();
+        case Format::Dense: return dense_->device_bytes();
+    }
+    return 0;
+}
+
+const CsrMatrix& Matrix::csr(backend::Context& ctx) const {
+    if (csr_ != nullptr) {
+        if (primary_ != Format::Csr) {
+            storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
+            SPBLA_PROF_COUNT(repr_cache_hits, 1);
+        }
+        return *csr_;
+    }
+    SPBLA_PROF_SPAN("storage.convert_to_csr");
+    switch (primary_) {
+        case Format::Coo: csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *coo_)); break;
+        case Format::Dense:
+            csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *dense_));
+            break;
+        case Format::Csr: break;  // unreachable: slot would be non-null
+    }
+    storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
+    SPBLA_PROF_COUNT(format_conversions, 1);
+    store_secondary(Format::Csr, ctx);
+    return *csr_;
+}
+
+const CooMatrix& Matrix::coo(backend::Context& ctx) const {
+    if (coo_ != nullptr) {
+        if (primary_ != Format::Coo) {
+            storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
+            SPBLA_PROF_COUNT(repr_cache_hits, 1);
+        }
+        return *coo_;
+    }
+    SPBLA_PROF_SPAN("storage.convert_to_coo");
+    switch (primary_) {
+        case Format::Csr: coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *csr_)); break;
+        case Format::Dense:
+            coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *dense_));
+            break;
+        case Format::Coo: break;  // unreachable: slot would be non-null
+    }
+    storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
+    SPBLA_PROF_COUNT(format_conversions, 1);
+    store_secondary(Format::Coo, ctx);
+    return *coo_;
+}
+
+const DenseMatrix& Matrix::dense(backend::Context& ctx) const {
+    if (dense_ != nullptr) {
+        if (primary_ != Format::Dense) {
+            storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
+            SPBLA_PROF_COUNT(repr_cache_hits, 1);
+        }
+        return *dense_;
+    }
+    SPBLA_PROF_SPAN("storage.convert_to_dense");
+    switch (primary_) {
+        case Format::Csr:
+            dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *csr_));
+            break;
+        case Format::Coo:
+            dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *coo_));
+            break;
+        case Format::Dense: break;  // unreachable: slot would be non-null
+    }
+    storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
+    SPBLA_PROF_COUNT(format_conversions, 1);
+    store_secondary(Format::Dense, ctx);
+    return *dense_;
+}
+
+void Matrix::convert_to(Format f, backend::Context& ctx) {
+    if (primary_ == f) return;
+    // Materialise the target (charging it as a secondary for the moment)…
+    switch (f) {
+        case Format::Csr: (void)csr(ctx); break;
+        case Format::Coo: (void)coo(ctx); break;
+        case Format::Dense: (void)dense(ctx); break;
+    }
+    // …then swap roles: the target's cache charge is released (it is now the
+    // owned primary) while the old primary becomes a charged secondary.
+    const auto target = static_cast<std::size_t>(f);
+    auto& target_charge = charge_[target];
+    if (target_charge.tracker != nullptr) {
+        target_charge.tracker->on_free(target_charge.bytes);
+        storage::gauge_sub(target_charge.bytes);
+        target_charge = SlotCharge{};
+    }
+    store_secondary(primary_, ctx);
+    primary_ = f;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+double Matrix::density() const noexcept {
+    const auto cells = static_cast<double>(nrows_) * static_cast<double>(ncols_);
+    return cells > 0.0 ? static_cast<double>(nnz_) / cells : 0.0;
+}
+
+bool Matrix::get(Index r, Index c) const {
+    switch (primary_) {
+        case Format::Csr: return csr_->get(r, c);
+        case Format::Coo: return coo_->get(r, c);
+        case Format::Dense: return dense_->get(r, c);
+    }
+    return false;
+}
+
+std::vector<Coord> Matrix::to_coords() const {
+    switch (primary_) {
+        case Format::Csr: return csr_->to_coords();
+        case Format::Coo: return coo_->to_coords();
+        case Format::Dense: return dense_->to_coords();
+    }
+    return {};
+}
+
+Index Matrix::max_row_nnz() const {
+    if (max_row_nnz_valid_) return max_row_nnz_;
+    Index best = 0;
+    switch (primary_) {
+        case Format::Csr:
+            for (Index r = 0; r < csr_->nrows(); ++r) best = std::max(best, csr_->row_nnz(r));
+            break;
+        case Format::Coo: {
+            // Rows are sorted, so row populations are run lengths.
+            const auto rows = coo_->rows();
+            Index run = 0;
+            for (std::size_t k = 0; k < rows.size(); ++k) {
+                run = (k > 0 && rows[k] == rows[k - 1]) ? run + 1 : 1;
+                best = std::max(best, run);
+            }
+            break;
+        }
+        case Format::Dense:
+            for (Index r = 0; r < dense_->nrows(); ++r)
+                best = std::max(best, dense_->row_nnz(r));
+            break;
+    }
+    max_row_nnz_ = best;
+    max_row_nnz_valid_ = true;
+    return best;
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+    if (a.nrows() != b.nrows() || a.ncols() != b.ncols() || a.nnz() != b.nnz())
+        return false;
+    // Every format exports coords in the same (row, col) order, so equality
+    // is format-independent.
+    return a.to_coords() == b.to_coords();
+}
+
+// ---------------------------------------------------------------------------
+// Facade sugar — routed through dispatch
+// ---------------------------------------------------------------------------
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+    *this = storage::ewise_add(*ctx_, *this, other);
+    return *this;
+}
+
+Matrix& Matrix::multiply_add(const Matrix& a, const Matrix& b) {
+    *this = storage::multiply_add(*ctx_, *this, a, b);
+    return *this;
+}
+
+Matrix Matrix::add(const Matrix& a, const Matrix& b) {
+    return storage::ewise_add(a.context(), a, b);
+}
+
+Matrix Matrix::mul(const Matrix& a, const Matrix& b) {
+    return storage::multiply(a.context(), a, b);
+}
+
+Matrix Matrix::kron(const Matrix& other) const {
+    return storage::kronecker(*ctx_, *this, other);
+}
+
+Matrix Matrix::transposed() const { return storage::transpose(*ctx_, *this); }
+
+Matrix Matrix::submatrix(Index r0, Index c0, Index m, Index n) const {
+    return storage::submatrix(*ctx_, *this, r0, c0, m, n);
+}
+
+SpVector Matrix::reduce_to_column() const {
+    return storage::reduce_to_column(*ctx_, *this);
+}
+
+}  // namespace spbla

@@ -1,0 +1,259 @@
+/// \file matrix.hpp
+/// \brief Format-polymorphic Boolean matrix handle — the storage engine.
+///
+/// The paper presents CSR (cuBool) and COO (clBool) as co-equal backends
+/// behind one API; this layer makes that literal. A spbla::Matrix owns one
+/// *primary* representation (CSR, COO or dense-bitmap) and may cache the
+/// other representations after a conversion, so that repeated dispatches to
+/// the same format pay the conversion once. Cached secondaries are charged
+/// to the converting Context's MemoryTracker (the simulated device memory),
+/// live under a process-wide byte budget, are invalidated whenever the
+/// handle's content changes, and are released — and therefore leak-checked —
+/// before Context teardown like any other device allocation.
+///
+/// The handle deliberately exposes *no* mutable access to a concrete format:
+/// layers above (capi, algorithms, cfpq, rpq) operate on Matrix through the
+/// dispatch layer (storage/dispatch.hpp), which picks the representation per
+/// operation with a cost model. Kernel code (src/ops, src/baseline) keeps
+/// working on the concrete classes it always had.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "backend/context.hpp"
+#include "core/coo.hpp"
+#include "core/csr.hpp"
+#include "core/dense.hpp"
+#include "core/spvector.hpp"
+
+namespace spbla {
+
+/// Storage representation of a Boolean matrix.
+enum class Format : std::uint8_t {
+    Csr = 0,    ///< compressed sparse row (the cuBool format)
+    Coo = 1,    ///< coordinate list (the clBool format)
+    Dense = 2,  ///< bit-packed dense rows (closure endgame / oracle format)
+};
+
+inline constexpr std::size_t kNumFormats = 3;
+
+[[nodiscard]] constexpr const char* format_name(Format f) noexcept {
+    switch (f) {
+        case Format::Csr: return "csr";
+        case Format::Coo: return "coo";
+        case Format::Dense: return "dense";
+    }
+    return "unknown";
+}
+
+namespace storage {
+
+/// Process-wide storage-engine counters. Always compiled (they are a handful
+/// of relaxed atomics); the same events are also mirrored into spbla::prof
+/// counters so they appear in traces and bench JSON.
+struct Stats {
+    std::atomic<std::uint64_t> format_conversions{0};  ///< concrete conversions run
+    std::atomic<std::uint64_t> repr_cache_hits{0};     ///< secondary rep reused
+    std::atomic<std::uint64_t> repr_cache_stores{0};   ///< secondary rep retained
+    std::atomic<std::uint64_t> repr_cache_drops{0};    ///< secondary rep released
+    std::atomic<std::uint64_t> dispatch_csr{0};        ///< ops routed to CSR kernels
+    std::atomic<std::uint64_t> dispatch_coo{0};        ///< ops routed to COO kernels
+    std::atomic<std::uint64_t> dispatch_dense{0};      ///< ops routed to dense kernels
+};
+
+[[nodiscard]] Stats& stats() noexcept;
+
+/// Zero every dispatch/conversion counter (not the cached-byte gauge).
+void reset_stats() noexcept;
+
+/// Bytes of cached secondary representations currently alive process-wide.
+[[nodiscard]] std::size_t cached_bytes() noexcept;
+
+/// Budget for cached secondary representations (process-wide, bytes).
+/// Handles stop retaining conversions once the gauge exceeds the budget;
+/// dispatch additionally trims caches back under it after each operation.
+[[nodiscard]] std::size_t cache_budget() noexcept;
+void set_cache_budget(std::size_t bytes) noexcept;
+
+/// Dispatch-wide format override — the spbla_SetFormatHint escape hatch and
+/// the lever the format-sweep tests and benchmarks use. Auto restores the
+/// cost model.
+enum class FormatHint : std::uint8_t {
+    Auto = 0,
+    ForceCsr = 1,
+    ForceCoo = 2,
+    ForceDense = 3,
+};
+
+[[nodiscard]] FormatHint global_hint() noexcept;
+void set_global_hint(FormatHint hint) noexcept;
+
+/// RAII override of the global hint (used by tests/bench sweeps).
+class ScopedHint {
+public:
+    explicit ScopedHint(FormatHint hint) : prev_{global_hint()} {
+        set_global_hint(hint);
+    }
+    ~ScopedHint() { set_global_hint(prev_); }
+    ScopedHint(const ScopedHint&) = delete;
+    ScopedHint& operator=(const ScopedHint&) = delete;
+
+private:
+    FormatHint prev_;
+};
+
+}  // namespace storage
+
+/// Value-semantic Boolean matrix handle with format-polymorphic storage,
+/// bound to an execution context. This is both the storage-engine handle the
+/// C API wraps and the high-level C++ facade (operators for the Boolean
+/// semiring: `*` = multiply, `+` = element-wise or, `kron`).
+class Matrix {
+public:
+    /// Empty matrix of the given shape (primary representation: CSR).
+    Matrix(Index nrows, Index ncols, backend::Context& ctx = backend::default_context());
+
+    Matrix() : Matrix(0, 0) {}
+
+    /// Adopt a concrete representation as the primary.
+    explicit Matrix(CsrMatrix data, backend::Context& ctx = backend::default_context());
+    explicit Matrix(CooMatrix data, backend::Context& ctx = backend::default_context());
+    explicit Matrix(DenseMatrix data, backend::Context& ctx = backend::default_context());
+
+    /// Build from a coordinate list (duplicates collapse); CSR primary.
+    static Matrix from_coords(Index nrows, Index ncols, std::vector<Coord> coords,
+                              backend::Context& ctx = backend::default_context());
+
+    /// Identity matrix.
+    static Matrix identity(Index n, backend::Context& ctx = backend::default_context());
+
+    /// Copies carry the primary representation only; cached secondaries stay
+    /// with the source (they are a per-handle device-memory charge).
+    Matrix(const Matrix& other);
+    Matrix& operator=(const Matrix& other);
+    Matrix(Matrix&& other) noexcept;
+    Matrix& operator=(Matrix&& other) noexcept;
+    ~Matrix();
+
+    [[nodiscard]] Index nrows() const noexcept { return nrows_; }
+    [[nodiscard]] Index ncols() const noexcept { return ncols_; }
+    [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+    [[nodiscard]] bool empty() const noexcept { return nnz_ == 0; }
+    [[nodiscard]] double density() const noexcept;
+    [[nodiscard]] bool get(Index r, Index c) const;
+    [[nodiscard]] std::vector<Coord> to_coords() const;
+    [[nodiscard]] backend::Context& context() const noexcept { return *ctx_; }
+
+    /// Format of the primary (owned) representation.
+    [[nodiscard]] Format format() const noexcept { return primary_; }
+
+    /// True iff a representation in \p f is materialised on this handle.
+    [[nodiscard]] bool has_format(Format f) const noexcept;
+
+    /// Largest row population of the matrix (0 for empty). Computed once per
+    /// handle content and cached; the dispatch cost model's skew signal.
+    [[nodiscard]] Index max_row_nnz() const;
+
+    /// Representation accessors. If the requested format is not materialised
+    /// the primary is converted through core/convert (parallel, on \p ctx);
+    /// the conversion result is retained as a cached secondary — charged to
+    /// \p ctx's MemoryTracker — while the process-wide cache gauge is under
+    /// budget, and dropped after use otherwise (see dispatch's trim pass).
+    /// References stay valid until the handle is mutated or destroyed.
+    [[nodiscard]] const CsrMatrix& csr(backend::Context& ctx) const;
+    [[nodiscard]] const CooMatrix& coo(backend::Context& ctx) const;
+    [[nodiscard]] const DenseMatrix& dense(backend::Context& ctx) const;
+
+    /// Convenience accessors on the handle's own context.
+    [[nodiscard]] const CsrMatrix& csr() const { return csr(*ctx_); }
+    [[nodiscard]] const CooMatrix& coo() const { return coo(*ctx_); }
+    [[nodiscard]] const DenseMatrix& dense() const { return dense(*ctx_); }
+
+    /// Column indices of row \p r (sorted). Materialises the CSR rep.
+    [[nodiscard]] std::span<const Index> row(Index r) const { return csr().row(r); }
+
+    /// Re-anchor the primary representation to \p f (converting if needed).
+    /// The previous primary remains available as a cached secondary.
+    void convert_to(Format f, backend::Context& ctx);
+    void convert_to(Format f) { convert_to(f, *ctx_); }
+
+    /// Release cached secondary representations (and their tracker charge).
+    void drop_cached() const noexcept;
+
+    /// Release cached secondaries while the process-wide gauge exceeds the
+    /// budget. Called by dispatch after each routed operation.
+    void trim_cache() const noexcept;
+
+    /// Bytes of cached secondaries currently charged by this handle.
+    [[nodiscard]] std::size_t cached_bytes() const noexcept;
+
+    /// Simulated device footprint of the primary representation.
+    [[nodiscard]] std::size_t device_bytes() const noexcept;
+
+    // ---- facade sugar (routes through storage/dispatch.cpp) ----
+
+    /// this := this | other (the paper's M += N).
+    Matrix& operator+=(const Matrix& other);
+
+    /// this := this | a * b (the paper's C += M x N fused form).
+    Matrix& multiply_add(const Matrix& a, const Matrix& b);
+
+    [[nodiscard]] friend Matrix operator+(const Matrix& a, const Matrix& b) {
+        return Matrix::add(a, b);
+    }
+    [[nodiscard]] friend Matrix operator*(const Matrix& a, const Matrix& b) {
+        return Matrix::mul(a, b);
+    }
+
+    /// Kronecker product K = this (x) other.
+    [[nodiscard]] Matrix kron(const Matrix& other) const;
+
+    /// Transpose.
+    [[nodiscard]] Matrix transposed() const;
+
+    /// Sub-matrix extraction M = this[r0..r0+m, c0..c0+n].
+    [[nodiscard]] Matrix submatrix(Index r0, Index c0, Index m, Index n) const;
+
+    /// V = reduceToColumn(this).
+    [[nodiscard]] SpVector reduce_to_column() const;
+
+    /// Structural equality (format-independent: same shape, same cells).
+    friend bool operator==(const Matrix& a, const Matrix& b);
+
+private:
+    static Matrix add(const Matrix& a, const Matrix& b);
+    static Matrix mul(const Matrix& a, const Matrix& b);
+
+    /// Charge/release accounting for one cached secondary slot.
+    struct SlotCharge {
+        backend::MemoryTracker* tracker{nullptr};
+        std::size_t bytes{0};
+    };
+
+    void adopt_shape() noexcept;  // refresh nrows_/ncols_/nnz_ from primary
+    void release_all() noexcept;  // drop every rep + charge (for dtor/assign)
+    void store_secondary(Format f, backend::Context& ctx) const;
+    void drop_slot(Format f) const noexcept;
+
+    backend::Context* ctx_;
+    Index nrows_{0};
+    Index ncols_{0};
+    std::size_t nnz_{0};
+    Format primary_{Format::Csr};
+
+    // One slot per Format; primary_ names the owned one, any other non-null
+    // slot is a cached secondary with its charge recorded below.
+    mutable std::unique_ptr<const CsrMatrix> csr_;
+    mutable std::unique_ptr<const CooMatrix> coo_;
+    mutable std::unique_ptr<const DenseMatrix> dense_;
+    mutable SlotCharge charge_[kNumFormats]{};
+    mutable Index max_row_nnz_{0};
+    mutable bool max_row_nnz_valid_{false};
+};
+
+}  // namespace spbla

@@ -8,11 +8,14 @@
 #include <vector>
 
 #include "backend/context.hpp"
+// The test oracles cross-check storage-engine results against the concrete
+// formats directly, so this is one of the sanctioned leak sites.
 #include "core/convert.hpp"
-#include "core/coo.hpp"
-#include "core/csr.hpp"
-#include "core/dense.hpp"
+#include "core/coo.hpp"    // lint:allow(format-leak)
+#include "core/csr.hpp"    // lint:allow(format-leak)
+#include "core/dense.hpp"  // lint:allow(format-leak)
 #include "core/spvector.hpp"
+#include "storage/matrix.hpp"
 #include "util/rng.hpp"
 
 namespace spbla::testing {
@@ -73,6 +76,13 @@ inline CsrMatrix random_csr(Index nrows, Index ncols, double density,
                           static_cast<Index>(rng.below(ncols))});
     }
     return CsrMatrix::from_coords(nrows, ncols, std::move(coords));
+}
+
+/// Same distribution, wrapped in the storage-engine handle (bound to the
+/// shared parallel context so cached representations charge its tracker).
+inline Matrix random_matrix(Index nrows, Index ncols, double density,
+                            std::uint64_t seed) {
+    return Matrix{random_csr(nrows, ncols, density, seed), ctx()};
 }
 
 /// Random word over an alphabet of labels.

@@ -15,11 +15,11 @@ namespace spbla::algorithms {
 namespace {
 
 using testing::ctx;
-using testing::random_csr;
+using testing::random_matrix;
 
 /// Floyd-Warshall style reachability oracle.
-DenseMatrix closure_reference(const CsrMatrix& adj) {
-    auto d = to_dense(adj);
+DenseMatrix closure_reference(const Matrix& adj) {
+    auto d = to_dense(adj.csr());
     const Index n = adj.nrows();
     for (Index k = 0; k < n; ++k) {
         for (Index i = 0; i < n; ++i) {
@@ -33,12 +33,12 @@ DenseMatrix closure_reference(const CsrMatrix& adj) {
 }
 
 TEST(Closure, RequiresSquareMatrix) {
-    const CsrMatrix m{3, 4};
+    const Matrix m{3, 4};
     EXPECT_THROW((void)transitive_closure(ctx(), m), Error);
 }
 
 TEST(Closure, EmptyGraphStaysEmpty) {
-    const CsrMatrix m{5, 5};
+    const Matrix m{5, 5};
     EXPECT_EQ(transitive_closure(ctx(), m).nnz(), 0u);
 }
 
@@ -62,7 +62,7 @@ TEST(Closure, CycleClosesToComplete) {
 
 TEST(Closure, StrategiesAgree) {
     for (const auto seed : {1, 2, 3}) {
-        const auto m = random_csr(40, 40, 0.05, seed);
+        const auto m = random_matrix(40, 40, 0.05, seed);
         ClosureStats sq, lin, dl;
         const auto a = transitive_closure(ctx(), m, ClosureStrategy::Squaring, &sq);
         const auto b = transitive_closure(ctx(), m, ClosureStrategy::Linear, &lin);
@@ -88,7 +88,7 @@ TEST(Closure, DeltaFrontierWalksTheDiameter) {
 }
 
 TEST(Closure, DeltaOnEmptyAndCyclicGraphs) {
-    EXPECT_EQ(transitive_closure(ctx(), CsrMatrix{4, 4}, ClosureStrategy::Delta).nnz(),
+    EXPECT_EQ(transitive_closure(ctx(), Matrix{4, 4}, ClosureStrategy::Delta).nnz(),
               0u);
     const auto g = data::make_cycle(5);
     EXPECT_EQ(
@@ -106,8 +106,8 @@ TEST(Closure, SquaringNeedsLogRoundsOnLongPath) {
 
 TEST(Closure, MatchesFloydWarshallOnRandomGraphs) {
     for (const auto seed : {10, 11, 12, 13}) {
-        const auto m = random_csr(30, 30, 0.06, seed);
-        EXPECT_EQ(to_dense(transitive_closure(ctx(), m)), closure_reference(m));
+        const auto m = random_matrix(30, 30, 0.06, seed);
+        EXPECT_EQ(to_dense(transitive_closure(ctx(), m).csr()), closure_reference(m));
     }
 }
 
@@ -125,7 +125,7 @@ TEST(Bfs, LevelsOnPathGraph) {
 }
 
 TEST(Bfs, UnreachableVerticesStayMinusOne) {
-    const auto m = CsrMatrix::from_coords(4, 4, {{0, 1}});
+    const auto m = Matrix::from_coords(4, 4, {{0, 1}});
     const auto levels = bfs_levels(ctx(), m, 0);
     EXPECT_EQ(levels, (std::vector<int>{0, 1, -1, -1}));
 }
@@ -140,7 +140,7 @@ TEST(Bfs, TreeLevelsMatchDepth) {
 }
 
 TEST(Bfs, ReachableSetMatchesClosureRow) {
-    const auto m = random_csr(25, 25, 0.08, 77);
+    const auto m = random_matrix(25, 25, 0.08, 77);
     const auto closure = transitive_closure(ctx(), m);
     for (const Index source : {Index{0}, Index{7}, Index{24}}) {
         const auto reach = reachable_from(ctx(), m, source);
@@ -158,13 +158,13 @@ TEST(Components, SingleComponentOnCycle) {
 }
 
 TEST(Components, IsolatedVerticesAreSingletons) {
-    const CsrMatrix empty{5, 5};
+    const Matrix empty{5, 5};
     EXPECT_EQ(count_components(ctx(), empty), 5u);
 }
 
 TEST(Components, DirectedEdgesConnectWeakly) {
     // 0 -> 1, 3 -> 2: two components {0,1} and {2,3}, vertex 4 alone.
-    const auto m = CsrMatrix::from_coords(5, 5, {{0, 1}, {3, 2}});
+    const auto m = Matrix::from_coords(5, 5, {{0, 1}, {3, 2}});
     EXPECT_EQ(count_components(ctx(), m), 3u);
     const auto labels = connected_components(ctx(), m);
     EXPECT_EQ(labels[0], labels[1]);
@@ -175,7 +175,7 @@ TEST(Components, DirectedEdgesConnectWeakly) {
 
 TEST(Components, MatchesUnionFindOnRandomGraphs) {
     for (const auto seed : {21, 22, 23}) {
-        const auto m = random_csr(40, 40, 0.03, seed);
+        const auto m = random_matrix(40, 40, 0.03, seed);
         // Union-find reference.
         std::vector<Index> parent(40);
         for (Index v = 0; v < 40; ++v) parent[v] = v;
@@ -196,13 +196,13 @@ TEST(Components, MatchesUnionFindOnRandomGraphs) {
 }
 
 TEST(Triangles, TriangleGraphHasOne) {
-    const auto m = CsrMatrix::from_coords(
+    const auto m = Matrix::from_coords(
         3, 3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}});
     EXPECT_EQ(count_triangles(ctx(), m), 1u);
 }
 
 TEST(Triangles, PathHasNone) {
-    const auto m = CsrMatrix::from_coords(4, 4, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+    const auto m = Matrix::from_coords(4, 4, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
     EXPECT_EQ(count_triangles(ctx(), m), 0u);
 }
 
@@ -214,21 +214,21 @@ TEST(Triangles, CompleteGraphBinomial) {
             if (i != j) coords.push_back({i, j});
         }
     }
-    const auto m = CsrMatrix::from_coords(6, 6, std::move(coords));
+    const auto m = Matrix::from_coords(6, 6, std::move(coords));
     EXPECT_EQ(count_triangles(ctx(), m), 20u);
 }
 
 TEST(Triangles, MatchesBruteForceOnRandomSymmetric) {
     for (const auto seed : {5, 6}) {
-        auto half = random_csr(20, 20, 0.15, seed);
+        auto half = random_matrix(20, 20, 0.15, seed);
         std::vector<Coord> sym;
         for (const auto& c : half.to_coords()) {
             if (c.row == c.col) continue;
             sym.push_back(c);
             sym.push_back({c.col, c.row});
         }
-        const auto m = CsrMatrix::from_coords(20, 20, std::move(sym));
-        const auto d = to_dense(m);
+        const auto m = Matrix::from_coords(20, 20, std::move(sym));
+        const auto d = to_dense(m.csr());
         std::uint64_t expected = 0;
         for (Index i = 0; i < 20; ++i) {
             for (Index j = 0; j < 20; ++j) {

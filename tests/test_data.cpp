@@ -99,7 +99,7 @@ TEST(Geospecies, HasDeepBroaderTransitiveChains) {
     // Follow parent pointers from the guaranteed spine leaf.
     const auto& bt = g.matrix("broaderTransitive");
     Index v = 24, depth = 0;
-    while (bt.row_nnz(v) > 0) {
+    while (bt.csr().row_nnz(v) > 0) {
         v = bt.row(v)[0];
         ++depth;
     }
@@ -147,13 +147,13 @@ TEST(Rmat, ShapeAndEdgeBudget) {
     EXPECT_EQ(m.ncols(), 256u);
     EXPECT_LE(m.nnz(), 4u * 256u);
     EXPECT_GT(m.nnz(), 256u);  // collisions exist but not that many
-    m.validate();
+    m.csr().validate();
 }
 
 TEST(Rmat, SkewProducesHubs) {
     const auto m = make_rmat(10, 8);
     Index max_row = 0;
-    for (Index r = 0; r < m.nrows(); ++r) max_row = std::max(max_row, m.row_nnz(r));
+    for (Index r = 0; r < m.nrows(); ++r) max_row = std::max(max_row, m.csr().row_nnz(r));
     const double avg = static_cast<double>(m.nnz()) / m.nrows();
     EXPECT_GT(max_row, 4 * avg);  // power-law hubs
 }

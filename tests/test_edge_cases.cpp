@@ -58,9 +58,9 @@ TEST(EdgeCases, EpsilonOnlyGrammar) {
     const auto g = data::make_path(4);
     const auto grammar = cfpq::Grammar::parse("S -> eps\n");
     const auto mtx = cfpq::azimov_cfpq(ctx(), g, grammar).reachable();
-    EXPECT_EQ(mtx, CsrMatrix::identity(4));
+    EXPECT_EQ(mtx, Matrix::identity(4, ctx()));
     EXPECT_EQ(cfpq::tensor_cfpq(ctx(), g, grammar).reachable(grammar),
-              CsrMatrix::identity(4));
+              Matrix::identity(4, ctx()));
     EXPECT_TRUE(cfpq::accepts(grammar, {}));
     EXPECT_FALSE(cfpq::accepts(grammar, std::vector<std::string>{"a"}));
 }
@@ -88,7 +88,7 @@ TEST(EdgeCases, FullDensityMatrixOps) {
     EXPECT_EQ(ops::ewise_mult(ctx(), full, full), full);
     EXPECT_EQ(ops::ewise_diff(ctx(), full, full).nnz(), 0u);
     EXPECT_EQ(ops::transpose(ctx(), full), full);
-    EXPECT_EQ(algorithms::transitive_closure(ctx(), full), full);
+    EXPECT_EQ(algorithms::transitive_closure(ctx(), Matrix{full, ctx()}).csr(), full);
 }
 
 TEST(EdgeCases, OneByOneMatrices) {

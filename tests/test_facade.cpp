@@ -5,6 +5,7 @@
 
 #include "data/matrix_market.hpp"
 #include "helpers.hpp"
+#include "ops/ops.hpp"
 #include "spbla/matrix.hpp"
 
 namespace spbla {
@@ -89,7 +90,7 @@ TEST(Facade, MismatchedShapesThrow) {
 // ------------------------------ Matrix Market -----------------------------
 
 TEST(MatrixMarket, RoundTrip) {
-    const auto m = random_csr(30, 40, 0.1, 707);
+    const auto m = Matrix{random_csr(30, 40, 0.1, 707), ctx()};
     std::stringstream ss;
     data::save_matrix_market(ss, m);
     EXPECT_EQ(data::load_matrix_market(ss), m);
@@ -148,7 +149,7 @@ TEST(MatrixMarket, MalformedInputsRejected) {
 }
 
 TEST(MatrixMarket, FileRoundTrip) {
-    const auto m = random_csr(10, 10, 0.3, 708);
+    const auto m = Matrix{random_csr(10, 10, 0.3, 708), ctx()};
     const std::string path = ::testing::TempDir() + "/spbla_mm_test.mtx";
     data::save_matrix_market_file(path, m);
     EXPECT_EQ(data::load_matrix_market_file(path), m);

@@ -140,5 +140,100 @@ TEST_P(FuzzSweep, RandomOpSequencesStayConsistentWithDenseMirror) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
 
+// ---------------------------------------------------------------------------
+// COO-backend differential fuzz. The clBool-style kernels (ops/coo_ops.hpp)
+// are a second implementation of multiply / ewise_add / transpose /
+// submatrix / reduce; every random step is checked against BOTH the CSR
+// kernel on converted operands and the dense mirror, so a divergence
+// isolates which backend is wrong.
+// ---------------------------------------------------------------------------
+
+struct MirroredCoo {
+    CooMatrix sparse;
+    DenseMatrix dense;
+};
+
+class CooFuzzSweep
+    : public ::spbla::testing::CheckedContextWithParam<std::uint64_t> {};
+
+TEST_P(CooFuzzSweep, CooKernelsAgreeWithCsrKernelsAndDenseMirror) {
+    util::Rng rng{GetParam()};
+    const Index n = 8 + static_cast<Index>(rng.below(25));
+    std::vector<MirroredCoo> pool;
+    for (int i = 0; i < 4; ++i) {
+        const auto csr = testing::random_csr(n, n, 0.05 + rng.uniform() * 0.3, rng());
+        pool.push_back({to_coo(ctx(), csr), to_dense(ctx(), csr)});
+    }
+
+    for (int step = 0; step < 40; ++step) {
+        const auto& a = pool[rng.below(pool.size())];
+        const auto& b = pool[rng.below(pool.size())];
+        const auto op = rng.below(5);
+        MirroredCoo result;
+        const char* name = "";
+        switch (op) {
+            case 0:
+                name = "coo::multiply";
+                result = {ops::multiply(ctx(), a.sparse, b.sparse),
+                          a.dense.multiply(b.dense)};
+                ASSERT_EQ(to_csr(ctx(), result.sparse),
+                          ops::multiply(ctx(), to_csr(ctx(), a.sparse),
+                                        to_csr(ctx(), b.sparse)))
+                    << name;
+                break;
+            case 1:
+                name = "coo::ewise_add";
+                result = {ops::ewise_add(ctx(), a.sparse, b.sparse),
+                          a.dense.ewise_or(b.dense)};
+                ASSERT_EQ(to_csr(ctx(), result.sparse),
+                          ops::ewise_add(ctx(), to_csr(ctx(), a.sparse),
+                                         to_csr(ctx(), b.sparse)))
+                    << name;
+                break;
+            case 2:
+                name = "coo::transpose+transpose";
+                result = {ops::transpose(ctx(), ops::transpose(ctx(), a.sparse)),
+                          a.dense};
+                ASSERT_EQ(to_csr(ctx(), ops::transpose(ctx(), a.sparse)),
+                          ops::transpose(ctx(), to_csr(ctx(), a.sparse)))
+                    << name;
+                break;
+            case 3: {
+                name = "coo::submatrix";
+                const Index r0 = static_cast<Index>(rng.below(n));
+                const Index c0 = static_cast<Index>(rng.below(n));
+                const Index h = static_cast<Index>(rng.below(n - r0) + 1);
+                const Index w = static_cast<Index>(rng.below(n - c0) + 1);
+                const auto sub = ops::submatrix(ctx(), a.sparse, r0, c0, h, w);
+                ASSERT_NO_THROW(core::validate(sub)) << name;
+                ASSERT_EQ(to_dense(ctx(), sub), a.dense.submatrix(r0, c0, h, w))
+                    << name;
+                ASSERT_EQ(to_csr(ctx(), sub),
+                          ops::submatrix(ctx(), to_csr(ctx(), a.sparse), r0, c0, h, w))
+                    << name;
+                continue;  // window is not pool-shaped; do not insert
+            }
+            default: {
+                name = "coo::reduce_to_column";
+                const auto v = ops::reduce_to_column(ctx(), a.sparse);
+                ASSERT_EQ(v, ops::reduce_to_column(ctx(), to_csr(ctx(), a.sparse)))
+                    << name;
+                std::vector<Index> expect;
+                for (Index r = 0; r < n; ++r) {
+                    if (a.dense.row_nnz(r) > 0) expect.push_back(r);
+                }
+                ASSERT_EQ(v, SpVector::from_indices(n, std::move(expect))) << name;
+                continue;  // vector result; nothing to insert
+            }
+        }
+        ASSERT_NO_THROW(core::validate(result.sparse)) << name;
+        ASSERT_EQ(to_dense(ctx(), result.sparse), result.dense) << name;
+        pool[rng.below(pool.size())] = std::move(result);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CooFuzzSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
 }  // namespace
 }  // namespace spbla

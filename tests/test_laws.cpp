@@ -105,8 +105,8 @@ TEST(Laws, RpqConcatenationIsBooleanProduct) {
         const auto q2 = rpq::compile_query("c (a | b)");
         const auto q12 = rpq::compile_query("(a b*) (c (a | b))");
         const auto lhs = rpq::evaluate(ctx(), g, q12);
-        const auto rhs = ops::multiply(ctx(), rpq::evaluate(ctx(), g, q1),
-                                       rpq::evaluate(ctx(), g, q2));
+        const auto rhs = storage::multiply(ctx(), rpq::evaluate(ctx(), g, q1),
+                                           rpq::evaluate(ctx(), g, q2));
         EXPECT_EQ(lhs, rhs) << seed;
     }
 }
@@ -116,8 +116,9 @@ TEST(Laws, RpqUnionIsElementwiseOr) {
         const auto g = random_graph(15, 40, seed);
         const auto lhs =
             rpq::evaluate(ctx(), g, rpq::compile_query("(a b) | (c+)"));
-        const auto rhs = ops::ewise_add(ctx(), rpq::evaluate(ctx(), g, rpq::compile_query("a b")),
-                                        rpq::evaluate(ctx(), g, rpq::compile_query("c+")));
+        const auto rhs =
+            storage::ewise_add(ctx(), rpq::evaluate(ctx(), g, rpq::compile_query("a b")),
+                               rpq::evaluate(ctx(), g, rpq::compile_query("c+")));
         EXPECT_EQ(lhs, rhs) << seed;
     }
 }
@@ -126,7 +127,7 @@ TEST(Laws, RpqStarIsReflexiveClosureOfPlus) {
     const auto g = random_graph(12, 30, 35);
     const auto star = rpq::evaluate(ctx(), g, rpq::compile_query("(a | b)*"));
     const auto plus = rpq::evaluate(ctx(), g, rpq::compile_query("(a | b)+"));
-    EXPECT_EQ(star, ops::ewise_add(ctx(), plus, CsrMatrix::identity(12)));
+    EXPECT_EQ(star, storage::ewise_add(ctx(), plus, Matrix::identity(12, ctx())));
 }
 
 TEST(Laws, CfpqUnionGrammarIsUnionOfAnswers) {
@@ -138,8 +139,8 @@ TEST(Laws, CfpqUnionGrammarIsUnionOfAnswers) {
         const auto both = cfpq::Grammar::parse(
             "S -> S1 | S2\nS1 -> a S1 b | a b\nS2 -> c S2 | c\n");
         const auto lhs = cfpq::worklist_cfpq(g, both);
-        const auto rhs = ops::ewise_add(ctx(), cfpq::worklist_cfpq(g, g1),
-                                        cfpq::worklist_cfpq(g, g2));
+        const auto rhs = storage::ewise_add(ctx(), cfpq::worklist_cfpq(g, g1),
+                                            cfpq::worklist_cfpq(g, g2));
         EXPECT_EQ(lhs, rhs) << seed;
         EXPECT_EQ(cfpq::azimov_cfpq(ctx(), g, both).reachable(), lhs) << seed;
     }

@@ -18,6 +18,7 @@
 #include "data/rmat.hpp"
 #include "ops/spgemm.hpp"
 #include "prof/prof.hpp"
+#include "storage/dispatch.hpp"
 
 namespace {
 
@@ -358,9 +359,9 @@ TEST_F(ProfTest, SpGemmCountersMatchTheComputedResult) {
         GTEST_SKIP() << "library built with SPBLA_PROFILE=off";
     }
     backend::Context ctx{backend::Policy::Parallel, 4};  // real pool even on 1 core
-    const CsrMatrix a = data::make_rmat(9, 8);
+    const Matrix a = data::make_rmat(9, 8);
     prof::reset();
-    const CsrMatrix c = ops::multiply(ctx, a, a);
+    const Matrix c = storage::multiply(ctx, a, a);
 
     EXPECT_EQ(prof::counter_value("spgemm.multiply", "nnz_in"),
               static_cast<std::uint64_t>(2 * a.nnz()));
@@ -386,9 +387,9 @@ TEST_F(ProfTest, PoolWorkersAttributeCountersToTheLaunchingSpan) {
     backend::Context ctx{backend::Policy::Parallel, 4};  // real pool even on 1 core
     // Zipf-skewed rows populate the hash bins (R-MAT at this scale classifies
     // almost everything tiny or dense, leaving hash_probes at zero).
-    const CsrMatrix a = data::make_zipf(4096, 4096, 16, 1.0);
+    const Matrix a = data::make_zipf(4096, 4096, 16, 1.0);
     prof::reset();
-    (void)ops::multiply(ctx, a, a);
+    (void)storage::multiply(ctx, a, a);
     // Hash-kernel counters are incremented on pool workers; the WorkerScope
     // wiring must fold them under the numeric span rather than "(root)".
     const std::uint64_t probes = prof::counter_total("hash_probes");

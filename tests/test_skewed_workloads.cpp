@@ -65,9 +65,9 @@ class SkewedSpGemm : public ::spbla::testing::CheckedContextWithParam<const char
 protected:
     CsrMatrix matrix() const {
         const std::string name = GetParam();
-        if (name == "rmat") return data::make_rmat(8, 8, 91);
-        if (name == "zipf-mild") return data::make_zipf(300, 300, 10, 0.8, 92);
-        return data::make_zipf(256, 256, 16, 1.4, 93);  // "zipf-heavy": hub rows
+        if (name == "rmat") return data::make_rmat(8, 8, 91).csr();
+        if (name == "zipf-mild") return data::make_zipf(300, 300, 10, 0.8, 92).csr();
+        return data::make_zipf(256, 256, 16, 1.4, 93).csr();  // "zipf-heavy": hub rows
     }
 };
 
@@ -114,7 +114,7 @@ TEST_F(SkewedEdgeCases, SingleHeavyRowAmongEmptyOnes) {
     std::vector<Coord> coords;
     for (Index j = 0; j < 512; ++j) coords.push_back({7, j});
     const auto a = CsrMatrix::from_coords(512, 512, coords);
-    const auto b = data::make_zipf(512, 512, 4, 1.0, 94);
+    const CsrMatrix b = data::make_zipf(512, 512, 4, 1.0, 94).csr();
     const auto expected = generic_multiply(a, b);
     for (const auto& opts : all_schedules()) {
         EXPECT_EQ(ops::multiply(ctx(), a, b, opts), expected);
@@ -124,8 +124,8 @@ TEST_F(SkewedEdgeCases, SingleHeavyRowAmongEmptyOnes) {
 
 TEST_F(SkewedEdgeCases, AllDenseRows) {
     // Near-full operands: every non-empty row lands in the dense bin.
-    const auto a = data::make_uniform(300, 300, 0.6, 95);
-    const auto b = data::make_uniform(300, 300, 0.6, 96);
+    const CsrMatrix a = data::make_uniform(300, 300, 0.6, 95).csr();
+    const CsrMatrix b = data::make_uniform(300, 300, 0.6, 96).csr();
     const auto expected = generic_multiply(a, b);
     for (const auto& opts : all_schedules()) {
         EXPECT_EQ(ops::multiply(ctx(), a, b, opts), expected);
@@ -144,7 +144,7 @@ TEST_F(SkewedEdgeCases, AllTinyRows) {
 
 TEST_F(SkewedEdgeCases, HashLargeBinBoundary) {
     // Rows straddling the hash-small/hash-large threshold agree either way.
-    const auto a = data::make_zipf(512, 512, 12, 1.0, 99);
+    const CsrMatrix a = data::make_zipf(512, 512, 12, 1.0, 99).csr();
     ops::SpGemmOptions tiny_split;
     tiny_split.hash_large_threshold = 64;  // push most hash rows into "large"
     ops::SpGemmOptions huge_split;
@@ -158,7 +158,7 @@ TEST_F(SkewedEdgeCases, HashLargeBinBoundary) {
 TEST_F(SkewedEdgeCases, LegacyAccumulatorResetMatches) {
     // The benchmark-only pre-PR accumulator mode must stay correct so the
     // perf trajectory compares two right answers.
-    const auto a = data::make_zipf(300, 300, 14, 1.2, 103);
+    const CsrMatrix a = data::make_zipf(300, 300, 14, 1.2, 103).csr();
     const auto expected = generic_multiply(a, a);
     ops::SpGemmOptions legacy;
     legacy.legacy_accumulator_reset = true;
@@ -172,7 +172,7 @@ TEST_F(SkewedEdgeCases, LegacyAccumulatorResetMatches) {
 TEST_F(SkewedEdgeCases, TightCacheBudgetFallsBackPerRow) {
     // A budget big enough for some rows but not all exercises the mixed
     // cached/recomputed numeric path.
-    const auto a = data::make_zipf(256, 256, 16, 1.2, 100);
+    const CsrMatrix a = data::make_zipf(256, 256, 16, 1.2, 100).csr();
     const auto expected = generic_multiply(a, a);
     for (const std::size_t budget : {std::size_t{64}, std::size_t{1} << 10,
                                      std::size_t{1} << 16}) {
@@ -184,14 +184,14 @@ TEST_F(SkewedEdgeCases, TightCacheBudgetFallsBackPerRow) {
 
 TEST_F(SkewedEdgeCases, CacheLeavesNoTrackedMemoryBehind) {
     backend::Context local{backend::Policy::Parallel, 2};
-    const auto a = data::make_zipf(256, 256, 8, 1.0, 101);
+    const CsrMatrix a = data::make_zipf(256, 256, 8, 1.0, 101).csr();
     (void)ops::multiply(local, a, a);  // caching on by default
     EXPECT_EQ(local.tracker().current_bytes(), 0u);
     EXPECT_GT(local.tracker().peak_bytes(), 0u);
 }
 
 TEST_F(SkewedEdgeCases, ZipfGeneratorShapeAndSkew) {
-    const auto a = data::make_zipf(1000, 1000, 8, 1.2, 102);
+    const CsrMatrix a = data::make_zipf(1000, 1000, 8, 1.2, 102).csr();
     a.validate();
     EXPECT_EQ(a.nrows(), 1000u);
     EXPECT_EQ(a.ncols(), 1000u);

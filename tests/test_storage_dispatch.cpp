@@ -1,0 +1,266 @@
+/// \file test_storage_dispatch.cpp
+/// \brief Format sweep over the storage engine: every public dispatch
+/// operation must compute the identical result under forced-CSR, forced-COO,
+/// forced-dense and cost-model (auto) routing. Also pins down the cache
+/// accounting contract (secondaries charged to the tracker, budget respected,
+/// no leaks on teardown) and the no-thrash property of the hysteresis.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "algorithms/closure.hpp"
+#include "data/rmat.hpp"
+#include "helpers.hpp"
+#include "ops/ops.hpp"
+#include "storage/dispatch.hpp"
+#include "util/rng.hpp"
+
+namespace spbla {
+namespace {
+
+using testing::ctx;
+
+/// All hints the sweep runs under.
+const storage::FormatHint kHints[] = {
+    storage::FormatHint::Auto,
+    storage::FormatHint::ForceCsr,
+    storage::FormatHint::ForceCoo,
+    storage::FormatHint::ForceDense,
+};
+
+std::string hint_name(const ::testing::TestParamInfo<storage::FormatHint>& info) {
+    switch (info.param) {
+        case storage::FormatHint::Auto: return "Auto";
+        case storage::FormatHint::ForceCsr: return "ForceCsr";
+        case storage::FormatHint::ForceCoo: return "ForceCoo";
+        case storage::FormatHint::ForceDense: return "ForceDense";
+    }
+    return "Unknown";
+}
+
+/// Leak-checked fixture parameterised over the forced format. The hint is
+/// installed for the whole test body and restored before the leak check.
+class FormatSweep
+    : public testing::CheckedContextWithParam<storage::FormatHint> {
+protected:
+    void SetUp() override {
+        CheckedContext::SetUp();
+        previous_ = storage::global_hint();
+        storage::set_global_hint(GetParam());
+    }
+
+    void TearDown() override {
+        storage::set_global_hint(previous_);
+        CheckedContext::TearDown();
+    }
+
+private:
+    storage::FormatHint previous_{storage::FormatHint::Auto};
+};
+
+/// Reference results are always computed by the raw CSR kernels — the oldest
+/// and most battle-tested path — on unwrapped copies of the same inputs.
+CsrMatrix ref_csr(const Matrix& m) { return m.csr(ctx()); }
+
+TEST_P(FormatSweep, MultiplyFamilyMatchesCsrKernels) {
+    const auto a = testing::random_matrix(40, 40, 0.12, 1001);
+    const auto b = testing::random_matrix(40, 40, 0.18, 1002);
+    const auto c = testing::random_matrix(40, 40, 0.05, 1003);
+
+    EXPECT_EQ(storage::multiply(ctx(), a, b),
+              Matrix(ops::multiply(ctx(), ref_csr(a), ref_csr(b)), ctx()));
+    EXPECT_EQ(storage::multiply_add(ctx(), c, a, b),
+              Matrix(ops::multiply_add(ctx(), ref_csr(c), ref_csr(a), ref_csr(b)),
+                     ctx()));
+    const auto bt = storage::transpose(ctx(), b);
+    EXPECT_EQ(storage::multiply_masked(ctx(), c, a, bt),
+              Matrix(ops::multiply_masked(ctx(), ref_csr(c), ref_csr(a), ref_csr(bt)),
+                     ctx()));
+    EXPECT_EQ(storage::multiply_masked(ctx(), c, a, bt, /*complement=*/true),
+              Matrix(ops::multiply_masked(ctx(), ref_csr(c), ref_csr(a), ref_csr(bt),
+                                          /*complement=*/true),
+                     ctx()));
+}
+
+TEST_P(FormatSweep, ElementwiseFamilyMatchesCsrKernels) {
+    const auto a = testing::random_matrix(33, 47, 0.2, 1004);
+    const auto b = testing::random_matrix(33, 47, 0.2, 1005);
+
+    EXPECT_EQ(storage::ewise_add(ctx(), a, b),
+              Matrix(ops::ewise_add(ctx(), ref_csr(a), ref_csr(b)), ctx()));
+    EXPECT_EQ(storage::ewise_mult(ctx(), a, b),
+              Matrix(ops::ewise_mult(ctx(), ref_csr(a), ref_csr(b)), ctx()));
+    EXPECT_EQ(storage::ewise_diff(ctx(), a, b),
+              Matrix(ops::ewise_diff(ctx(), ref_csr(a), ref_csr(b)), ctx()));
+}
+
+TEST_P(FormatSweep, StructuralFamilyMatchesCsrKernels) {
+    const auto a = testing::random_matrix(21, 34, 0.15, 1006);
+    const auto b = testing::random_matrix(5, 7, 0.3, 1007);
+
+    EXPECT_EQ(storage::transpose(ctx(), a),
+              Matrix(ops::transpose(ctx(), ref_csr(a)), ctx()));
+    EXPECT_EQ(storage::kronecker(ctx(), b, a),
+              Matrix(ops::kronecker(ctx(), ref_csr(b), ref_csr(a)), ctx()));
+    EXPECT_EQ(storage::submatrix(ctx(), a, 3, 5, 13, 20),
+              Matrix(ops::submatrix(ctx(), ref_csr(a), 3, 5, 13, 20), ctx()));
+}
+
+TEST_P(FormatSweep, ReductionAndVectorFamilyMatchesCsrKernels) {
+    const auto a = testing::random_matrix(29, 29, 0.18, 1008);
+    util::Rng rng{1009};
+    std::vector<Index> set;
+    for (Index i = 0; i < 29; ++i) {
+        if (rng.below(3) == 0) set.push_back(i);
+    }
+    const auto x = SpVector::from_indices(29, std::move(set));
+
+    EXPECT_EQ(storage::reduce_to_column(ctx(), a),
+              ops::reduce_to_column(ctx(), ref_csr(a)));
+    EXPECT_EQ(storage::reduce_to_row(ctx(), a),
+              ops::reduce_to_row(ctx(), ref_csr(a)));
+    EXPECT_EQ(storage::reduce_scalar(a), ref_csr(a).nnz());
+    EXPECT_EQ(storage::mxv(ctx(), a, x), ops::mxv(ctx(), ref_csr(a), x));
+    EXPECT_EQ(storage::vxm(ctx(), x, a), ops::vxm(ctx(), x, ref_csr(a)));
+}
+
+TEST_P(FormatSweep, PrimaryFormatOfInputsDoesNotChangeResults) {
+    // Feed each op the same content anchored in all three primaries; every
+    // combination must agree cell-for-cell.
+    const auto seed = testing::random_matrix(24, 24, 0.2, 1010);
+    Matrix as_csr = seed;
+    as_csr.convert_to(Format::Csr, ctx());
+    Matrix as_coo = seed;
+    as_coo.convert_to(Format::Coo, ctx());
+    Matrix as_dense = seed;
+    as_dense.convert_to(Format::Dense, ctx());
+
+    const auto expect_sq = storage::multiply(ctx(), seed, seed);
+    for (const Matrix* lhs : {&as_csr, &as_coo, &as_dense}) {
+        for (const Matrix* rhs : {&as_csr, &as_coo, &as_dense}) {
+            EXPECT_EQ(storage::multiply(ctx(), *lhs, *rhs), expect_sq)
+                << format_name(lhs->format()) << " x " << format_name(rhs->format());
+            EXPECT_EQ(storage::ewise_add(ctx(), *lhs, *rhs), seed);
+        }
+    }
+}
+
+TEST_P(FormatSweep, DegenerateShapesSurvive) {
+    const Matrix empty{17, 17, ctx()};
+    const Matrix tall{64, 1, ctx()};
+    const auto a = testing::random_matrix(17, 17, 0.2, 1011);
+
+    EXPECT_EQ(storage::multiply(ctx(), empty, a).nnz(), 0u);
+    EXPECT_EQ(storage::ewise_add(ctx(), empty, a), a);
+    EXPECT_EQ(storage::ewise_mult(ctx(), empty, a).nnz(), 0u);
+    EXPECT_EQ(storage::transpose(ctx(), tall).nrows(), 1u);
+    EXPECT_EQ(storage::reduce_to_column(ctx(), empty).nnz(), 0u);
+    EXPECT_EQ(storage::kronecker(ctx(), empty, a).nnz(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hints, FormatSweep, ::testing::ValuesIn(kHints),
+                         hint_name);
+
+// ---------------------------------------------------------------------------
+// Cache accounting: the contract the ISSUE spells out. Secondary
+// representations are device allocations — charged to the handle's context
+// tracker, capped by the process budget, and released with the handle.
+// ---------------------------------------------------------------------------
+
+using StorageCache = testing::CheckedContext;
+
+TEST_F(StorageCache, SecondaryRepresentationChargesTracker) {
+    const auto m = testing::random_matrix(64, 64, 0.1, 2001);
+    const auto base = ctx().tracker().current_bytes();
+    const auto gauge_base = storage::cached_bytes();
+
+    const auto& coo = m.coo(ctx());
+    EXPECT_EQ(ctx().tracker().current_bytes(), base + coo.device_bytes());
+    EXPECT_EQ(m.cached_bytes(), coo.device_bytes());
+    EXPECT_EQ(storage::cached_bytes(), gauge_base + coo.device_bytes());
+
+    m.drop_cached();
+    EXPECT_EQ(ctx().tracker().current_bytes(), base);
+    EXPECT_EQ(m.cached_bytes(), 0u);
+    EXPECT_EQ(storage::cached_bytes(), gauge_base);
+}
+
+TEST_F(StorageCache, MutationInvalidatesCachedSecondaries) {
+    auto m = testing::random_matrix(32, 32, 0.2, 2002);
+    (void)m.coo(ctx());
+    (void)m.dense(ctx());
+    ASSERT_GT(m.cached_bytes(), 0u);
+
+    m += Matrix::identity(32, ctx());  // content change
+    EXPECT_EQ(m.cached_bytes(), 0u);
+    EXPECT_TRUE(m.get(7, 7));
+}
+
+TEST_F(StorageCache, DispatchTrimsCachesBackUnderBudget) {
+    const auto saved = storage::cache_budget();
+    storage::set_cache_budget(0);
+    {
+        const auto a = testing::random_matrix(48, 48, 0.2, 2003);
+        const auto b = testing::random_matrix(48, 48, 0.2, 2004);
+        storage::ScopedHint force{storage::FormatHint::ForceCoo};
+        (void)storage::multiply(ctx(), a, b);
+        // The forced-COO multiply had to convert, but with a zero budget the
+        // trim pass must have dropped every retained secondary again.
+        EXPECT_EQ(a.cached_bytes(), 0u);
+        EXPECT_EQ(b.cached_bytes(), 0u);
+    }
+    storage::set_cache_budget(saved);
+}
+
+TEST_F(StorageCache, RepeatedDispatchHitsTheCache) {
+    const auto a = testing::random_matrix(48, 48, 0.2, 2005);
+    storage::ScopedHint force{storage::FormatHint::ForceCoo};
+    storage::reset_stats();
+    for (int i = 0; i < 8; ++i) (void)storage::transpose(ctx(), a);
+    const auto conversions =
+        storage::stats().format_conversions.load(std::memory_order_relaxed);
+    const auto hits = storage::stats().repr_cache_hits.load(std::memory_order_relaxed);
+    // One conversion to COO on the first round; the other seven reuse it.
+    EXPECT_LE(conversions, 1u);
+    EXPECT_GE(hits, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// No-thrash: the hysteresis keeps fixpoint loops in a stable format, so the
+// conversion counter stays bounded by the handles involved, not the rounds.
+// ---------------------------------------------------------------------------
+
+using DispatchStability = testing::CheckedContext;
+
+TEST_F(DispatchStability, RepeatedMultiplyConvertsAtMostOncePerOperand) {
+    const auto a = testing::random_matrix(96, 96, 0.05, 3001);
+    const auto b = testing::random_matrix(96, 96, 0.05, 3002);
+    storage::reset_stats();
+    for (int i = 0; i < 12; ++i) (void)storage::multiply(ctx(), a, b);
+    const auto conversions =
+        storage::stats().format_conversions.load(std::memory_order_relaxed);
+    // Two live operands, at most kNumFormats - 1 secondary conversions each;
+    // a thrashing dispatcher would instead pay per iteration (>= 12).
+    EXPECT_LE(conversions, 2 * (kNumFormats - 1));
+}
+
+TEST_F(DispatchStability, TransitiveClosureConversionCountIsBoundedPerRun) {
+    const auto adj = data::make_rmat(8, 8, 31);
+    algorithms::ClosureStats stats;
+    storage::reset_stats();
+    (void)algorithms::transitive_closure(ctx(), adj,
+                                         algorithms::ClosureStrategy::Squaring,
+                                         &stats);
+    const auto conversions =
+        storage::stats().format_conversions.load(std::memory_order_relaxed);
+    ASSERT_GT(stats.rounds, 0u);
+    // Each squaring round creates at most one fresh handle; hysteresis means
+    // a handle converts at most once on the way into the loop's format plus
+    // possibly once when the densifying endgame flips the model's choice.
+    EXPECT_LE(conversions, 2 * stats.rounds + 4);
+}
+
+}  // namespace
+}  // namespace spbla

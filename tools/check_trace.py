@@ -24,8 +24,16 @@ Checks, in order:
               trace involves more than one thread (on a single-core host the
               kernels legitimately fall back to serial execution), the pool
               recorded work (pool_tasks or pool_steals).
+  dispatch    (--require-dispatch) The trace demonstrably covers the
+              format-dispatch layer (src/storage): at least one
+              dispatch_csr / dispatch_coo / dispatch_dense pick was
+              recorded, format conversions were counted (the warm-up
+              converts between representations), and the secondary-
+              representation cache registered hits — all three families
+              missing means dispatch ran untraced or its counters are
+              unwired.
 
-Usage: tools/check_trace.py TRACE.json [--require-spgemm]
+Usage: tools/check_trace.py TRACE.json [--require-spgemm] [--require-dispatch]
 Exits 0 iff every check passes.
 """
 
@@ -179,6 +187,24 @@ class Checker:
                            "pool_steals/pool_bulk_launches recorded — the "
                            "thread-pool counters are unwired")
 
+    def check_dispatch(self, counters: dict[tuple[str, str], int]) -> None:
+        def total(counter: str) -> int:
+            return sum(v for (s, c), v in counters.items() if c == counter)
+
+        picks = sum(total(c) for c in ("dispatch_csr", "dispatch_coo",
+                                       "dispatch_dense"))
+        if picks == 0:
+            self.error("no dispatch_csr/dispatch_coo/dispatch_dense picks "
+                       "recorded — the storage dispatch layer never ran or "
+                       "its counters are unwired")
+        if not any(c == "format_conversions" for (s, c) in counters):
+            self.error("no format_conversions counter recorded — "
+                       "representation conversion is untraced")
+        if total("repr_cache_hits") == 0:
+            self.error("no repr_cache_hits recorded — cached secondary "
+                       "representations were never reused (or the counter "
+                       "is unwired)")
+
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
@@ -186,6 +212,9 @@ def main() -> int:
     ap.add_argument("--require-spgemm", action="store_true",
                     help="additionally require the SpGEMM pipeline counters "
                          "(bin classes, hash probes, pool work)")
+    ap.add_argument("--require-dispatch", action="store_true",
+                    help="additionally require the storage-dispatch counters "
+                         "(format picks, conversions, cache hits)")
     args = ap.parse_args()
 
     try:
@@ -202,6 +231,8 @@ def main() -> int:
         counters = checker.check_counters(top["spbla_counters"])
         if args.require_spgemm:
             checker.check_spgemm(spans, counters)
+        if args.require_dispatch:
+            checker.check_dispatch(counters)
         n_spans, n_counters = len(spans), len(counters)
     else:
         n_spans = n_counters = 0

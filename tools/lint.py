@@ -30,6 +30,14 @@ auditable (run as the `lint` ctest target; CI runs it on every push):
                     re-exports it).
   ops-validation    Every kernel translation unit in src/ops/ must wire
                     SPBLA_VALIDATE / SPBLA_CHECKED at its boundaries.
+  format-leak       No concrete-format header (core/csr.hpp, core/coo.hpp,
+                    core/dense.hpp) outside src/core, src/storage, src/ops
+                    and src/baseline. Everything above the storage engine
+                    operates on the format-polymorphic spbla::Matrix through
+                    storage/dispatch.hpp, so the cost model keeps the final
+                    say over representations. Test oracles and kernel
+                    benchmarks that deliberately exercise one concrete format
+                    suppress inline.
 
 A finding can be suppressed for one line with a trailing
 `// lint:allow(<rule>)` comment; use sparingly and say why nearby.
@@ -221,6 +229,19 @@ class Linter:
                         "kernel translation unit has no SPBLA_VALIDATE / "
                         "SPBLA_CHECKED wiring at its op boundaries")
 
+    def rule_format_leak(self, f: File) -> None:
+        allowed = ("src/core/", "src/storage/", "src/ops/", "src/baseline/")
+        if f.rel.startswith(allowed):
+            return
+        pat = re.compile(r'#\s*include\s*"core/(csr|coo|dense)\.hpp"')
+        for no, line in enumerate(f.raw_lines, start=1):
+            m = pat.search(line)
+            if m:
+                self.report(f, no, "format-leak",
+                            f"concrete-format header core/{m.group(1)}.hpp "
+                            "included outside the storage/kernel layers — "
+                            "use storage/matrix.hpp + storage/dispatch.hpp")
+
     def rule_ops_file_state(self, f: File) -> None:
         if not f.rel.startswith("src/ops/"):
             return
@@ -281,6 +302,7 @@ class Linter:
             self.rule_bare_assert(f)
             self.rule_contracts_include(f)
             self.rule_ops_validation(f)
+            self.rule_format_leak(f)
             self.rule_ops_file_state(f)
         for rel, no, rule, msg in sorted(self.violations):
             print(f"{rel}:{no}: [{rule}] {msg}")
