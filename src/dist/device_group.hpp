@@ -1,0 +1,76 @@
+/// \file device_group.hpp
+/// \brief N virtual devices + the cross-device tile scheduler.
+///
+/// The paper's device abstraction hosts one backend per process; the ROADMAP
+/// north star asks for scaling past a single simulated device. A DeviceGroup
+/// virtualizes N of them: each device is a backend::Context of its own (its
+/// worker pool is the device's lanes, its MemoryTracker the device memory),
+/// and a driver pool overlaps per-tile kernels across devices — each driver
+/// ticket drains one device's tile queue and then steals from its neighbours
+/// (the multi-accelerator analog of the pool's dynamic ticket scheduler).
+///
+/// This header is private to src/dist/ (lint `format-leak` enforces it);
+/// callers outside the layer configure groups through dist/dist.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/context.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spbla::dist {
+
+/// A fixed set of simulated devices executing tile tasks cooperatively.
+class DeviceGroup {
+public:
+    /// \p n_devices simulated devices, each owning a Context with
+    /// \p threads_per_device pool workers (<= 1 means the device computes on
+    /// the driver thread serving it, i.e. one lane per device).
+    explicit DeviceGroup(std::size_t n_devices, std::size_t threads_per_device = 1);
+
+    DeviceGroup(const DeviceGroup&) = delete;
+    DeviceGroup& operator=(const DeviceGroup&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return devices_.size(); }
+
+    [[nodiscard]] backend::Context& device(std::size_t d) noexcept {
+        return *devices_[d];
+    }
+
+    /// Run body(task, executing_device) for every task in [0, n_tasks).
+    /// owner(task) names the device whose queue the task starts on; a device
+    /// that drains its queue steals from the others (dist_steals counter).
+    /// Bodies for distinct tasks run concurrently and must not share mutable
+    /// state. Blocks until every task completed. With one device the tasks
+    /// run inline, in order, with no steals (the deterministic baseline the
+    /// strong-scaling ladder measures against).
+    void run(std::size_t n_tasks, const std::function<std::size_t(std::size_t)>& owner,
+             const std::function<void(std::size_t, std::size_t)>& body);
+
+    /// Cumulative per-device busy time (nanoseconds spent inside tile
+    /// bodies). max over devices of the delta across an op is the modeled
+    /// makespan the strong-scaling ladder reports: it is schedule-accurate on
+    /// any host, including single-core ones where wall clock cannot show
+    /// overlap.
+    [[nodiscard]] std::vector<std::uint64_t> busy_ns() const;
+
+    /// True iff every device's MemoryTracker is balanced (per-device leak
+    /// check used by the shard-oracle harness on teardown).
+    [[nodiscard]] bool balanced() const noexcept;
+
+    /// Concatenated leak reports of the unbalanced devices.
+    [[nodiscard]] std::string leak_report() const;
+
+private:
+    std::vector<std::unique_ptr<backend::Context>> devices_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
+    std::unique_ptr<util::ThreadPool> driver_;  // null when size() == 1
+};
+
+}  // namespace spbla::dist

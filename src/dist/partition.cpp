@@ -1,0 +1,91 @@
+/// \file partition.cpp
+/// \brief Split-array construction and the grid-size heuristic.
+
+#include "dist/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace spbla::dist {
+
+namespace {
+
+std::vector<Index> uniform_splits(Index extent, std::size_t parts) {
+    std::vector<Index> splits;
+    splits.reserve(parts + 1);
+    const Index base = parts > 0 ? extent / static_cast<Index>(parts) : 0;
+    const Index rem = parts > 0 ? extent % static_cast<Index>(parts) : 0;
+    Index at = 0;
+    splits.push_back(at);
+    for (std::size_t p = 0; p < parts; ++p) {
+        at += base + (p < rem ? 1 : 0);
+        splits.push_back(at);
+    }
+    return splits;
+}
+
+std::size_t locate(std::span<const Index> splits, Index x) noexcept {
+    // First split strictly greater than x, minus one: the owning interval.
+    // Empty intervals share a boundary; upper_bound lands past all of them.
+    const auto it = std::upper_bound(splits.begin(), splits.end(), x);
+    return static_cast<std::size_t>(it - splits.begin()) - 1;
+}
+
+}  // namespace
+
+Partition::Partition(std::vector<Index> row_splits, std::vector<Index> col_splits)
+    : row_splits_{std::move(row_splits)}, col_splits_{std::move(col_splits)} {
+    SPBLA_REQUIRE(row_splits_.size() >= 2 && col_splits_.size() >= 2, Status::InvalidArgument,
+                  "Partition: splits need at least one tile per axis");
+    SPBLA_REQUIRE(row_splits_.front() == 0 && col_splits_.front() == 0, Status::InvalidArgument,
+                  "Partition: splits must start at 0");
+    SPBLA_REQUIRE(std::is_sorted(row_splits_.begin(), row_splits_.end()) &&
+                      std::is_sorted(col_splits_.begin(), col_splits_.end()),
+                  Status::InvalidArgument, "Partition: splits must be non-decreasing");
+}
+
+Partition Partition::uniform(Index nrows, Index ncols, std::size_t grid_rows,
+                             std::size_t grid_cols) {
+    SPBLA_REQUIRE(grid_rows > 0 && grid_cols > 0, Status::InvalidArgument,
+                  "Partition: grid must be non-empty");
+    return Partition{uniform_splits(nrows, grid_rows), uniform_splits(ncols, grid_cols)};
+}
+
+std::size_t Partition::tile_of_row(Index r) const noexcept {
+    return locate(row_splits_, r);
+}
+
+std::size_t Partition::tile_of_col(Index c) const noexcept {
+    return locate(col_splits_, c);
+}
+
+Partition choose_partition(Index nrows, Index ncols, std::size_t nnz,
+                           std::size_t n_devices, std::size_t tile_budget_bytes) {
+    // A CSR tile of an r x c block with k entries costs ~(r + 1 + k) indices;
+    // size the grid so an average tile fits the budget, with at least one
+    // tile per device so no simulated device sits idle.
+    const std::size_t matrix_bytes =
+        (static_cast<std::size_t>(nrows) + nnz) * sizeof(Index);
+    const std::size_t budget = std::max<std::size_t>(tile_budget_bytes, 1);
+    const std::size_t by_budget = (matrix_bytes + budget - 1) / budget;
+    const std::size_t target_tiles =
+        std::max<std::size_t>({by_budget, n_devices, 1});
+    auto side = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(target_tiles))));
+    side = std::max<std::size_t>(side, 1);
+    const std::size_t grid_rows =
+        std::min<std::size_t>(side, std::max<Index>(nrows, 1));
+    const std::size_t grid_cols =
+        std::min<std::size_t>(side, std::max<Index>(ncols, 1));
+    if (nrows == ncols) {
+        // Identical splits on both axes: A x A reuses one sharding for both
+        // operands and the SUMMA inner splits line up for free.
+        const std::size_t g = std::min(grid_rows, grid_cols);
+        return Partition::uniform(nrows, ncols, g, g);
+    }
+    return Partition::uniform(nrows, ncols, grid_rows, grid_cols);
+}
+
+}  // namespace spbla::dist

@@ -1,0 +1,90 @@
+/// \file partition.hpp
+/// \brief 2D block partition geometry for the sharded execution layer.
+///
+/// A Partition slices an nrows x ncols Boolean matrix into a grid of
+/// grid_rows x grid_cols rectangular tiles along explicit split arrays
+/// (Karppa & Kaski's 2D block decomposition for multi-accelerator Boolean
+/// matrix multiplication). Splits are kept explicit rather than as a uniform
+/// tile size so ragged edge tiles, single-row/column slivers and mismatched
+/// operand grids are all first-class: two partitions compose into a SUMMA
+/// product exactly when the inner split arrays are equal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spbla::dist {
+
+/// Immutable 2D block-partition of an nrows x ncols index space.
+class Partition {
+public:
+    /// Degenerate 1x1 partition of an empty space.
+    Partition() : Partition({0, 0}, {0, 0}) {}
+
+    /// Adopt explicit split arrays. Each must be non-empty, start at 0, be
+    /// non-decreasing and end at the partitioned extent.
+    Partition(std::vector<Index> row_splits, std::vector<Index> col_splits);
+
+    /// Split \p nrows x \p ncols into \p grid_rows x \p grid_cols near-equal
+    /// tiles (the first extent % grid tiles are one row/column larger). A
+    /// grid larger than the extent yields trailing empty tiles.
+    static Partition uniform(Index nrows, Index ncols, std::size_t grid_rows,
+                             std::size_t grid_cols);
+
+    [[nodiscard]] std::size_t grid_rows() const noexcept { return row_splits_.size() - 1; }
+    [[nodiscard]] std::size_t grid_cols() const noexcept { return col_splits_.size() - 1; }
+    [[nodiscard]] std::size_t tiles() const noexcept { return grid_rows() * grid_cols(); }
+
+    [[nodiscard]] Index nrows() const noexcept { return row_splits_.back(); }
+    [[nodiscard]] Index ncols() const noexcept { return col_splits_.back(); }
+
+    [[nodiscard]] Index row_begin(std::size_t i) const noexcept { return row_splits_[i]; }
+    [[nodiscard]] Index col_begin(std::size_t j) const noexcept { return col_splits_[j]; }
+    [[nodiscard]] Index tile_nrows(std::size_t i) const noexcept {
+        return row_splits_[i + 1] - row_splits_[i];
+    }
+    [[nodiscard]] Index tile_ncols(std::size_t j) const noexcept {
+        return col_splits_[j + 1] - col_splits_[j];
+    }
+
+    /// Flat tile index of grid cell (i, j), row-major.
+    [[nodiscard]] std::size_t tile_index(std::size_t i, std::size_t j) const noexcept {
+        return i * grid_cols() + j;
+    }
+
+    /// Grid row containing matrix row \p r (r must be < nrows()).
+    [[nodiscard]] std::size_t tile_of_row(Index r) const noexcept;
+
+    /// Grid column containing matrix column \p c (c must be < ncols()).
+    [[nodiscard]] std::size_t tile_of_col(Index c) const noexcept;
+
+    [[nodiscard]] std::span<const Index> row_splits() const noexcept { return row_splits_; }
+    [[nodiscard]] std::span<const Index> col_splits() const noexcept { return col_splits_; }
+
+    /// The partition of the transposed matrix (splits swapped).
+    [[nodiscard]] Partition transposed() const {
+        return Partition{col_splits_, row_splits_};
+    }
+
+    friend bool operator==(const Partition& a, const Partition& b) noexcept {
+        return a.row_splits_ == b.row_splits_ && a.col_splits_ == b.col_splits_;
+    }
+
+private:
+    std::vector<Index> row_splits_;  // size grid_rows + 1, 0 .. nrows
+    std::vector<Index> col_splits_;  // size grid_cols + 1, 0 .. ncols
+};
+
+/// Pick a grid for an nrows x ncols matrix with \p nnz set cells: enough
+/// tiles that (a) every device owns at least one and (b) a CSR tile fits the
+/// per-device \p tile_budget_bytes, but never more tiles than rows/columns.
+/// Square matrices get a square grid with identical row/column splits, so a
+/// fixpoint iterate shards once and serves both sides of A x A.
+[[nodiscard]] Partition choose_partition(Index nrows, Index ncols, std::size_t nnz,
+                                         std::size_t n_devices,
+                                         std::size_t tile_budget_bytes);
+
+}  // namespace spbla::dist

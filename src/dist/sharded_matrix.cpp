@@ -1,0 +1,125 @@
+/// \file sharded_matrix.cpp
+/// \brief Scatter (shard build), placement and gather.
+
+#include "dist/sharded_matrix.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "core/csr.hpp"
+#include "prof/prof.hpp"
+#include "util/contracts.hpp"
+
+namespace spbla::dist {
+
+namespace {
+
+/// Assign tiles to devices: round-robin over the flat index, or greedy
+/// heaviest-first onto the least-loaded device (LPT). Both deterministic.
+std::vector<std::size_t> place(const std::vector<std::size_t>& tile_weights,
+                               std::size_t n_devices, Placement placement) {
+    const std::size_t n = tile_weights.size();
+    std::vector<std::size_t> owners(n, 0);
+    if (n_devices <= 1) return owners;
+    if (placement == Placement::RoundRobin) {
+        for (std::size_t t = 0; t < n; ++t) owners[t] = t % n_devices;
+        return owners;
+    }
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return tile_weights[a] > tile_weights[b];
+    });
+    std::vector<std::size_t> load(n_devices, 0);
+    for (const std::size_t t : order) {
+        const auto lightest = static_cast<std::size_t>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        owners[t] = lightest;
+        load[lightest] += tile_weights[t] + 1;  // +1 keeps empty tiles spread
+    }
+    return owners;
+}
+
+}  // namespace
+
+ShardedMatrix::ShardedMatrix(DeviceGroup& group, const Matrix& source, Partition part,
+                             Placement placement)
+    : group_{&group},
+      part_{std::move(part)},
+      nnz_{source.nnz()},
+      source_version_{source.version()} {
+    SPBLA_REQUIRE(part_.nrows() == source.nrows() && part_.ncols() == source.ncols(), Status::DimensionMismatch,
+                  "ShardedMatrix: partition does not cover the source shape");
+    SPBLA_PROF_SPAN("dist.shard_build");
+
+    // Bucket the coordinate list per tile, rebasing to tile-local indices.
+    // Coords arrive (row, col)-sorted, so each bucket stays sorted too.
+    const std::size_t n_tiles = part_.tiles();
+    std::vector<std::vector<Coord>> buckets(n_tiles);
+    for (const Coord& c : source.to_coords()) {
+        const std::size_t i = part_.tile_of_row(c.row);
+        const std::size_t j = part_.tile_of_col(c.col);
+        buckets[part_.tile_index(i, j)].push_back(
+            Coord{c.row - part_.row_begin(i), c.col - part_.col_begin(j)});
+    }
+
+    std::vector<std::size_t> weights(n_tiles);
+    for (std::size_t t = 0; t < n_tiles; ++t) weights[t] = buckets[t].size();
+    owners_ = place(weights, group_->size(), placement);
+
+    // Build the tiles through the group scheduler: the simulated upload runs
+    // on (and is accounted to) each tile's owner device.
+    tiles_.resize(n_tiles);
+    const std::size_t grid_cols = part_.grid_cols();
+    group_->run(
+        n_tiles, [&](std::size_t t) { return owners_[t]; },
+        [&](std::size_t t, std::size_t /*exec_device*/) {
+            const std::size_t i = t / grid_cols;
+            const std::size_t j = t % grid_cols;
+            tiles_[t] = Matrix{CsrMatrix::from_coords(part_.tile_nrows(i),
+                                                      part_.tile_ncols(j),
+                                                      std::move(buckets[t])),
+                               group_->device(owners_[t])};
+        });
+}
+
+Matrix ShardedMatrix::gather(backend::Context& ctx) const {
+    SPBLA_PROF_SPAN("dist.gather");
+    const std::size_t gr = part_.grid_rows();
+    const std::size_t gc = part_.grid_cols();
+    const Index nr = nrows();
+    const Index nc = ncols();
+
+    // Tile rows are disjoint row ranges and tile columns ascend left to
+    // right, so the global CSR assembles by concatenating each global row's
+    // tile rows in grid order — no sort, O(nnz + nrows).
+    std::vector<Index> offsets(static_cast<std::size_t>(nr) + 1, 0);
+    for (std::size_t i = 0; i < gr; ++i) {
+        const Index base = part_.row_begin(i);
+        for (std::size_t j = 0; j < gc; ++j) {
+            const CsrMatrix& t = tile(i, j).csr();
+            for (Index r = 0; r < t.nrows(); ++r)
+                offsets[static_cast<std::size_t>(base) + r + 1] += t.row_nnz(r);
+        }
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(nr); ++r)
+        offsets[r + 1] += offsets[r];
+
+    std::vector<Index> cols(offsets[nr]);
+    std::vector<Index> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < gr; ++i) {
+        const Index base = part_.row_begin(i);
+        for (std::size_t j = 0; j < gc; ++j) {
+            const CsrMatrix& t = tile(i, j).csr();
+            const Index col_base = part_.col_begin(j);
+            for (Index r = 0; r < t.nrows(); ++r) {
+                Index& at = cursor[static_cast<std::size_t>(base) + r];
+                for (const Index c : t.row(r)) cols[at++] = col_base + c;
+            }
+        }
+    }
+    return Matrix{CsrMatrix::from_raw(nr, nc, std::move(offsets), std::move(cols)), ctx};
+}
+
+}  // namespace spbla::dist

@@ -1,0 +1,73 @@
+/// \file sharded_matrix.hpp
+/// \brief A Boolean matrix 2D block-partitioned into storage::Matrix tiles.
+///
+/// Each tile is an ordinary format-polymorphic spbla::Matrix bound to the
+/// context of the device that owns it, so tile kernels run on — and charge
+/// scratch to — their device. A sharding is a *view of a content version*:
+/// it records storage::Matrix::version() of its source at build time, and
+/// the shard cache in dist.cpp refuses to reuse it once the handle mutated
+/// (the invalidation-epoch contract the harness pins down).
+///
+/// Private to src/dist/ (lint `format-leak`); external callers go through
+/// dist/dist.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dist/device_group.hpp"
+#include "dist/dist.hpp"
+#include "dist/partition.hpp"
+#include "storage/matrix.hpp"
+
+namespace spbla::dist {
+
+/// Tiles of one matrix, placed across a DeviceGroup.
+class ShardedMatrix {
+public:
+    /// Scatter \p source into \p part tiles placed per \p placement.
+    /// Tile construction runs through the group scheduler (the simulated
+    /// host-to-device upload).
+    ShardedMatrix(DeviceGroup& group, const Matrix& source, Partition part,
+                  Placement placement = Placement::LoadBalanced);
+
+    [[nodiscard]] const Partition& partition() const noexcept { return part_; }
+    [[nodiscard]] DeviceGroup& group() const noexcept { return *group_; }
+
+    [[nodiscard]] Index nrows() const noexcept { return part_.nrows(); }
+    [[nodiscard]] Index ncols() const noexcept { return part_.ncols(); }
+    [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+
+    /// Device owning tile (i, j).
+    [[nodiscard]] std::size_t owner(std::size_t i, std::size_t j) const noexcept {
+        return owners_[part_.tile_index(i, j)];
+    }
+
+    /// The tile at grid cell (i, j) (CSR-primary, bound to its owner's
+    /// context; safe for concurrent read-only access).
+    [[nodiscard]] const Matrix& tile(std::size_t i, std::size_t j) const noexcept {
+        return tiles_[part_.tile_index(i, j)];
+    }
+
+    /// Content version of the source handle at build time.
+    [[nodiscard]] std::uint64_t source_version() const noexcept { return source_version_; }
+
+    /// True iff \p m still carries the content this sharding was built from.
+    [[nodiscard]] bool in_sync_with(const Matrix& m) const noexcept {
+        return source_version_ != 0 && m.version() == source_version_;
+    }
+
+    /// Reassemble the single-device matrix on \p ctx (O(nnz), no sort).
+    [[nodiscard]] Matrix gather(backend::Context& ctx) const;
+
+private:
+    DeviceGroup* group_;
+    Partition part_;
+    std::vector<std::size_t> owners_;  // tile -> device, row-major
+    std::vector<Matrix> tiles_;        // row-major grid
+    std::size_t nnz_{0};
+    std::uint64_t source_version_{0};
+};
+
+}  // namespace spbla::dist

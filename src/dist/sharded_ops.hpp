@@ -1,0 +1,55 @@
+/// \file sharded_ops.hpp
+/// \brief Tile-level sharded kernels over ShardedMatrix operands.
+///
+/// Each kernel launches one task per output tile through the group's
+/// stealing scheduler; a task runs the single-device CSR kernel of its tiles
+/// on the executing device's context and charges any non-resident input tile
+/// it reads to the dist transfer counters. Results assemble directly into a
+/// single CSR (no sort) bound to \p out_ctx.
+///
+/// Private to src/dist/ (lint `format-leak`); the Matrix-level entry points
+/// in dist/dist.hpp shard, call these and gather.
+#pragma once
+
+#include "dist/sharded_matrix.hpp"
+#include "ops/spgemm.hpp"
+
+namespace spbla::dist {
+
+/// C = A x B (SUMMA over matching inner splits); with \p c_in, C |= c_in.
+[[nodiscard]] Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
+                                      const ShardedMatrix& b,
+                                      const ShardedMatrix* c_in = nullptr,
+                                      const ops::SpGemmOptions& opts = {});
+
+/// C = (A x B) filtered by \p mask's structure (complement: excluded by it).
+/// \p b_transposed is B^T sharded with row splits = mask's column splits.
+[[nodiscard]] Matrix sharded_multiply_masked(backend::Context& out_ctx,
+                                             const ShardedMatrix& mask,
+                                             const ShardedMatrix& a,
+                                             const ShardedMatrix& b_transposed,
+                                             bool complement = false);
+
+/// C = A | B / C = A & B over identical partitions.
+[[nodiscard]] Matrix sharded_ewise_add(backend::Context& out_ctx, const ShardedMatrix& a,
+                                       const ShardedMatrix& b);
+[[nodiscard]] Matrix sharded_ewise_mult(backend::Context& out_ctx, const ShardedMatrix& a,
+                                        const ShardedMatrix& b);
+
+/// K = A (x) B: block (i, j) of K is tile A(i,j) (x) B, so only A shards; B
+/// broadcasts to every participating device (counted as transfers).
+[[nodiscard]] Matrix sharded_kronecker(backend::Context& out_ctx, const ShardedMatrix& a,
+                                       const Matrix& b);
+
+/// C = A^T, tile-local (transposed tile lands at the transposed grid cell).
+[[nodiscard]] Matrix sharded_transpose(backend::Context& out_ctx, const ShardedMatrix& a);
+
+/// V = reduceToColumn(A): per-tile reduce, OR across each tile row.
+[[nodiscard]] SpVector sharded_reduce_to_column(backend::Context& out_ctx,
+                                                const ShardedMatrix& a);
+
+/// y = A x: per-tile mxv against the matching slice of x, OR across tiles.
+[[nodiscard]] SpVector sharded_mxv(backend::Context& out_ctx, const ShardedMatrix& a,
+                                   const SpVector& x);
+
+}  // namespace spbla::dist

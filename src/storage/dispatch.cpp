@@ -18,6 +18,7 @@
 #include "storage/dispatch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -190,6 +191,9 @@ void trim(std::initializer_list<const Matrix*> operands) noexcept {
 Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
                 const ops::SpGemmOptions& opts) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
+        return db->multiply(ctx, a, b, opts);
+    }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
         const auto k = multiply_costs(a, b);
@@ -223,6 +227,9 @@ Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
 Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
                     const Matrix& b, const ops::SpGemmOptions& opts) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply_add");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&c, &a, &b})) {
+        return db->multiply_add(ctx, c, a, b, opts);
+    }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
         const auto k = multiply_costs(a, b);
@@ -257,6 +264,9 @@ Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
 
 Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.ewise_add");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
+        return db->ewise_add(ctx, a, b);
+    }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
         const auto total = static_cast<double>(a.nnz() + b.nnz());
@@ -292,6 +302,9 @@ Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
 
 Matrix ewise_mult(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.ewise_mult");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
+        return db->ewise_mult(ctx, a, b);
+    }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
         const auto total = static_cast<double>(a.nnz() + b.nnz());
@@ -344,6 +357,9 @@ Matrix ewise_diff(backend::Context& ctx, const Matrix& a, const Matrix& b) {
 
 Matrix kronecker(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.kronecker");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
+        return db->kronecker(ctx, a, b);
+    }
     // The CSR kernel's work is exactly the nnz_a * nnz_b output entries;
     // the dense nested loop touches every cell pair and only wins on tiny,
     // saturated blocks, so route CSR except under an explicit force.
@@ -366,6 +382,9 @@ Matrix kronecker(backend::Context& ctx, const Matrix& a, const Matrix& b) {
 
 Matrix transpose(backend::Context& ctx, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.transpose");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
+        return db->transpose(ctx, a);
+    }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
         const auto nnz = static_cast<double>(a.nnz());
@@ -435,6 +454,9 @@ Matrix submatrix(backend::Context& ctx, const Matrix& a, Index r0, Index c0, Ind
 
 SpVector reduce_to_column(backend::Context& ctx, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.reduce_to_column");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
+        return db->reduce_to_column(ctx, a);
+    }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Coo}, f)) {
         // Both kernels are linear; whichever representation exists wins.
@@ -467,6 +489,9 @@ std::size_t reduce_scalar(const Matrix& a) noexcept { return a.nnz(); }
 
 SpVector mxv(backend::Context& ctx, const Matrix& a, const SpVector& x) {
     SPBLA_PROF_SPAN("storage.dispatch.mxv");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
+        return db->mxv(ctx, a, x);
+    }
     count_dispatch(Format::Csr);
     SpVector out = ops::mxv(ctx, a.csr(ctx), x);
     trim({&a});
@@ -484,12 +509,31 @@ SpVector vxm(backend::Context& ctx, const SpVector& x, const Matrix& a) {
 Matrix multiply_masked(backend::Context& ctx, const Matrix& mask, const Matrix& a,
                        const Matrix& b_transposed, bool complement) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply_masked");
+    if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&mask, &a, &b_transposed})) {
+        return db->multiply_masked(ctx, mask, a, b_transposed, complement);
+    }
     count_dispatch(Format::Csr);
     Matrix out{ops::multiply_masked(ctx, mask.csr(ctx), a.csr(ctx),
                                     b_transposed.csr(ctx), complement),
                ctx};
     trim({&mask, &a, &b_transposed});
     return out;
+}
+
+// ---------------------------------------------------------------------------
+// multi-device bridge
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<const DistBridge*> g_dist_bridge{nullptr};
+}  // namespace
+
+void set_dist_bridge(const DistBridge* bridge) noexcept {
+    g_dist_bridge.store(bridge, std::memory_order_release);
+}
+
+const DistBridge* dist_bridge() noexcept {
+    return g_dist_bridge.load(std::memory_order_acquire);
 }
 
 }  // namespace spbla::storage

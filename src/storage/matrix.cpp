@@ -83,6 +83,7 @@ void gauge_sub(std::size_t bytes) noexcept {
 Matrix::Matrix(Index nrows, Index ncols, backend::Context& ctx)
     : ctx_{&ctx}, primary_{Format::Csr}, csr_{std::make_unique<CsrMatrix>(nrows, ncols)} {
     adopt_shape();
+    version_ = next_version();
 }
 
 Matrix::Matrix(CsrMatrix data, backend::Context& ctx)
@@ -90,6 +91,7 @@ Matrix::Matrix(CsrMatrix data, backend::Context& ctx)
       primary_{Format::Csr},
       csr_{std::make_unique<const CsrMatrix>(std::move(data))} {
     adopt_shape();
+    version_ = next_version();
 }
 
 Matrix::Matrix(CooMatrix data, backend::Context& ctx)
@@ -97,6 +99,7 @@ Matrix::Matrix(CooMatrix data, backend::Context& ctx)
       primary_{Format::Coo},
       coo_{std::make_unique<const CooMatrix>(std::move(data))} {
     adopt_shape();
+    version_ = next_version();
 }
 
 Matrix::Matrix(DenseMatrix data, backend::Context& ctx)
@@ -104,6 +107,7 @@ Matrix::Matrix(DenseMatrix data, backend::Context& ctx)
       primary_{Format::Dense},
       dense_{std::make_unique<const DenseMatrix>(std::move(data))} {
     adopt_shape();
+    version_ = next_version();
 }
 
 Matrix Matrix::from_coords(Index nrows, Index ncols, std::vector<Coord> coords,
@@ -130,6 +134,7 @@ Matrix::Matrix(const Matrix& other) : ctx_{other.ctx_}, primary_{other.primary_}
             break;
     }
     adopt_shape();
+    version_ = other.version_;
 }
 
 Matrix& Matrix::operator=(const Matrix& other) {
@@ -146,6 +151,7 @@ Matrix::Matrix(Matrix&& other) noexcept
       ncols_{other.ncols_},
       nnz_{other.nnz_},
       primary_{other.primary_},
+      version_{other.version_},
       csr_{std::move(other.csr_)},
       coo_{std::move(other.coo_)},
       dense_{std::move(other.dense_)},
@@ -156,6 +162,7 @@ Matrix::Matrix(Matrix&& other) noexcept
         other.charge_[i] = SlotCharge{};
     }
     other.nnz_ = 0;
+    other.version_ = 0;
     other.max_row_nnz_valid_ = false;
 }
 
@@ -167,6 +174,7 @@ Matrix& Matrix::operator=(Matrix&& other) noexcept {
         ncols_ = other.ncols_;
         nnz_ = other.nnz_;
         primary_ = other.primary_;
+        version_ = other.version_;
         csr_ = std::move(other.csr_);
         coo_ = std::move(other.coo_);
         dense_ = std::move(other.dense_);
@@ -177,12 +185,18 @@ Matrix& Matrix::operator=(Matrix&& other) noexcept {
             other.charge_[i] = SlotCharge{};
         }
         other.nnz_ = 0;
+        other.version_ = 0;
         other.max_row_nnz_valid_ = false;
     }
     return *this;
 }
 
 Matrix::~Matrix() { release_all(); }
+
+std::uint64_t Matrix::next_version() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void Matrix::adopt_shape() noexcept {
     switch (primary_) {

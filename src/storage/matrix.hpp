@@ -155,6 +155,14 @@ public:
     /// True iff a representation in \p f is materialised on this handle.
     [[nodiscard]] bool has_format(Format f) const noexcept;
 
+    /// Content version of this handle: a process-unique stamp assigned when
+    /// the cell set is (re)built and carried across copies/moves of the same
+    /// content. Any mutation (assignment, `+=`, `multiply_add`) installs a
+    /// fresh stamp, so derived caches — e.g. the dist layer's shardings —
+    /// compare versions to detect staleness. 0 only on moved-from handles
+    /// (never considered current).
+    [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
     /// Largest row population of the matrix (0 for empty). Computed once per
     /// handle content and cached; the dispatch cost model's skew signal.
     [[nodiscard]] Index max_row_nnz() const;
@@ -235,6 +243,8 @@ private:
         std::size_t bytes{0};
     };
 
+    static std::uint64_t next_version() noexcept;  // process-unique, never 0
+
     void adopt_shape() noexcept;  // refresh nrows_/ncols_/nnz_ from primary
     void release_all() noexcept;  // drop every rep + charge (for dtor/assign)
     void store_secondary(Format f, backend::Context& ctx) const;
@@ -245,6 +255,7 @@ private:
     Index ncols_{0};
     std::size_t nnz_{0};
     Format primary_{Format::Csr};
+    std::uint64_t version_{0};  // content stamp; see version()
 
     // One slot per Format; primary_ names the owned one, any other non-null
     // slot is a cached secondary with its charge recorded below.

@@ -24,6 +24,14 @@ Checks, in order:
               trace involves more than one thread (on a single-core host the
               kernels legitimately fall back to serial execution), the pool
               recorded work (pool_tasks or pool_steals).
+  dist        (--require-dist) The trace demonstrably covers the sharded
+              multi-device layer (src/dist): dist.* operation spans were
+              recorded, every sharded op processed at least one tile
+              (dist_tiles >= dist_sharded_ops), shardings were built
+              (dist_shard_builds), the transfer counters are present with
+              dist_transfer_bytes >= dist_transfers (a transfer moves at
+              least one byte), and tile steals never exceed the tiles that
+              exist to steal (dist_steals <= dist_tiles).
   dispatch    (--require-dispatch) The trace demonstrably covers the
               format-dispatch layer (src/storage): at least one
               dispatch_csr / dispatch_coo / dispatch_dense pick was
@@ -33,7 +41,8 @@ Checks, in order:
               missing means dispatch ran untraced or its counters are
               unwired.
 
-Usage: tools/check_trace.py TRACE.json [--require-spgemm] [--require-dispatch]
+Usage: tools/check_trace.py TRACE.json [--require-spgemm]
+           [--require-dispatch] [--require-dist]
 Exits 0 iff every check passes.
 """
 
@@ -205,6 +214,39 @@ class Checker:
                        "representations were never reused (or the counter "
                        "is unwired)")
 
+    def check_dist(self, spans: list[dict],
+                   counters: dict[tuple[str, str], int]) -> None:
+        def total(counter: str) -> int:
+            return sum(v for (s, c), v in counters.items() if c == counter)
+
+        if not any(str(e.get("name", "")).startswith("dist.") for e in spans):
+            self.error("no dist.* operation span recorded — the sharded "
+                       "layer never ran under tracing")
+        ops = total("dist_sharded_ops")
+        if ops == 0:
+            self.error("dist_sharded_ops is zero — no operation actually "
+                       "routed through sharded execution")
+        tiles = total("dist_tiles")
+        if tiles < ops:
+            self.error(f"dist_tiles ({tiles}) < dist_sharded_ops ({ops}) — "
+                       "every sharded op must process at least one tile")
+        if total("dist_shard_builds") == 0:
+            self.error("no dist_shard_builds recorded — matrices were never "
+                       "scattered into tile grids (or the counter is unwired)")
+        present = {c for (s, c) in counters}
+        for required in ("dist_transfers", "dist_transfer_bytes"):
+            if required not in present:
+                self.error(f"counter {required!r} missing — inter-device "
+                           "transfer accounting is unwired")
+        transfers, xfer_bytes = total("dist_transfers"), total("dist_transfer_bytes")
+        if xfer_bytes < transfers:
+            self.error(f"dist_transfer_bytes ({xfer_bytes}) < dist_transfers "
+                       f"({transfers}) — a transfer moves at least one byte")
+        steals = total("dist_steals")
+        if steals > tiles:
+            self.error(f"dist_steals ({steals}) exceeds dist_tiles ({tiles}) "
+                       "— only scheduled tiles can be stolen")
+
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
@@ -215,6 +257,9 @@ def main() -> int:
     ap.add_argument("--require-dispatch", action="store_true",
                     help="additionally require the storage-dispatch counters "
                          "(format picks, conversions, cache hits)")
+    ap.add_argument("--require-dist", action="store_true",
+                    help="additionally require the sharded multi-device "
+                         "counters (tiles, shard builds, transfers, steals)")
     args = ap.parse_args()
 
     try:
@@ -233,6 +278,8 @@ def main() -> int:
             checker.check_spgemm(spans, counters)
         if args.require_dispatch:
             checker.check_dispatch(counters)
+        if args.require_dist:
+            checker.check_dist(spans, counters)
         n_spans, n_counters = len(spans), len(counters)
     else:
         n_spans = n_counters = 0

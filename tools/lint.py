@@ -31,13 +31,18 @@ auditable (run as the `lint` ctest target; CI runs it on every push):
   ops-validation    Every kernel translation unit in src/ops/ must wire
                     SPBLA_VALIDATE / SPBLA_CHECKED at its boundaries.
   format-leak       No concrete-format header (core/csr.hpp, core/coo.hpp,
-                    core/dense.hpp) outside src/core, src/storage, src/ops
-                    and src/baseline. Everything above the storage engine
-                    operates on the format-polymorphic spbla::Matrix through
-                    storage/dispatch.hpp, so the cost model keeps the final
-                    say over representations. Test oracles and kernel
-                    benchmarks that deliberately exercise one concrete format
-                    suppress inline.
+                    core/dense.hpp) outside src/core, src/storage, src/ops,
+                    src/baseline and src/dist. Everything above the storage
+                    engine operates on the format-polymorphic spbla::Matrix
+                    through storage/dispatch.hpp, so the cost model keeps the
+                    final say over representations. The same rule keeps the
+                    concrete tile headers (dist/partition.hpp,
+                    dist/device_group.hpp, dist/sharded_matrix.hpp,
+                    dist/sharded_ops.hpp) private to src/dist/ — callers go
+                    through the dist/dist.hpp surface or, better, let the
+                    dispatcher route. Test oracles and kernel benchmarks that
+                    deliberately exercise one concrete format suppress
+                    inline.
 
 A finding can be suppressed for one line with a trailing
 `// lint:allow(<rule>)` comment; use sparingly and say why nearby.
@@ -230,17 +235,27 @@ class Linter:
                         "SPBLA_CHECKED wiring at its op boundaries")
 
     def rule_format_leak(self, f: File) -> None:
-        allowed = ("src/core/", "src/storage/", "src/ops/", "src/baseline/")
-        if f.rel.startswith(allowed):
-            return
-        pat = re.compile(r'#\s*include\s*"core/(csr|coo|dense)\.hpp"')
+        allowed = ("src/core/", "src/storage/", "src/ops/", "src/baseline/",
+                   "src/dist/")
+        core_pat = re.compile(r'#\s*include\s*"core/(csr|coo|dense)\.hpp"')
+        dist_pat = re.compile(
+            r'#\s*include\s*"dist/'
+            r'(partition|device_group|sharded_matrix|sharded_ops)\.hpp"')
         for no, line in enumerate(f.raw_lines, start=1):
-            m = pat.search(line)
-            if m:
-                self.report(f, no, "format-leak",
-                            f"concrete-format header core/{m.group(1)}.hpp "
-                            "included outside the storage/kernel layers — "
-                            "use storage/matrix.hpp + storage/dispatch.hpp")
+            if not f.rel.startswith(allowed):
+                m = core_pat.search(line)
+                if m:
+                    self.report(f, no, "format-leak",
+                                f"concrete-format header core/{m.group(1)}.hpp "
+                                "included outside the storage/kernel layers — "
+                                "use storage/matrix.hpp + storage/dispatch.hpp")
+            if not f.rel.startswith("src/dist/"):
+                m = dist_pat.search(line)
+                if m:
+                    self.report(f, no, "format-leak",
+                                f"concrete tile header dist/{m.group(1)}.hpp "
+                                "included outside src/dist/ — use dist/dist.hpp "
+                                "(or let the dispatcher route)")
 
     def rule_ops_file_state(self, f: File) -> None:
         if not f.rel.startswith("src/ops/"):
