@@ -315,6 +315,7 @@ void write_formats_trajectory() {
             (void)p->csr(ctx());
             (void)p->coo(ctx());
             (void)p->dense(ctx());
+            (void)p->bitblocks(ctx());
         }
         return Input{nullptr, std::move(a), std::move(b)};
     };
@@ -353,6 +354,7 @@ void write_formats_trajectory() {
         {"csr", storage::FormatHint::ForceCsr},
         {"coo", storage::FormatHint::ForceCoo},
         {"dense", storage::FormatHint::ForceDense},
+        {"bitblock", storage::FormatHint::ForceBitBlocks},
     };
 
     bench::JsonWriter w(f);
@@ -399,6 +401,59 @@ void write_formats_trajectory() {
         }
     }
     w.end_array();
+
+    // Dense-bin density ladder: the broadword tier against the generic hash
+    // SpGEMM on uniform inputs at and above the 1/64 dense-bin threshold —
+    // the regime the 64x64 tile format was built for. The tracked claim:
+    // the bit tier wins by >= 4x geomean here. ewise_mult rides along so the
+    // instrumented replay exercises the AND counter (bitblock_words_anded),
+    // not just the multiply's OR paths.
+    struct Rung {
+        const char* name;
+        Index n;
+        double density;
+    };
+    const Rung rungs[] = {
+        {"uniform-1024-d1/64", 1024, 1.0 / 64},
+        {"uniform-1024-d1/16", 1024, 1.0 / 16},
+        {"uniform-512-d1/4", 512, 0.25},
+    };
+    constexpr int kBitRuns = 5;
+    w.begin_array("bitblock_ladder");
+    double log_bb = 0.0;
+    std::size_t n_bb = 0;
+    for (const Rung& r : rungs) {
+        const CsrMatrix a = data::make_uniform(r.n, r.n, r.density, 6161).csr();
+        const BitBlockMatrix ab = to_bitblocks(ctx(), a);
+        const auto g = baseline::GenericCsr::from_boolean(a);
+        const auto bit = bench::time_stats(
+            [&] { (void)ops::multiply(ctx(), ab, ab); }, kBitRuns);
+        const auto hash = bench::time_stats(
+            [&] { (void)baseline::multiply_hash(ctx(), g, g); }, kBitRuns);
+        const auto bit_and = bench::time_stats(
+            [&] { (void)ops::ewise_mult(ctx(), ab, ab); }, kBitRuns);
+        const double speedup =
+            bit.min_ms() > 0 ? hash.min_ms() / bit.min_ms() : 0.0;
+        w.begin_object();
+        w.field("input", r.name);
+        w.field("nrows", static_cast<std::uint64_t>(r.n));
+        w.field("nnz", static_cast<std::uint64_t>(a.nnz()));
+        w.field("density", r.density);
+        w.field("bitblock_multiply", bit);
+        w.field("hash_spgemm", hash);
+        w.field("bitblock_ewise_mult", bit_and);
+        w.field("bitblock_vs_hash", speedup);
+        w.end_object();
+        if (speedup > 0) {
+            log_bb += std::log(speedup);
+            ++n_bb;
+        }
+    }
+    w.end_array();
+    const double geo_bb =
+        n_bb > 0 ? std::exp(log_bb / static_cast<double>(n_bb)) : 0.0;
+    w.field("geomean_bitblock_vs_hash_spgemm", geo_bb);
+
     // Counter story of the whole sweep: conversions happen only while the
     // reps warm up (bounded by inputs x formats); routed ops hit the cache.
     const auto& s = storage::stats();
@@ -409,6 +464,8 @@ void write_formats_trajectory() {
     w.field("dispatch_csr", s.dispatch_csr.load(std::memory_order_relaxed));
     w.field("dispatch_coo", s.dispatch_coo.load(std::memory_order_relaxed));
     w.field("dispatch_dense", s.dispatch_dense.load(std::memory_order_relaxed));
+    w.field("dispatch_bitblock",
+            s.dispatch_bitblock.load(std::memory_order_relaxed));
     w.end_object();
     if (prof::counting()) {
         // Replay once with cold caches so the exported trace carries the
@@ -437,8 +494,9 @@ void write_formats_trajectory() {
     w.end_object();
     std::fclose(f);
     std::printf("Format-dispatch ladder written to %s "
-                "(auto vs best static %.2fx, vs worst static %.2fx)\n",
-                path, geo_best, geo_worst);
+                "(auto vs best static %.2fx, vs worst static %.2fx, "
+                "bitblock vs hash-SpGEMM %.2fx)\n",
+                path, geo_best, geo_worst, geo_bb);
 }
 
 // ------------- Sharded strong-scaling ladder (BENCH_dist.json) -------------

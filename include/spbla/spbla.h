@@ -50,10 +50,11 @@ typedef enum spbla_OpHint {
 
 /** Storage-format hints for the storage engine's dispatch layer. */
 typedef enum spbla_FormatHint {
-    SPBLA_FORMAT_AUTO = 0,  /**< cost-driven per-op format selection */
-    SPBLA_FORMAT_CSR = 1,   /**< force the CSR (cuBool-style) backend */
-    SPBLA_FORMAT_COO = 2,   /**< force the COO (clBool-style) backend */
-    SPBLA_FORMAT_DENSE = 3  /**< force the dense bit-packed backend */
+    SPBLA_FORMAT_AUTO = 0,     /**< cost-driven per-op format selection */
+    SPBLA_FORMAT_CSR = 1,      /**< force the CSR (cuBool-style) backend */
+    SPBLA_FORMAT_COO = 2,      /**< force the COO (clBool-style) backend */
+    SPBLA_FORMAT_DENSE = 3,    /**< force the dense bit-packed backend */
+    SPBLA_FORMAT_BITBLOCK = 4  /**< force the 64x64 tiled bit-block backend */
 } spbla_FormatHint;
 
 /** Opaque sparse Boolean matrix handle. */

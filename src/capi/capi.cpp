@@ -160,6 +160,9 @@ spbla_Status spbla_SetFormatHint(spbla_FormatHint hint) {
             case SPBLA_FORMAT_DENSE:
                 spbla::storage::set_global_hint(spbla::storage::FormatHint::ForceDense);
                 break;
+            case SPBLA_FORMAT_BITBLOCK:
+                spbla::storage::set_global_hint(spbla::storage::FormatHint::ForceBitBlocks);
+                break;
             default:
                 g_last_error = "spbla_SetFormatHint: unknown hint";
                 return SPBLA_STATUS_INVALID_ARGUMENT;
@@ -215,6 +218,9 @@ spbla_Status spbla_Matrix_SetFormatHint(spbla_Matrix matrix, spbla_FormatHint hi
                 break;
             case SPBLA_FORMAT_DENSE:
                 matrix->data.convert_to(spbla::Format::Dense, *g_context);
+                break;
+            case SPBLA_FORMAT_BITBLOCK:
+                matrix->data.convert_to(spbla::Format::BitBlocks, *g_context);
                 break;
             case SPBLA_FORMAT_AUTO:
             default:

@@ -1,0 +1,222 @@
+#include "core/bitblocks.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bit_ops.hpp"
+#include "util/contracts.hpp"
+
+namespace spbla {
+
+namespace {
+
+[[nodiscard]] constexpr Index blocks_of(Index cells) noexcept {
+    return static_cast<Index>((static_cast<std::size_t>(cells) + 63) / 64);
+}
+
+/// Sort key grouping coords by tile, then by position within the tile:
+/// 26 bits block row | 26 bits block col | 6 bits local row | 6 bits local
+/// col. Packs the whole ordering into one uint64_t compare.
+[[nodiscard]] constexpr std::uint64_t tile_key(Coord p) noexcept {
+    return (static_cast<std::uint64_t>(p.row >> 6) << 38) |
+           (static_cast<std::uint64_t>(p.col >> 6) << 12) |
+           (static_cast<std::uint64_t>(p.row & 63) << 6) |
+           static_cast<std::uint64_t>(p.col & 63);
+}
+
+}  // namespace
+
+BitBlockMatrix::BitBlockMatrix(Index nrows, Index ncols)
+    : nrows_{nrows},
+      ncols_{ncols},
+      brows_{blocks_of(nrows)},
+      bcols_{blocks_of(ncols)},
+      block_row_offsets_(static_cast<std::size_t>(blocks_of(nrows)) + 1, 0) {}
+
+BitBlockMatrix BitBlockMatrix::from_coords(Index nrows, Index ncols,
+                                           std::vector<Coord> coords) {
+    for (const auto& p : coords) {
+        check(p.row < nrows && p.col < ncols, Status::OutOfRange,
+              "BitBlockMatrix::from_coords: coordinate out of range");
+    }
+    std::sort(coords.begin(), coords.end(),
+              [](Coord a, Coord b) { return tile_key(a) < tile_key(b); });
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+
+    BitBlockMatrix out{nrows, ncols};
+    std::vector<Index> block_brows;  // block row of each emitted tile
+    std::size_t i = 0;
+    while (i < coords.size()) {
+        const Index br = coords[i].row >> 6;
+        const Index bc = coords[i].col >> 6;
+        std::size_t j = i;
+        while (j < coords.size() && (coords[j].row >> 6) == br &&
+               (coords[j].col >> 6) == bc) {
+            ++j;
+        }
+        const auto count = static_cast<std::uint32_t>(j - i);
+        BlockRef ref{};
+        ref.bcol = bc;
+        ref.nnz = static_cast<std::uint16_t>(count);
+        if (count >= kBitmapMinNnz) {
+            ref.kind = BlockKind::Bitmap;
+            ref.offset = static_cast<std::uint32_t>(out.words_.size());
+            out.words_.resize(out.words_.size() + kBlockWords, 0);
+            std::uint64_t* words = out.words_.data() + ref.offset;
+            for (std::size_t k = i; k < j; ++k) {
+                words[coords[k].row & 63] |= std::uint64_t{1} << (coords[k].col & 63);
+            }
+        } else {
+            ref.kind = BlockKind::Sparse;
+            ref.offset = static_cast<std::uint32_t>(out.entries_.size());
+            for (std::size_t k = i; k < j; ++k) {
+                out.entries_.push_back(static_cast<std::uint16_t>(
+                    ((coords[k].row & 63) << 6) | (coords[k].col & 63)));
+            }
+        }
+        out.blocks_.push_back(ref);
+        block_brows.push_back(br);
+        i = j;
+    }
+    for (const Index br : block_brows) ++out.block_row_offsets_[br + 1];
+    for (Index b = 0; b < out.brows_; ++b) {
+        out.block_row_offsets_[b + 1] += out.block_row_offsets_[b];
+    }
+    out.nnz_ = coords.size();
+    return out;
+}
+
+BitBlockMatrix BitBlockMatrix::from_raw(Index nrows, Index ncols,
+                                        std::vector<Index> block_row_offsets,
+                                        std::vector<BlockRef> blocks,
+                                        std::vector<std::uint64_t> words,
+                                        std::vector<std::uint16_t> entries) {
+    BitBlockMatrix out{nrows, ncols};
+    out.block_row_offsets_ = std::move(block_row_offsets);
+    out.blocks_ = std::move(blocks);
+    out.words_ = std::move(words);
+    out.entries_ = std::move(entries);
+    out.nnz_ = 0;
+    for (const auto& b : out.blocks_) out.nnz_ += b.nnz;
+    // Adopted pools are trusted in the default build; SPBLA_CHECKS=full (and
+    // classic debug builds) re-check every structural invariant here.
+#if SPBLA_CHECKS_LEVEL >= SPBLA_CHECKS_FULL || !defined(NDEBUG)
+    out.validate();
+#endif
+    return out;
+}
+
+void BitBlockMatrix::expand(const BlockRef& b, std::uint64_t out[kBlockWords]) const {
+    if (b.kind == BlockKind::Bitmap) {
+        std::memcpy(out, words_.data() + b.offset, kBlockWords * sizeof(std::uint64_t));
+        return;
+    }
+    std::memset(out, 0, kBlockWords * sizeof(std::uint64_t));
+    const std::uint16_t* e = entries_.data() + b.offset;
+    for (std::uint16_t k = 0; k < b.nnz; ++k) {
+        out[e[k] >> 6] |= std::uint64_t{1} << (e[k] & 63);
+    }
+}
+
+bool BitBlockMatrix::get(Index r, Index c) const {
+    check(r < nrows_ && c < ncols_, Status::OutOfRange, "BitBlockMatrix::get");
+    const auto row = block_row(r >> 6);
+    const Index bc = c >> 6;
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), bc,
+        [](const BlockRef& b, Index col) { return b.bcol < col; });
+    if (it == row.end() || it->bcol != bc) return false;
+    if (it->kind == BlockKind::Bitmap) {
+        return (words_[it->offset + (r & 63)] >> (c & 63)) & 1u;
+    }
+    const auto packed = static_cast<std::uint16_t>(((r & 63) << 6) | (c & 63));
+    const auto entries = sparse_entries(*it);
+    return std::binary_search(entries.begin(), entries.end(), packed);
+}
+
+std::vector<Coord> BitBlockMatrix::to_coords() const {
+    std::vector<Coord> out;
+    out.reserve(nnz_);
+    std::vector<std::uint64_t> scratch;
+    for (Index br = 0; br < brows_; ++br) {
+        const auto row = block_row(br);
+        if (row.empty()) continue;
+        // Expand the whole block row so cells stream out in global
+        // (row, col) order even though tiles interleave the rows.
+        scratch.assign(row.size() * kBlockWords, 0);
+        for (std::size_t t = 0; t < row.size(); ++t) {
+            expand(row[t], scratch.data() + t * kBlockWords);
+        }
+        const Index row_base = br * kBlockDim;
+        for (Index rl = 0; rl < static_cast<Index>(kBlockDim); ++rl) {
+            for (std::size_t t = 0; t < row.size(); ++t) {
+                const Index col_base = row[t].bcol * kBlockDim;
+                util::for_each_set_bit(scratch[t * kBlockWords + rl], [&](unsigned bit) {
+                    out.push_back({row_base + rl, col_base + bit});
+                });
+            }
+        }
+    }
+    return out;
+}
+
+void BitBlockMatrix::validate() const {
+    check(block_row_offsets_.size() == static_cast<std::size_t>(brows_) + 1,
+          Status::InvalidState, "BitBlockMatrix: bad block_row_offsets size");
+    check(block_row_offsets_.front() == 0 &&
+              block_row_offsets_.back() == blocks_.size(),
+          Status::InvalidState, "BitBlockMatrix: bad block_row_offsets bounds");
+    std::size_t total = 0;
+    for (Index br = 0; br < brows_; ++br) {
+        check(block_row_offsets_[br] <= block_row_offsets_[br + 1], Status::InvalidState,
+              "BitBlockMatrix: decreasing block_row_offsets");
+        // Edge tiles must not carry bits outside the matrix bounds.
+        const bool edge_row = (br + 1 == brows_) && (nrows_ & 63) != 0;
+        const std::uint64_t live_rows = nrows_ & 63;
+        for (Index k = block_row_offsets_[br]; k < block_row_offsets_[br + 1]; ++k) {
+            const BlockRef& b = blocks_[k];
+            check(b.bcol < bcols_, Status::InvalidState,
+                  "BitBlockMatrix: block column out of range");
+            check(k == block_row_offsets_[br] || blocks_[k - 1].bcol < b.bcol,
+                  Status::InvalidState, "BitBlockMatrix: unsorted block columns");
+            check(b.nnz > 0 && b.nnz <= kBlockCells, Status::InvalidState,
+                  "BitBlockMatrix: bad tile population");
+            const bool edge_col = (b.bcol + 1 == bcols_) && (ncols_ & 63) != 0;
+            const std::uint64_t col_mask =
+                edge_col ? (std::uint64_t{1} << (ncols_ & 63)) - 1 : ~std::uint64_t{0};
+            if (b.kind == BlockKind::Bitmap) {
+                check(static_cast<std::size_t>(b.offset) + kBlockWords <= words_.size(),
+                      Status::InvalidState, "BitBlockMatrix: bitmap offset out of pool");
+                std::size_t pop = 0;
+                for (std::size_t r = 0; r < kBlockWords; ++r) {
+                    const std::uint64_t w = words_[b.offset + r];
+                    check((w & ~col_mask) == 0, Status::InvalidState,
+                          "BitBlockMatrix: bit outside column bounds");
+                    check(!edge_row || r < live_rows || w == 0, Status::InvalidState,
+                          "BitBlockMatrix: bit outside row bounds");
+                    pop += static_cast<std::size_t>(util::popcount64(w));
+                }
+                check(pop == b.nnz, Status::InvalidState,
+                      "BitBlockMatrix: bitmap population mismatch");
+            } else {
+                check(static_cast<std::size_t>(b.offset) + b.nnz <= entries_.size(),
+                      Status::InvalidState, "BitBlockMatrix: entry offset out of pool");
+                for (std::uint16_t e = 0; e < b.nnz; ++e) {
+                    const std::uint16_t packed = entries_[b.offset + e];
+                    check(packed < kBlockCells, Status::InvalidState,
+                          "BitBlockMatrix: packed entry out of range");
+                    check(e == 0 || entries_[b.offset + e - 1] < packed,
+                          Status::InvalidState, "BitBlockMatrix: unsorted tile entries");
+                    const Index rl = packed >> 6;
+                    const Index cl = packed & 63;
+                    check(br * kBlockDim + rl < nrows_ && b.bcol * kBlockDim + cl < ncols_,
+                          Status::InvalidState, "BitBlockMatrix: entry outside bounds");
+                }
+            }
+            total += b.nnz;
+        }
+    }
+    check(total == nnz_, Status::InvalidState, "BitBlockMatrix: nnz mismatch");
+}
+
+}  // namespace spbla

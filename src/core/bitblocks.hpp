@@ -1,0 +1,154 @@
+/// \file bitblocks.hpp
+/// \brief Tiled 64x64 bit-matrix format — the broadword kernel tier's rep.
+///
+/// The matrix is a sparse grid of 64x64-bit tiles indexed CSR-of-blocks
+/// style: block_row_offsets (brows + 1 entries) points into a flat array of
+/// BlockRef descriptors sorted by block column within each block row. Each
+/// non-empty tile is stored in one of two hybrid modes (Bit-GraphBLAS
+/// style):
+///
+///  - Bitmap: 64 uint64_t words in the word pool — row r of the tile is one
+///    word, bit c is column c (LSB-first, the DenseMatrix packing). One AND
+///    or OR processes 64 Boolean cells; this is where the bit-parallel
+///    multiply earns its speedup.
+///  - Sparse: a sorted list of packed 12-bit (r << 6 | c) entries in the
+///    entry pool — tiles with only a handful of set cells keep the
+///    index-based layout and skip the 512-byte bitmap.
+///
+/// A tile flips to Bitmap at kBitmapMinNnz set cells: below that the
+/// per-entry scatter loops beat whole-tile word sweeps and the sparse list
+/// is 8-16x smaller; above it the broadword kernels win on both counts.
+///
+/// The grid carries only non-empty tiles, so hypersparse regions cost
+/// nothing — the format degrades gracefully toward COO instead of toward
+/// the dense bitmap's full-grid footprint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spbla {
+
+/// Sparse grid of 64x64-bit tiles with hybrid bitmap/sparse tile storage.
+class BitBlockMatrix {
+public:
+    /// Tile edge in cells; one machine word per tile row.
+    static constexpr Index kBlockDim = 64;
+    /// Words per bitmap tile.
+    static constexpr std::size_t kBlockWords = 64;
+    /// Cells per tile.
+    static constexpr std::size_t kBlockCells = 4096;
+    /// Tiles with at least this many set cells store a bitmap; sparser tiles
+    /// keep the packed entry list.
+    static constexpr std::uint32_t kBitmapMinNnz = 32;
+
+    /// Storage mode of one tile.
+    enum class BlockKind : std::uint8_t { Bitmap = 0, Sparse = 1 };
+
+    /// Descriptor of one non-empty tile.
+    struct BlockRef {
+        Index bcol{0};            ///< block column of the tile
+        std::uint32_t offset{0};  ///< start in the word pool (Bitmap) or entry pool (Sparse)
+        std::uint16_t nnz{0};     ///< set cells in the tile (1..4096)
+        BlockKind kind{BlockKind::Bitmap};
+
+        friend bool operator==(const BlockRef&, const BlockRef&) = default;
+    };
+
+    /// Empty matrix of the given shape (no tiles).
+    BitBlockMatrix(Index nrows, Index ncols);
+
+    BitBlockMatrix() : BitBlockMatrix(0, 0) {}
+
+    /// Build from an arbitrary coordinate list (sorted + deduplicated here).
+    static BitBlockMatrix from_coords(Index nrows, Index ncols, std::vector<Coord> coords);
+
+    /// Adopt raw pools without re-deriving them (validated in debug builds).
+    /// \p blocks must be sorted by (block row, block column) consistent with
+    /// \p block_row_offsets; bitmap tiles own 64-word ranges of \p words,
+    /// sparse tiles own sorted ranges of \p entries (packed r << 6 | c).
+    static BitBlockMatrix from_raw(Index nrows, Index ncols,
+                                   std::vector<Index> block_row_offsets,
+                                   std::vector<BlockRef> blocks,
+                                   std::vector<std::uint64_t> words,
+                                   std::vector<std::uint16_t> entries);
+
+    [[nodiscard]] Index nrows() const noexcept { return nrows_; }
+    [[nodiscard]] Index ncols() const noexcept { return ncols_; }
+    [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+    [[nodiscard]] bool empty() const noexcept { return nnz_ == 0; }
+
+    /// Block-grid shape: ceil(nrows / 64) x ceil(ncols / 64).
+    [[nodiscard]] Index brows() const noexcept { return brows_; }
+    [[nodiscard]] Index bcols() const noexcept { return bcols_; }
+
+    [[nodiscard]] std::span<const Index> block_row_offsets() const noexcept {
+        return block_row_offsets_;
+    }
+    [[nodiscard]] std::span<const BlockRef> blocks() const noexcept { return blocks_; }
+
+    /// Tiles of block row \p br, sorted by block column.
+    [[nodiscard]] std::span<const BlockRef> block_row(Index br) const {
+        check(br < brows_, Status::OutOfRange, "BitBlockMatrix::block_row");
+        return std::span<const BlockRef>(blocks_).subspan(
+            block_row_offsets_[br], block_row_offsets_[br + 1] - block_row_offsets_[br]);
+    }
+
+    /// The 64 words of a Bitmap tile.
+    [[nodiscard]] std::span<const std::uint64_t> bitmap_words(const BlockRef& b) const {
+        check(b.kind == BlockKind::Bitmap, Status::InvalidState,
+              "BitBlockMatrix::bitmap_words: sparse tile");
+        return std::span<const std::uint64_t>(words_).subspan(b.offset, kBlockWords);
+    }
+
+    /// The sorted packed (r << 6 | c) entries of a Sparse tile.
+    [[nodiscard]] std::span<const std::uint16_t> sparse_entries(const BlockRef& b) const {
+        check(b.kind == BlockKind::Sparse, Status::InvalidState,
+              "BitBlockMatrix::sparse_entries: bitmap tile");
+        return std::span<const std::uint16_t>(entries_).subspan(b.offset, b.nnz);
+    }
+
+    /// Materialise tile \p b (either kind) into a caller-owned 64-word
+    /// scratch buffer (overwritten, not OR-ed).
+    void expand(const BlockRef& b, std::uint64_t out[kBlockWords]) const;
+
+    /// True iff cell (r, c) is set.
+    [[nodiscard]] bool get(Index r, Index c) const;
+
+    /// Export the coordinate list in (row, col) order.
+    [[nodiscard]] std::vector<Coord> to_coords() const;
+
+    /// Simulated device footprint: grid index + descriptors + both pools.
+    [[nodiscard]] std::size_t device_bytes() const noexcept {
+        return block_row_offsets_.size() * sizeof(Index) +
+               blocks_.size() * sizeof(BlockRef) +
+               words_.size() * sizeof(std::uint64_t) +
+               entries_.size() * sizeof(std::uint16_t);
+    }
+
+    /// Check all storage invariants; throws Error(InvalidState) on violation.
+    void validate() const;
+
+    friend bool operator==(const BitBlockMatrix& a, const BitBlockMatrix& b) noexcept {
+        return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
+               a.block_row_offsets_ == b.block_row_offsets_ && a.blocks_ == b.blocks_ &&
+               a.words_ == b.words_ && a.entries_ == b.entries_;
+    }
+
+private:
+    Index nrows_;
+    Index ncols_;
+    Index brows_;
+    Index bcols_;
+    std::size_t nnz_{0};
+    std::vector<Index> block_row_offsets_;  // size brows_ + 1, non-decreasing
+    std::vector<BlockRef> blocks_;          // sorted by (brow, bcol)
+    std::vector<std::uint64_t> words_;      // bitmap tile pool (64 words each)
+    std::vector<std::uint16_t> entries_;    // sparse tile pool (packed r<<6|c)
+};
+
+}  // namespace spbla

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdint>
 
+#include "util/bit_ops.hpp"
+
 namespace spbla {
 
 namespace {
@@ -131,6 +133,299 @@ DenseMatrix to_dense(backend::Context& ctx, const CooMatrix& coo) {
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// BitBlocks conversions. Tilings run per block row (64 matrix rows each):
+// a counting pass sizes the descriptor and pool demand per block row, serial
+// scans place the per-row bases, and an independent fill pass materialises
+// the tiles — the same count/scan/scatter shape as the dense conversions.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kBlockRowGrain = 16;
+
+[[nodiscard]] Index block_count(Index cells) noexcept {
+    return static_cast<Index>((static_cast<std::size_t>(cells) + 63) / 64);
+}
+
+/// Exclusive scan of per-block-row demand into base offsets; returns total.
+[[nodiscard]] std::uint64_t place(std::vector<std::uint32_t>& demand) {
+    std::uint64_t total = 0;
+    for (auto& d : demand) {
+        const std::uint32_t here = d;
+        d = static_cast<std::uint32_t>(total);
+        total += here;
+    }
+    return total;
+}
+
+}  // namespace
+
+BitBlockMatrix to_bitblocks(backend::Context& ctx, const CsrMatrix& csr) {
+    using BlockRef = BitBlockMatrix::BlockRef;
+    using BlockKind = BitBlockMatrix::BlockKind;
+    constexpr std::uint32_t kMin = BitBlockMatrix::kBitmapMinNnz;
+    const Index nrows = csr.nrows();
+    const Index brows = block_count(nrows);
+    const Index bcols = block_count(csr.ncols());
+
+    std::vector<std::uint32_t> blocks_in(brows, 0);
+    std::vector<std::uint32_t> words_in(brows, 0);
+    std::vector<std::uint32_t> entries_in(brows, 0);
+    ctx.parallel_for(brows, kBlockRowGrain, [&](std::size_t br) {
+        std::vector<std::uint16_t> counts(bcols, 0);
+        const Index r0 = static_cast<Index>(br) * 64;
+        const Index r1 = std::min<Index>(nrows, r0 + 64);
+        for (Index r = r0; r < r1; ++r) {
+            for (const Index c : csr.row(r)) ++counts[c >> 6];
+        }
+        for (Index bc = 0; bc < bcols; ++bc) {
+            if (counts[bc] == 0) continue;
+            ++blocks_in[br];
+            if (counts[bc] >= kMin) {
+                words_in[br] += BitBlockMatrix::kBlockWords;
+            } else {
+                entries_in[br] += counts[bc];
+            }
+        }
+    });
+
+    const std::uint64_t total_blocks = place(blocks_in);
+    const std::uint64_t total_words = place(words_in);
+    const std::uint64_t total_entries = place(entries_in);
+
+    std::vector<Index> block_row_offsets(static_cast<std::size_t>(brows) + 1, 0);
+    for (Index br = 0; br < brows; ++br) block_row_offsets[br] = blocks_in[br];
+    block_row_offsets[brows] = static_cast<Index>(total_blocks);
+
+    std::vector<BlockRef> blocks(total_blocks);
+    std::vector<std::uint64_t> words(total_words, 0);
+    std::vector<std::uint16_t> entries(total_entries);
+    ctx.parallel_for(brows, kBlockRowGrain, [&](std::size_t br) {
+        std::vector<std::uint16_t> counts(bcols, 0);
+        std::vector<std::uint32_t> word_base(bcols, 0);
+        std::vector<std::uint32_t> entry_cursor(bcols, 0);
+        const Index r0 = static_cast<Index>(br) * 64;
+        const Index r1 = std::min<Index>(nrows, r0 + 64);
+        for (Index r = r0; r < r1; ++r) {
+            for (const Index c : csr.row(r)) ++counts[c >> 6];
+        }
+        std::uint32_t bcur = blocks_in[br];
+        std::uint32_t wcur = words_in[br];
+        std::uint32_t ecur = entries_in[br];
+        for (Index bc = 0; bc < bcols; ++bc) {
+            if (counts[bc] == 0) continue;
+            BlockRef ref{};
+            ref.bcol = bc;
+            ref.nnz = counts[bc];
+            if (counts[bc] >= kMin) {
+                ref.kind = BlockKind::Bitmap;
+                ref.offset = wcur;
+                word_base[bc] = wcur;
+                wcur += BitBlockMatrix::kBlockWords;
+            } else {
+                ref.kind = BlockKind::Sparse;
+                ref.offset = ecur;
+                entry_cursor[bc] = ecur;
+                ecur += counts[bc];
+            }
+            blocks[bcur++] = ref;
+        }
+        // Row-major refill: ascending (row, col) emits sparse-tile entries in
+        // ascending packed order and sets bitmap bits race-free (this thread
+        // owns every tile of the block row).
+        for (Index r = r0; r < r1; ++r) {
+            const Index rl = r & 63;
+            for (const Index c : csr.row(r)) {
+                const Index bc = c >> 6;
+                if (counts[bc] >= kMin) {
+                    words[word_base[bc] + rl] |= std::uint64_t{1} << (c & 63);
+                } else {
+                    entries[entry_cursor[bc]++] =
+                        static_cast<std::uint16_t>((rl << 6) | (c & 63));
+                }
+            }
+        }
+    });
+
+    return BitBlockMatrix::from_raw(csr.nrows(), csr.ncols(),
+                                    std::move(block_row_offsets), std::move(blocks),
+                                    std::move(words), std::move(entries));
+}
+
+BitBlockMatrix to_bitblocks(backend::Context& ctx, const CooMatrix& coo) {
+    return to_bitblocks(ctx, to_csr(ctx, coo));
+}
+
+BitBlockMatrix to_bitblocks(backend::Context& ctx, const DenseMatrix& dense) {
+    using BlockRef = BitBlockMatrix::BlockRef;
+    using BlockKind = BitBlockMatrix::BlockKind;
+    constexpr std::uint32_t kMin = BitBlockMatrix::kBitmapMinNnz;
+    const Index nrows = dense.nrows();
+    const Index brows = block_count(nrows);
+    const Index bcols = block_count(dense.ncols());
+
+    // Tile columns coincide with the dense rep's word columns, so a tile is
+    // the 64-word gather dense.row_words(r)[bc] for r in the block row.
+    const auto tile_pop = [&](Index r0, Index r1, Index bc) {
+        std::uint32_t pop = 0;
+        for (Index r = r0; r < r1; ++r) {
+            pop += static_cast<std::uint32_t>(util::popcount64(dense.row_words(r)[bc]));
+        }
+        return pop;
+    };
+
+    std::vector<std::uint32_t> blocks_in(brows, 0);
+    std::vector<std::uint32_t> words_in(brows, 0);
+    std::vector<std::uint32_t> entries_in(brows, 0);
+    ctx.parallel_for(brows, kBlockRowGrain, [&](std::size_t br) {
+        const Index r0 = static_cast<Index>(br) * 64;
+        const Index r1 = std::min<Index>(nrows, r0 + 64);
+        for (Index bc = 0; bc < bcols; ++bc) {
+            const std::uint32_t pop = tile_pop(r0, r1, bc);
+            if (pop == 0) continue;
+            ++blocks_in[br];
+            if (pop >= kMin) {
+                words_in[br] += BitBlockMatrix::kBlockWords;
+            } else {
+                entries_in[br] += pop;
+            }
+        }
+    });
+
+    const std::uint64_t total_blocks = place(blocks_in);
+    const std::uint64_t total_words = place(words_in);
+    const std::uint64_t total_entries = place(entries_in);
+
+    std::vector<Index> block_row_offsets(static_cast<std::size_t>(brows) + 1, 0);
+    for (Index br = 0; br < brows; ++br) block_row_offsets[br] = blocks_in[br];
+    block_row_offsets[brows] = static_cast<Index>(total_blocks);
+
+    std::vector<BlockRef> blocks(total_blocks);
+    std::vector<std::uint64_t> words(total_words, 0);
+    std::vector<std::uint16_t> entries(total_entries);
+    ctx.parallel_for(brows, kBlockRowGrain, [&](std::size_t br) {
+        const Index r0 = static_cast<Index>(br) * 64;
+        const Index r1 = std::min<Index>(nrows, r0 + 64);
+        std::uint32_t bcur = blocks_in[br];
+        std::uint32_t wcur = words_in[br];
+        std::uint32_t ecur = entries_in[br];
+        for (Index bc = 0; bc < bcols; ++bc) {
+            const std::uint32_t pop = tile_pop(r0, r1, bc);
+            if (pop == 0) continue;
+            BlockRef ref{};
+            ref.bcol = bc;
+            ref.nnz = static_cast<std::uint16_t>(pop);
+            if (pop >= kMin) {
+                ref.kind = BlockKind::Bitmap;
+                ref.offset = wcur;
+                for (Index r = r0; r < r1; ++r) {
+                    words[wcur + (r & 63)] = dense.row_words(r)[bc];
+                }
+                wcur += BitBlockMatrix::kBlockWords;
+            } else {
+                ref.kind = BlockKind::Sparse;
+                ref.offset = ecur;
+                for (Index r = r0; r < r1; ++r) {
+                    const Index rl = r & 63;
+                    util::for_each_set_bit(dense.row_words(r)[bc], [&](unsigned bit) {
+                        entries[ecur++] = static_cast<std::uint16_t>((rl << 6) | bit);
+                    });
+                }
+            }
+            blocks[bcur++] = ref;
+        }
+    });
+
+    return BitBlockMatrix::from_raw(dense.nrows(), dense.ncols(),
+                                    std::move(block_row_offsets), std::move(blocks),
+                                    std::move(words), std::move(entries));
+}
+
+CsrMatrix to_csr(backend::Context& ctx, const BitBlockMatrix& bb) {
+    const Index nrows = bb.nrows();
+    std::vector<std::uint32_t> counts(nrows, 0);
+    ctx.parallel_for(bb.brows(), kBlockRowGrain, [&](std::size_t br) {
+        const Index r0 = static_cast<Index>(br) * 64;
+        const Index live = std::min<Index>(nrows - r0, 64);
+        for (const auto& tile : bb.block_row(static_cast<Index>(br))) {
+            if (tile.kind == BitBlockMatrix::BlockKind::Bitmap) {
+                const auto w = bb.bitmap_words(tile);
+                for (Index rl = 0; rl < live; ++rl) {
+                    counts[r0 + rl] += static_cast<std::uint32_t>(util::popcount64(w[rl]));
+                }
+            } else {
+                for (const std::uint16_t e : bb.sparse_entries(tile)) {
+                    ++counts[r0 + (e >> 6)];
+                }
+            }
+        }
+    });
+    const std::uint64_t total = ctx.exclusive_scan(counts);
+
+    std::vector<Index> row_offsets(static_cast<std::size_t>(nrows) + 1, 0);
+    row_offsets[nrows] = static_cast<Index>(total);
+    std::vector<Index> cols(total);
+    ctx.parallel_for(bb.brows(), kBlockRowGrain, [&](std::size_t br) {
+        const auto row = bb.block_row(static_cast<Index>(br));
+        const Index r0 = static_cast<Index>(br) * 64;
+        const Index live = std::min<Index>(nrows - r0, 64);
+        std::vector<std::uint32_t> cursor(row.size(), 0);  // sparse-tile scan heads
+        for (Index rl = 0; rl < live; ++rl) {
+            const Index r = r0 + rl;
+            row_offsets[r] = static_cast<Index>(counts[r]);
+            std::size_t dst = counts[r];
+            for (std::size_t t = 0; t < row.size(); ++t) {
+                const Index cbase = row[t].bcol * 64;
+                if (row[t].kind == BitBlockMatrix::BlockKind::Bitmap) {
+                    util::for_each_set_bit(bb.bitmap_words(row[t])[rl], [&](unsigned bit) {
+                        cols[dst++] = cbase + bit;
+                    });
+                } else {
+                    const auto es = bb.sparse_entries(row[t]);
+                    while (cursor[t] < es.size() &&
+                           static_cast<Index>(es[cursor[t]] >> 6) == rl) {
+                        cols[dst++] = cbase + (es[cursor[t]] & 63);
+                        ++cursor[t];
+                    }
+                }
+            }
+        }
+    });
+    return CsrMatrix::from_raw(bb.nrows(), bb.ncols(), std::move(row_offsets),
+                               std::move(cols));
+}
+
+CooMatrix to_coo(backend::Context& ctx, const BitBlockMatrix& bb) {
+    return to_coo(ctx, to_csr(ctx, bb));
+}
+
+DenseMatrix to_dense(backend::Context& ctx, const BitBlockMatrix& bb) {
+    DenseMatrix out{bb.nrows(), bb.ncols()};
+    const Index nrows = bb.nrows();
+    // Block rows own disjoint dense rows, so per-block-row writes don't race.
+    ctx.parallel_for(bb.brows(), kBlockRowGrain, [&](std::size_t br) {
+        const Index r0 = static_cast<Index>(br) * 64;
+        const Index live = std::min<Index>(nrows - r0, 64);
+        for (const auto& tile : bb.block_row(static_cast<Index>(br))) {
+            const Index cbase = tile.bcol * 64;
+            if (tile.kind == BitBlockMatrix::BlockKind::Bitmap) {
+                const auto w = bb.bitmap_words(tile);
+                for (Index rl = 0; rl < live; ++rl) {
+                    util::for_each_set_bit(w[rl], [&](unsigned bit) {
+                        out.set(r0 + rl, cbase + bit);
+                    });
+                }
+            } else {
+                for (const std::uint16_t e : bb.sparse_entries(tile)) {
+                    out.set(r0 + (e >> 6), cbase + (e & 63));
+                }
+            }
+        }
+    });
+    return out;
+}
+
 CsrMatrix to_csr(const CooMatrix& coo) { return to_csr(backend::default_context(), coo); }
 CooMatrix to_coo(const CsrMatrix& csr) { return to_coo(backend::default_context(), csr); }
 CsrMatrix to_csr(const DenseMatrix& dense) {
@@ -144,6 +439,24 @@ DenseMatrix to_dense(const CsrMatrix& csr) {
 }
 DenseMatrix to_dense(const CooMatrix& coo) {
     return to_dense(backend::default_context(), coo);
+}
+BitBlockMatrix to_bitblocks(const CsrMatrix& csr) {
+    return to_bitblocks(backend::default_context(), csr);
+}
+BitBlockMatrix to_bitblocks(const CooMatrix& coo) {
+    return to_bitblocks(backend::default_context(), coo);
+}
+BitBlockMatrix to_bitblocks(const DenseMatrix& dense) {
+    return to_bitblocks(backend::default_context(), dense);
+}
+CsrMatrix to_csr(const BitBlockMatrix& bb) {
+    return to_csr(backend::default_context(), bb);
+}
+CooMatrix to_coo(const BitBlockMatrix& bb) {
+    return to_coo(backend::default_context(), bb);
+}
+DenseMatrix to_dense(const BitBlockMatrix& bb) {
+    return to_dense(backend::default_context(), bb);
 }
 
 }  // namespace spbla

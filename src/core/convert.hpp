@@ -10,6 +10,7 @@
 #pragma once
 
 #include "backend/context.hpp"
+#include "core/bitblocks.hpp"
 #include "core/coo.hpp"
 #include "core/csr.hpp"
 #include "core/dense.hpp"
@@ -34,6 +35,26 @@ namespace spbla {
 /// COO -> dense.
 [[nodiscard]] DenseMatrix to_dense(backend::Context& ctx, const CooMatrix& coo);
 
+/// CSR -> BitBlocks (parallel per-block-row tiling; hybrid tiles chosen by
+/// population against BitBlockMatrix::kBitmapMinNnz).
+[[nodiscard]] BitBlockMatrix to_bitblocks(backend::Context& ctx, const CsrMatrix& csr);
+
+/// COO -> BitBlocks.
+[[nodiscard]] BitBlockMatrix to_bitblocks(backend::Context& ctx, const CooMatrix& coo);
+
+/// Dense -> BitBlocks (tile columns align with the dense word columns, so
+/// bitmap tiles are straight word gathers).
+[[nodiscard]] BitBlockMatrix to_bitblocks(backend::Context& ctx, const DenseMatrix& dense);
+
+/// BitBlocks -> CSR (parallel per-block-row expansion).
+[[nodiscard]] CsrMatrix to_csr(backend::Context& ctx, const BitBlockMatrix& bb);
+
+/// BitBlocks -> COO.
+[[nodiscard]] CooMatrix to_coo(backend::Context& ctx, const BitBlockMatrix& bb);
+
+/// BitBlocks -> dense.
+[[nodiscard]] DenseMatrix to_dense(backend::Context& ctx, const BitBlockMatrix& bb);
+
 /// Context-free conveniences (default context's pool).
 [[nodiscard]] CsrMatrix to_csr(const CooMatrix& coo);
 [[nodiscard]] CooMatrix to_coo(const CsrMatrix& csr);
@@ -41,5 +62,11 @@ namespace spbla {
 [[nodiscard]] CooMatrix to_coo(const DenseMatrix& dense);
 [[nodiscard]] DenseMatrix to_dense(const CsrMatrix& csr);
 [[nodiscard]] DenseMatrix to_dense(const CooMatrix& coo);
+[[nodiscard]] BitBlockMatrix to_bitblocks(const CsrMatrix& csr);
+[[nodiscard]] BitBlockMatrix to_bitblocks(const CooMatrix& coo);
+[[nodiscard]] BitBlockMatrix to_bitblocks(const DenseMatrix& dense);
+[[nodiscard]] CsrMatrix to_csr(const BitBlockMatrix& bb);
+[[nodiscard]] CooMatrix to_coo(const BitBlockMatrix& bb);
+[[nodiscard]] DenseMatrix to_dense(const BitBlockMatrix& bb);
 
 }  // namespace spbla

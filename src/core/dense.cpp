@@ -1,6 +1,6 @@
 #include "core/dense.hpp"
 
-#include <bit>
+#include "util/bit_ops.hpp"
 
 namespace spbla {
 
@@ -12,7 +12,7 @@ DenseMatrix::DenseMatrix(Index nrows, Index ncols)
 
 std::size_t DenseMatrix::nnz() const noexcept {
     std::size_t total = 0;
-    for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    for (const auto w : words_) total += static_cast<std::size_t>(util::popcount64(w));
     return total;
 }
 
@@ -25,15 +25,12 @@ DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
         std::uint64_t* out_row = out.words_.data() +
                                  static_cast<std::size_t>(i) * out.words_per_row_;
         for (std::size_t w = 0; w < words_per_row_; ++w) {
-            std::uint64_t bits = words_[row_base + w];
-            while (bits != 0) {
-                const Index k = static_cast<Index>(w * 64 +
-                                                   static_cast<std::size_t>(std::countr_zero(bits)));
-                bits &= bits - 1;
+            util::for_each_set_bit(words_[row_base + w], [&](unsigned bit) {
+                const std::size_t k = w * 64 + bit;
                 const std::uint64_t* b_row =
-                    other.words_.data() + static_cast<std::size_t>(k) * other.words_per_row_;
+                    other.words_.data() + k * other.words_per_row_;
                 for (std::size_t v = 0; v < other.words_per_row_; ++v) out_row[v] |= b_row[v];
-            }
+            });
         }
     }
     return out;
@@ -68,7 +65,7 @@ Index DenseMatrix::row_nnz(Index r) const {
     const std::size_t row_base = static_cast<std::size_t>(r) * words_per_row_;
     Index total = 0;
     for (std::size_t w = 0; w < words_per_row_; ++w) {
-        total += static_cast<Index>(std::popcount(words_[row_base + w]));
+        total += static_cast<Index>(util::popcount64(words_[row_base + w]));
     }
     return total;
 }
@@ -118,13 +115,9 @@ std::vector<Coord> DenseMatrix::to_coords() const {
     for (Index r = 0; r < nrows_; ++r) {
         const std::size_t row_base = static_cast<std::size_t>(r) * words_per_row_;
         for (std::size_t w = 0; w < words_per_row_; ++w) {
-            std::uint64_t bits = words_[row_base + w];
-            while (bits != 0) {
-                const Index c = static_cast<Index>(w * 64 +
-                                                   static_cast<std::size_t>(std::countr_zero(bits)));
-                bits &= bits - 1;
-                out.push_back({r, c});
-            }
+            util::for_each_set_bit(words_[row_base + w], [&](unsigned bit) {
+                out.push_back({r, static_cast<Index>(w * 64 + bit)});
+            });
         }
     }
     return out;

@@ -6,6 +6,8 @@ void validate(const CsrMatrix& m) { m.validate(); }
 
 void validate(const CooMatrix& m) { m.validate(); }
 
+void validate(const BitBlockMatrix& m) { m.validate(); }
+
 void validate(const SpVector& v) { v.validate(); }
 
 }  // namespace spbla::core

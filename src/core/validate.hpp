@@ -11,6 +11,7 @@
 /// of poisoning a later op.
 #pragma once
 
+#include "core/bitblocks.hpp"
 #include "core/coo.hpp"
 #include "core/csr.hpp"
 #include "core/spvector.hpp"
@@ -23,6 +24,9 @@ void validate(const CsrMatrix& m);
 
 /// Check all CooMatrix storage invariants; throws Error(InvalidState).
 void validate(const CooMatrix& m);
+
+/// Check all BitBlockMatrix storage invariants; throws Error(InvalidState).
+void validate(const BitBlockMatrix& m);
 
 /// Check all SpVector storage invariants; throws Error(InvalidState).
 void validate(const SpVector& v);

@@ -12,9 +12,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/convert.hpp"
 #include "core/csr.hpp"
+#include "ops/bitblock_ops.hpp"
 #include "ops/ewise_add.hpp"
 #include "ops/ewise_mult.hpp"
+#include "storage/thresholds.hpp"
 #include "ops/kronecker.hpp"
 #include "ops/masked.hpp"
 #include "ops/mxv.hpp"
@@ -31,7 +34,9 @@ namespace {
 /// its owner. Reads of resident or empty tiles are free.
 void note_transfer(const Matrix& tile, std::size_t tile_owner, std::size_t exec_device) {
     if (tile_owner == exec_device || tile.nnz() == 0) return;
-    const std::size_t bytes = tile.csr().device_bytes();
+    // Charge the resident representation's bytes: a BitBlocks tile ships its
+    // packed tiles, not a CSR materialised just for accounting.
+    const std::size_t bytes = tile.device_bytes();
     stats().tile_transfers.fetch_add(1, std::memory_order_relaxed);
     stats().transfer_bytes.fetch_add(bytes, std::memory_order_relaxed);
     SPBLA_PROF_COUNT(dist_transfers, 1);
@@ -103,6 +108,36 @@ SpVector assemble_column(const Partition& part,
     return SpVector::from_indices(part.nrows(), std::move(all));
 }
 
+/// A tile pair routes through the broadword kernels when both sides are at
+/// (or already in) the bitblock regime — same gate the dispatcher applies
+/// globally (storage/thresholds.hpp), evaluated per tile so a dense corner
+/// of an otherwise sparse sharded matrix still gets the bit-parallel path.
+[[nodiscard]] bool tile_prefers_bitblock(const Matrix& at, const Matrix& bt) noexcept {
+    const auto in_regime = [](const Matrix& m) {
+        return m.has_format(Format::BitBlocks) ||
+               m.density() >= storage::kBitBlockMinDensity;
+    };
+    return in_regime(at) && in_regime(bt);
+}
+
+/// Matrix's representation cache is deliberately unsynchronised, and multiply
+/// shares each input tile across concurrently executing output tiles — so any
+/// tile the broadword gate could route must have its bitblock rep materialised
+/// before the parallel region, making every in-flight bitblocks() call a pure
+/// cache read. Must mirror tile_prefers_bitblock's per-side predicate.
+void prewarm_bitblock_tiles(const ShardedMatrix& m) {
+    const Partition& part = m.partition();
+    for (std::size_t i = 0; i < part.grid_rows(); ++i) {
+        for (std::size_t j = 0; j < part.grid_cols(); ++j) {
+            const Matrix& t = m.tile(i, j);
+            if (t.nnz() == 0 || t.has_format(Format::BitBlocks)) continue;
+            if (t.density() >= storage::kBitBlockMinDensity) {
+                (void)t.bitblocks(m.group().device(m.owner(i, j)));
+            }
+        }
+    }
+}
+
 }  // namespace
 
 Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
@@ -125,6 +160,9 @@ Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
     const std::size_t inner = a.partition().grid_cols();
     const std::size_t n_dev = a.group().size();
 
+    prewarm_bitblock_tiles(a);
+    prewarm_bitblock_tiles(b);
+
     std::vector<std::optional<CsrMatrix>> results(out_part.tiles());
     a.group().run(
         out_part.tiles(), [&](std::size_t t) { return t % n_dev; },
@@ -133,6 +171,7 @@ Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
             const std::size_t j = t % gc;
             backend::Context& dev = a.group().device(exec);
             std::optional<CsrMatrix> acc;
+            std::optional<BitBlockMatrix> bb_acc;
             if (c_in != nullptr && c_in->tile(i, j).nnz() > 0) {
                 note_transfer(c_in->tile(i, j), c_in->owner(i, j), exec);
                 acc = c_in->tile(i, j).csr();
@@ -143,11 +182,21 @@ Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
                 if (at.nnz() == 0 || bt.nnz() == 0) continue;
                 note_transfer(at, a.owner(i, k), exec);
                 note_transfer(bt, b.owner(k, j), exec);
-                if (acc) {
+                if (tile_prefers_bitblock(at, bt)) {
+                    BitBlockMatrix p =
+                        ops::multiply(dev, at.bitblocks(dev), bt.bitblocks(dev));
+                    if (p.nnz() > 0) {
+                        bb_acc = bb_acc ? ops::ewise_add(dev, *bb_acc, p) : std::move(p);
+                    }
+                } else if (acc) {
                     acc = ops::multiply_add(dev, *acc, at.csr(), bt.csr(), opts);
                 } else {
                     acc = ops::multiply(dev, at.csr(), bt.csr(), opts);
                 }
+            }
+            if (bb_acc) {
+                CsrMatrix flat = to_csr(dev, *bb_acc);
+                acc = acc ? ops::ewise_add(dev, *acc, flat) : std::move(flat);
             }
             if (acc && acc->nnz() > 0) results[t] = std::move(acc);
         });
@@ -230,7 +279,7 @@ Matrix sharded_ewise(backend::Context& out_ctx, const ShardedMatrix& a,
             if (at.nnz() == 0 && bt.nnz() == 0) return;
             note_transfer(at, a.owner(i, j), exec);
             note_transfer(bt, b.owner(i, j), exec);
-            CsrMatrix r = tile_op(a.group().device(exec), at.csr(), bt.csr());
+            CsrMatrix r = tile_op(a.group().device(exec), at, bt);
             if (r.nnz() > 0) results[t] = std::move(r);
         });
     return assemble(out_ctx, part, results);
@@ -241,16 +290,24 @@ Matrix sharded_ewise(backend::Context& out_ctx, const ShardedMatrix& a,
 Matrix sharded_ewise_add(backend::Context& out_ctx, const ShardedMatrix& a,
                          const ShardedMatrix& b) {
     return sharded_ewise(out_ctx, a, b, /*intersect=*/false,
-                         [](backend::Context& dev, const CsrMatrix& x, const CsrMatrix& y) {
-                             return ops::ewise_add(dev, x, y);
+                         [](backend::Context& dev, const Matrix& x, const Matrix& y) {
+                             if (tile_prefers_bitblock(x, y)) {
+                                 return to_csr(dev, ops::ewise_add(dev, x.bitblocks(dev),
+                                                                   y.bitblocks(dev)));
+                             }
+                             return ops::ewise_add(dev, x.csr(dev), y.csr(dev));
                          });
 }
 
 Matrix sharded_ewise_mult(backend::Context& out_ctx, const ShardedMatrix& a,
                           const ShardedMatrix& b) {
     return sharded_ewise(out_ctx, a, b, /*intersect=*/true,
-                         [](backend::Context& dev, const CsrMatrix& x, const CsrMatrix& y) {
-                             return ops::ewise_mult(dev, x, y);
+                         [](backend::Context& dev, const Matrix& x, const Matrix& y) {
+                             if (tile_prefers_bitblock(x, y)) {
+                                 return to_csr(dev, ops::ewise_mult(dev, x.bitblocks(dev),
+                                                                    y.bitblocks(dev)));
+                             }
+                             return ops::ewise_mult(dev, x.csr(dev), y.csr(dev));
                          });
 }
 

@@ -1,0 +1,78 @@
+/// \file bitblock_common.hpp
+/// \brief Shared staging buffers for the bitblock kernel family (private).
+///
+/// The bitblock kernels all end the same way: each worker leaves one
+/// BlockRowStage per block row — result tiles as raw 64-word buffers in
+/// ascending block-column order — and assemble() does the single serial
+/// sweep that popcounts every tile, picks its hybrid kind and packs the
+/// pools for BitBlockMatrix::from_raw. Keeping the per-row results
+/// word-shaped until the very end means the parallel phase never contends
+/// on the shared pools.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/bitblocks.hpp"
+#include "util/bit_ops.hpp"
+
+namespace spbla::ops::detail {
+
+/// Result tiles of one output block row, ascending block column; words holds
+/// 64 raw words per tile (all-zero tiles are dropped by assemble()).
+struct BlockRowStage {
+    std::vector<Index> bcols;
+    std::vector<std::uint64_t> words;
+};
+
+/// Pack staged block rows into the final matrix: popcount each tile, store
+/// it as Bitmap or Sparse by population, drop empties.
+inline BitBlockMatrix assemble(Index nrows, Index ncols,
+                               std::vector<BlockRowStage>&& stages) {
+    constexpr std::size_t kW = BitBlockMatrix::kBlockWords;
+    const auto brows = static_cast<Index>(stages.size());
+    std::vector<Index> block_row_offsets(static_cast<std::size_t>(brows) + 1, 0);
+    std::vector<BitBlockMatrix::BlockRef> blocks;
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint16_t> entries;
+
+    for (Index br = 0; br < brows; ++br) {
+        const BlockRowStage& stage = stages[br];
+        for (std::size_t t = 0; t < stage.bcols.size(); ++t) {
+            const std::uint64_t* w = stage.words.data() + t * kW;
+            std::uint32_t pop = 0;
+            for (std::size_t i = 0; i < kW; ++i) pop += util::popcount64(w[i]);
+            if (pop == 0) continue;
+            BitBlockMatrix::BlockRef ref;
+            ref.bcol = stage.bcols[t];
+            ref.nnz = static_cast<std::uint16_t>(pop);
+            if (pop >= BitBlockMatrix::kBitmapMinNnz) {
+                ref.kind = BitBlockMatrix::BlockKind::Bitmap;
+                ref.offset = static_cast<std::uint32_t>(words.size());
+                words.insert(words.end(), w, w + kW);
+            } else {
+                ref.kind = BitBlockMatrix::BlockKind::Sparse;
+                ref.offset = static_cast<std::uint32_t>(entries.size());
+                for (std::size_t rl = 0; rl < kW; ++rl) {
+                    util::for_each_set_bit(w[rl], [&](unsigned cl) {
+                        entries.push_back(static_cast<std::uint16_t>((rl << 6) | cl));
+                    });
+                }
+            }
+            blocks.push_back(ref);
+            ++block_row_offsets[br + 1];
+        }
+        // Free the stage eagerly: peak memory stays one block row ahead of
+        // the packed pools instead of double the whole output.
+        stages[br] = BlockRowStage{};
+    }
+    for (Index br = 0; br < brows; ++br) {
+        block_row_offsets[br + 1] += block_row_offsets[br];
+    }
+    return BitBlockMatrix::from_raw(nrows, ncols, std::move(block_row_offsets),
+                                    std::move(blocks), std::move(words),
+                                    std::move(entries));
+}
+
+}  // namespace spbla::ops::detail

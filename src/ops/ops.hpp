@@ -2,6 +2,7 @@
 /// \brief Umbrella header for every Boolean kernel in the library.
 #pragma once
 
+#include "ops/bitblock_ops.hpp"  // IWYU pragma: export
 #include "ops/ewise_add.hpp"   // IWYU pragma: export
 #include "ops/coo_ops.hpp"     // IWYU pragma: export
 #include "ops/ewise_mult.hpp"  // IWYU pragma: export

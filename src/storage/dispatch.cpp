@@ -24,6 +24,7 @@
 
 #include "ops/ops.hpp"
 #include "prof/prof.hpp"
+#include "storage/thresholds.hpp"
 
 namespace spbla::storage {
 
@@ -35,12 +36,14 @@ constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
 /// format to displace it — the anti-thrash margin.
 constexpr double kHysteresis = 2.0;
 
-/// Dense candidacy gates: a matrix qualifies for bit-parallel kernels only
-/// when it is dense enough that one 64-bit word carries about one set bit…
-constexpr double kDenseMinDensity = 1.0 / 64.0;
-/// …and small enough that materialising the bitmap cannot blow the simulated
-/// device memory (bytes).
-constexpr std::size_t kDenseByteCap = std::size_t{64} << 20;  // 64 MiB
+// The density / byte-cap candidacy gates (kDenseMinDensity, kDenseByteCap,
+// kBitBlockMinDensity, kBitBlockByteCap) live in storage/thresholds.hpp so
+// the dense and bitblock tiers share one set of named crossovers.
+
+/// Broadword ops run ~one word per model "index touch" unit but each word
+/// carries 64 cells; this factor converts word-op counts into the sparse
+/// kernels' cost units. Shared by the dense and bitblock cost formulas.
+constexpr double kWordOpScale = 0.08;
 
 [[nodiscard]] double words_of(Index nrows, Index ncols) noexcept {
     return static_cast<double>(nrows) *
@@ -62,6 +65,43 @@ constexpr std::size_t kDenseByteCap = std::size_t{64} << 20;  // 64 MiB
     return dense_bytes_of(nrows, ncols) <= kDenseByteCap;
 }
 
+/// Element-wise ops get a byte-cap-only dense gate: their dense cost is one
+/// exact word sweep (0.5 * words), so the cost comparison itself rejects
+/// oversized grids and the density floor — which exists for multiply, whose
+/// dense estimate is fuzzier — would only mask wins on small dense-ish inputs.
+[[nodiscard]] bool dense_ewise_eligible(const Matrix& m) noexcept {
+    if (m.nrows() == 0 || m.ncols() == 0) return false;
+    if (m.has_format(Format::Dense)) return true;  // already paid for
+    return dense_bytes_of(m.nrows(), m.ncols()) <= kDenseByteCap;
+}
+
+/// Non-empty tiles of the 64x64 block grid, estimated from the gate density:
+/// an admitted matrix carries at least ~8 entries per occupied tile, so the
+/// occupied count is bounded by nnz / 8 and by the grid itself.
+[[nodiscard]] double grid_tiles_of(Index nrows, Index ncols) noexcept {
+    return static_cast<double>((static_cast<std::size_t>(nrows) + 63) / 64) *
+           static_cast<double>((static_cast<std::size_t>(ncols) + 63) / 64);
+}
+
+[[nodiscard]] double est_blocks(const Matrix& m) noexcept {
+    return std::min(grid_tiles_of(m.nrows(), m.ncols()),
+                    static_cast<double>(m.nnz()) / 8.0 + 1.0);
+}
+
+/// Worst-case BitBlocks footprint: never above the flat bitmap, and sparse
+/// inputs stay entry-bounded (2 bytes per cell plus tile descriptors).
+[[nodiscard]] std::size_t bitblock_bytes_of(const Matrix& m) noexcept {
+    const auto entry_bound = static_cast<std::size_t>(m.nnz()) * 16;
+    return std::min(dense_bytes_of(m.nrows(), m.ncols()), entry_bound);
+}
+
+[[nodiscard]] bool bitblock_eligible(const Matrix& m) noexcept {
+    if (m.nrows() == 0 || m.ncols() == 0) return false;
+    if (m.has_format(Format::BitBlocks)) return true;  // already paid for
+    return m.density() >= kBitBlockMinDensity &&
+           bitblock_bytes_of(m) <= kBitBlockByteCap;
+}
+
 /// Work to materialise format \p f on \p m; zero when already cached.
 [[nodiscard]] double convert_cost(const Matrix& m, Format f) noexcept {
     if (m.has_format(f)) return 0.0;
@@ -75,6 +115,10 @@ constexpr std::size_t kDenseByteCap = std::size_t{64} << 20;  // 64 MiB
         case Format::Dense:
             // Clearing the bitmap dominates for sparse sources.
             return words_of(m.nrows(), m.ncols()) + nnz;
+        case Format::BitBlocks:
+            // Two parallel passes over the entries plus the occupied-tile
+            // bookkeeping; empty tile regions cost nothing.
+            return 2.0 * nnz + 8.0 * est_blocks(m);
     }
     return kInfiniteCost;
 }
@@ -84,6 +128,7 @@ struct MultiplyCosts {
     double csr;
     double coo;
     double dense;
+    double bitblock;
 };
 
 [[nodiscard]] MultiplyCosts multiply_costs(const Matrix& a, const Matrix& b) noexcept {
@@ -104,8 +149,18 @@ struct MultiplyCosts {
     // rows expand multiplicatively.
     costs.coo = flops * (1.0 + std::log2(flops + 2.0) * 0.25) * std::min(skew, 4.0);
     // Bit-parallel row-OR: every entry of A ORs one row of B (word-wide).
-    costs.dense = 0.08 * nnz_a * (words_of(1, b.ncols())) +
+    costs.dense = kWordOpScale * nnz_a * (words_of(1, b.ncols())) +
                   words_of(a.nrows(), b.ncols());
+    // Tile-grid Gustavson: each (A tile, B tile) pair costs accumulator
+    // traffic (64 words) plus the cheaper of per-cell row-ORs and the
+    // Four-Russians bound (512 lookups + amortised table build).
+    const double blocks_a = est_blocks(a);
+    const double blocks_b = est_blocks(b);
+    const double brows_b = std::max(1.0, static_cast<double>((b.nrows() + 63) / 64));
+    const double pairs = blocks_a * (blocks_b / brows_b);
+    const double tile_nnz_a = nnz_a / std::max(1.0, blocks_a);
+    const double per_pair = 64.0 + std::min(tile_nnz_a, 576.0);
+    costs.bitblock = kWordOpScale * pairs * per_pair + 8.0 * blocks_a;
     return costs;
 }
 
@@ -122,6 +177,10 @@ void count_dispatch(Format f) noexcept {
         case Format::Dense:
             stats().dispatch_dense.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(dispatch_dense, 1);
+            break;
+        case Format::BitBlocks:
+            stats().dispatch_bitblock.fetch_add(1, std::memory_order_relaxed);
+            SPBLA_PROF_COUNT(dispatch_bitblock, 1);
             break;
     }
 }
@@ -143,6 +202,7 @@ void trim(std::initializer_list<const Matrix*> operands) noexcept {
         case FormatHint::ForceCsr: want = Format::Csr; break;
         case FormatHint::ForceCoo: want = Format::Coo; break;
         case FormatHint::ForceDense: want = Format::Dense; break;
+        case FormatHint::ForceBitBlocks: want = Format::BitBlocks; break;
     }
     for (const Format f : candidates) {
         if (f == want) {
@@ -195,17 +255,23 @@ Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
         return db->multiply(ctx, a, b, opts);
     }
     Format f;
-    if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
+    if (!forced(global_hint(),
+                {Format::Csr, Format::Coo, Format::Dense, Format::BitBlocks}, f)) {
         const auto k = multiply_costs(a, b);
         const bool dense_ok = dense_eligible(a) && dense_eligible(b) &&
                               dense_output_eligible(a.nrows(), b.ncols());
+        const bool bb_ok = bitblock_eligible(a) && bitblock_eligible(b);
         f = pick({{Format::Csr, k.csr + convert_cost(a, Format::Csr) +
                                     convert_cost(b, Format::Csr)},
                   {Format::Coo, k.coo + convert_cost(a, Format::Coo) +
                                     convert_cost(b, Format::Coo)},
                   {Format::Dense, dense_ok ? k.dense + convert_cost(a, Format::Dense) +
                                                  convert_cost(b, Format::Dense)
-                                           : kInfiniteCost}},
+                                           : kInfiniteCost},
+                  {Format::BitBlocks,
+                   bb_ok ? k.bitblock + convert_cost(a, Format::BitBlocks) +
+                               convert_cost(b, Format::BitBlocks)
+                         : kInfiniteCost}},
                  dominant_format(a, b));
     }
     count_dispatch(f);
@@ -215,6 +281,8 @@ Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
                 return Matrix{ops::multiply(ctx, a.coo(ctx), b.coo(ctx)), ctx};
             case Format::Dense:
                 return Matrix{a.dense(ctx).multiply(b.dense(ctx)), ctx};
+            case Format::BitBlocks:
+                return Matrix{ops::multiply(ctx, a.bitblocks(ctx), b.bitblocks(ctx)), ctx};
             case Format::Csr:
             default:
                 return Matrix{ops::multiply(ctx, a.csr(ctx), b.csr(ctx), opts), ctx};
@@ -231,11 +299,13 @@ Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
         return db->multiply_add(ctx, c, a, b, opts);
     }
     Format f;
-    if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
+    if (!forced(global_hint(), {Format::Csr, Format::Dense, Format::BitBlocks}, f)) {
         const auto k = multiply_costs(a, b);
         const bool dense_ok = dense_eligible(a) && dense_eligible(b) &&
                               dense_eligible(c) &&
                               dense_output_eligible(c.nrows(), c.ncols());
+        const bool bb_ok =
+            bitblock_eligible(a) && bitblock_eligible(b) && bitblock_eligible(c);
         const double csr_cost = k.csr + 2.0 * static_cast<double>(c.nnz()) +
                                 convert_cost(c, Format::Csr) +
                                 convert_cost(a, Format::Csr) + convert_cost(b, Format::Csr);
@@ -244,13 +314,28 @@ Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
                            convert_cost(c, Format::Dense) + convert_cost(a, Format::Dense) +
                            convert_cost(b, Format::Dense)
                      : kInfiniteCost;
-        f = pick({{Format::Csr, csr_cost}, {Format::Dense, dense_cost}}, c.format());
+        const double bb_cost =
+            bb_ok ? k.bitblock + kWordOpScale * 320.0 * est_blocks(c) +
+                        convert_cost(c, Format::BitBlocks) +
+                        convert_cost(a, Format::BitBlocks) +
+                        convert_cost(b, Format::BitBlocks)
+                  : kInfiniteCost;
+        f = pick({{Format::Csr, csr_cost},
+                  {Format::Dense, dense_cost},
+                  {Format::BitBlocks, bb_cost}},
+                 c.format());
     }
     if (f == Format::Coo) f = Format::Csr;  // no fused COO kernel
     count_dispatch(f);
     Matrix out = [&] {
         if (f == Format::Dense) {
             return Matrix{c.dense(ctx).ewise_or(a.dense(ctx).multiply(b.dense(ctx))), ctx};
+        }
+        if (f == Format::BitBlocks) {
+            return Matrix{ops::ewise_add(ctx, c.bitblocks(ctx),
+                                         ops::multiply(ctx, a.bitblocks(ctx),
+                                                       b.bitblocks(ctx))),
+                          ctx};
         }
         return Matrix{ops::multiply_add(ctx, c.csr(ctx), a.csr(ctx), b.csr(ctx), opts), ctx};
     }();
@@ -268,11 +353,15 @@ Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
         return db->ewise_add(ctx, a, b);
     }
     Format f;
-    if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
+    if (!forced(global_hint(),
+                {Format::Csr, Format::Coo, Format::Dense, Format::BitBlocks}, f)) {
         const auto total = static_cast<double>(a.nnz() + b.nnz());
-        const bool dense_ok = dense_eligible(a) && dense_eligible(b);
+        const bool dense_ok = dense_ewise_eligible(a) && dense_ewise_eligible(b);
+        const bool bb_ok = bitblock_eligible(a) && bitblock_eligible(b);
         // CSR pays the per-row merge bookkeeping; the flat COO merge is the
-        // natural very-sparse winner; dense is one OR sweep over the words.
+        // natural very-sparse winner; dense is one OR sweep over the words;
+        // bitblock pays ~5 word sweeps per occupied tile (expand both sides,
+        // merge, then the popcount + pack of reassembly).
         f = pick({{Format::Csr, 2.0 * total + 0.5 * static_cast<double>(a.nrows()) +
                                     convert_cost(a, Format::Csr) +
                                     convert_cost(b, Format::Csr)},
@@ -281,7 +370,12 @@ Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
                   {Format::Dense, dense_ok ? 0.5 * words_of(a.nrows(), a.ncols()) +
                                                  convert_cost(a, Format::Dense) +
                                                  convert_cost(b, Format::Dense)
-                                           : kInfiniteCost}},
+                                           : kInfiniteCost},
+                  {Format::BitBlocks,
+                   bb_ok ? kWordOpScale * 320.0 * (est_blocks(a) + est_blocks(b)) +
+                               convert_cost(a, Format::BitBlocks) +
+                               convert_cost(b, Format::BitBlocks)
+                         : kInfiniteCost}},
                  dominant_format(a, b));
     }
     count_dispatch(f);
@@ -291,6 +385,9 @@ Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
                 return Matrix{ops::ewise_add(ctx, a.coo(ctx), b.coo(ctx)), ctx};
             case Format::Dense:
                 return Matrix{a.dense(ctx).ewise_or(b.dense(ctx)), ctx};
+            case Format::BitBlocks:
+                return Matrix{ops::ewise_add(ctx, a.bitblocks(ctx), b.bitblocks(ctx)),
+                              ctx};
             case Format::Csr:
             default:
                 return Matrix{ops::ewise_add(ctx, a.csr(ctx), b.csr(ctx)), ctx};
@@ -306,21 +403,34 @@ Matrix ewise_mult(backend::Context& ctx, const Matrix& a, const Matrix& b) {
         return db->ewise_mult(ctx, a, b);
     }
     Format f;
-    if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
+    if (!forced(global_hint(), {Format::Csr, Format::Dense, Format::BitBlocks}, f)) {
         const auto total = static_cast<double>(a.nnz() + b.nnz());
-        const bool dense_ok = dense_eligible(a) && dense_eligible(b);
+        const bool dense_ok = dense_ewise_eligible(a) && dense_ewise_eligible(b);
+        const bool bb_ok = bitblock_eligible(a) && bitblock_eligible(b);
+        // The bitblock intersection expands both sides of every matched tile
+        // pair (~5 word sweeps, as in ewise_add); the occupied-tile sum is
+        // the upper bound on matches and keeps disjoint patterns on CSR.
         f = pick({{Format::Csr, 2.0 * total + convert_cost(a, Format::Csr) +
                                     convert_cost(b, Format::Csr)},
                   {Format::Dense, dense_ok ? 0.5 * words_of(a.nrows(), a.ncols()) +
                                                  convert_cost(a, Format::Dense) +
                                                  convert_cost(b, Format::Dense)
-                                           : kInfiniteCost}},
+                                           : kInfiniteCost},
+                  {Format::BitBlocks,
+                   bb_ok ? kWordOpScale * 320.0 *
+                               (est_blocks(a) + est_blocks(b)) +
+                               convert_cost(a, Format::BitBlocks) +
+                               convert_cost(b, Format::BitBlocks)
+                         : kInfiniteCost}},
                  dominant_format(a, b));
     }
     if (f == Format::Coo) f = Format::Csr;
     count_dispatch(f);
     Matrix out = [&] {
         if (f == Format::Dense) return Matrix{a.dense(ctx).ewise_and(b.dense(ctx)), ctx};
+        if (f == Format::BitBlocks) {
+            return Matrix{ops::ewise_mult(ctx, a.bitblocks(ctx), b.bitblocks(ctx)), ctx};
+        }
         return Matrix{ops::ewise_mult(ctx, a.csr(ctx), b.csr(ctx)), ctx};
     }();
     trim({&a, &b});
@@ -386,10 +496,13 @@ Matrix transpose(backend::Context& ctx, const Matrix& a) {
         return db->transpose(ctx, a);
     }
     Format f;
-    if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
+    if (!forced(global_hint(),
+                {Format::Csr, Format::Coo, Format::Dense, Format::BitBlocks}, f)) {
         const auto nnz = static_cast<double>(a.nnz());
         const bool dense_ok = dense_eligible(a);
-        // COO transpose is swap + sort; CSR is a counting pass + scatter.
+        const bool bb_ok = bitblock_eligible(a);
+        // COO transpose is swap + sort; CSR is a counting pass + scatter;
+        // bitblock is ~384 register word ops per occupied tile.
         f = pick({{Format::Csr, 2.0 * nnz + 0.5 * static_cast<double>(a.ncols()) +
                                     convert_cost(a, Format::Csr)},
                   {Format::Coo, nnz * (1.0 + 0.25 * std::log2(nnz + 2.0)) +
@@ -397,7 +510,11 @@ Matrix transpose(backend::Context& ctx, const Matrix& a) {
                   {Format::Dense, dense_ok ? static_cast<double>(a.nrows()) *
                                                      static_cast<double>(a.ncols()) +
                                                  convert_cost(a, Format::Dense)
-                                           : kInfiniteCost}},
+                                           : kInfiniteCost},
+                  {Format::BitBlocks,
+                   bb_ok ? kWordOpScale * 448.0 * est_blocks(a) +
+                               convert_cost(a, Format::BitBlocks)
+                         : kInfiniteCost}},
                  a.format());
     }
     count_dispatch(f);
@@ -405,6 +522,8 @@ Matrix transpose(backend::Context& ctx, const Matrix& a) {
         switch (f) {
             case Format::Coo: return Matrix{ops::transpose(ctx, a.coo(ctx)), ctx};
             case Format::Dense: return Matrix{a.dense(ctx).transpose(), ctx};
+            case Format::BitBlocks:
+                return Matrix{ops::transpose(ctx, a.bitblocks(ctx)), ctx};
             case Format::Csr:
             default: return Matrix{ops::transpose(ctx, a.csr(ctx)), ctx};
         }
@@ -458,18 +577,21 @@ SpVector reduce_to_column(backend::Context& ctx, const Matrix& a) {
         return db->reduce_to_column(ctx, a);
     }
     Format f;
-    if (!forced(global_hint(), {Format::Csr, Format::Coo}, f)) {
-        // Both kernels are linear; whichever representation exists wins.
+    if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::BitBlocks}, f)) {
+        // All kernels are linear; whichever representation exists wins.
         f = pick({{Format::Csr, 0.5 * static_cast<double>(a.nrows()) +
                                     convert_cost(a, Format::Csr)},
                   {Format::Coo, static_cast<double>(a.nnz()) +
-                                    convert_cost(a, Format::Coo)}},
+                                    convert_cost(a, Format::Coo)},
+                  {Format::BitBlocks, kWordOpScale * 64.0 * est_blocks(a) +
+                                          convert_cost(a, Format::BitBlocks)}},
                  a.format());
     }
     if (f == Format::Dense) f = Format::Csr;
     count_dispatch(f);
-    SpVector out = f == Format::Coo ? ops::reduce_to_column(ctx, a.coo(ctx))
-                                    : ops::reduce_to_column(ctx, a.csr(ctx));
+    SpVector out = f == Format::Coo         ? ops::reduce_to_column(ctx, a.coo(ctx))
+                   : f == Format::BitBlocks ? ops::reduce_to_column(ctx, a.bitblocks(ctx))
+                                            : ops::reduce_to_column(ctx, a.csr(ctx));
     trim({&a});
     return out;
 }
@@ -492,8 +614,24 @@ SpVector mxv(backend::Context& ctx, const Matrix& a, const SpVector& x) {
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
         return db->mxv(ctx, a, x);
     }
-    count_dispatch(Format::Csr);
-    SpVector out = ops::mxv(ctx, a.csr(ctx), x);
+    Format f;
+    if (!forced(global_hint(), {Format::Csr, Format::BitBlocks}, f)) {
+        // CSR walks the rows the frontier lands on; bitblock tests one packed
+        // word per (tile row, frontier tile) and wins once the matrix is
+        // dense enough that its representation is (or will be) materialised.
+        f = pick({{Format::Csr, static_cast<double>(a.nnz()) * 0.5 +
+                                    convert_cost(a, Format::Csr)},
+                  {Format::BitBlocks,
+                   bitblock_eligible(a)
+                       ? kWordOpScale * 64.0 * est_blocks(a) +
+                             convert_cost(a, Format::BitBlocks)
+                       : kInfiniteCost}},
+                 a.format());
+    }
+    if (f != Format::BitBlocks) f = Format::Csr;
+    count_dispatch(f);
+    SpVector out = f == Format::BitBlocks ? ops::mxv(ctx, a.bitblocks(ctx), x)
+                                          : ops::mxv(ctx, a.csr(ctx), x);
     trim({&a});
     return out;
 }

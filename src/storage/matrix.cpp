@@ -10,6 +10,7 @@
 #include "core/convert.hpp"
 #include "prof/prof.hpp"
 #include "storage/dispatch.hpp"
+#include "util/bit_ops.hpp"
 
 namespace spbla {
 
@@ -42,6 +43,7 @@ void reset_stats() noexcept {
     s.dispatch_csr.store(0, std::memory_order_relaxed);
     s.dispatch_coo.store(0, std::memory_order_relaxed);
     s.dispatch_dense.store(0, std::memory_order_relaxed);
+    s.dispatch_bitblock.store(0, std::memory_order_relaxed);
 }
 
 std::size_t cached_bytes() noexcept {
@@ -110,6 +112,14 @@ Matrix::Matrix(DenseMatrix data, backend::Context& ctx)
     version_ = next_version();
 }
 
+Matrix::Matrix(BitBlockMatrix data, backend::Context& ctx)
+    : ctx_{&ctx},
+      primary_{Format::BitBlocks},
+      bb_{std::make_unique<const BitBlockMatrix>(std::move(data))} {
+    adopt_shape();
+    version_ = next_version();
+}
+
 Matrix Matrix::from_coords(Index nrows, Index ncols, std::vector<Coord> coords,
                            backend::Context& ctx) {
     return Matrix{CsrMatrix::from_coords(nrows, ncols, std::move(coords)), ctx};
@@ -131,6 +141,9 @@ Matrix::Matrix(const Matrix& other) : ctx_{other.ctx_}, primary_{other.primary_}
             break;
         case Format::Dense:
             dense_ = std::make_unique<const DenseMatrix>(*other.dense_);
+            break;
+        case Format::BitBlocks:
+            bb_ = std::make_unique<const BitBlockMatrix>(*other.bb_);
             break;
     }
     adopt_shape();
@@ -155,6 +168,7 @@ Matrix::Matrix(Matrix&& other) noexcept
       csr_{std::move(other.csr_)},
       coo_{std::move(other.coo_)},
       dense_{std::move(other.dense_)},
+      bb_{std::move(other.bb_)},
       max_row_nnz_{other.max_row_nnz_},
       max_row_nnz_valid_{other.max_row_nnz_valid_} {
     for (std::size_t i = 0; i < kNumFormats; ++i) {
@@ -178,6 +192,7 @@ Matrix& Matrix::operator=(Matrix&& other) noexcept {
         csr_ = std::move(other.csr_);
         coo_ = std::move(other.coo_);
         dense_ = std::move(other.dense_);
+        bb_ = std::move(other.bb_);
         max_row_nnz_ = other.max_row_nnz_;
         max_row_nnz_valid_ = other.max_row_nnz_valid_;
         for (std::size_t i = 0; i < kNumFormats; ++i) {
@@ -215,6 +230,11 @@ void Matrix::adopt_shape() noexcept {
             ncols_ = dense_->ncols();
             nnz_ = dense_->nnz();
             break;
+        case Format::BitBlocks:
+            nrows_ = bb_->nrows();
+            ncols_ = bb_->ncols();
+            nnz_ = bb_->nnz();
+            break;
     }
     max_row_nnz_valid_ = false;
 }
@@ -224,6 +244,7 @@ void Matrix::release_all() noexcept {
     csr_.reset();
     coo_.reset();
     dense_.reset();
+    bb_.reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -235,6 +256,7 @@ bool Matrix::has_format(Format f) const noexcept {
         case Format::Csr: return csr_ != nullptr;
         case Format::Coo: return coo_ != nullptr;
         case Format::Dense: return dense_ != nullptr;
+        case Format::BitBlocks: return bb_ != nullptr;
     }
     return false;
 }
@@ -245,6 +267,7 @@ void Matrix::store_secondary(Format f, backend::Context& /*ctx*/) const {
         case Format::Csr: bytes = csr_->device_bytes(); break;
         case Format::Coo: bytes = coo_->device_bytes(); break;
         case Format::Dense: bytes = dense_->device_bytes(); break;
+        case Format::BitBlocks: bytes = bb_->device_bytes(); break;
     }
     // The charge always lands on the handle's own context: a conversion may
     // run on a borrowed context's pool, but the cached bytes live as long as
@@ -266,6 +289,7 @@ void Matrix::drop_slot(Format f) const noexcept {
         case Format::Csr: csr_.reset(); break;
         case Format::Coo: coo_.reset(); break;
         case Format::Dense: dense_.reset(); break;
+        case Format::BitBlocks: bb_.reset(); break;
     }
 }
 
@@ -295,6 +319,7 @@ std::size_t Matrix::device_bytes() const noexcept {
         case Format::Csr: return csr_->device_bytes();
         case Format::Coo: return coo_->device_bytes();
         case Format::Dense: return dense_->device_bytes();
+        case Format::BitBlocks: return bb_->device_bytes();
     }
     return 0;
 }
@@ -312,6 +337,9 @@ const CsrMatrix& Matrix::csr(backend::Context& ctx) const {
         case Format::Coo: csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *coo_)); break;
         case Format::Dense:
             csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *dense_));
+            break;
+        case Format::BitBlocks:
+            csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *bb_));
             break;
         case Format::Csr: break;  // unreachable: slot would be non-null
     }
@@ -334,6 +362,9 @@ const CooMatrix& Matrix::coo(backend::Context& ctx) const {
         case Format::Csr: coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *csr_)); break;
         case Format::Dense:
             coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *dense_));
+            break;
+        case Format::BitBlocks:
+            coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *bb_));
             break;
         case Format::Coo: break;  // unreachable: slot would be non-null
     }
@@ -359,12 +390,42 @@ const DenseMatrix& Matrix::dense(backend::Context& ctx) const {
         case Format::Coo:
             dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *coo_));
             break;
+        case Format::BitBlocks:
+            dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *bb_));
+            break;
         case Format::Dense: break;  // unreachable: slot would be non-null
     }
     storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
     SPBLA_PROF_COUNT(format_conversions, 1);
     store_secondary(Format::Dense, ctx);
     return *dense_;
+}
+
+const BitBlockMatrix& Matrix::bitblocks(backend::Context& ctx) const {
+    if (bb_ != nullptr) {
+        if (primary_ != Format::BitBlocks) {
+            storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
+            SPBLA_PROF_COUNT(repr_cache_hits, 1);
+        }
+        return *bb_;
+    }
+    SPBLA_PROF_SPAN("storage.convert_to_bitblock");
+    switch (primary_) {
+        case Format::Csr:
+            bb_ = std::make_unique<const BitBlockMatrix>(to_bitblocks(ctx, *csr_));
+            break;
+        case Format::Coo:
+            bb_ = std::make_unique<const BitBlockMatrix>(to_bitblocks(ctx, *coo_));
+            break;
+        case Format::Dense:
+            bb_ = std::make_unique<const BitBlockMatrix>(to_bitblocks(ctx, *dense_));
+            break;
+        case Format::BitBlocks: break;  // unreachable: slot would be non-null
+    }
+    storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
+    SPBLA_PROF_COUNT(format_conversions, 1);
+    store_secondary(Format::BitBlocks, ctx);
+    return *bb_;
 }
 
 void Matrix::convert_to(Format f, backend::Context& ctx) {
@@ -374,6 +435,7 @@ void Matrix::convert_to(Format f, backend::Context& ctx) {
         case Format::Csr: (void)csr(ctx); break;
         case Format::Coo: (void)coo(ctx); break;
         case Format::Dense: (void)dense(ctx); break;
+        case Format::BitBlocks: (void)bitblocks(ctx); break;
     }
     // …then swap roles: the target's cache charge is released (it is now the
     // owned primary) while the old primary becomes a charged secondary.
@@ -402,6 +464,7 @@ bool Matrix::get(Index r, Index c) const {
         case Format::Csr: return csr_->get(r, c);
         case Format::Coo: return coo_->get(r, c);
         case Format::Dense: return dense_->get(r, c);
+        case Format::BitBlocks: return bb_->get(r, c);
     }
     return false;
 }
@@ -411,6 +474,7 @@ std::vector<Coord> Matrix::to_coords() const {
         case Format::Csr: return csr_->to_coords();
         case Format::Coo: return coo_->to_coords();
         case Format::Dense: return dense_->to_coords();
+        case Format::BitBlocks: return bb_->to_coords();
     }
     return {};
 }
@@ -435,6 +499,21 @@ Index Matrix::max_row_nnz() const {
         case Format::Dense:
             for (Index r = 0; r < dense_->nrows(); ++r)
                 best = std::max(best, dense_->row_nnz(r));
+            break;
+        case Format::BitBlocks:
+            for (Index br = 0; br < bb_->brows(); ++br) {
+                Index pops[BitBlockMatrix::kBlockDim] = {};
+                for (const auto& t : bb_->block_row(br)) {
+                    if (t.kind == BitBlockMatrix::BlockKind::Bitmap) {
+                        const auto w = bb_->bitmap_words(t);
+                        for (std::size_t rl = 0; rl < BitBlockMatrix::kBlockWords; ++rl)
+                            pops[rl] += static_cast<Index>(util::popcount64(w[rl]));
+                    } else {
+                        for (const std::uint16_t e : bb_->sparse_entries(t)) ++pops[e >> 6];
+                    }
+                }
+                for (const Index p : pops) best = std::max(best, p);
+            }
             break;
     }
     max_row_nnz_ = best;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "backend/context.hpp"
+#include "core/bitblocks.hpp"
 #include "core/coo.hpp"
 #include "core/csr.hpp"
 #include "core/dense.hpp"
@@ -35,18 +36,20 @@ namespace spbla {
 
 /// Storage representation of a Boolean matrix.
 enum class Format : std::uint8_t {
-    Csr = 0,    ///< compressed sparse row (the cuBool format)
-    Coo = 1,    ///< coordinate list (the clBool format)
-    Dense = 2,  ///< bit-packed dense rows (closure endgame / oracle format)
+    Csr = 0,       ///< compressed sparse row (the cuBool format)
+    Coo = 1,       ///< coordinate list (the clBool format)
+    Dense = 2,     ///< bit-packed dense rows (closure endgame / oracle format)
+    BitBlocks = 3, ///< sparse grid of 64x64-bit tiles (broadword kernel tier)
 };
 
-inline constexpr std::size_t kNumFormats = 3;
+inline constexpr std::size_t kNumFormats = 4;
 
 [[nodiscard]] constexpr const char* format_name(Format f) noexcept {
     switch (f) {
         case Format::Csr: return "csr";
         case Format::Coo: return "coo";
         case Format::Dense: return "dense";
+        case Format::BitBlocks: return "bitblock";
     }
     return "unknown";
 }
@@ -64,6 +67,7 @@ struct Stats {
     std::atomic<std::uint64_t> dispatch_csr{0};        ///< ops routed to CSR kernels
     std::atomic<std::uint64_t> dispatch_coo{0};        ///< ops routed to COO kernels
     std::atomic<std::uint64_t> dispatch_dense{0};      ///< ops routed to dense kernels
+    std::atomic<std::uint64_t> dispatch_bitblock{0};   ///< ops routed to bitblock kernels
 };
 
 [[nodiscard]] Stats& stats() noexcept;
@@ -88,6 +92,7 @@ enum class FormatHint : std::uint8_t {
     ForceCsr = 1,
     ForceCoo = 2,
     ForceDense = 3,
+    ForceBitBlocks = 4,
 };
 
 [[nodiscard]] FormatHint global_hint() noexcept;
@@ -124,6 +129,7 @@ public:
     explicit Matrix(CsrMatrix data, backend::Context& ctx = backend::default_context());
     explicit Matrix(CooMatrix data, backend::Context& ctx = backend::default_context());
     explicit Matrix(DenseMatrix data, backend::Context& ctx = backend::default_context());
+    explicit Matrix(BitBlockMatrix data, backend::Context& ctx = backend::default_context());
 
     /// Build from a coordinate list (duplicates collapse); CSR primary.
     static Matrix from_coords(Index nrows, Index ncols, std::vector<Coord> coords,
@@ -176,11 +182,13 @@ public:
     [[nodiscard]] const CsrMatrix& csr(backend::Context& ctx) const;
     [[nodiscard]] const CooMatrix& coo(backend::Context& ctx) const;
     [[nodiscard]] const DenseMatrix& dense(backend::Context& ctx) const;
+    [[nodiscard]] const BitBlockMatrix& bitblocks(backend::Context& ctx) const;
 
     /// Convenience accessors on the handle's own context.
     [[nodiscard]] const CsrMatrix& csr() const { return csr(*ctx_); }
     [[nodiscard]] const CooMatrix& coo() const { return coo(*ctx_); }
     [[nodiscard]] const DenseMatrix& dense() const { return dense(*ctx_); }
+    [[nodiscard]] const BitBlockMatrix& bitblocks() const { return bitblocks(*ctx_); }
 
     /// Column indices of row \p r (sorted). Materialises the CSR rep.
     [[nodiscard]] std::span<const Index> row(Index r) const { return csr().row(r); }
@@ -262,6 +270,7 @@ private:
     mutable std::unique_ptr<const CsrMatrix> csr_;
     mutable std::unique_ptr<const CooMatrix> coo_;
     mutable std::unique_ptr<const DenseMatrix> dense_;
+    mutable std::unique_ptr<const BitBlockMatrix> bb_;
     mutable SlotCharge charge_[kNumFormats]{};
     mutable Index max_row_nnz_{0};
     mutable bool max_row_nnz_valid_{false};

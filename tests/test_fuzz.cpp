@@ -6,6 +6,7 @@
 /// the next).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -241,6 +242,80 @@ TEST_P(CooFuzzSweep, CooKernelsAgreeWithCsrKernelsAndDenseMirror) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CooFuzzSweep,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------------------
+// BitBlocks-backend differential fuzz. The broadword tier (ops/bitblock_*)
+// is a third implementation of multiply / ewise / transpose / reduce / mxv;
+// every random step is checked against BOTH the CSR kernel on converted
+// operands and the dense mirror (triple oracle), so a divergence isolates
+// which backend is wrong. Densities sweep the full regime the dispatcher can
+// route here, from far below the tile-occupancy gate (2^-10) up to 0.5,
+// and shapes straddle the 64-wide tile boundary on purpose.
+// ---------------------------------------------------------------------------
+
+class BitBlockFuzzSweep
+    : public ::spbla::testing::CheckedContextWithParam<std::uint64_t> {};
+
+TEST_P(BitBlockFuzzSweep, BitKernelsAgreeWithCsrKernelsAndDenseMirror) {
+    util::Rng rng{GetParam()};
+
+    for (int step = 0; step < 24; ++step) {
+        // Geometric density ladder: 2^-10 .. 2^-1 hits sparse tiles, hybrid
+        // flips and the Four-Russians threshold across steps.
+        const double density = std::ldexp(1.0, -1 - static_cast<int>(rng.below(10)));
+        const Index m = 1 + static_cast<Index>(rng.below(160));
+        const Index k = 1 + static_cast<Index>(rng.below(160));
+        const Index n = 1 + static_cast<Index>(rng.below(160));
+
+        const CsrMatrix ac = testing::random_csr(m, k, density, rng());
+        const CsrMatrix bc = testing::random_csr(k, n, density, rng());
+        const CsrMatrix cc = testing::random_csr(m, k, density, rng());
+        const BitBlockMatrix ab = to_bitblocks(ctx(), ac);
+        const BitBlockMatrix bb = to_bitblocks(ctx(), bc);
+        const BitBlockMatrix cb = to_bitblocks(ctx(), cc);
+
+        // Round trip is lossless.
+        ASSERT_EQ(to_csr(ctx(), ab), ac);
+
+        const auto check = [&](const BitBlockMatrix& got, const CsrMatrix& want,
+                               const DenseMatrix& mirror, const char* op) {
+            ASSERT_NO_THROW(core::validate(got)) << op;
+            const CsrMatrix flat = to_csr(ctx(), got);
+            ASSERT_NO_THROW(core::validate(flat)) << op;
+            ASSERT_EQ(flat, want) << op;
+            ASSERT_EQ(to_dense(ctx(), got), mirror) << op;
+        };
+
+        check(ops::multiply(ctx(), ab, bb), ops::multiply(ctx(), ac, bc),
+              to_dense(ac).multiply(to_dense(bc)), "bitblock.multiply");
+        check(ops::ewise_add(ctx(), ab, cb), ops::ewise_add(ctx(), ac, cc),
+              to_dense(ac).ewise_or(to_dense(cc)), "bitblock.ewise_add");
+        DenseMatrix and_mirror{m, k};
+        const DenseMatrix cd = to_dense(cc);
+        for (const auto& c : to_dense(ac).to_coords()) {
+            if (cd.get(c.row, c.col)) and_mirror.set(c.row, c.col);
+        }
+        check(ops::ewise_mult(ctx(), ab, cb), ops::ewise_mult(ctx(), ac, cc),
+              and_mirror, "bitblock.ewise_mult");
+        check(ops::transpose(ctx(), ab), ops::transpose(ctx(), ac),
+              to_dense(ac).transpose(), "bitblock.transpose");
+
+        ASSERT_EQ(ops::reduce_to_column(ctx(), ab),
+                  ops::reduce_to_column(ctx(), ac))
+            << "bitblock.reduce";
+
+        std::vector<Index> set;
+        for (Index c = 0; c < k; ++c) {
+            if (rng.below(3) == 0) set.push_back(c);
+        }
+        const SpVector x = SpVector::from_indices(k, std::move(set));
+        ASSERT_EQ(ops::mxv(ctx(), ab, x), ops::mxv(ctx(), ac, x))
+            << "bitblock.mxv";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitBlockFuzzSweep,
+                         ::testing::Values(7, 19, 31, 47, 59, 71));
 
 // ---------------------------------------------------------------------------
 // Sharded-execution differential fuzz: random shapes (down to single

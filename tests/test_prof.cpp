@@ -359,6 +359,9 @@ TEST_F(ProfTest, SpGemmCountersMatchTheComputedResult) {
         GTEST_SKIP() << "library built with SPBLA_PROFILE=off";
     }
     backend::Context ctx{backend::Policy::Parallel, 4};  // real pool even on 1 core
+    // Pin the CSR kernel: these assertions are about the spgemm macro sites,
+    // and auto dispatch may legitimately route this density to the bit tier.
+    const storage::ScopedHint force_csr{storage::FormatHint::ForceCsr};
     const Matrix a = data::make_rmat(9, 8);
     prof::reset();
     const Matrix c = storage::multiply(ctx, a, a);
@@ -385,6 +388,9 @@ TEST_F(ProfTest, PoolWorkersAttributeCountersToTheLaunchingSpan) {
         GTEST_SKIP() << "library built with SPBLA_PROFILE=off";
     }
     backend::Context ctx{backend::Policy::Parallel, 4};  // real pool even on 1 core
+    // Pin the CSR kernel for the same reason as above: the hash-bin counters
+    // under test only exist on the spgemm path.
+    const storage::ScopedHint force_csr{storage::FormatHint::ForceCsr};
     // Zipf-skewed rows populate the hash bins (R-MAT at this scale classifies
     // almost everything tiny or dense, leaving hash_probes at zero).
     const Matrix a = data::make_zipf(4096, 4096, 16, 1.0);

@@ -28,6 +28,7 @@ const storage::FormatHint kHints[] = {
     storage::FormatHint::ForceCsr,
     storage::FormatHint::ForceCoo,
     storage::FormatHint::ForceDense,
+    storage::FormatHint::ForceBitBlocks,
 };
 
 std::string hint_name(const ::testing::TestParamInfo<storage::FormatHint>& info) {
@@ -36,6 +37,7 @@ std::string hint_name(const ::testing::TestParamInfo<storage::FormatHint>& info)
         case storage::FormatHint::ForceCsr: return "ForceCsr";
         case storage::FormatHint::ForceCoo: return "ForceCoo";
         case storage::FormatHint::ForceDense: return "ForceDense";
+        case storage::FormatHint::ForceBitBlocks: return "ForceBitBlocks";
     }
     return "Unknown";
 }
@@ -127,7 +129,7 @@ TEST_P(FormatSweep, ReductionAndVectorFamilyMatchesCsrKernels) {
 }
 
 TEST_P(FormatSweep, PrimaryFormatOfInputsDoesNotChangeResults) {
-    // Feed each op the same content anchored in all three primaries; every
+    // Feed each op the same content anchored in all four primaries; every
     // combination must agree cell-for-cell.
     const auto seed = testing::random_matrix(24, 24, 0.2, 1010);
     Matrix as_csr = seed;
@@ -136,10 +138,12 @@ TEST_P(FormatSweep, PrimaryFormatOfInputsDoesNotChangeResults) {
     as_coo.convert_to(Format::Coo, ctx());
     Matrix as_dense = seed;
     as_dense.convert_to(Format::Dense, ctx());
+    Matrix as_bitblocks = seed;
+    as_bitblocks.convert_to(Format::BitBlocks, ctx());
 
     const auto expect_sq = storage::multiply(ctx(), seed, seed);
-    for (const Matrix* lhs : {&as_csr, &as_coo, &as_dense}) {
-        for (const Matrix* rhs : {&as_csr, &as_coo, &as_dense}) {
+    for (const Matrix* lhs : {&as_csr, &as_coo, &as_dense, &as_bitblocks}) {
+        for (const Matrix* rhs : {&as_csr, &as_coo, &as_dense, &as_bitblocks}) {
             EXPECT_EQ(storage::multiply(ctx(), *lhs, *rhs), expect_sq)
                 << format_name(lhs->format()) << " x " << format_name(rhs->format());
             EXPECT_EQ(storage::ewise_add(ctx(), *lhs, *rhs), seed);

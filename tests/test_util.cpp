@@ -47,6 +47,54 @@ TEST(BitOps, IsPow2) {
     EXPECT_FALSE(is_pow2(65));
 }
 
+TEST(BitOps, Popcount64) {
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(~std::uint64_t{0}), 64);
+    EXPECT_EQ(popcount64(0x8000000000000001ULL), 2);
+    EXPECT_EQ(popcount64(0x5555555555555555ULL), 32);
+}
+
+TEST(BitOps, LowestSetBit) {
+    EXPECT_EQ(lowest_set_bit(1), 0);
+    EXPECT_EQ(lowest_set_bit(0x80), 7);
+    EXPECT_EQ(lowest_set_bit(std::uint64_t{1} << 63), 63);
+}
+
+TEST(BitOps, ForEachSetBitVisitsAscending) {
+    std::vector<int> seen;
+    for_each_set_bit(0x8000000000000105ULL, [&](int b) { seen.push_back(b); });
+    EXPECT_EQ(seen, (std::vector<int>{0, 2, 8, 63}));
+    seen.clear();
+    for_each_set_bit(0, [&](int b) { seen.push_back(b); });
+    EXPECT_TRUE(seen.empty());
+}
+
+TEST(BitOps, BitTranspose64x64MatchesNaive) {
+    Rng rng{11};
+    std::array<std::uint64_t, 64> x{};
+    for (auto& w : x) w = (std::uint64_t{rng()} << 32) | rng();
+    std::array<std::uint64_t, 64> t = x;
+    bit_transpose_64x64(t.data());
+    for (int r = 0; r < 64; ++r) {
+        for (int c = 0; c < 64; ++c) {
+            const auto orig = (x[static_cast<std::size_t>(r)] >> c) & 1u;
+            const auto flip = (t[static_cast<std::size_t>(c)] >> r) & 1u;
+            ASSERT_EQ(orig, flip) << "bit (" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(BitOps, BitTransposeIsInvolution) {
+    Rng rng{17};
+    std::array<std::uint64_t, 64> x{};
+    for (auto& w : x) w = (std::uint64_t{rng()} << 32) | rng();
+    std::array<std::uint64_t, 64> t = x;
+    bit_transpose_64x64(t.data());
+    bit_transpose_64x64(t.data());
+    EXPECT_EQ(t, x);
+}
+
 // --------------------------------- rng -----------------------------------
 
 TEST(Rng, DeterministicForSeed) {

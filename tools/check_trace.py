@@ -40,9 +40,18 @@ Checks, in order:
               representation cache registered hits — all three families
               missing means dispatch ran untraced or its counters are
               unwired.
+  bitblock    (--require-bitblock) The trace demonstrably covers the
+              64x64 tile broadword tier (src/ops/bitblock_*): bitblock.*
+              operation spans were recorded, every bitblock op visited at
+              least one tile (bitblock_blocks_touched), the element-wise /
+              mxv AND paths counted word ops (bitblock_words_anded), and
+              the Four-Russians lookup table was actually probed on the
+              dense rungs (bitblock_lookup_hits). A dispatch_bitblock pick
+              must exist when --require-dispatch also passed, proving the
+              cost model routes work here on its own.
 
 Usage: tools/check_trace.py TRACE.json [--require-spgemm]
-           [--require-dispatch] [--require-dist]
+           [--require-dispatch] [--require-dist] [--require-bitblock]
 Exits 0 iff every check passes.
 """
 
@@ -201,7 +210,7 @@ class Checker:
             return sum(v for (s, c), v in counters.items() if c == counter)
 
         picks = sum(total(c) for c in ("dispatch_csr", "dispatch_coo",
-                                       "dispatch_dense"))
+                                       "dispatch_dense", "dispatch_bitblock"))
         if picks == 0:
             self.error("no dispatch_csr/dispatch_coo/dispatch_dense picks "
                        "recorded — the storage dispatch layer never ran or "
@@ -247,6 +256,31 @@ class Checker:
             self.error(f"dist_steals ({steals}) exceeds dist_tiles ({tiles}) "
                        "— only scheduled tiles can be stolen")
 
+    def check_bitblock(self, spans: list[dict],
+                       counters: dict[tuple[str, str], int],
+                       dispatch_required: bool) -> None:
+        def total(counter: str) -> int:
+            return sum(v for (s, c), v in counters.items() if c == counter)
+
+        if not any(str(e.get("name", "")).startswith("bitblock.")
+                   for e in spans):
+            self.error("no bitblock.* operation span recorded — the broadword "
+                       "tier never ran under tracing")
+        if total("bitblock_blocks_touched") == 0:
+            self.error("bitblock_blocks_touched is zero — no bitblock kernel "
+                       "visited a tile (or the counter is unwired)")
+        if total("bitblock_words_anded") == 0:
+            self.error("bitblock_words_anded is zero — the AND paths "
+                       "(ewise_mult / mxv) never ran under tracing")
+        if total("bitblock_lookup_hits") == 0:
+            self.error("bitblock_lookup_hits is zero — no tile crossed the "
+                       "Four-Russians threshold, so the lookup path is "
+                       "untested (run the dense density-ladder rungs)")
+        if dispatch_required and total("dispatch_bitblock") == 0:
+            self.error("no dispatch_bitblock pick recorded — the cost model "
+                       "never routed an operation to the bitblock tier on "
+                       "its own")
+
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
@@ -260,6 +294,10 @@ def main() -> int:
     ap.add_argument("--require-dist", action="store_true",
                     help="additionally require the sharded multi-device "
                          "counters (tiles, shard builds, transfers, steals)")
+    ap.add_argument("--require-bitblock", action="store_true",
+                    help="additionally require the 64x64 bit-block tier "
+                         "counters (blocks touched, words ANDed, "
+                         "Four-Russians lookup hits)")
     args = ap.parse_args()
 
     try:
@@ -280,6 +318,8 @@ def main() -> int:
             checker.check_dispatch(counters)
         if args.require_dist:
             checker.check_dist(spans, counters)
+        if args.require_bitblock:
+            checker.check_bitblock(spans, counters, args.require_dispatch)
         n_spans, n_counters = len(spans), len(counters)
     else:
         n_spans = n_counters = 0

@@ -31,7 +31,8 @@ auditable (run as the `lint` ctest target; CI runs it on every push):
   ops-validation    Every kernel translation unit in src/ops/ must wire
                     SPBLA_VALIDATE / SPBLA_CHECKED at its boundaries.
   format-leak       No concrete-format header (core/csr.hpp, core/coo.hpp,
-                    core/dense.hpp) outside src/core, src/storage, src/ops,
+                    core/dense.hpp, core/bitblocks.hpp) outside src/core,
+                    src/storage, src/ops,
                     src/baseline and src/dist. Everything above the storage
                     engine operates on the format-polymorphic spbla::Matrix
                     through storage/dispatch.hpp, so the cost model keeps the
@@ -237,7 +238,8 @@ class Linter:
     def rule_format_leak(self, f: File) -> None:
         allowed = ("src/core/", "src/storage/", "src/ops/", "src/baseline/",
                    "src/dist/")
-        core_pat = re.compile(r'#\s*include\s*"core/(csr|coo|dense)\.hpp"')
+        core_pat = re.compile(
+            r'#\s*include\s*"core/(csr|coo|dense|bitblocks)\.hpp"')
         dist_pat = re.compile(
             r'#\s*include\s*"dist/'
             r'(partition|device_group|sharded_matrix|sharded_ops)\.hpp"')
