@@ -17,6 +17,12 @@
 namespace spbla::backend {
 
 /// Thread-safe byte counter with a high-water mark.
+///
+/// Deliberately lock-free: every member is an atomic updated with fetch-ops
+/// (the peak uses a CAS loop), so there is no capability for the
+/// thread-safety analysis (util/thread_annotations.hpp) to name — counters
+/// must stay wait-free because every DeviceBuffer alloc/free on every pool
+/// worker passes through here. TSan covers it via the `parallel` label.
 class MemoryTracker {
 public:
     /// Record an allocation of \p bytes.

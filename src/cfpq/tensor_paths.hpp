@@ -57,9 +57,13 @@ private:
     /// (same nonterminal, pair and budget with no edges consumed in between,
     /// i.e. a left-recursive expansion) would enumerate exactly the words the
     /// outer frame is already enumerating, so it is skipped.
-    mutable std::set<std::tuple<std::string, Index, Index, std::size_t>> active_;
+    ///
+    /// Allowlisted unguarded mutables: this DFS scratch lives for one
+    /// single-threaded extract() call — path extraction is a host-side
+    /// post-pass that never runs on the pool, so there is no mutex to name.
+    mutable std::set<std::tuple<std::string, Index, Index, std::size_t>> active_;  // lint:allow(guarded-mutable)
     /// Remaining DFS step budget of the current extract() call.
-    mutable std::size_t steps_left_ = 0;
+    mutable std::size_t steps_left_ = 0;  // lint:allow(guarded-mutable)
 };
 
 }  // namespace spbla::cfpq

@@ -68,6 +68,12 @@ public:
     [[nodiscard]] std::string leak_report() const;
 
 private:
+    // Concurrency contract: devices_ and driver_ are immutable after
+    // construction; busy_ns_ entries are atomics; the per-run tile queues
+    // and steal cursors live on run()'s stack as atomic claim indices. All
+    // shared state is lock-free, so there is no mutex for the capability
+    // annotations (util/thread_annotations.hpp) to attach to — the dist CI
+    // job race-checks this scheduler under TSan instead.
     std::vector<std::unique_ptr<backend::Context>> devices_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
     std::unique_ptr<util::ThreadPool> driver_;  // null when size() == 1

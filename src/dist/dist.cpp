@@ -6,7 +6,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <ranges>
 #include <utility>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "prof/prof.hpp"
 #include "storage/dispatch.hpp"
 #include "util/contracts.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace spbla::dist {
 
@@ -30,17 +30,17 @@ namespace {
 constexpr std::size_t kShardCacheCap = 16;
 
 struct Engine {
-    Config cfg{};
-    bool routing_enabled{false};
-    std::mutex mutex;  // guards cfg/grp/cache structure, not tile compute
+    util::Mutex mutex;  // guards cfg/grp/cache structure, not tile compute
+    Config cfg SPBLA_GUARDED_BY(mutex){};
+    bool routing_enabled SPBLA_GUARDED_BY(mutex){false};
     // Member order matters: cache entries hold tiles bound to grp's device
     // contexts, so cache (declared later) must destruct before grp.
-    std::unique_ptr<DeviceGroup> grp;
+    std::unique_ptr<DeviceGroup> grp SPBLA_GUARDED_BY(mutex);
     struct CacheEntry {
         std::uint64_t version;
         std::shared_ptr<const ShardedMatrix> shard;
     };
-    std::vector<CacheEntry> cache;
+    std::vector<CacheEntry> cache SPBLA_GUARDED_BY(mutex);
 };
 
 Engine& engine() {
@@ -50,7 +50,7 @@ Engine& engine() {
 
 thread_local Hint tl_hint = Hint::Auto;
 
-DeviceGroup& group_locked(Engine& e) {
+DeviceGroup& group_locked(Engine& e) SPBLA_REQUIRES(e.mutex) {
     if (!e.grp) {
         e.grp = std::make_unique<DeviceGroup>(e.cfg.devices, e.cfg.threads_per_device);
     }
@@ -65,7 +65,7 @@ Partition plan(const Matrix& m) {
     std::size_t devices;
     Config cfg;
     {
-        const std::lock_guard<std::mutex> lock{e.mutex};
+        const util::LockGuard lock{e.mutex};
         cfg = e.cfg;
         devices = group_locked(e).size();
     }
@@ -88,9 +88,11 @@ std::shared_ptr<const ShardedMatrix> get_shard(const Matrix& m, const Partition&
     Engine& e = engine();
     const std::uint64_t v = m.version();
     DeviceGroup* grp = nullptr;
+    Placement placement{};
     {
-        const std::lock_guard<std::mutex> lock{e.mutex};
+        const util::LockGuard lock{e.mutex};
         grp = &group_locked(e);
+        placement = e.cfg.placement;
         if (v != 0) {
             for (const Engine::CacheEntry& entry : e.cache) {
                 if (entry.version == v && entry.shard->partition() == part) {
@@ -101,13 +103,14 @@ std::shared_ptr<const ShardedMatrix> get_shard(const Matrix& m, const Partition&
             }
         }
     }
-    // Build outside the lock: scatter runs through the group scheduler.
-    auto shard = std::make_shared<const ShardedMatrix>(*grp, m, part,
-                                                       engine().cfg.placement);
+    // Build outside the lock: scatter runs through the group scheduler. The
+    // placement policy was copied under the lock above — re-reading
+    // engine().cfg here would race with a concurrent configure().
+    auto shard = std::make_shared<const ShardedMatrix>(*grp, m, part, placement);
     stats().shard_builds.fetch_add(1, std::memory_order_relaxed);
     SPBLA_PROF_COUNT(dist_shard_builds, 1);
     if (v != 0) {
-        const std::lock_guard<std::mutex> lock{e.mutex};
+        const util::LockGuard lock{e.mutex};
         if (e.cache.size() >= kShardCacheCap) e.cache.erase(e.cache.begin());
         e.cache.push_back(Engine::CacheEntry{v, shard});
     }
@@ -128,7 +131,7 @@ bool should_shard(std::initializer_list<const Matrix*> operands) {
     Engine& e = engine();
     Config cfg;
     {
-        const std::lock_guard<std::mutex> lock{e.mutex};
+        const util::LockGuard lock{e.mutex};
         if (!e.routing_enabled) return false;
         cfg = e.cfg;
     }
@@ -172,7 +175,7 @@ void configure(const Config& cfg) {
                   "dist::configure: need at least one device");
     Engine& e = engine();
     {
-        const std::lock_guard<std::mutex> lock{e.mutex};
+        const util::LockGuard lock{e.mutex};
         e.cache.clear();  // tiles reference the old group's contexts
         e.grp.reset();
         e.cfg = cfg;
@@ -185,7 +188,7 @@ void configure(const Config& cfg) {
 void disable() {
     Engine& e = engine();
     storage::set_dist_bridge(nullptr);
-    const std::lock_guard<std::mutex> lock{e.mutex};
+    const util::LockGuard lock{e.mutex};
     e.routing_enabled = false;
     e.cache.clear();
     e.grp.reset();
@@ -193,15 +196,19 @@ void disable() {
 
 bool enabled() noexcept {
     Engine& e = engine();
-    const std::lock_guard<std::mutex> lock{e.mutex};
+    const util::LockGuard lock{e.mutex};
     return e.routing_enabled;
 }
 
-const Config& config() noexcept { return engine().cfg; }
+Config config() noexcept {
+    Engine& e = engine();
+    const util::LockGuard lock{e.mutex};
+    return e.cfg;
+}
 
 DeviceGroup& group() {
     Engine& e = engine();
-    const std::lock_guard<std::mutex> lock{e.mutex};
+    const util::LockGuard lock{e.mutex};
     return group_locked(e);
 }
 

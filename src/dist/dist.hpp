@@ -80,8 +80,10 @@ void disable();
 /// True iff configure() enabled transparent routing.
 [[nodiscard]] bool enabled() noexcept;
 
-/// The active configuration (meaningful after configure()).
-[[nodiscard]] const Config& config() noexcept;
+/// A snapshot of the active configuration (meaningful after configure()).
+/// By value: the engine's copy is lock-guarded and may be replaced by a
+/// concurrent configure().
+[[nodiscard]] Config config() noexcept;
 
 /// The active device group; lazily builds one from the default Config so
 /// ScopedHint{ForceShard} works without a prior configure().

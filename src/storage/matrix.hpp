@@ -31,6 +31,7 @@
 #include "core/csr.hpp"
 #include "core/dense.hpp"
 #include "core/spvector.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace spbla {
 
@@ -176,9 +177,20 @@ public:
     /// Representation accessors. If the requested format is not materialised
     /// the primary is converted through core/convert (parallel, on \p ctx);
     /// the conversion result is retained as a cached secondary — charged to
-    /// \p ctx's MemoryTracker — while the process-wide cache gauge is under
-    /// budget, and dropped after use otherwise (see dispatch's trim pass).
-    /// References stay valid until the handle is mutated or destroyed.
+    /// the handle's own context's MemoryTracker — while the process-wide
+    /// cache gauge is under budget, and dropped after use otherwise (see
+    /// dispatch's trim pass). References stay valid until the handle is
+    /// mutated, trimmed or destroyed.
+    ///
+    /// Safe to call concurrently with other const member functions, including
+    /// concurrent *first* materialisation of the same or different formats:
+    /// each slot is published through an atomic pointer (the per-slot latch),
+    /// and the losing threads of a materialisation race wait on the handle's
+    /// repr mutex and then reuse the winner's conversion — it is never run
+    /// twice, so the tracker is charged exactly once. An already-materialised
+    /// representation is returned with a single acquire load (no lock).
+    /// Mutation (assignment, convert_to, +=, multiply_add, destruction) still
+    /// requires exclusive access to the handle, like any value type.
     [[nodiscard]] const CsrMatrix& csr(backend::Context& ctx) const;
     [[nodiscard]] const CooMatrix& coo(backend::Context& ctx) const;
     [[nodiscard]] const DenseMatrix& dense(backend::Context& ctx) const;
@@ -199,14 +211,16 @@ public:
     void convert_to(Format f) { convert_to(f, *ctx_); }
 
     /// Release cached secondary representations (and their tracker charge).
-    void drop_cached() const noexcept;
+    /// Not safe against readers concurrently holding accessor references.
+    void drop_cached() const noexcept SPBLA_EXCLUDES(repr_mutex_);
 
     /// Release cached secondaries while the process-wide gauge exceeds the
     /// budget. Called by dispatch after each routed operation.
-    void trim_cache() const noexcept;
+    void trim_cache() const noexcept SPBLA_EXCLUDES(repr_mutex_);
 
     /// Bytes of cached secondaries currently charged by this handle.
-    [[nodiscard]] std::size_t cached_bytes() const noexcept;
+    [[nodiscard]] std::size_t cached_bytes() const noexcept
+        SPBLA_EXCLUDES(repr_mutex_);
 
     /// Simulated device footprint of the primary representation.
     [[nodiscard]] std::size_t device_bytes() const noexcept;
@@ -253,10 +267,17 @@ private:
 
     static std::uint64_t next_version() noexcept;  // process-unique, never 0
 
-    void adopt_shape() noexcept;  // refresh nrows_/ncols_/nnz_ from primary
-    void release_all() noexcept;  // drop every rep + charge (for dtor/assign)
-    void store_secondary(Format f, backend::Context& ctx) const;
-    void drop_slot(Format f) const noexcept;
+    void adopt_shape() noexcept;    // refresh nrows_/ncols_/nnz_ from primary
+    void publish_primary() noexcept;  // expose the primary slot lock-free
+    void release_all() noexcept SPBLA_EXCLUDES(repr_mutex_);
+    void steal_from(Matrix& other) noexcept;  // move guts (ctor/assign body)
+    void store_secondary(Format f) const SPBLA_REQUIRES(repr_mutex_);
+    void drop_slot(Format f) const noexcept SPBLA_REQUIRES(repr_mutex_);
+
+    /// Materialise format \p f (converting from the primary on \p ctx) and
+    /// publish it through its atomic slot pointer. Idempotent.
+    void materialise(Format f, backend::Context& ctx) const
+        SPBLA_REQUIRES(repr_mutex_);
 
     backend::Context* ctx_;
     Index nrows_{0};
@@ -265,15 +286,32 @@ private:
     Format primary_{Format::Csr};
     std::uint64_t version_{0};  // content stamp; see version()
 
-    // One slot per Format; primary_ names the owned one, any other non-null
-    // slot is a cached secondary with its charge recorded below.
-    mutable std::unique_ptr<const CsrMatrix> csr_;
-    mutable std::unique_ptr<const CooMatrix> coo_;
-    mutable std::unique_ptr<const DenseMatrix> dense_;
-    mutable std::unique_ptr<const BitBlockMatrix> bb_;
-    mutable SlotCharge charge_[kNumFormats]{};
-    mutable Index max_row_nnz_{0};
-    mutable bool max_row_nnz_valid_{false};
+    /// Guards slot ownership, cache charges and the max_row_nnz fill; held
+    /// only while materialising, dropping or moving representations — every
+    /// read goes through the atomic published pointers below. Leaf lock: no
+    /// other spbla mutex is ever acquired while it is held (the conversions
+    /// it covers launch onto the pool, whose own mutex is release-before-run).
+    mutable util::Mutex repr_mutex_;
+
+    // One ownership slot per Format; primary_ names the owned one, any other
+    // non-null slot is a cached secondary with its charge recorded below.
+    mutable std::unique_ptr<const CsrMatrix> csr_ SPBLA_GUARDED_BY(repr_mutex_);
+    mutable std::unique_ptr<const CooMatrix> coo_ SPBLA_GUARDED_BY(repr_mutex_);
+    mutable std::unique_ptr<const DenseMatrix> dense_ SPBLA_GUARDED_BY(repr_mutex_);
+    mutable std::unique_ptr<const BitBlockMatrix> bb_ SPBLA_GUARDED_BY(repr_mutex_);
+    mutable SlotCharge charge_[kNumFormats] SPBLA_GUARDED_BY(repr_mutex_) {};
+
+    // Per-slot latches: a slot becomes readable the instant its pointer is
+    // release-published here; readers take one acquire load and never the
+    // mutex. Null means "not materialised — take the mutex and convert".
+    mutable std::atomic<const CsrMatrix*> csr_pub_{nullptr};
+    mutable std::atomic<const CooMatrix*> coo_pub_{nullptr};
+    mutable std::atomic<const DenseMatrix*> dense_pub_{nullptr};
+    mutable std::atomic<const BitBlockMatrix*> bb_pub_{nullptr};
+
+    // max_row_nnz cache: value is release-published by the valid flag.
+    mutable std::atomic<Index> max_row_nnz_{0};
+    mutable std::atomic<bool> max_row_nnz_valid_{false};
 };
 
 }  // namespace spbla

@@ -1,0 +1,152 @@
+/// \file thread_annotations.hpp
+/// \brief Clang capability-analysis annotations + annotated lock primitives.
+///
+/// The concurrency invariants of this codebase — which members a mutex
+/// guards, which functions must (or must not) run under it, which locks
+/// order before which — used to live in comments. This header turns them
+/// into machine-checked contracts: under Clang with -Wthread-safety (the
+/// SPBLA_ANALYZE CMake option / `analyze` preset) a read of a guarded
+/// member outside its mutex is a compile error; under other compilers the
+/// macros vanish and the wrappers compile to the std primitives they wrap.
+///
+/// Conventions (see DESIGN.md "Static analysis"):
+///  - every std::mutex in the library is a util::Mutex so it can be named
+///    as a capability; every lock scope is a util::LockGuard / UniqueLock;
+///  - every non-atomic member written from more than one thread carries
+///    SPBLA_GUARDED_BY(<mutex>) (the `guarded-mutable` lint rule enforces
+///    this for `mutable` members in src/);
+///  - private helpers that assume the lock is already held carry
+///    SPBLA_REQUIRES(<mutex>) instead of re-locking;
+///  - deliberate lock-order constraints are declared with
+///    SPBLA_ACQUIRED_BEFORE/AFTER on the mutex member, which the
+///    `lock-order` lint rule cross-checks against observed nesting.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+// Clang exposes the capability-analysis attributes; GCC (and MSVC) do not.
+// The macros must expand to nothing elsewhere, so annotated headers stay
+// portable and the release toolchain is unaffected.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SPBLA_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef SPBLA_TS_ATTR
+#define SPBLA_TS_ATTR(x)  // no capability analysis on this compiler
+#endif
+
+/// Declares a type to be a capability (lockable) the analysis can track.
+#define SPBLA_CAPABILITY(x) SPBLA_TS_ATTR(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases.
+#define SPBLA_SCOPED_CAPABILITY SPBLA_TS_ATTR(scoped_lockable)
+
+/// Member may only be read/written while holding the named capability.
+#define SPBLA_GUARDED_BY(x) SPBLA_TS_ATTR(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the named capability.
+#define SPBLA_PT_GUARDED_BY(x) SPBLA_TS_ATTR(pt_guarded_by(x))
+
+/// Function requires the capabilities to be held on entry (and exit).
+#define SPBLA_REQUIRES(...) SPBLA_TS_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define SPBLA_ACQUIRE(...) SPBLA_TS_ATTR(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define SPBLA_RELEASE(...) SPBLA_TS_ATTR(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define SPBLA_TRY_ACQUIRE(...) SPBLA_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capabilities held (deadlock guard
+/// for public entry points of self-locking classes).
+#define SPBLA_EXCLUDES(...) SPBLA_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Declared lock-order edges: this mutex is always acquired before/after
+/// the named ones. The `lock-order` lint rule folds these declared edges
+/// into the observed-acquisition graph and rejects cycles.
+#define SPBLA_ACQUIRED_BEFORE(...) SPBLA_TS_ATTR(acquired_before(__VA_ARGS__))
+#define SPBLA_ACQUIRED_AFTER(...) SPBLA_TS_ATTR(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define SPBLA_RETURN_CAPABILITY(x) SPBLA_TS_ATTR(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct for reasons the analysis
+/// cannot see. Every use must carry a comment saying why.
+#define SPBLA_NO_THREAD_SAFETY_ANALYSIS SPBLA_TS_ATTR(no_thread_safety_analysis)
+
+namespace spbla::util {
+
+/// std::mutex wrapper the analysis can name as a capability. Interchangeable
+/// with std::mutex at runtime (zero-cost forwarding); the only reason it
+/// exists is that attributes cannot be attached to std types.
+class SPBLA_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() SPBLA_ACQUIRE() { m_.lock(); }
+    void unlock() SPBLA_RELEASE() { m_.unlock(); }
+    [[nodiscard]] bool try_lock() SPBLA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+private:
+    friend class CondVar;
+    friend class UniqueLock;
+    std::mutex m_;
+};
+
+/// Annotated std::lock_guard analog: acquires in the constructor, releases
+/// in the destructor, never unlocks early.
+class SPBLA_SCOPED_CAPABILITY LockGuard {
+public:
+    explicit LockGuard(Mutex& m) SPBLA_ACQUIRE(m) : m_{m} { m_.lock(); }
+    ~LockGuard() SPBLA_RELEASE() { m_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+private:
+    Mutex& m_;
+};
+
+/// Annotated std::unique_lock analog, restricted to the one capability the
+/// analysis can model cleanly: held from construction to destruction, usable
+/// as the lock token of CondVar::wait (which releases and reacquires
+/// internally — invisible to, and irrelevant for, the caller's invariants,
+/// since the predicate is only ever evaluated under the lock).
+class SPBLA_SCOPED_CAPABILITY UniqueLock {
+public:
+    explicit UniqueLock(Mutex& m) SPBLA_ACQUIRE(m) : lk_{m.m_} {}
+    ~UniqueLock() SPBLA_RELEASE() {}
+
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
+
+private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable paired with util::Mutex via UniqueLock.
+class CondVar {
+public:
+    /// Blocks until \p pred holds; \p lk's mutex is held whenever \p pred
+    /// runs and on return (standard condition-variable contract).
+    template <class Pred>
+    void wait(UniqueLock& lk, Pred&& pred) {
+        cv_.wait(lk.lk_, std::forward<Pred>(pred));
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace spbla::util

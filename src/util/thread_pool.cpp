@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        LockGuard lock{mutex_};
         stop_ = true;
     }
     cv_job_.notify_all();
@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
     {
-        std::lock_guard lock(mutex_);
+        LockGuard lock{mutex_};
         jobs_.push(std::move(job));
         ++in_flight_;
     }
@@ -38,7 +38,7 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::submit_many(std::vector<std::function<void()>> jobs) {
     if (jobs.empty()) return;
     {
-        std::lock_guard lock(mutex_);
+        LockGuard lock{mutex_};
         for (auto& job : jobs) jobs_.push(std::move(job));
         in_flight_ += jobs.size();
     }
@@ -46,8 +46,8 @@ void ThreadPool::submit_many(std::vector<std::function<void()>> jobs) {
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock lock(mutex_);
-    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    UniqueLock lock{mutex_};
+    cv_idle_.wait(lock, [this]() SPBLA_REQUIRES(mutex_) { return in_flight_ == 0; });
 }
 
 void ThreadPool::execute_bulk(BulkTask& task) {
@@ -57,7 +57,7 @@ void ThreadPool::execute_bulk(BulkTask& task) {
         if (task.done.fetch_add(1) + 1 == task.count) {
             // Last ticket completed: wake the launcher. The lock pairs with
             // the launcher's predicate check so the notify cannot be missed.
-            std::lock_guard lock(mutex_);
+            LockGuard lock{mutex_};
             cv_bulk_done_.notify_all();
         }
     }
@@ -74,12 +74,12 @@ void ThreadPool::run_dynamic(std::size_t num_tickets,
     task->body = &body;
     task->count = num_tickets;
     {
-        std::lock_guard lock(mutex_);
+        LockGuard lock{mutex_};
         bulk_ = task;
     }
     cv_job_.notify_all();
     execute_bulk(*task);  // the launcher claims tickets alongside the workers
-    std::unique_lock lock(mutex_);
+    UniqueLock lock{mutex_};
     cv_bulk_done_.wait(lock, [&] { return task->done.load() == task->count; });
     if (bulk_ == task) bulk_.reset();
 }
@@ -89,8 +89,8 @@ void ThreadPool::worker_loop() {
         std::function<void()> job;
         std::shared_ptr<BulkTask> bulk;
         {
-            std::unique_lock lock(mutex_);
-            cv_job_.wait(lock, [this] {
+            UniqueLock lock{mutex_};
+            cv_job_.wait(lock, [this]() SPBLA_REQUIRES(mutex_) {
                 return stop_ || !jobs_.empty() || bulk_ != nullptr;
             });
             if (stop_ && jobs_.empty()) return;
@@ -104,13 +104,13 @@ void ThreadPool::worker_loop() {
         if (job) {
             job();
             SPBLA_PROF_COUNT(pool_tasks, 1);
-            std::lock_guard lock(mutex_);
+            LockGuard lock{mutex_};
             if (--in_flight_ == 0) cv_idle_.notify_all();
         } else if (bulk) {
             execute_bulk(*bulk);
             // Tickets exhausted: retire the slot so idle workers stop
             // re-checking it (in-flight bodies still hold their shared_ptr).
-            std::lock_guard lock(mutex_);
+            LockGuard lock{mutex_};
             if (bulk_ == bulk) bulk_.reset();
         }
     }

@@ -17,14 +17,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace spbla::util {
 
@@ -48,15 +48,15 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
     /// Enqueue \p job for asynchronous execution.
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) SPBLA_EXCLUDES(mutex_);
 
     /// Enqueue a batch of jobs under a single lock acquisition and a single
     /// notify_all — callers submitting one closure per chunk stop paying one
     /// mutex round-trip per chunk.
-    void submit_many(std::vector<std::function<void()>> jobs);
+    void submit_many(std::vector<std::function<void()>> jobs) SPBLA_EXCLUDES(mutex_);
 
     /// Block until every submitted job has finished executing.
-    void wait_idle();
+    void wait_idle() SPBLA_EXCLUDES(mutex_);
 
     /// Bulk launch: invoke body(t) for every ticket t in [0, num_tickets).
     /// Tickets are claimed dynamically off an atomic counter by the pool
@@ -68,12 +68,15 @@ public:
     /// calling worker plus any workers that have drained their outer
     /// tickets); progress never depends on other workers being free.
     void run_dynamic(std::size_t num_tickets,
-                     const std::function<void(std::size_t)>& body);
+                     const std::function<void(std::size_t)>& body)
+        SPBLA_EXCLUDES(mutex_);
 
 private:
     /// One bulk launch. Workers hold it via shared_ptr, so a stale worker
     /// waking up after the launch retired only sees an exhausted ticket
-    /// counter — it can never claim a ticket against a dead body.
+    /// counter — it can never claim a ticket against a dead body. The ticket
+    /// and completion counters are claimed/advanced lock-free; only the
+    /// `bulk_` slot that publishes the task to workers is mutex-guarded.
     struct BulkTask {
         const std::function<void(std::size_t)>* body{nullptr};
         std::size_t count{0};
@@ -81,18 +84,18 @@ private:
         std::atomic<std::size_t> done{0};
     };
 
-    void worker_loop();
-    void execute_bulk(BulkTask& task);
+    void worker_loop() SPBLA_EXCLUDES(mutex_);
+    void execute_bulk(BulkTask& task) SPBLA_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> jobs_;
-    std::shared_ptr<BulkTask> bulk_;
-    std::mutex mutex_;
-    std::condition_variable cv_job_;
-    std::condition_variable cv_idle_;
-    std::condition_variable cv_bulk_done_;
-    std::size_t in_flight_{0};
-    bool stop_{false};
+    Mutex mutex_;
+    std::queue<std::function<void()>> jobs_ SPBLA_GUARDED_BY(mutex_);
+    std::shared_ptr<BulkTask> bulk_ SPBLA_GUARDED_BY(mutex_);
+    CondVar cv_job_;
+    CondVar cv_idle_;
+    CondVar cv_bulk_done_;
+    std::size_t in_flight_ SPBLA_GUARDED_BY(mutex_) {0};
+    bool stop_ SPBLA_GUARDED_BY(mutex_) {false};
 };
 
 }  // namespace spbla::util

@@ -45,10 +45,47 @@ auditable (run as the `lint` ctest target; CI runs it on every push):
                     deliberately exercise one concrete format suppress
                     inline.
 
+Concurrency rules (token-based; the shapes Clang's -Wthread-safety pass
+cannot see because they cross a lambda/scheduling boundary):
+
+  parallel-capture  No lazy-materialising Matrix accessor — csr(), coo(),
+                    dense(), bitblocks(), max_row_nnz() — inside a
+                    parallel_for* / run_dynamic / submit* / group().run
+                    argument list, unless the same object's accessor runs
+                    earlier in the TU outside any parallel extent (a
+                    prewarm) or the call site is annotated safe. First
+                    materialisation is synchronised per slot since the
+                    repr-cache latch landed, so a suppression here means
+                    "the latch covers this"; the rule still exists because
+                    an accessor in a hot parallel region may serialise every
+                    worker on the handle's mutex — prewarming stays the
+                    better default, and new call sites must say which they
+                    chose.
+  lock-order        Mutexes must be acquired in one consistent global order.
+                    Edges come from observed LockGuard/UniqueLock nesting
+                    plus declared SPBLA_ACQUIRED_BEFORE/AFTER annotations;
+                    any cycle in the combined graph is reported (on the
+                    first edge involved).
+  guarded-mutable   Every `mutable` member in src/ must be std::atomic, a
+                    synchronisation primitive, SPBLA_GUARDED_BY-annotated,
+                    or explicitly allowlisted — `mutable` is exactly where
+                    const-correctness stops implying thread-safety.
+  atomic-rmw        No load-then-store read-modify-write on an atomic
+                    (`x.store(x.load() + 1)`): the two halves are not one
+                    atomic step; use fetch_add/fetch_or/exchange.
+
 A finding can be suppressed for one line with a trailing
 `// lint:allow(<rule>)` comment; use sparingly and say why nearby.
+`--audit-allows` fails the run if a suppression sits on a line that no
+longer triggers its rule, so stale allows cannot outlive their reason.
 
-Usage: tools/lint.py [--root DIR]    exits 0 iff no violations.
+Usage: tools/lint.py [--root DIR] [--rules r1,r2] [--audit-allows]
+       exits 0 iff no violations (and, with --audit-allows, no stale
+       suppressions).
+
+If DIR contains none of the usual top-level trees (src/, tests/, ...) it is
+scanned recursively as-is — that is how the rule fixtures under
+tools/lint_fixtures/ are driven by tools/test_lint.py.
 """
 
 from __future__ import annotations
@@ -121,13 +158,123 @@ def strip_code(text: str) -> str:
     return "".join(out)
 
 
+# --- tokenizer -----------------------------------------------------------
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind  # id | num | op
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # debugging aid
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*"          # identifier / keyword
+    r"|\d[\w.']*"            # numeric literal (incl. 0x..., digit separators)
+    r"|->|::|\.\.\."         # multi-char operators the rules care about
+    r"|<<=|>>=|<=>|<<|>>|<=|>=|==|!=|&&|\|\||\+\+|--|[-+*/%&|^!=]=?"
+    r"|[{}()\[\];,.:?~<>#]"
+)
+
+
+def tokenize(code: str) -> list[Token]:
+    """Token stream over comment/string-stripped code. Line numbers are
+    1-based and match the original source (strip_code preserves lines)."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    for m in TOKEN_RE.finditer(code):
+        line += code.count("\n", pos, m.start())
+        pos = m.start()
+        text = m.group(0)
+        if text[0].isalpha() or text[0] == "_":
+            kind = "id"
+        elif text[0].isdigit():
+            kind = "num"
+        else:
+            kind = "op"
+        tokens.append(Token(kind, text, line))
+    return tokens
+
+
+def match_paren(tokens: list[Token], open_idx: int) -> int:
+    """Index of the `)` matching tokens[open_idx] == `(` (len(tokens) if
+    unbalanced)."""
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens)
+
+
+def object_chain(tokens: list[Token], dot_idx: int) -> str:
+    """Reconstruct the object expression ending at the `.`/`->` token at
+    dot_idx: walks back over identifier chains, `::` qualifiers and balanced
+    call/index suffixes (`c_in->tile(i, j)` before `.csr()` → "c_in->tile(i,j)").
+    Returns the whitespace-free spelling, or "" if no chain is found."""
+    parts: list[str] = []
+    i = dot_idx - 1
+    expect_primary = True  # next thing walking back must be id or `)`/`]`
+    while i >= 0:
+        t = tokens[i]
+        if expect_primary:
+            if t.text in (")", "]"):
+                closer, opener = t.text, "(" if t.text == ")" else "["
+                depth = 0
+                j = i
+                while j >= 0:
+                    if tokens[j].text == closer:
+                        depth += 1
+                    elif tokens[j].text == opener:
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j -= 1
+                # A call/index suffix must follow a callee name; a bare
+                # closing paren (cast, lambda call, ...) ends the chain.
+                if j < 1 or tokens[j - 1].kind != "id":
+                    break
+                parts.append("".join(tok.text for tok in tokens[j:i + 1]))
+                parts.append(tokens[j - 1].text)
+                i = j - 2
+                expect_primary = False
+            elif t.kind == "id":
+                parts.append(t.text)
+                i -= 1
+                expect_primary = False
+            else:
+                break
+        else:
+            if t.text in (".", "->", "::"):
+                parts.append(t.text)
+                i -= 1
+                expect_primary = True
+            else:
+                break
+    if expect_primary:  # dangling separator — drop it
+        if parts:
+            parts.pop()
+    return "".join(reversed(parts))
+
+
 class File:
     def __init__(self, path: Path, rel: str):
         self.path = path
         self.rel = rel
         self.raw = path.read_text(encoding="utf-8")
         self.raw_lines = self.raw.splitlines()
-        self.code_lines = strip_code(self.raw).splitlines()
+        code = strip_code(self.raw)
+        self.code_lines = code.splitlines()
+        self.tokens = tokenize(code)
         # Suppressions live in comments, so collect them from the raw text.
         self.allows: dict[int, set[str]] = {}
         for idx, line in enumerate(self.raw_lines, start=1):
@@ -139,29 +286,24 @@ class File:
 class Linter:
     def __init__(self, root: Path):
         self.root = root
-        self.violations: list[tuple[str, int, str, str]] = []
+        # Every finding, pre-suppression: (rel, line, rule, msg).
+        self.raw_findings: list[tuple[str, int, str, str]] = []
 
     def report(self, f: File, line_no: int, rule: str, msg: str) -> None:
-        if rule in f.allows.get(line_no, ()):  # inline suppression
-            return
-        self.violations.append((f.rel, line_no, rule, msg))
+        self.raw_findings.append((f.rel, line_no, rule, msg))
 
-    # --- rules ---------------------------------------------------------
+    # --- per-file rules ------------------------------------------------
 
     def rule_raw_new_delete(self, f: File) -> None:
-        new_re = re.compile(r"\bnew\b(?!\s*\()")  # `new (addr) T` is still new
         delete_re = re.compile(r"\bdelete\b")
-        deleted_fn_re = re.compile(r"=\s*delete\b")
         for no, line in enumerate(f.code_lines, start=1):
             if re.search(r"\bnew\b", line):
                 self.report(f, no, "raw-new-delete",
                             "raw `new` — use DeviceBuffer / standard containers")
-            if delete_re.search(line) and not deleted_fn_re.search(
-                    re.sub(r"=\s*delete\b", "", line) if False else line):
+            if delete_re.search(line):
                 if not re.fullmatch(r".*=\s*delete\s*;?.*", line):
                     self.report(f, no, "raw-new-delete",
                                 "raw `delete` — use RAII ownership")
-        _ = new_re  # placement-new nuance folded into the `new` check above
 
     def rule_std_thread(self, f: File) -> None:
         if f.rel.startswith("src/util/thread_pool"):
@@ -300,32 +442,364 @@ class Linter:
             if stripped:
                 continuation = not stripped.endswith((";", "{", "}", ":"))
 
+    # --- concurrency rules (token-based) -------------------------------
+
+    #: Matrix accessors that may materialise a representation (take the
+    #: handle's repr mutex on a cache miss).
+    LAZY_ACCESSORS = frozenset({"csr", "coo", "dense", "bitblocks", "max_row_nnz"})
+
+    #: Call spellings whose argument list is a parallel extent: the lambdas
+    #: inside run concurrently on pool workers.
+    PARALLEL_INTRODUCERS = frozenset(
+        {"parallel_for", "parallel_for_chunks", "run_dynamic",
+         "submit", "submit_many"})
+
+    def _parallel_extents(self, f: File) -> list[tuple[int, int]]:
+        """Token index ranges [open_paren, close_paren] of every parallel
+        launch's argument list."""
+        toks = f.tokens
+        extents: list[tuple[int, int]] = []
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            open_idx = None
+            if (t.text in self.PARALLEL_INTRODUCERS
+                    and i + 1 < len(toks) and toks[i + 1].text == "("):
+                open_idx = i + 1
+            elif (t.text == "run" and i + 1 < len(toks)
+                    and toks[i + 1].text == "("
+                    and i >= 1 and toks[i - 1].text in (".", "->")):
+                # DeviceGroup::run — match `group.run(` / `group().run(`.
+                chain = object_chain(toks, i - 1)
+                if re.search(r"\bgroup(\(\))?$", chain):
+                    open_idx = i + 1
+            if open_idx is not None:
+                extents.append((open_idx, match_paren(toks, open_idx)))
+        return extents
+
+    def rule_parallel_capture(self, f: File) -> None:
+        toks = f.tokens
+        extents = self._parallel_extents(f)
+        if not extents:
+            return
+
+        def extent_of(idx: int) -> tuple[int, int] | None:
+            for lo, hi in extents:
+                if lo < idx < hi:
+                    return (lo, hi)
+            return None
+
+        # Every lazy-accessor call: (token index, object spelling, accessor).
+        calls: list[tuple[int, str, str]] = []
+        for i, t in enumerate(toks):
+            if (t.kind == "id" and t.text in self.LAZY_ACCESSORS
+                    and i + 1 < len(toks) and toks[i + 1].text == "("
+                    and i >= 1 and toks[i - 1].text in (".", "->")):
+                calls.append((i, object_chain(toks, i - 1), t.text))
+
+        # A TU "prewarm": the same object's accessor called outside any
+        # parallel extent, earlier in the file.
+        serial_calls = [(i, obj, acc) for i, obj, acc in calls
+                        if extent_of(i) is None]
+        for i, obj, acc in calls:
+            if extent_of(i) is None:
+                continue
+            prewarmed = any(j < i and sobj == obj and sacc == acc
+                            for j, sobj, sacc in serial_calls)
+            if prewarmed:
+                continue
+            self.report(
+                f, toks[i].line, "parallel-capture",
+                f"lazy Matrix accessor `{obj}.{acc}()` inside a parallel "
+                "extent — first materialisation takes the handle's repr "
+                "mutex under every worker; prewarm it before the launch or "
+                "annotate the call site safe")
+
+    def rule_guarded_mutable(self, f: File) -> None:
+        if not f.rel.startswith("src/"):
+            return
+        safe_re = re.compile(
+            r"std\s*::\s*atomic|\batomic\s*<|SPBLA_GUARDED_BY|\bMutex\b|"
+            r"std\s*::\s*mutex|\bonce_flag\b|\bcondition_variable\b|\bCondVar\b")
+        no = 0
+        lines = f.code_lines
+        n = len(lines)
+        idx = 0
+        while idx < n:
+            line = lines[idx]
+            no = idx + 1
+            m = re.match(r"\s*mutable\b", line)
+            if not m:
+                idx += 1
+                continue
+            # Merge the declaration until its terminating `;`.
+            decl = line
+            j = idx
+            while ";" not in lines[j] and j + 1 < n:
+                j += 1
+                decl += " " + lines[j]
+            if not safe_re.search(decl):
+                self.report(
+                    f, no, "guarded-mutable",
+                    "mutable member is neither std::atomic nor "
+                    "SPBLA_GUARDED_BY-annotated — `mutable` breaks the "
+                    "const-means-shareable contract; guard it or allowlist "
+                    "with a rationale")
+            idx = j + 1
+
+    def rule_atomic_rmw(self, f: File) -> None:
+        toks = f.tokens
+        for i, t in enumerate(toks):
+            if not (t.kind == "id" and t.text == "store"
+                    and i + 1 < len(toks) and toks[i + 1].text == "("
+                    and i >= 1 and toks[i - 1].text in (".", "->")):
+                continue
+            obj = object_chain(toks, i - 1)
+            if not obj:
+                continue
+            close = match_paren(toks, i + 1)
+            # Look for `<same object> . load (` inside the store's arguments.
+            k = i + 2
+            while k < close:
+                if (toks[k].kind == "id" and toks[k].text == "load"
+                        and k + 1 < len(toks) and toks[k + 1].text == "("
+                        and toks[k - 1].text in (".", "->")
+                        and object_chain(toks, k - 1) == obj):
+                    self.report(
+                        f, toks[k].line, "atomic-rmw",
+                        f"`{obj}.store({obj}.load() ...)` is not one atomic "
+                        "step — concurrent writers lose updates; use "
+                        "fetch_add/fetch_sub/fetch_or/exchange")
+                    break
+                k += 1
+
+    # --- lock-order (cross-file) ----------------------------------------
+
+    GUARD_TYPES = frozenset({"LockGuard", "UniqueLock", "lock_guard",
+                             "unique_lock", "scoped_lock"})
+
+    def _collect_lock_edges(
+            self, f: File,
+            edges: dict[tuple[str, str], tuple[str, int]]) -> None:
+        toks = f.tokens
+        # Declared edges: `SPBLA_ACQUIRED_BEFORE(a, b)` / `_AFTER(...)`
+        # attached to a member named by the preceding identifier.
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text not in ("SPBLA_ACQUIRED_BEFORE",
+                                                "SPBLA_ACQUIRED_AFTER"):
+                continue
+            if i < 1 or toks[i - 1].kind != "id":
+                continue
+            member = toks[i - 1].text
+            if member == "define":  # the macro's own #define line
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            close = match_paren(toks, i + 1)
+            args, cur = [], []
+            for k in range(i + 2, close):
+                if toks[k].text == ",":
+                    args.append("".join(cur))
+                    cur = []
+                else:
+                    cur.append(toks[k].text)
+            if cur:
+                args.append("".join(cur))
+            for arg in args:
+                edge = ((member, arg) if t.text == "SPBLA_ACQUIRED_BEFORE"
+                        else (arg, member))
+                edges.setdefault(edge, (f.rel, t.line))
+
+        # Observed nesting: a guard constructed while another is live in an
+        # enclosing (or the same) scope orders its mutex after the live one.
+        depth = 0
+        live: list[tuple[str, int]] = []  # (mutex expr, depth at declaration)
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth <= 0:
+                    depth = 0
+                    live.clear()
+                else:
+                    live = [g for g in live if g[1] <= depth]
+            elif (t.kind == "id" and t.text in self.GUARD_TYPES
+                    and i + 1 < n):
+                # Skip a template argument list: lock_guard<std::mutex> lk(m);
+                j = i + 1
+                if toks[j].text == "<":
+                    tdepth = 0
+                    while j < n:
+                        if toks[j].text == "<":
+                            tdepth += 1
+                        elif toks[j].text == ">":
+                            tdepth -= 1
+                            if tdepth == 0:
+                                j += 1
+                                break
+                        j += 1
+                # Expect: <name> ( args ) | <name> { args }  (or no name for
+                # temporaries, which we ignore — they release immediately).
+                if j < n and toks[j].kind == "id":
+                    j += 1
+                    if j < n and toks[j].text in ("(", "{"):
+                        opener = toks[j].text
+                        closer = ")" if opener == "(" else "}"
+                        d2, k = 0, j
+                        args_toks: list[Token] = []
+                        while k < n:
+                            if toks[k].text == opener:
+                                d2 += 1
+                            elif toks[k].text == closer:
+                                d2 -= 1
+                                if d2 == 0:
+                                    break
+                            if k > j:
+                                args_toks.append(toks[k])
+                            k += 1
+                        mutexes = []
+                        cur = []
+                        for at in args_toks:
+                            if at.text == ",":
+                                mutexes.append("".join(x.text for x in cur))
+                                cur = []
+                            else:
+                                cur.append(at)
+                        if cur:
+                            mutexes.append("".join(x.text for x in cur))
+                        for mx in mutexes:
+                            if not mx:
+                                continue
+                            for held, _ in live:
+                                if held != mx:
+                                    edges.setdefault((held, mx),
+                                                     (f.rel, t.line))
+                        for mx in mutexes:
+                            if mx:
+                                live.append((mx, depth))
+                        i = k
+            i += 1
+
+    def rule_lock_order(self, files: list[File]) -> None:
+        edges: dict[tuple[str, str], tuple[str, int]] = {}
+        for f in files:
+            self._collect_lock_edges(f, edges)
+        graph: dict[str, set[str]] = {}
+        for (a, b) in edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        # Cycle detection via iterative DFS colouring.
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {v: WHITE for v in graph}
+        for start in sorted(graph):
+            if colour[start] != WHITE:
+                continue
+            stack: list[tuple[str, list[str]]] = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                if node == "__pop__":
+                    continue
+                if colour[node] == BLACK:
+                    continue
+                colour[node] = GREY
+                advanced = False
+                for nxt in sorted(graph[node]):
+                    if colour.get(nxt) == GREY and nxt in path:
+                        cycle = path[path.index(nxt):] + [nxt]
+                        cedges = list(zip(cycle, cycle[1:]))
+                        rel, line = min(edges[e] for e in cedges if e in edges)
+                        order = " -> ".join(cycle)
+                        # Anchor the finding on the first edge of the cycle
+                        # so a suppression sits next to the deviant lock.
+                        self.raw_findings.append(
+                            (rel, line, "lock-order",
+                             f"inconsistent mutex acquisition order: {order} "
+                             "— pick one global order (declare it with "
+                             "SPBLA_ACQUIRED_BEFORE/AFTER)"))
+                        for v in cycle:
+                            colour[v] = BLACK
+                    elif colour.get(nxt) == WHITE:
+                        stack.append((node, path))  # revisit to blacken
+                        stack.append((nxt, path + [nxt]))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+
     # --- driver --------------------------------------------------------
 
-    def run(self) -> int:
+    PER_FILE_RULES = {
+        "raw-new-delete": "rule_raw_new_delete",
+        "std-thread": "rule_std_thread",
+        "nondeterminism": "rule_nondeterminism",
+        "raw-chrono": "rule_raw_chrono",
+        "bare-assert": "rule_bare_assert",
+        "contracts-include": "rule_contracts_include",
+        "ops-validation": "rule_ops_validation",
+        "format-leak": "rule_format_leak",
+        "ops-file-state": "rule_ops_file_state",
+        "parallel-capture": "rule_parallel_capture",
+        "guarded-mutable": "rule_guarded_mutable",
+        "atomic-rmw": "rule_atomic_rmw",
+    }
+    CROSS_FILE_RULES = {"lock-order": "rule_lock_order"}
+    ALL_RULES = tuple(PER_FILE_RULES) + tuple(CROSS_FILE_RULES)
+
+    def collect_files(self) -> list[File]:
         files = []
-        for d in SCAN_DIRS:
-            base = self.root / d
-            if not base.is_dir():
-                continue
+        bases = [self.root / d for d in SCAN_DIRS if (self.root / d).is_dir()]
+        if not bases:
+            bases = [self.root]  # fixture mode: scan the directory as given
+        for base in bases:
             for p in sorted(base.rglob("*")):
                 if p.suffix in EXTENSIONS and p.is_file():
                     files.append(File(p, p.relative_to(self.root).as_posix()))
+        return files
+
+    def run(self, rules: list[str], audit_allows: bool) -> int:
+        files = self.collect_files()
         for f in files:
-            self.rule_raw_new_delete(f)
-            self.rule_std_thread(f)
-            self.rule_nondeterminism(f)
-            self.rule_raw_chrono(f)
-            self.rule_bare_assert(f)
-            self.rule_contracts_include(f)
-            self.rule_ops_validation(f)
-            self.rule_format_leak(f)
-            self.rule_ops_file_state(f)
-        for rel, no, rule, msg in sorted(self.violations):
+            for rule in rules:
+                method = self.PER_FILE_RULES.get(rule)
+                if method:
+                    getattr(self, method)(f)
+        for rule in rules:
+            method = self.CROSS_FILE_RULES.get(rule)
+            if method:
+                getattr(self, method)(files)
+
+        allows = {(f.rel, no, rule)
+                  for f in files
+                  for no, names in f.allows.items()
+                  for rule in names}
+        raw_keys = {(rel, no, rule) for rel, no, rule, _ in self.raw_findings}
+        violations = [(rel, no, rule, msg)
+                      for rel, no, rule, msg in self.raw_findings
+                      if (rel, no, rule) not in allows]
+        for rel, no, rule, msg in sorted(violations):
             print(f"{rel}:{no}: [{rule}] {msg}")
+
+        stale: list[tuple[str, int, str, str]] = []
+        if audit_allows:
+            for rel, no, rule in sorted(allows):
+                if rule not in self.ALL_RULES:
+                    stale.append((rel, no, rule,
+                                  f"unknown rule `{rule}` in lint:allow"))
+                elif rule in rules and (rel, no, rule) not in raw_keys:
+                    stale.append((rel, no, rule,
+                                  "stale suppression: line no longer "
+                                  f"triggers `{rule}` — delete the allow"))
+            for rel, no, rule, msg in stale:
+                print(f"{rel}:{no}: [audit-allows] {msg}")
+
         print(f"lint: scanned {len(files)} files, "
-              f"{len(self.violations)} violation(s)")
-        return 1 if self.violations else 0
+              f"{len(violations)} violation(s)"
+              + (f", {len(stale)} stale allow(s)" if audit_allows else ""))
+        return 1 if violations or stale else 0
 
 
 def main() -> int:
@@ -334,8 +808,18 @@ def main() -> int:
                     default=Path(__file__).resolve().parent.parent,
                     help="repository root to scan (default: repo containing "
                          "this script)")
+    ap.add_argument("--rules", type=str, default=",".join(Linter.ALL_RULES),
+                    help="comma-separated rule subset to run (default: all)")
+    ap.add_argument("--audit-allows", action="store_true",
+                    help="additionally fail on lint:allow comments whose "
+                         "line no longer triggers the named rule")
     args = ap.parse_args()
-    return Linter(args.root).run()
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in Linter.ALL_RULES]
+    if unknown:
+        print(f"lint: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    return Linter(args.root).run(rules, args.audit_allows)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,6 @@
+// Fixture: fetch-ops and cross-object stores are clean.
+#include <atomic>
+void bump(std::atomic<unsigned long long>& v, std::atomic<unsigned long long>& w) {
+    v.fetch_add(1, std::memory_order_relaxed);
+    v.store(w.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}

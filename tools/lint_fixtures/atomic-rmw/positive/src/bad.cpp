@@ -1,0 +1,5 @@
+// Fixture: load-then-store on the same atomic loses concurrent updates.
+#include <atomic>
+void bump(std::atomic<unsigned long long>& v) {
+    v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}

@@ -1,0 +1,6 @@
+// Fixture: the suppression matches a real finding — not stale.
+#include <thread>
+void sanctioned() {
+    std::thread t([] {});  // lint:allow(std-thread)
+    t.join();
+}

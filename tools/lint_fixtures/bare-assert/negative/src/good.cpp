@@ -1,0 +1,6 @@
+// Fixture: contract macros are clean (static_assert is always fine).
+#include "util/contracts.hpp"
+void check_invariant(int n) {
+    SPBLA_ASSERT(n > 0, "n must be positive");
+    static_assert(sizeof(int) >= 4);
+}

@@ -1,0 +1,5 @@
+// Fixture: NDEBUG-sensitive asserts — include and call both flagged.
+#include <cassert>
+void check_invariant(int n) {
+    assert(n > 0);
+}

@@ -1,0 +1,5 @@
+// Fixture: the include is present.
+#include "util/contracts.hpp"
+void check(int n) {
+    SPBLA_ASSERT(n > 0, "n must be positive");
+}

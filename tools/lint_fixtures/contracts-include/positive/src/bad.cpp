@@ -1,0 +1,4 @@
+// Fixture: contract macro used without the header that defines it.
+void check(int n) {
+    SPBLA_ASSERT(n > 0, "n must be positive");
+}

@@ -1,0 +1,3 @@
+// Fixture: the storage layer is a sanctioned consumer of concrete formats.
+#include "core/csr.hpp"
+void use() {}

@@ -1,0 +1,4 @@
+// Fixture: concrete format + tile headers included above the storage engine.
+#include "core/csr.hpp"
+#include "dist/partition.hpp"
+void use() {}

@@ -1,0 +1,12 @@
+// Fixture: atomic, annotated and primitive mutables are all sanctioned.
+#pragma once
+#include <atomic>
+#include <cstddef>
+#include "util/thread_annotations.hpp"
+namespace spbla {
+class Cache {
+    mutable util::Mutex mutex_;
+    mutable std::atomic<std::size_t> hits_{0};
+    mutable std::size_t fills_ SPBLA_GUARDED_BY(mutex_) {0};
+};
+}  // namespace spbla

@@ -1,0 +1,11 @@
+// Fixture: unguarded mutable members, one of them spanning two lines.
+#pragma once
+#include <cstddef>
+#include <vector>
+namespace spbla {
+class Cache {
+    mutable std::size_t hits_ = 0;
+    mutable std::vector<int>
+        scratch_;
+};
+}  // namespace spbla

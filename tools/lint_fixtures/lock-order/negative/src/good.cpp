@@ -1,0 +1,15 @@
+// Fixture: every path acquires a_ before b_ — the graph is acyclic.
+#include "util/thread_annotations.hpp"
+namespace spbla {
+struct Shared { util::Mutex a_; util::Mutex b_; };
+void forward(Shared& s) {
+    util::LockGuard first{s.a_};
+    util::LockGuard second{s.b_};
+}
+void also_forward(Shared& s) {
+    util::LockGuard only{s.a_};
+    {
+        util::LockGuard nested{s.b_};
+    }
+}
+}  // namespace spbla

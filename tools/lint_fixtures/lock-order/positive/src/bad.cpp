@@ -1,0 +1,14 @@
+// Fixture: two functions acquire the same pair in opposite orders — the
+// classic ABBA deadlock. The combined graph has a cycle.
+#include "util/thread_annotations.hpp"
+namespace spbla {
+struct Shared { util::Mutex a_; util::Mutex b_; };
+void forward(Shared& s) {
+    util::LockGuard first{s.a_};
+    util::LockGuard second{s.b_};
+}
+void backward(Shared& s) {
+    util::LockGuard first{s.b_};
+    util::LockGuard second{s.a_};
+}
+}  // namespace spbla

@@ -1,0 +1,6 @@
+// Fixture: explicit seeds through the project Rng are clean.
+struct Rng { explicit Rng(unsigned long long) {} unsigned below(unsigned n) { return n - 1; } };
+unsigned reproducible() {
+    Rng rng{7};
+    return rng.below(10);
+}

@@ -1,0 +1,9 @@
+// Fixture: libc RNG, wall-clock seeding and random_device are all flagged.
+#include <cstdlib>
+#include <random>
+int unreproducible() {
+    srand(42);
+    int a = rand();
+    std::random_device rd;
+    return a + static_cast<int>(rd());
+}

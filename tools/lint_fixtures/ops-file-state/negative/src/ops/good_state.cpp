@@ -1,0 +1,9 @@
+// Fixture: constants at file scope are fine; state lives in the function.
+namespace spbla::ops {
+constexpr unsigned kChunk = 64;
+void kernel() {
+    unsigned long long calls = 0;
+    calls += kChunk;
+    (void)calls;
+}
+}  // namespace spbla::ops

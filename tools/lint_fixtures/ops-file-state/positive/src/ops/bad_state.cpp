@@ -1,0 +1,5 @@
+// Fixture: hidden mutable global in a kernel TU.
+namespace spbla::ops {
+static unsigned long long g_scratch_calls = 0;
+void kernel() { ++g_scratch_calls; }
+}  // namespace spbla::ops

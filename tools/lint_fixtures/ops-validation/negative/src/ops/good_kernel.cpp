@@ -1,0 +1,8 @@
+// Fixture: boundary validation present.
+#include "util/contracts.hpp"
+namespace spbla::ops {
+int multiply_nothing(int a, int b) {
+    SPBLA_CHECKED(a >= 0, "operands validated");
+    return a * b;
+}
+}  // namespace spbla::ops

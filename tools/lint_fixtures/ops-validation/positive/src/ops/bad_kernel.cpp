@@ -1,0 +1,4 @@
+// Fixture: a kernel TU with no validation wiring at its boundaries.
+namespace spbla::ops {
+int multiply_nothing(int a, int b) { return a * b; }
+}  // namespace spbla::ops

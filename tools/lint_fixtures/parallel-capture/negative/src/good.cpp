@@ -1,0 +1,12 @@
+// Fixture: the TU prewarms the same object's representation before the
+// launch, so the in-flight accessor is a pure published-pointer read.
+#include "storage/matrix.hpp"
+namespace spbla {
+void warmed_loop(backend::Context& ctx, const Matrix& m) {
+    (void)m.csr(ctx);  // prewarm: materialise before the parallel region
+    ctx.parallel_for(64, 8, [&](std::size_t i) {
+        (void)m.csr(ctx);
+        (void)i;
+    });
+}
+}  // namespace spbla

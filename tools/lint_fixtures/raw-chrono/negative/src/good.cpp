@@ -1,0 +1,6 @@
+// Fixture: timing through the project Timer is clean.
+struct Timer { double seconds() const { return 0.0; } };
+double timed() {
+    Timer t;
+    return t.seconds();
+}

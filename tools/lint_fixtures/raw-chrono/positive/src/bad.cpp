@@ -1,0 +1,5 @@
+// Fixture: ad-hoc clock in kernel code — include and use both flagged.
+#include <chrono>
+long long adhoc_clock() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

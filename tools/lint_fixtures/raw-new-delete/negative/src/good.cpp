@@ -1,0 +1,10 @@
+// Fixture: RAII ownership and deleted special members are clean.
+#include <memory>
+struct NoCopy {
+    NoCopy(const NoCopy&) = delete;
+    NoCopy& operator=(const NoCopy&) = delete;
+};
+void tracked_allocation() {
+    auto buf = std::make_unique<int[]>(8);
+    buf[0] = 1;
+}

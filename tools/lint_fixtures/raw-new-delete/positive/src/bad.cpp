@@ -1,0 +1,5 @@
+// Fixture: raw allocation and deallocation must both be flagged.
+void leak_device_memory() {
+    int* p = new int[8];
+    delete[] p;
+}

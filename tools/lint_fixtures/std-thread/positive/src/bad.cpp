@@ -1,0 +1,6 @@
+// Fixture: a worker outside the pool escapes the TSan-checked scheduler.
+#include <thread>
+void rogue_worker() {
+    std::thread t([] {});
+    t.join();
+}
