@@ -2,6 +2,7 @@
 /// \brief Shared harness utilities for the paper-reproduction benchmarks.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -27,12 +28,27 @@ struct Stats {
     double min_s = 0.0;
     double mean_s = 0.0;
     double stddev_s = 0.0;
+    double p50_s = 0.0;
+    double p95_s = 0.0;
+    double p99_s = 0.0;
     int runs = 0;
 
     [[nodiscard]] double min_ms() const { return min_s * 1e3; }
     [[nodiscard]] double mean_ms() const { return mean_s * 1e3; }
     [[nodiscard]] double stddev_ms() const { return stddev_s * 1e3; }
+    [[nodiscard]] double p50_ms() const { return p50_s * 1e3; }
+    [[nodiscard]] double p95_ms() const { return p95_s * 1e3; }
+    [[nodiscard]] double p99_ms() const { return p99_s * 1e3; }
 };
+
+/// Nearest-rank percentile of an ascending-sorted sample vector.
+[[nodiscard]] inline double percentile_of(const std::vector<double>& sorted,
+                                          double q) {
+    if (sorted.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+}
 
 /// Time \p body over \p runs runs (plus one untimed warm-up) and return
 /// min / mean / sample-stddev wall-clock seconds.
@@ -59,6 +75,10 @@ inline Stats time_stats(const std::function<void()>& body, int runs = kRuns) {
         sq += (s - stats.mean_s) * (s - stats.mean_s);
     }
     stats.stddev_s = runs > 1 ? std::sqrt(sq / (runs - 1)) : 0.0;
+    std::sort(samples.begin(), samples.end());
+    stats.p50_s = percentile_of(samples, 0.50);
+    stats.p95_s = percentile_of(samples, 0.95);
+    stats.p99_s = percentile_of(samples, 0.99);
     return stats;
 }
 
@@ -132,13 +152,16 @@ public:
         prefix(key);
         std::fprintf(f_, "%.3f", value);
     }
-    /// A timing with dispersion: {"min_ms":…, "mean_ms":…, "stddev_ms":…,
-    /// "runs":…}.
+    /// A timing with dispersion and tail: {"min_ms":…, "mean_ms":…,
+    /// "stddev_ms":…, "p50_ms":…, "p95_ms":…, "p99_ms":…, "runs":…}.
     void field(const char* key, const Stats& stats) {
         begin_object(key);
         field("min_ms", stats.min_ms());
         field("mean_ms", stats.mean_ms());
         field("stddev_ms", stats.stddev_ms());
+        field("p50_ms", stats.p50_ms());
+        field("p95_ms", stats.p95_ms());
+        field("p99_ms", stats.p99_ms());
         field("runs", stats.runs);
         end_object();
     }

@@ -1,0 +1,40 @@
+/// \file telemetry_abort_demo.cpp
+/// \brief Crash flight recorder demo: run a few dispatched ops, then die.
+///
+/// The process runs a handful of storage-engine operations (each of which
+/// the dispatcher records into the telemetry flight ring) and then reports
+/// a contract violation on purpose. The violation dumps the ring — the last
+/// dispatched ops as JSON lines — to stderr and, when SPBLA_METRICS=<path>
+/// is set, to <path>.flight, before the process aborts. CI runs this and
+/// feeds the dump to tools/check_trace.py --flight, proving a production
+/// abort leaves a parseable post-mortem trail.
+///
+/// Expected exit: SIGABRT. This is not a smoke test; examples/CMakeLists.txt
+/// deliberately registers no ctest entry for it.
+#include <cstdio>
+
+#include "backend/context.hpp"
+#include "spbla/matrix.hpp"
+#include "util/contracts.hpp"
+
+int main() {
+    using namespace spbla;
+
+    backend::Context ctx{backend::Policy::Parallel};
+
+    // A few dispatched ops so the flight ring has something to remember.
+    const auto a = Matrix::from_coords(
+        8, 8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {6, 7}}, ctx);
+    const auto b = storage::transpose(ctx, a);
+    const auto c = storage::multiply(ctx, a, b);
+    const auto d = storage::ewise_add(ctx, c, a);
+    std::printf("ran 3 ops, last result %u x %u with %zu nnz; now aborting\n",
+                d.nrows(), d.ncols(), d.nnz());
+    std::fflush(stdout);
+
+    // Report an invariant failure directly (SPBLA_ASSERT compiles out in
+    // release builds, but the reporting path is always linked): dumps the
+    // flight ring and aborts.
+    util::contract_violation("demo_invariant != broken", __FILE__, __LINE__,
+                             "telemetry_abort_demo: intentional crash");
+}

@@ -106,6 +106,30 @@ spbla_Status spbla_ProfEnable(int level);
  *  point (no operation in flight). May be called before spbla_Initialize. */
 spbla_Status spbla_ProfDump(const char* path);
 
+/* ------------------------------ telemetry ------------------------------
+ * Unlike profiling, the telemetry layer is always compiled in and always
+ * on: lock-free counters, gauges and log2-bucketed latency histograms
+ * updated by every operation (measured overhead <2% on the SpGEMM ladder).
+ * Setting the environment variable SPBLA_METRICS=<path> before the first
+ * library call dumps JSON to <path> and Prometheus text to <path>.prom at
+ * process exit, and arms the crash flight recorder's dump at
+ * <path>.flight. */
+
+/** Serialisation format for spbla_MetricsDump. */
+typedef enum spbla_MetricsFormat {
+    SPBLA_METRICS_JSON = 0,      /**< JSON document (schema spbla.metrics.v1) */
+    SPBLA_METRICS_PROMETHEUS = 1 /**< Prometheus text exposition format */
+} spbla_MetricsFormat;
+
+/** Snapshot every telemetry instrument and write it to the file at `path`.
+ *  May be called at any time, including before spbla_Initialize and
+ *  concurrently with running operations. */
+spbla_Status spbla_MetricsDump(const char* path, spbla_MetricsFormat format);
+
+/** Zero all counters and histograms. Level gauges (live bytes, pool depth)
+ *  keep their current values; peak gauges re-baseline to the current level. */
+spbla_Status spbla_MetricsReset(void);
+
 /* --------------------------- storage engine ----------------------------
  * Matrices are format-polymorphic: the library stores each one in CSR, COO
  * or a dense bitmap and picks the representation per operation with a cost

@@ -24,6 +24,8 @@ Context::~Context() {
 
 std::string Context::profile_summary() { return prof::text_summary(); }
 
+telemetry::Snapshot Context::metrics_snapshot() { return telemetry::snapshot(); }
+
 Context& default_context() {
     static Context ctx{Policy::Parallel};
     return ctx;

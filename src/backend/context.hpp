@@ -13,6 +13,7 @@
 
 #include "backend/device_buffer.hpp"
 #include "backend/memory_tracker.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
 
@@ -83,6 +84,11 @@ public:
     /// or trace (the prof registry is process-wide; kernels record into
     /// per-thread logs, so the summary covers every context's launches).
     [[nodiscard]] static std::string profile_summary();
+
+    /// Point-in-time view of the always-on telemetry registry (process-wide,
+    /// like the prof registry: counters, gauges and latency histograms from
+    /// every context). Always populated — no build flag required.
+    [[nodiscard]] static telemetry::Snapshot metrics_snapshot();
 
 private:
     Policy policy_;

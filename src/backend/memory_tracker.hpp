@@ -13,6 +13,7 @@
 #include <string>
 
 #include "prof/prof.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace spbla::backend {
 
@@ -33,6 +34,12 @@ public:
                !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
         }
         allocs_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::count(telemetry::Counter::MemAllocs);
+        // The telemetry live gauge aggregates every tracker (one per
+        // context); the peak gauge is its process-wide high-water mark.
+        const auto live = telemetry::gauge_add(telemetry::Gauge::MemLiveBytes,
+                                               static_cast<std::int64_t>(bytes));
+        telemetry::gauge_max(telemetry::Gauge::MemPeakBytes, live);
         // Fold the post-alloc total into the active span's device-memory
         // high-water mark (mem_high_bytes) and event counters.
         if constexpr (prof::kCompiledLevel >= SPBLA_PROFILE_COUNTERS) {
@@ -44,6 +51,9 @@ public:
     void on_free(std::size_t bytes) noexcept {
         current_.fetch_sub(bytes, std::memory_order_relaxed);
         frees_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::count(telemetry::Counter::MemFrees);
+        telemetry::gauge_add(telemetry::Gauge::MemLiveBytes,
+                             -static_cast<std::int64_t>(bytes));
         if constexpr (prof::kCompiledLevel >= SPBLA_PROFILE_COUNTERS) {
             prof::note_free(bytes);
         }

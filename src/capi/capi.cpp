@@ -16,6 +16,7 @@
 #include "prof/prof.hpp"
 #include "storage/dispatch.hpp"
 #include "storage/matrix.hpp"
+#include "telemetry/metrics.hpp"
 
 struct spbla_Matrix_t {
     spbla::Matrix data;
@@ -141,6 +142,34 @@ spbla_Status spbla_ProfDump(const char* path) {
             g_last_error = std::string("spbla_ProfDump: cannot write ") + path;
             return SPBLA_STATUS_ERROR;
         }
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
+
+spbla_Status spbla_MetricsDump(const char* path, spbla_MetricsFormat format) {
+    return guarded([&]() -> spbla_Status {
+        if (path == nullptr || path[0] == '\0') {
+            g_last_error = "spbla_MetricsDump: path must be non-empty";
+            return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        if (format != SPBLA_METRICS_JSON && format != SPBLA_METRICS_PROMETHEUS) {
+            g_last_error = "spbla_MetricsDump: unknown format";
+            return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        const auto fmt = format == SPBLA_METRICS_PROMETHEUS
+                             ? spbla::telemetry::ExportFormat::Prometheus
+                             : spbla::telemetry::ExportFormat::Json;
+        if (!spbla::telemetry::write_file(path, fmt)) {
+            g_last_error = std::string("spbla_MetricsDump: cannot write ") + path;
+            return SPBLA_STATUS_ERROR;
+        }
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
+
+spbla_Status spbla_MetricsReset(void) {
+    return guarded([]() -> spbla_Status {
+        spbla::telemetry::reset();
         return SPBLA_STATUS_SUCCESS;
     });
 }

@@ -15,6 +15,7 @@
 #include "dist/sharded_matrix.hpp"
 #include "dist/sharded_ops.hpp"
 #include "prof/prof.hpp"
+#include "telemetry/metrics.hpp"
 #include "storage/dispatch.hpp"
 #include "util/contracts.hpp"
 #include "util/thread_annotations.hpp"
@@ -98,6 +99,7 @@ std::shared_ptr<const ShardedMatrix> get_shard(const Matrix& m, const Partition&
                 if (entry.version == v && entry.shard->partition() == part) {
                     stats().shard_cache_hits.fetch_add(1, std::memory_order_relaxed);
                     SPBLA_PROF_COUNT(dist_shard_hits, 1);
+                    telemetry::count(telemetry::Counter::DistShardCacheHits);
                     return entry.shard;
                 }
             }
@@ -109,6 +111,7 @@ std::shared_ptr<const ShardedMatrix> get_shard(const Matrix& m, const Partition&
     auto shard = std::make_shared<const ShardedMatrix>(*grp, m, part, placement);
     stats().shard_builds.fetch_add(1, std::memory_order_relaxed);
     SPBLA_PROF_COUNT(dist_shard_builds, 1);
+    telemetry::count(telemetry::Counter::DistShardBuilds);
     if (v != 0) {
         const util::LockGuard lock{e.mutex};
         if (e.cache.size() >= kShardCacheCap) e.cache.erase(e.cache.begin());
@@ -120,6 +123,7 @@ std::shared_ptr<const ShardedMatrix> get_shard(const Matrix& m, const Partition&
 void count_op() {
     stats().sharded_ops.fetch_add(1, std::memory_order_relaxed);
     SPBLA_PROF_COUNT(dist_sharded_ops, 1);
+    telemetry::count(telemetry::Counter::DistShardedOps);
 }
 
 bool should_shard(std::initializer_list<const Matrix*> operands) {

@@ -24,6 +24,7 @@
 #include "ops/reduce.hpp"
 #include "ops/transpose.hpp"
 #include "prof/prof.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace spbla::dist {
@@ -41,6 +42,8 @@ void note_transfer(const Matrix& tile, std::size_t tile_owner, std::size_t exec_
     stats().transfer_bytes.fetch_add(bytes, std::memory_order_relaxed);
     SPBLA_PROF_COUNT(dist_transfers, 1);
     SPBLA_PROF_COUNT(dist_transfer_bytes, bytes);
+    telemetry::count(telemetry::Counter::DistTileTransfers);
+    telemetry::count(telemetry::Counter::DistTransferBytes, bytes);
 }
 
 /// Stitch per-tile CSR results (row-major over \p part's grid; disengaged

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "telemetry/metrics.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace spbla::prof {
@@ -454,6 +455,11 @@ SpanScope::~SpanScope() {
         log.span_ns[frame.site].fetch_add(end - frame.start_ns,
                                           std::memory_order_relaxed);
     }
+    // Closed spans also feed the always-on telemetry registry, so a metrics
+    // scrape of an instrumented build shows profiling pressure alongside the
+    // production instruments (zero when profiling is off or compiled out).
+    telemetry::count(telemetry::Counter::ProfSpans);
+    telemetry::observe(telemetry::Histogram::ProfSpanNs, end - frame.start_ns);
     flush_frame(log, frame);
     if (tracing()) append_event(log, frame, end);
 }

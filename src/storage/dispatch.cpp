@@ -25,6 +25,9 @@
 #include "ops/ops.hpp"
 #include "prof/prof.hpp"
 #include "storage/thresholds.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/timer.hpp"
 
 namespace spbla::storage {
 
@@ -169,21 +172,84 @@ void count_dispatch(Format f) noexcept {
         case Format::Csr:
             stats().dispatch_csr.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(dispatch_csr, 1);
+            telemetry::count(telemetry::Counter::DispatchCsr);
             break;
         case Format::Coo:
             stats().dispatch_coo.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(dispatch_coo, 1);
+            telemetry::count(telemetry::Counter::DispatchCoo);
             break;
         case Format::Dense:
             stats().dispatch_dense.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(dispatch_dense, 1);
+            telemetry::count(telemetry::Counter::DispatchDense);
             break;
         case Format::BitBlocks:
             stats().dispatch_bitblock.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(dispatch_bitblock, 1);
+            telemetry::count(telemetry::Counter::DispatchBitBlocks);
             break;
     }
 }
+
+/// Short routed-format tag for the flight recorder (static storage, as its
+/// records keep the pointer).
+[[nodiscard]] const char* format_tag(Format f) noexcept {
+    switch (f) {
+        case Format::Csr: return "csr";
+        case Format::Coo: return "coo";
+        case Format::Dense: return "dense";
+        case Format::BitBlocks: return "bitblock";
+    }
+    return "?";
+}
+
+[[nodiscard]] telemetry::Histogram latency_histogram(Format f) noexcept {
+    switch (f) {
+        case Format::Coo: return telemetry::Histogram::OpLatencyCooNs;
+        case Format::Dense: return telemetry::Histogram::OpLatencyDenseNs;
+        case Format::BitBlocks: return telemetry::Histogram::OpLatencyBitBlocksNs;
+        case Format::Csr: break;
+    }
+    return telemetry::Histogram::OpLatencyCsrNs;
+}
+
+/// Per-op telemetry scope. Constructed at dispatch entry (so the measured
+/// wall time covers cost modelling, operand conversions and the kernel) and
+/// closed via done()/done_sharded() once the result exists: one DispatchOps
+/// count, the routed format's latency histogram, the nnz in/out histograms,
+/// and a flight-recorder record. Ops that throw record nothing — the
+/// invariant "sum of latency-histogram counts == spbla.dispatch.ops" is what
+/// check_trace --require-metrics verifies.
+class OpTelemetry {
+public:
+    OpTelemetry(const char* op, std::uint64_t nnz_in) noexcept
+        : op_(op), nnz_in_(nnz_in) {}
+
+    void done(Format f, Index nrows, Index ncols, std::uint64_t nnz_out) noexcept {
+        finish(latency_histogram(f), format_tag(f), nrows, ncols, nnz_out);
+    }
+
+    void done_sharded(Index nrows, Index ncols, std::uint64_t nnz_out) noexcept {
+        finish(telemetry::Histogram::OpLatencyShardedNs, "sharded", nrows, ncols,
+               nnz_out);
+    }
+
+private:
+    void finish(telemetry::Histogram latency, const char* tag, Index nrows,
+                Index ncols, std::uint64_t nnz_out) noexcept {
+        const auto ns = static_cast<std::uint64_t>(timer_.seconds() * 1e9);
+        telemetry::count(telemetry::Counter::DispatchOps);
+        telemetry::observe(latency, ns);
+        telemetry::observe(telemetry::Histogram::OpNnzIn, nnz_in_);
+        telemetry::observe(telemetry::Histogram::OpNnzOut, nnz_out);
+        telemetry::flight::record(op_, tag, nrows, ncols, nnz_in_, nnz_out, ns);
+    }
+
+    const char* op_;
+    std::uint64_t nnz_in_;
+    util::Timer timer_;
+};
 
 /// Keep the caches of every operand under the process-wide budget once the
 /// routed kernel has run (their borrowed references are dead by then).
@@ -251,8 +317,11 @@ void trim(std::initializer_list<const Matrix*> operands) noexcept {
 Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
                 const ops::SpGemmOptions& opts) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply");
+    OpTelemetry tel("multiply", a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
-        return db->multiply(ctx, a, b, opts);
+        Matrix out = db->multiply(ctx, a, b, opts);
+        tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
+        return out;
     }
     Format f;
     if (!forced(global_hint(),
@@ -288,6 +357,7 @@ Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
                 return Matrix{ops::multiply(ctx, a.csr(ctx), b.csr(ctx), opts), ctx};
         }
     }();
+    tel.done(f, out.nrows(), out.ncols(), out.nnz());
     trim({&a, &b});
     return out;
 }
@@ -295,8 +365,11 @@ Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
 Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
                     const Matrix& b, const ops::SpGemmOptions& opts) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply_add");
+    OpTelemetry tel("multiply_add", c.nnz() + a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&c, &a, &b})) {
-        return db->multiply_add(ctx, c, a, b, opts);
+        Matrix out = db->multiply_add(ctx, c, a, b, opts);
+        tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
+        return out;
     }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Dense, Format::BitBlocks}, f)) {
@@ -339,6 +412,7 @@ Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
         }
         return Matrix{ops::multiply_add(ctx, c.csr(ctx), a.csr(ctx), b.csr(ctx), opts), ctx};
     }();
+    tel.done(f, out.nrows(), out.ncols(), out.nnz());
     trim({&c, &a, &b});
     return out;
 }
@@ -349,8 +423,11 @@ Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
 
 Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.ewise_add");
+    OpTelemetry tel("ewise_add", a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
-        return db->ewise_add(ctx, a, b);
+        Matrix out = db->ewise_add(ctx, a, b);
+        tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
+        return out;
     }
     Format f;
     if (!forced(global_hint(),
@@ -393,14 +470,18 @@ Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
                 return Matrix{ops::ewise_add(ctx, a.csr(ctx), b.csr(ctx)), ctx};
         }
     }();
+    tel.done(f, out.nrows(), out.ncols(), out.nnz());
     trim({&a, &b});
     return out;
 }
 
 Matrix ewise_mult(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.ewise_mult");
+    OpTelemetry tel("ewise_mult", a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
-        return db->ewise_mult(ctx, a, b);
+        Matrix out = db->ewise_mult(ctx, a, b);
+        tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
+        return out;
     }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Dense, Format::BitBlocks}, f)) {
@@ -433,12 +514,14 @@ Matrix ewise_mult(backend::Context& ctx, const Matrix& a, const Matrix& b) {
         }
         return Matrix{ops::ewise_mult(ctx, a.csr(ctx), b.csr(ctx)), ctx};
     }();
+    tel.done(f, out.nrows(), out.ncols(), out.nnz());
     trim({&a, &b});
     return out;
 }
 
 Matrix ewise_diff(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.ewise_diff");
+    OpTelemetry tel("ewise_diff", a.nnz() + b.nnz());
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
         const auto total = static_cast<double>(a.nnz() + b.nnz());
@@ -457,6 +540,7 @@ Matrix ewise_diff(backend::Context& ctx, const Matrix& a, const Matrix& b) {
         if (f == Format::Dense) return Matrix{a.dense(ctx).ewise_andnot(b.dense(ctx)), ctx};
         return Matrix{ops::ewise_diff(ctx, a.csr(ctx), b.csr(ctx)), ctx};
     }();
+    tel.done(f, out.nrows(), out.ncols(), out.nnz());
     trim({&a, &b});
     return out;
 }
@@ -467,8 +551,11 @@ Matrix ewise_diff(backend::Context& ctx, const Matrix& a, const Matrix& b) {
 
 Matrix kronecker(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.kronecker");
+    OpTelemetry tel("kronecker", a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
-        return db->kronecker(ctx, a, b);
+        Matrix out = db->kronecker(ctx, a, b);
+        tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
+        return out;
     }
     // The CSR kernel's work is exactly the nnz_a * nnz_b output entries;
     // the dense nested loop touches every cell pair and only wins on tiny,
@@ -486,14 +573,18 @@ Matrix kronecker(backend::Context& ctx, const Matrix& a, const Matrix& b) {
         if (f == Format::Dense) return Matrix{a.dense(ctx).kronecker(b.dense(ctx)), ctx};
         return Matrix{ops::kronecker(ctx, a.csr(ctx), b.csr(ctx)), ctx};
     }();
+    tel.done(f, out.nrows(), out.ncols(), out.nnz());
     trim({&a, &b});
     return out;
 }
 
 Matrix transpose(backend::Context& ctx, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.transpose");
+    OpTelemetry tel("transpose", a.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
-        return db->transpose(ctx, a);
+        Matrix out = db->transpose(ctx, a);
+        tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
+        return out;
     }
     Format f;
     if (!forced(global_hint(),
@@ -528,6 +619,7 @@ Matrix transpose(backend::Context& ctx, const Matrix& a) {
             default: return Matrix{ops::transpose(ctx, a.csr(ctx)), ctx};
         }
     }();
+    tel.done(f, out.nrows(), out.ncols(), out.nnz());
     trim({&a});
     return out;
 }
@@ -535,6 +627,7 @@ Matrix transpose(backend::Context& ctx, const Matrix& a) {
 Matrix submatrix(backend::Context& ctx, const Matrix& a, Index r0, Index c0, Index m,
                  Index n) {
     SPBLA_PROF_SPAN("storage.dispatch.submatrix");
+    OpTelemetry tel("submatrix", a.nnz());
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
         const auto nnz = static_cast<double>(a.nnz());
@@ -563,6 +656,7 @@ Matrix submatrix(backend::Context& ctx, const Matrix& a, Index r0, Index c0, Ind
                 return Matrix{ops::submatrix(ctx, a.csr(ctx), r0, c0, m, n), ctx};
         }
     }();
+    tel.done(f, out.nrows(), out.ncols(), out.nnz());
     trim({&a});
     return out;
 }
@@ -573,8 +667,11 @@ Matrix submatrix(backend::Context& ctx, const Matrix& a, Index r0, Index c0, Ind
 
 SpVector reduce_to_column(backend::Context& ctx, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.reduce_to_column");
+    OpTelemetry tel("reduce_to_col", a.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
-        return db->reduce_to_column(ctx, a);
+        SpVector out = db->reduce_to_column(ctx, a);
+        tel.done_sharded(out.size(), 1, out.nnz());
+        return out;
     }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::BitBlocks}, f)) {
@@ -592,17 +689,20 @@ SpVector reduce_to_column(backend::Context& ctx, const Matrix& a) {
     SpVector out = f == Format::Coo         ? ops::reduce_to_column(ctx, a.coo(ctx))
                    : f == Format::BitBlocks ? ops::reduce_to_column(ctx, a.bitblocks(ctx))
                                             : ops::reduce_to_column(ctx, a.csr(ctx));
+    tel.done(f, out.size(), 1, out.nnz());
     trim({&a});
     return out;
 }
 
 SpVector reduce_to_row(backend::Context& ctx, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.reduce_to_row");
+    OpTelemetry tel("reduce_to_row", a.nnz());
     Format f;
     if (!forced(global_hint(), {Format::Csr}, f)) f = Format::Csr;
     if (f != Format::Csr) f = Format::Csr;
     count_dispatch(f);
     SpVector out = ops::reduce_to_row(ctx, a.csr(ctx));
+    tel.done(f, 1, out.size(), out.nnz());
     trim({&a});
     return out;
 }
@@ -611,8 +711,11 @@ std::size_t reduce_scalar(const Matrix& a) noexcept { return a.nnz(); }
 
 SpVector mxv(backend::Context& ctx, const Matrix& a, const SpVector& x) {
     SPBLA_PROF_SPAN("storage.dispatch.mxv");
+    OpTelemetry tel("mxv", a.nnz() + x.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
-        return db->mxv(ctx, a, x);
+        SpVector out = db->mxv(ctx, a, x);
+        tel.done_sharded(out.size(), 1, out.nnz());
+        return out;
     }
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::BitBlocks}, f)) {
@@ -632,14 +735,17 @@ SpVector mxv(backend::Context& ctx, const Matrix& a, const SpVector& x) {
     count_dispatch(f);
     SpVector out = f == Format::BitBlocks ? ops::mxv(ctx, a.bitblocks(ctx), x)
                                           : ops::mxv(ctx, a.csr(ctx), x);
+    tel.done(f, out.size(), 1, out.nnz());
     trim({&a});
     return out;
 }
 
 SpVector vxm(backend::Context& ctx, const SpVector& x, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.vxm");
+    OpTelemetry tel("vxm", a.nnz() + x.nnz());
     count_dispatch(Format::Csr);
     SpVector out = ops::vxm(ctx, x, a.csr(ctx));
+    tel.done(Format::Csr, 1, out.size(), out.nnz());
     trim({&a});
     return out;
 }
@@ -647,13 +753,17 @@ SpVector vxm(backend::Context& ctx, const SpVector& x, const Matrix& a) {
 Matrix multiply_masked(backend::Context& ctx, const Matrix& mask, const Matrix& a,
                        const Matrix& b_transposed, bool complement) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply_masked");
+    OpTelemetry tel("mxm_masked", mask.nnz() + a.nnz() + b_transposed.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&mask, &a, &b_transposed})) {
-        return db->multiply_masked(ctx, mask, a, b_transposed, complement);
+        Matrix out = db->multiply_masked(ctx, mask, a, b_transposed, complement);
+        tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
+        return out;
     }
     count_dispatch(Format::Csr);
     Matrix out{ops::multiply_masked(ctx, mask.csr(ctx), a.csr(ctx),
                                     b_transposed.csr(ctx), complement),
                ctx};
+    tel.done(Format::Csr, out.nrows(), out.ncols(), out.nnz());
     trim({&mask, &a, &b_transposed});
     return out;
 }

@@ -19,6 +19,7 @@
 #include "core/convert.hpp"
 #include "prof/prof.hpp"
 #include "storage/dispatch.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/bit_ops.hpp"
 
 namespace spbla {
@@ -77,10 +78,14 @@ namespace {
 
 void gauge_add(std::size_t bytes) noexcept {
     g_cached_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    telemetry::gauge_add(telemetry::Gauge::StorageCachedBytes,
+                         static_cast<std::int64_t>(bytes));
 }
 
 void gauge_sub(std::size_t bytes) noexcept {
     g_cached_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+    telemetry::gauge_add(telemetry::Gauge::StorageCachedBytes,
+                         -static_cast<std::int64_t>(bytes));
 }
 
 }  // namespace
@@ -320,6 +325,7 @@ void Matrix::store_secondary(Format f) const {
     charge_[static_cast<std::size_t>(f)] = SlotCharge{&ctx_->tracker(), bytes};
     storage::gauge_add(bytes);
     storage::stats().repr_cache_stores.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::Counter::StorageCacheStores);
 }
 
 void Matrix::drop_slot(Format f) const noexcept {
@@ -328,6 +334,7 @@ void Matrix::drop_slot(Format f) const noexcept {
     charge.tracker->on_free(charge.bytes);
     storage::gauge_sub(charge.bytes);
     storage::stats().repr_cache_drops.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::Counter::StorageCacheDrops);
     charge = SlotCharge{};
     // Retract the published pointer before destroying the rep so late
     // readers miss and fall through to the mutex (where they re-materialise)
@@ -410,6 +417,7 @@ void Matrix::materialise(Format f, backend::Context& ctx) const {
                 storage::stats().format_conversions.fetch_add(
                     1, std::memory_order_relaxed);
                 SPBLA_PROF_COUNT(format_conversions, 1);
+                telemetry::count(telemetry::Counter::StorageConversions);
                 store_secondary(Format::Csr);
             }
             csr_pub_.store(csr_.get(), std::memory_order_release);
@@ -432,6 +440,7 @@ void Matrix::materialise(Format f, backend::Context& ctx) const {
                 storage::stats().format_conversions.fetch_add(
                     1, std::memory_order_relaxed);
                 SPBLA_PROF_COUNT(format_conversions, 1);
+                telemetry::count(telemetry::Counter::StorageConversions);
                 store_secondary(Format::Coo);
             }
             coo_pub_.store(coo_.get(), std::memory_order_release);
@@ -454,6 +463,7 @@ void Matrix::materialise(Format f, backend::Context& ctx) const {
                 storage::stats().format_conversions.fetch_add(
                     1, std::memory_order_relaxed);
                 SPBLA_PROF_COUNT(format_conversions, 1);
+                telemetry::count(telemetry::Counter::StorageConversions);
                 store_secondary(Format::Dense);
             }
             dense_pub_.store(dense_.get(), std::memory_order_release);
@@ -479,6 +489,7 @@ void Matrix::materialise(Format f, backend::Context& ctx) const {
                 storage::stats().format_conversions.fetch_add(
                     1, std::memory_order_relaxed);
                 SPBLA_PROF_COUNT(format_conversions, 1);
+                telemetry::count(telemetry::Counter::StorageConversions);
                 store_secondary(Format::BitBlocks);
             }
             bb_pub_.store(bb_.get(), std::memory_order_release);
@@ -491,6 +502,7 @@ const CsrMatrix& Matrix::csr(backend::Context& ctx) const {
         if (primary_ != Format::Csr) {
             storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(repr_cache_hits, 1);
+            telemetry::count(telemetry::Counter::StorageCacheHits);
         }
         return *pub;
     }
@@ -504,6 +516,7 @@ const CooMatrix& Matrix::coo(backend::Context& ctx) const {
         if (primary_ != Format::Coo) {
             storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(repr_cache_hits, 1);
+            telemetry::count(telemetry::Counter::StorageCacheHits);
         }
         return *pub;
     }
@@ -517,6 +530,7 @@ const DenseMatrix& Matrix::dense(backend::Context& ctx) const {
         if (primary_ != Format::Dense) {
             storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(repr_cache_hits, 1);
+            telemetry::count(telemetry::Counter::StorageCacheHits);
         }
         return *pub;
     }
@@ -530,6 +544,7 @@ const BitBlockMatrix& Matrix::bitblocks(backend::Context& ctx) const {
         if (primary_ != Format::BitBlocks) {
             storage::stats().repr_cache_hits.fetch_add(1, std::memory_order_relaxed);
             SPBLA_PROF_COUNT(repr_cache_hits, 1);
+            telemetry::count(telemetry::Counter::StorageCacheHits);
         }
         return *pub;
     }

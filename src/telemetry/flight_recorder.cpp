@@ -1,0 +1,267 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <exception>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#define SPBLA_FLIGHT_POSIX 1
+#endif
+
+#include "telemetry/metrics.hpp"
+
+namespace spbla::telemetry::flight {
+namespace {
+
+/// One ring slot. Every field is a relaxed atomic so concurrent recorders
+/// lapping each other (two tickets kCapacity apart share a slot) and the
+/// normal-context snapshot reader stay race-free under TSan; the seq field
+/// is the seqlock-style publication marker (0 while a writer is mid-slot).
+/// The op/format pointers must reference static-storage strings — the crash
+/// dumper dereferences them from a signal handler.
+struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> op{nullptr};
+    std::atomic<const char*> format{nullptr};
+    std::atomic<std::uint32_t> nrows{0};
+    std::atomic<std::uint32_t> ncols{0};
+    std::atomic<std::uint32_t> thread{0};
+    std::atomic<std::uint64_t> nnz_in{0};
+    std::atomic<std::uint64_t> nnz_out{0};
+    std::atomic<std::uint64_t> epoch_ns{0};
+    std::atomic<std::uint64_t> duration_ns{0};
+};
+
+/// The ring. Fixed global storage: the crash path touches no allocator.
+Slot g_ring[kCapacity];
+std::atomic<std::uint64_t> g_head{0};
+
+/// Crash-dump file path, captured into fixed storage by set_crash_dump_path
+/// so the handler can open(2) it without touching std::string.
+char g_crash_path[512] = {0};
+std::atomic<bool> g_path_armed{false};
+
+std::atomic<bool> g_handlers_installed{false};
+std::atomic<bool> g_crash_dumped{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+/// Read slot \p i (0-based ticket) into \p out; false if unpublished or a
+/// writer raced the read (seqlock validation failed).
+bool read_slot(std::uint64_t i, Record& out) noexcept {
+    const Slot& slot = g_ring[i % kCapacity];
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) return false;
+    const char* op = slot.op.load(std::memory_order_relaxed);
+    const char* format = slot.format.load(std::memory_order_relaxed);
+    out.nrows = slot.nrows.load(std::memory_order_relaxed);
+    out.ncols = slot.ncols.load(std::memory_order_relaxed);
+    out.thread = slot.thread.load(std::memory_order_relaxed);
+    out.nnz_in = slot.nnz_in.load(std::memory_order_relaxed);
+    out.nnz_out = slot.nnz_out.load(std::memory_order_relaxed);
+    out.epoch_ns = slot.epoch_ns.load(std::memory_order_relaxed);
+    out.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != i + 1) return false;
+    out.seq = i + 1;
+    std::size_t n = 0;
+    if (op != nullptr) {
+        for (; n + 1 < sizeof out.op && op[n] != '\0'; ++n) out.op[n] = op[n];
+    }
+    out.op[n] = '\0';
+    n = 0;
+    if (format != nullptr) {
+        for (; n + 1 < sizeof out.format && format[n] != '\0'; ++n) {
+            out.format[n] = format[n];
+        }
+    }
+    out.format[n] = '\0';
+    return true;
+}
+
+// ---- async-signal-safe formatting ----------------------------------------
+// The handlers cannot use stdio or std::to_string; records are rendered into
+// a stack buffer with hand-rolled decimal conversion and flushed via write(2).
+
+struct LineBuf {
+    char data[512];
+    std::size_t len{0};
+
+    void put_str(const char* s) noexcept {
+        for (; *s != '\0' && len + 1 < sizeof data; ++s) data[len++] = *s;
+    }
+    void put_u64(std::uint64_t v) noexcept {
+        char digits[20];
+        std::size_t n = 0;
+        do {
+            digits[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (n != 0 && len + 1 < sizeof data) data[len++] = digits[--n];
+    }
+};
+
+void write_all(int fd, const char* buf, std::size_t n) noexcept {
+#if defined(SPBLA_FLIGHT_POSIX)
+    while (n > 0) {
+        const auto w = ::write(fd, buf, n);
+        if (w <= 0) return;
+        buf += w;
+        n -= static_cast<std::size_t>(w);
+    }
+#else
+    static_cast<void>(fd);
+    static_cast<void>(buf);
+    static_cast<void>(n);
+#endif
+}
+
+/// Render \p r as one JSON line into \p out. The op/format fields only ever
+/// hold fixed identifier strings, so no escaping is needed.
+void render(const Record& r, LineBuf& out) noexcept {
+    out.len = 0;
+    out.put_str("{\"seq\":");
+    out.put_u64(r.seq);
+    out.put_str(",\"op\":\"");
+    out.put_str(r.op);
+    out.put_str("\",\"format\":\"");
+    out.put_str(r.format);
+    out.put_str("\",\"rows\":");
+    out.put_u64(r.nrows);
+    out.put_str(",\"cols\":");
+    out.put_u64(r.ncols);
+    out.put_str(",\"nnz_in\":");
+    out.put_u64(r.nnz_in);
+    out.put_str(",\"nnz_out\":");
+    out.put_u64(r.nnz_out);
+    out.put_str(",\"epoch_ns\":");
+    out.put_u64(r.epoch_ns);
+    out.put_str(",\"thread\":");
+    out.put_u64(r.thread);
+    out.put_str(",\"duration_ns\":");
+    out.put_u64(r.duration_ns);
+    out.put_str("}\n");
+}
+
+#if defined(SPBLA_FLIGHT_POSIX)
+void crash_signal_handler(int sig) {
+    dump_on_crash("signal");
+    // Restore the default action and re-raise so the process still dies with
+    // the original signal (core dumps, wait statuses unchanged).
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+#endif
+
+[[noreturn]] void terminate_with_dump() {
+    dump_on_crash("terminate");
+    if (g_prev_terminate != nullptr && g_prev_terminate != terminate_with_dump) {
+        g_prev_terminate();
+    }
+    std::abort();
+}
+
+}  // namespace
+
+void record(const char* op, const char* format, std::uint32_t nrows,
+            std::uint32_t ncols, std::uint64_t nnz_in, std::uint64_t nnz_out,
+            std::uint64_t duration_ns) noexcept {
+    const std::uint64_t h = g_head.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = g_ring[h % kCapacity];
+    // Invalidate, fill, publish: readers racing any phase of this see either
+    // the slot's previous fully-published generation or no record at all.
+    slot.seq.store(0, std::memory_order_release);
+    slot.op.store(op, std::memory_order_relaxed);
+    slot.format.store(format, std::memory_order_relaxed);
+    slot.nrows.store(nrows, std::memory_order_relaxed);
+    slot.ncols.store(ncols, std::memory_order_relaxed);
+    slot.thread.store(thread_id(), std::memory_order_relaxed);
+    slot.nnz_in.store(nnz_in, std::memory_order_relaxed);
+    slot.nnz_out.store(nnz_out, std::memory_order_relaxed);
+    slot.epoch_ns.store(now_ns(), std::memory_order_relaxed);
+    slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+    slot.seq.store(h + 1, std::memory_order_release);
+}
+
+std::vector<Record> snapshot_records() {
+    const std::uint64_t head = g_head.load(std::memory_order_acquire);
+    const std::uint64_t lo = head > kCapacity ? head - kCapacity : 0;
+    std::vector<Record> out;
+    out.reserve(static_cast<std::size_t>(head - lo));
+    for (std::uint64_t i = lo; i < head; ++i) {
+        Record r;
+        if (read_slot(i, r)) out.push_back(r);
+    }
+    return out;
+}
+
+std::uint64_t total_recorded() noexcept {
+    return g_head.load(std::memory_order_relaxed);
+}
+
+void dump(int fd) noexcept {
+    const std::uint64_t head = g_head.load(std::memory_order_relaxed);
+    const std::uint64_t lo = head > kCapacity ? head - kCapacity : 0;
+    LineBuf line;
+    for (std::uint64_t i = lo; i < head; ++i) {
+        Record r;
+        if (!read_slot(i, r)) continue;  // unpublished or torn mid-crash
+        render(r, line);
+        write_all(fd, line.data, line.len);
+    }
+}
+
+void set_crash_dump_path(const std::string& path) {
+    if (path.empty() || path.size() + 1 > sizeof g_crash_path) {
+        g_path_armed.store(false, std::memory_order_release);
+        return;
+    }
+    std::memcpy(g_crash_path, path.c_str(), path.size() + 1);
+    g_path_armed.store(true, std::memory_order_release);
+}
+
+void dump_on_crash(const char* reason) noexcept {
+    if (g_crash_dumped.exchange(true, std::memory_order_acq_rel)) return;
+    LineBuf marker;
+    marker.put_str("spbla: flight recorder (");
+    marker.put_str(reason != nullptr ? reason : "crash");
+    marker.put_str("), last ");
+    const std::uint64_t head = g_head.load(std::memory_order_relaxed);
+    marker.put_u64(head < kCapacity ? head : kCapacity);
+    marker.put_str(" of ");
+    marker.put_u64(head);
+    marker.put_str(" op(s):\n");
+    write_all(2, marker.data, marker.len);
+    dump(2);
+#if defined(SPBLA_FLIGHT_POSIX)
+    if (g_path_armed.load(std::memory_order_acquire)) {
+        const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            dump(fd);
+            ::close(fd);
+        }
+    }
+#endif
+}
+
+void install_crash_handlers() noexcept {
+    if (g_handlers_installed.exchange(true, std::memory_order_acq_rel)) return;
+#if defined(SPBLA_FLIGHT_POSIX)
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = crash_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    for (const int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL}) {
+        struct sigaction prev;
+        // Leave handlers someone else installed (a test harness, an
+        // embedding application) alone; only claim default dispositions.
+        if (sigaction(sig, nullptr, &prev) == 0 && prev.sa_handler == SIG_DFL) {
+            sigaction(sig, &sa, nullptr);
+        }
+    }
+#endif
+    g_prev_terminate = std::set_terminate(terminate_with_dump);
+}
+
+}  // namespace spbla::telemetry::flight

@@ -1,0 +1,143 @@
+/// \file metric_names.hpp
+/// \brief The curated namespace of exported telemetry instruments.
+///
+/// Every counter, gauge and histogram the always-on telemetry layer exports
+/// is declared here, once, as an enum entry plus its exported name. The rest
+/// of src/ refers to instruments only through these enums — the lint rule
+/// `metric-name-literal` flags any spbla.* metric-name string literal that
+/// appears in src/ outside this header, so the scrape surface stays a single
+/// reviewable list instead of drifting per call site.
+///
+/// Naming convention: `spbla.<subsystem>.<instrument>`, lowercase with
+/// underscores. The Prometheus exporter rewrites dots to underscores
+/// (`spbla_dispatch_ops`); the JSON exporter keys objects by the dotted name.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spbla::telemetry {
+
+/// Monotonic event counts. Relaxed-atomic, per-thread-sharded; reset by
+/// telemetry::reset() / spbla_MetricsReset.
+enum class Counter : std::uint16_t {
+    DispatchOps = 0,      ///< storage-dispatcher ops completed (any route)
+    DispatchCsr,          ///< ops routed to the CSR kernels
+    DispatchCoo,          ///< ops routed to the COO kernels
+    DispatchDense,        ///< ops routed to the dense bit-matrix kernels
+    DispatchBitBlocks,    ///< ops routed to the 64x64 bit-block tier
+    StorageConversions,   ///< format conversions materialised
+    StorageCacheHits,     ///< secondary-representation cache hits
+    StorageCacheStores,   ///< secondary representations cached
+    StorageCacheDrops,    ///< cached representations evicted
+    DistShardedOps,       ///< ops executed on the sharded multi-device path
+    DistShardBuilds,      ///< shardings materialised
+    DistShardCacheHits,   ///< shardings reused by content version
+    DistTilesProcessed,   ///< tile tasks executed across the device group
+    DistTileSteals,       ///< tile tasks run off their owner's queue
+    DistTileTransfers,    ///< non-resident tile reads
+    DistTransferBytes,    ///< bytes moved between simulated devices
+    PoolTasks,            ///< discrete pool jobs completed
+    PoolBulkLaunches,     ///< dynamic bulk launches (parallel_for ticket sets)
+    PoolTickets,          ///< tickets issued by bulk launches
+    MemAllocs,            ///< tracked device-buffer allocations
+    MemFrees,             ///< tracked device-buffer deallocations
+    ProfSpans,            ///< prof spans closed (only when profiling enabled)
+    Count_,               ///< sentinel — keep last
+};
+
+/// Point-in-time levels. Not reset by telemetry::reset(), except that
+/// peak-style gauges re-baseline to their paired live gauge.
+enum class Gauge : std::uint16_t {
+    MemLiveBytes = 0,     ///< tracked device bytes currently allocated (all contexts)
+    MemPeakBytes,         ///< high-water mark of MemLiveBytes
+    StorageCachedBytes,   ///< bytes held by cached secondary representations
+    PoolQueueDepth,       ///< jobs waiting in pool FIFO queues
+    PoolInFlight,         ///< submitted jobs not yet completed
+    PoolBusyWorkers,      ///< threads currently executing pool work
+    PoolWorkers,          ///< worker threads alive across all pools
+    Count_,               ///< sentinel — keep last
+};
+
+/// log2-bucketed value distributions (p50/p95/p99/max derivable from the
+/// buckets). Bucket 0 holds zeros; bucket i >= 1 holds values in
+/// [2^(i-1), 2^i - 1].
+enum class Histogram : std::uint16_t {
+    OpLatencyCsrNs = 0,   ///< dispatcher op wall-time, CSR route
+    OpLatencyCooNs,       ///< dispatcher op wall-time, COO route
+    OpLatencyDenseNs,     ///< dispatcher op wall-time, dense route
+    OpLatencyBitBlocksNs, ///< dispatcher op wall-time, bit-block route
+    OpLatencyShardedNs,   ///< dispatcher op wall-time, multi-device route
+    OpNnzIn,              ///< combined operand nnz per dispatched op
+    OpNnzOut,             ///< result nnz per dispatched op
+    ProfSpanNs,           ///< prof span durations (only when profiling enabled)
+    Count_,               ///< sentinel — keep last
+};
+
+inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::Count_);
+inline constexpr std::size_t kNumGauges = static_cast<std::size_t>(Gauge::Count_);
+inline constexpr std::size_t kNumHistograms =
+    static_cast<std::size_t>(Histogram::Count_);
+
+/// Exported (dotted) name of \p c; the single home of these literals.
+[[nodiscard]] constexpr const char* name(Counter c) noexcept {
+    switch (c) {
+        case Counter::DispatchOps: return "spbla.dispatch.ops";
+        case Counter::DispatchCsr: return "spbla.dispatch.csr";
+        case Counter::DispatchCoo: return "spbla.dispatch.coo";
+        case Counter::DispatchDense: return "spbla.dispatch.dense";
+        case Counter::DispatchBitBlocks: return "spbla.dispatch.bitblock";
+        case Counter::StorageConversions: return "spbla.storage.conversions";
+        case Counter::StorageCacheHits: return "spbla.storage.cache_hits";
+        case Counter::StorageCacheStores: return "spbla.storage.cache_stores";
+        case Counter::StorageCacheDrops: return "spbla.storage.cache_drops";
+        case Counter::DistShardedOps: return "spbla.dist.sharded_ops";
+        case Counter::DistShardBuilds: return "spbla.dist.shard_builds";
+        case Counter::DistShardCacheHits: return "spbla.dist.shard_cache_hits";
+        case Counter::DistTilesProcessed: return "spbla.dist.tiles_processed";
+        case Counter::DistTileSteals: return "spbla.dist.tile_steals";
+        case Counter::DistTileTransfers: return "spbla.dist.tile_transfers";
+        case Counter::DistTransferBytes: return "spbla.dist.transfer_bytes";
+        case Counter::PoolTasks: return "spbla.pool.tasks";
+        case Counter::PoolBulkLaunches: return "spbla.pool.bulk_launches";
+        case Counter::PoolTickets: return "spbla.pool.tickets";
+        case Counter::MemAllocs: return "spbla.mem.allocs";
+        case Counter::MemFrees: return "spbla.mem.frees";
+        case Counter::ProfSpans: return "spbla.prof.spans";
+        case Counter::Count_: break;
+    }
+    return "spbla.unknown.counter";
+}
+
+/// Exported (dotted) name of \p g.
+[[nodiscard]] constexpr const char* name(Gauge g) noexcept {
+    switch (g) {
+        case Gauge::MemLiveBytes: return "spbla.mem.live_bytes";
+        case Gauge::MemPeakBytes: return "spbla.mem.peak_bytes";
+        case Gauge::StorageCachedBytes: return "spbla.storage.cached_bytes";
+        case Gauge::PoolQueueDepth: return "spbla.pool.queue_depth";
+        case Gauge::PoolInFlight: return "spbla.pool.in_flight";
+        case Gauge::PoolBusyWorkers: return "spbla.pool.busy_workers";
+        case Gauge::PoolWorkers: return "spbla.pool.workers";
+        case Gauge::Count_: break;
+    }
+    return "spbla.unknown.gauge";
+}
+
+/// Exported (dotted) name of \p h.
+[[nodiscard]] constexpr const char* name(Histogram h) noexcept {
+    switch (h) {
+        case Histogram::OpLatencyCsrNs: return "spbla.op.latency_ns.csr";
+        case Histogram::OpLatencyCooNs: return "spbla.op.latency_ns.coo";
+        case Histogram::OpLatencyDenseNs: return "spbla.op.latency_ns.dense";
+        case Histogram::OpLatencyBitBlocksNs: return "spbla.op.latency_ns.bitblock";
+        case Histogram::OpLatencyShardedNs: return "spbla.op.latency_ns.sharded";
+        case Histogram::OpNnzIn: return "spbla.op.nnz_in";
+        case Histogram::OpNnzOut: return "spbla.op.nnz_out";
+        case Histogram::ProfSpanNs: return "spbla.prof.span_ns";
+        case Histogram::Count_: break;
+    }
+    return "spbla.unknown.histogram";
+}
+
+}  // namespace spbla::telemetry

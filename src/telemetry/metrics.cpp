@@ -1,0 +1,371 @@
+#include "telemetry/metrics.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/timer.hpp"
+
+namespace spbla::telemetry {
+namespace {
+
+/// Everything one thread writes. Atomics are only there so the aggregating
+/// snapshot reader is race-free; the owning thread's updates are relaxed and
+/// uncontended (the whole point of sharding).
+struct Shard {
+    explicit Shard(std::uint32_t id) : tid{id} {}
+
+    std::uint32_t tid;
+    std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+    std::array<std::atomic<std::uint64_t>, kNumHistograms * kHistogramBuckets>
+        buckets{};
+    std::array<std::atomic<std::uint64_t>, kNumHistograms> sums{};
+    std::array<std::atomic<std::uint64_t>, kNumHistograms> maxes{};
+};
+
+class Registry {
+public:
+    Registry() = default;
+
+    Shard& local() SPBLA_EXCLUDES(mutex_) {
+        thread_local Shard* shard = nullptr;
+        if (shard == nullptr) {
+            auto owned = std::make_shared<Shard>(
+                next_tid_.fetch_add(1, std::memory_order_relaxed));
+            shard = owned.get();
+            util::LockGuard lock{mutex_};
+            // Shards of exited threads are retained: their totals stay in
+            // every future snapshot, exactly like prof's ThreadLogs.
+            shards_.push_back(std::move(owned));
+        }
+        return *shard;
+    }
+
+    std::vector<std::shared_ptr<Shard>> shards_copy() SPBLA_EXCLUDES(mutex_) {
+        util::LockGuard lock{mutex_};
+        return shards_;
+    }
+
+    std::array<std::atomic<std::int64_t>, kNumGauges> gauges{};
+
+    std::uint64_t now_ns() const noexcept {
+        return static_cast<std::uint64_t>(epoch_.seconds() * 1e9);
+    }
+
+private:
+    util::Mutex mutex_;
+    std::vector<std::shared_ptr<Shard>> shards_ SPBLA_GUARDED_BY(mutex_);
+    std::atomic<std::uint32_t> next_tid_{0};
+    util::Timer epoch_;  // started at registry construction
+};
+
+std::string g_env_metrics_path;  // set once before threads exist
+
+void env_dump_at_exit() {
+    if (g_env_metrics_path.empty()) return;
+    const bool json_ok = write_file(g_env_metrics_path, ExportFormat::Json);
+    const bool prom_ok =
+        write_file(g_env_metrics_path + ".prom", ExportFormat::Prometheus);
+    if (json_ok && prom_ok) {
+        std::fprintf(stderr, "spbla: metrics written to %s (+.prom)\n",
+                     g_env_metrics_path.c_str());
+    } else {
+        std::fprintf(stderr, "spbla: cannot write metrics to %s\n",
+                     g_env_metrics_path.c_str());
+    }
+}
+
+/// SPBLA_METRICS=<path> dumps JSON to <path> and Prometheus text to
+/// <path>.prom at process exit, and arms the crash flight recorder's file
+/// dump at <path>.flight. Mirrors prof's SPBLA_TRACE hook — but unlike
+/// SPBLA_TRACE it needs no build flag: telemetry is always compiled in.
+void arm_env_hook() {
+    const char* path = std::getenv("SPBLA_METRICS");
+    if (path != nullptr && path[0] != '\0') {
+        g_env_metrics_path = path;
+        flight::set_crash_dump_path(g_env_metrics_path + ".flight");
+        std::atexit(env_dump_at_exit);
+    }
+    flight::install_crash_handlers();
+}
+
+Registry& registry() {
+    // Leaked intentionally: the atexit dump, crash handlers and late-exiting
+    // pool threads may touch the registry after static destruction begins.
+    static Registry* instance = new Registry;  // lint:allow(raw-new-delete)
+    static const bool armed = (arm_env_hook(), true);
+    static_cast<void>(armed);
+    return *instance;
+}
+
+/// Peak gauges re-baseline to their paired live gauge on reset().
+[[nodiscard]] constexpr Gauge live_pair(Gauge g) noexcept {
+    return g == Gauge::MemPeakBytes ? Gauge::MemLiveBytes : g;
+}
+
+[[nodiscard]] constexpr bool is_peak(Gauge g) noexcept {
+    return g == Gauge::MemPeakBytes;
+}
+
+/// Dotted metric name -> Prometheus name (dots to underscores).
+[[nodiscard]] std::string prom_name(const char* dotted) {
+    std::string out{dotted};
+    for (char& c : out) {
+        if (c == '.') c = '_';
+    }
+    return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+void append_i64(std::string& out, std::int64_t v) { out += std::to_string(v); }
+
+}  // namespace
+
+void count(Counter c, std::uint64_t delta) noexcept {
+    registry().local().counters[static_cast<std::size_t>(c)].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+void observe(Histogram h, std::uint64_t value) noexcept {
+    Shard& shard = registry().local();
+    const auto idx = static_cast<std::size_t>(h);
+    shard.buckets[idx * kHistogramBuckets + bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sums[idx].fetch_add(value, std::memory_order_relaxed);
+    auto& mx = shard.maxes[idx];
+    auto cur = mx.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !mx.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+}
+
+void gauge_set(Gauge g, std::int64_t value) noexcept {
+    registry().gauges[static_cast<std::size_t>(g)].store(
+        value, std::memory_order_relaxed);
+}
+
+std::int64_t gauge_add(Gauge g, std::int64_t delta) noexcept {
+    return registry().gauges[static_cast<std::size_t>(g)].fetch_add(
+               delta, std::memory_order_relaxed) +
+           delta;
+}
+
+void gauge_max(Gauge g, std::int64_t value) noexcept {
+    auto& slot = registry().gauges[static_cast<std::size_t>(g)];
+    auto cur = slot.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t now_ns() noexcept { return registry().now_ns(); }
+
+std::uint32_t thread_id() noexcept { return registry().local().tid; }
+
+std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Nearest-rank: the smallest bucket whose cumulative count reaches
+    // ceil(q * count) holds the quantile observation.
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+    if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= rank) return bucket_upper(i);
+    }
+    return bucket_upper(kHistogramBuckets - 1);
+}
+
+Snapshot snapshot() {
+    Registry& reg = registry();
+    Snapshot snap;
+    for (const auto& shard : reg.shards_copy()) {
+        for (std::size_t c = 0; c < kNumCounters; ++c) {
+            snap.counters[c] +=
+                shard->counters[c].load(std::memory_order_relaxed);
+        }
+        for (std::size_t h = 0; h < kNumHistograms; ++h) {
+            auto& agg = snap.histograms[h];
+            for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+                const auto n = shard->buckets[h * kHistogramBuckets + b].load(
+                    std::memory_order_relaxed);
+                agg.buckets[b] += n;
+                agg.count += n;
+            }
+            agg.sum += shard->sums[h].load(std::memory_order_relaxed);
+            const auto mx = shard->maxes[h].load(std::memory_order_relaxed);
+            if (mx > agg.max) agg.max = mx;
+        }
+    }
+    for (std::size_t g = 0; g < kNumGauges; ++g) {
+        snap.gauges[g] = reg.gauges[g].load(std::memory_order_relaxed);
+    }
+    return snap;
+}
+
+void reset() noexcept {
+    Registry& reg = registry();
+    for (const auto& shard : reg.shards_copy()) {
+        for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+        for (auto& b : shard->buckets) b.store(0, std::memory_order_relaxed);
+        for (auto& s : shard->sums) s.store(0, std::memory_order_relaxed);
+        for (auto& m : shard->maxes) m.store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t g = 0; g < kNumGauges; ++g) {
+        const auto gauge = static_cast<Gauge>(g);
+        if (is_peak(gauge)) {
+            reg.gauges[g].store(
+                reg.gauges[static_cast<std::size_t>(live_pair(gauge))].load(
+                    std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+    }
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    static const char* hex = "0123456789abcdef";
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xF];
+                    out += hex[c & 0xF];
+                } else {
+                    out += raw;
+                }
+        }
+    }
+    return out;
+}
+
+std::string to_json(const Snapshot& snap) {
+    std::string out;
+    out.reserve(4096);
+    out += "{\n  \"schema\": \"spbla.metrics.v1\",\n  \"counters\": {";
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+        out += c == 0 ? "\n" : ",\n";
+        out += "    \"";
+        out += json_escape(name(static_cast<Counter>(c)));
+        out += "\": ";
+        append_u64(out, snap.counters[c]);
+    }
+    out += "\n  },\n  \"gauges\": {";
+    for (std::size_t g = 0; g < kNumGauges; ++g) {
+        out += g == 0 ? "\n" : ",\n";
+        out += "    \"";
+        out += json_escape(name(static_cast<Gauge>(g)));
+        out += "\": ";
+        append_i64(out, snap.gauges[g]);
+    }
+    out += "\n  },\n  \"histograms\": {";
+    for (std::size_t h = 0; h < kNumHistograms; ++h) {
+        const auto& hist = snap.histograms[h];
+        out += h == 0 ? "\n" : ",\n";
+        out += "    \"";
+        out += json_escape(name(static_cast<Histogram>(h)));
+        out += "\": {\"count\": ";
+        append_u64(out, hist.count);
+        out += ", \"sum\": ";
+        append_u64(out, hist.sum);
+        out += ", \"max\": ";
+        append_u64(out, hist.max);
+        out += ", \"p50\": ";
+        append_u64(out, hist.quantile(0.50));
+        out += ", \"p95\": ";
+        append_u64(out, hist.quantile(0.95));
+        out += ", \"p99\": ";
+        append_u64(out, hist.quantile(0.99));
+        out += ", \"buckets\": [";
+        // Trailing empty buckets are elided; consumers treat missing
+        // entries as zero (tools/check_trace.py does).
+        std::size_t last = 0;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            if (hist.buckets[b] != 0) last = b + 1;
+        }
+        for (std::size_t b = 0; b < last; ++b) {
+            if (b != 0) out += ", ";
+            append_u64(out, hist.buckets[b]);
+        }
+        out += "]}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+    std::string out;
+    out.reserve(4096);
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+        const std::string pname = prom_name(name(static_cast<Counter>(c)));
+        out += "# TYPE " + pname + " counter\n";
+        out += pname + " ";
+        append_u64(out, snap.counters[c]);
+        out += "\n";
+    }
+    for (std::size_t g = 0; g < kNumGauges; ++g) {
+        const std::string pname = prom_name(name(static_cast<Gauge>(g)));
+        out += "# TYPE " + pname + " gauge\n";
+        out += pname + " ";
+        append_i64(out, snap.gauges[g]);
+        out += "\n";
+    }
+    for (std::size_t h = 0; h < kNumHistograms; ++h) {
+        const auto& hist = snap.histograms[h];
+        const std::string pname = prom_name(name(static_cast<Histogram>(h)));
+        out += "# TYPE " + pname + " histogram\n";
+        std::uint64_t cumulative = 0;
+        std::size_t last = 0;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            if (hist.buckets[b] != 0) last = b + 1;
+        }
+        for (std::size_t b = 0; b < last; ++b) {
+            cumulative += hist.buckets[b];
+            out += pname + "_bucket{le=\"";
+            append_u64(out, bucket_upper(b));
+            out += "\"} ";
+            append_u64(out, cumulative);
+            out += "\n";
+        }
+        out += pname + "_bucket{le=\"+Inf\"} ";
+        append_u64(out, hist.count);
+        out += "\n";
+        out += pname + "_sum ";
+        append_u64(out, hist.sum);
+        out += "\n";
+        out += pname + "_count ";
+        append_u64(out, hist.count);
+        out += "\n";
+    }
+    return out;
+}
+
+bool write_file(const std::string& path, ExportFormat format) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const Snapshot snap = snapshot();
+    const std::string body =
+        format == ExportFormat::Json ? to_json(snap) : to_prometheus(snap);
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace spbla::telemetry

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace spbla::util {
 
 void contract_violation(const char* expr, const char* file, int line,
@@ -10,6 +12,9 @@ void contract_violation(const char* expr, const char* file, int line,
     std::fprintf(stderr, "spbla: invariant violated: %s\n  at %s:%d\n  %s\n", expr,
                  file, line, msg);
     std::fflush(stderr);
+    // Leave the post-mortem op trail before dying. First dump wins, so the
+    // SIGABRT handler raised by abort() below becomes a no-op.
+    telemetry::flight::dump_on_crash("invariant");
     std::abort();
 }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "prof/prof.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace spbla::util {
 
@@ -15,6 +16,8 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     for (std::size_t i = 0; i < num_threads; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
     }
+    telemetry::gauge_add(telemetry::Gauge::PoolWorkers,
+                         static_cast<std::int64_t>(num_threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,6 +26,8 @@ ThreadPool::~ThreadPool() {
         stop_ = true;
     }
     cv_job_.notify_all();
+    telemetry::gauge_add(telemetry::Gauge::PoolWorkers,
+                         -static_cast<std::int64_t>(workers_.size()));
     for (auto& w : workers_) w.join();
 }
 
@@ -32,16 +37,21 @@ void ThreadPool::submit(std::function<void()> job) {
         jobs_.push(std::move(job));
         ++in_flight_;
     }
+    telemetry::gauge_add(telemetry::Gauge::PoolQueueDepth, 1);
+    telemetry::gauge_add(telemetry::Gauge::PoolInFlight, 1);
     cv_job_.notify_one();
 }
 
 void ThreadPool::submit_many(std::vector<std::function<void()>> jobs) {
     if (jobs.empty()) return;
+    const auto n = static_cast<std::int64_t>(jobs.size());
     {
         LockGuard lock{mutex_};
         for (auto& job : jobs) jobs_.push(std::move(job));
         in_flight_ += jobs.size();
     }
+    telemetry::gauge_add(telemetry::Gauge::PoolQueueDepth, n);
+    telemetry::gauge_add(telemetry::Gauge::PoolInFlight, n);
     cv_job_.notify_all();
 }
 
@@ -70,6 +80,8 @@ void ThreadPool::run_dynamic(std::size_t num_tickets,
     // span of the op doing the launch.
     SPBLA_PROF_COUNT(pool_bulk_launches, 1);
     SPBLA_PROF_COUNT(pool_tickets, num_tickets);
+    telemetry::count(telemetry::Counter::PoolBulkLaunches);
+    telemetry::count(telemetry::Counter::PoolTickets, num_tickets);
     auto task = std::make_shared<BulkTask>();
     task->body = &body;
     task->count = num_tickets;
@@ -102,8 +114,13 @@ void ThreadPool::worker_loop() {
             }
         }
         if (job) {
+            telemetry::gauge_add(telemetry::Gauge::PoolQueueDepth, -1);
+            telemetry::gauge_add(telemetry::Gauge::PoolBusyWorkers, 1);
             job();
+            telemetry::gauge_add(telemetry::Gauge::PoolBusyWorkers, -1);
+            telemetry::gauge_add(telemetry::Gauge::PoolInFlight, -1);
             SPBLA_PROF_COUNT(pool_tasks, 1);
+            telemetry::count(telemetry::Counter::PoolTasks);
             LockGuard lock{mutex_};
             if (--in_flight_ == 0) cv_idle_.notify_all();
         } else if (bulk) {

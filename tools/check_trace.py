@@ -50,8 +50,22 @@ Checks, in order:
               must exist when --require-dispatch also passed, proving the
               cost model routes work here on its own.
 
+  metrics     (--require-metrics, with --metrics PATH) A telemetry snapshot
+              dumped by SPBLA_METRICS / spbla_MetricsDump validates: the
+              schema tag is spbla.metrics.v1, counters are non-negative
+              integers, each histogram's bucket counts sum to its count and
+              its p50/p95/p99 are monotone, the per-route op-latency
+              histogram counts sum exactly to spbla.dispatch.ops, each
+              per-format dispatch counter covers its route's histogram
+              count, and the memory peak gauge dominates the live gauge.
+              The Prometheus sibling at PATH.prom (when present) must parse
+              line-by-line with cumulative buckets and _count == +Inf.
+  flight      (--flight PATH) A crash flight-recorder dump parses as JSON
+              lines with strictly increasing seq, named ops and sane fields.
+
 Usage: tools/check_trace.py TRACE.json [--require-spgemm]
            [--require-dispatch] [--require-dist] [--require-bitblock]
+           [--require-metrics --metrics METRICS.json] [--flight FLIGHT.jsonl]
 Exits 0 iff every check passes.
 """
 
@@ -281,6 +295,191 @@ class Checker:
                        "never routed an operation to the bitblock tier on "
                        "its own")
 
+    # --- telemetry metrics snapshot --------------------------------------
+
+    LATENCY_HISTOGRAMS = {
+        "spbla.op.latency_ns.csr": "spbla.dispatch.csr",
+        "spbla.op.latency_ns.coo": "spbla.dispatch.coo",
+        "spbla.op.latency_ns.dense": "spbla.dispatch.dense",
+        "spbla.op.latency_ns.bitblock": "spbla.dispatch.bitblock",
+        "spbla.op.latency_ns.sharded": "spbla.dist.sharded_ops",
+    }
+
+    def check_metrics(self, path: Path) -> None:
+        where = path.name
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            self.error(f"{where}: cannot load metrics JSON: {exc}")
+            return
+        if doc.get("schema") != "spbla.metrics.v1":
+            self.error(f"{where}: schema is {doc.get('schema')!r}, "
+                       "expected 'spbla.metrics.v1'")
+        counters = doc.get("counters")
+        gauges = doc.get("gauges")
+        histograms = doc.get("histograms")
+        for key, section in (("counters", counters), ("gauges", gauges),
+                             ("histograms", histograms)):
+            if not isinstance(section, dict):
+                self.error(f"{where}: missing '{key}' object")
+                return
+
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                self.error(f"{where}: counter {name} is not a "
+                           f"non-negative integer: {value!r}")
+        for name, value in gauges.items():
+            if not isinstance(value, int):
+                self.error(f"{where}: gauge {name} is not an integer: {value!r}")
+
+        for name, hist in histograms.items():
+            if not isinstance(hist, dict):
+                self.error(f"{where}: histogram {name} is not an object")
+                continue
+            count = hist.get("count", 0)
+            buckets = hist.get("buckets", [])
+            if sum(buckets) != count:
+                self.error(f"{where}: histogram {name} buckets sum to "
+                           f"{sum(buckets)}, count says {count}")
+            p50, p95, p99 = (hist.get(k, 0) for k in ("p50", "p95", "p99"))
+            if not p50 <= p95 <= p99:
+                self.error(f"{where}: histogram {name} quantiles not "
+                           f"monotone: p50={p50} p95={p95} p99={p99}")
+            if count > 0 and hist.get("sum", 0) < hist.get("max", 0):
+                self.error(f"{where}: histogram {name} sum < max")
+
+        # Every completed dispatcher op lands in exactly one route histogram.
+        ops = counters.get("spbla.dispatch.ops", 0)
+        routed = sum(histograms.get(h, {}).get("count", 0)
+                     for h in self.LATENCY_HISTOGRAMS)
+        if routed != ops:
+            self.error(f"{where}: op-latency histogram counts sum to {routed} "
+                       f"but spbla.dispatch.ops = {ops} — every dispatched op "
+                       "must land in exactly one route histogram")
+        # The pick counter increments before the kernel, the histogram after
+        # it, so the counter dominates (ops that threw are picked, not timed).
+        for hist_name, counter_name in self.LATENCY_HISTOGRAMS.items():
+            picked = counters.get(counter_name, 0)
+            timed = histograms.get(hist_name, {}).get("count", 0)
+            if picked < timed:
+                self.error(f"{where}: {counter_name} = {picked} < {hist_name} "
+                           f"count = {timed} — picks happen before timings")
+        nnz_in = histograms.get("spbla.op.nnz_in", {}).get("count", 0)
+        if nnz_in != ops:
+            self.error(f"{where}: spbla.op.nnz_in count = {nnz_in} != "
+                       f"spbla.dispatch.ops = {ops}")
+
+        live = gauges.get("spbla.mem.live_bytes", 0)
+        peak = gauges.get("spbla.mem.peak_bytes", 0)
+        if live < 0:
+            self.error(f"{where}: spbla.mem.live_bytes is negative ({live})")
+        if peak < live:
+            self.error(f"{where}: spbla.mem.peak_bytes ({peak}) < "
+                       f"live_bytes ({live})")
+        allocs = counters.get("spbla.mem.allocs", 0)
+        frees = counters.get("spbla.mem.frees", 0)
+        if frees > allocs:
+            self.error(f"{where}: spbla.mem.frees ({frees}) > allocs "
+                       f"({allocs})")
+
+        prom = path.with_name(path.name + ".prom")
+        if prom.is_file():
+            self.check_prometheus(prom)
+        else:
+            print(f"check_trace: note: no Prometheus sibling at {prom}")
+
+    def check_prometheus(self, path: Path) -> None:
+        where = path.name
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            self.error(f"{where}: cannot read: {exc}")
+            return
+        typed: dict[str, str] = {}
+        buckets: dict[str, list[tuple[str, int]]] = defaultdict(list)
+        samples: dict[str, int] = {}
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "TYPE" or parts[3] not in (
+                        "counter", "gauge", "histogram"):
+                    self.error(f"{where}:{i + 1}: malformed TYPE line: {line!r}")
+                else:
+                    typed[parts[2]] = parts[3]
+                continue
+            parts = line.rsplit(" ", 1)
+            if len(parts) != 2:
+                self.error(f"{where}:{i + 1}: malformed sample line: {line!r}")
+                continue
+            name, value = parts
+            try:
+                num = int(value)
+            except ValueError:
+                self.error(f"{where}:{i + 1}: non-integer value: {line!r}")
+                continue
+            if "_bucket{le=" in name:
+                base = name.split("_bucket{le=", 1)[0]
+                le = name.split('le="', 1)[1].rstrip('"}')
+                buckets[base].append((le, num))
+            else:
+                samples[name] = num
+        if not typed:
+            self.error(f"{where}: no # TYPE lines — not Prometheus exposition")
+        for base, series in buckets.items():
+            values = [v for (_le, v) in series]
+            if values != sorted(values):
+                self.error(f"{where}: histogram {base} buckets are not "
+                           "cumulative")
+            if series and series[-1][0] != "+Inf":
+                self.error(f"{where}: histogram {base} is missing the "
+                           "+Inf bucket")
+            count = samples.get(base + "_count")
+            if series and count is not None and series[-1][1] != count:
+                self.error(f"{where}: histogram {base} +Inf bucket "
+                           f"({series[-1][1]}) != _count ({count})")
+        for name, kind in typed.items():
+            if kind in ("counter", "gauge") and name not in samples:
+                self.error(f"{where}: TYPE {name} declared but no sample")
+
+    def check_flight(self, path: Path) -> None:
+        where = path.name
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            self.error(f"{where}: cannot read: {exc}")
+            return
+        records = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                self.error(f"{where}:{i + 1}: not a JSON record: {exc}")
+                continue
+            records.append((i + 1, rec))
+        if not records:
+            self.error(f"{where}: flight dump holds no records")
+            return
+        prev_seq = 0
+        for lineno, rec in records:
+            seq = rec.get("seq")
+            if not isinstance(seq, int) or seq <= prev_seq:
+                self.error(f"{where}:{lineno}: seq {seq!r} does not increase "
+                           f"(previous {prev_seq})")
+            else:
+                prev_seq = seq
+            if not rec.get("op"):
+                self.error(f"{where}:{lineno}: record without an op name")
+            for field in ("rows", "cols", "nnz_in", "nnz_out", "epoch_ns",
+                          "thread", "duration_ns"):
+                if not isinstance(rec.get(field), int) or rec[field] < 0:
+                    self.error(f"{where}:{lineno}: field {field!r} is not a "
+                               "non-negative integer")
+        print(f"check_trace: {path}: {len(records)} flight record(s)")
+
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
@@ -298,7 +497,19 @@ def main() -> int:
                     help="additionally require the 64x64 bit-block tier "
                          "counters (blocks touched, words ANDed, "
                          "Four-Russians lookup hits)")
+    ap.add_argument("--require-metrics", action="store_true",
+                    help="additionally validate a telemetry snapshot "
+                         "(needs --metrics)")
+    ap.add_argument("--metrics", type=Path, default=None,
+                    help="telemetry JSON dumped by SPBLA_METRICS or "
+                         "spbla_MetricsDump; the Prometheus sibling at "
+                         "PATH.prom is checked too when present")
+    ap.add_argument("--flight", type=Path, default=None,
+                    help="flight-recorder crash dump (JSON lines) to validate")
     args = ap.parse_args()
+
+    if args.require_metrics and args.metrics is None:
+        ap.error("--require-metrics needs --metrics PATH")
 
     try:
         doc = json.loads(args.trace.read_text(encoding="utf-8"))
@@ -323,6 +534,11 @@ def main() -> int:
         n_spans, n_counters = len(spans), len(counters)
     else:
         n_spans = n_counters = 0
+
+    if args.require_metrics:
+        checker.check_metrics(args.metrics)
+    if args.flight is not None:
+        checker.check_flight(args.flight)
 
     for err in checker.errors:
         print(f"check_trace: {args.trace}: {err}", file=sys.stderr)

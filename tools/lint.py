@@ -158,6 +158,64 @@ def strip_code(text: str) -> str:
     return "".join(out)
 
 
+def string_literals(text: str):
+    """Yield (line_no, contents) for every double-quoted string literal,
+    comments excluded — the inverse selection of strip_code, for rules that
+    inspect what the strings *say* (e.g. metric-name-literal)."""
+    out: list[tuple[int, str]] = []
+    i, n = 0, len(text)
+    line = 1
+    state = "code"
+    start_line = 0
+    buf: list[str] = []
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            line += 1
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                start_line = line
+                buf = []
+            elif c == "'":
+                state = "char"
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+        elif state == "string":
+            if c == "\\":
+                buf.append(text[i:i + 2])
+                i += 2
+                continue
+            if c == '"':
+                out.append((start_line, "".join(buf)))
+                state = "code"
+            else:
+                buf.append(c)
+        elif state == "char":
+            if c == "\\":
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+        i += 1
+    return out
+
+
 # --- tokenizer -----------------------------------------------------------
 
 class Token:
@@ -400,6 +458,28 @@ class Linter:
                                 f"concrete tile header dist/{m.group(1)}.hpp "
                                 "included outside src/dist/ — use dist/dist.hpp "
                                 "(or let the dispatcher route)")
+
+    # Dotted instrument-name prefixes owned by telemetry/metric_names.hpp.
+    # The schema tag "spbla.metrics.v1" deliberately does not match: it names
+    # the export format, not an instrument.
+    METRIC_LITERAL_RE = re.compile(
+        r"spbla\.(dispatch|op|mem|storage|pool|dist|prof)\.[a-z0-9_.]+")
+
+    def rule_metric_name_literal(self, f: File) -> None:
+        if not f.rel.startswith("src/"):
+            return
+        if f.rel == "src/telemetry/metric_names.hpp":
+            return
+        # strip_code() blanks string literals, so walk the raw text with the
+        # same scanner states and collect literal contents per line.
+        for no, literal in string_literals(f.raw):
+            m = self.METRIC_LITERAL_RE.search(literal)
+            if m:
+                self.report(f, no, "metric-name-literal",
+                            f'metric name "{m.group(0)}" spelled as a string '
+                            "literal — instrument names live only in "
+                            "telemetry/metric_names.hpp (add an enum there "
+                            "and call telemetry::name())")
 
     def rule_ops_file_state(self, f: File) -> None:
         if not f.rel.startswith("src/ops/"):
@@ -741,6 +821,7 @@ class Linter:
         "contracts-include": "rule_contracts_include",
         "ops-validation": "rule_ops_validation",
         "format-leak": "rule_format_leak",
+        "metric-name-literal": "rule_metric_name_literal",
         "ops-file-state": "rule_ops_file_state",
         "parallel-capture": "rule_parallel_capture",
         "guarded-mutable": "rule_guarded_mutable",

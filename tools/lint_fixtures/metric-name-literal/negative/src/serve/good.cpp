@@ -1,0 +1,6 @@
+// Fixture: mentioning an instrument in prose is fine — only string
+// literals are flagged. The spbla.dispatch.ops counter is documented here.
+#include <string>
+/* block comments citing spbla.op.latency_ns.csr are fine too */
+const char* kSchemaTag = "spbla.metrics.v1";  // format tag, not an instrument
+std::string describe() { return "dispatch counters live in metric_names.hpp"; }

@@ -1,0 +1,3 @@
+// Fixture: the sanctioned home of metric-name literals is exempt.
+#pragma once
+constexpr const char* kDispatchOps = "spbla.dispatch.ops";
