@@ -18,6 +18,7 @@
 #include <map>
 
 #include "algorithms/closure.hpp"
+#include "backend/arena.hpp"
 #include "backend/context.hpp"
 #include "baseline/generic_spgemm.hpp"
 #include "common.hpp"
@@ -271,6 +272,37 @@ void write_spgemm_trajectory() {
     w.end_array();
     const double geomean = std::exp(log_sum / kNumInputs);
     w.field("geomean_speedup", geomean);
+
+    // Allocation-count ablation: the same full-pipeline multiply with the op
+    // arena active vs. forced into pass-through (every scratch request an
+    // individually tracked heap block — the pre-arena behaviour). Counted by
+    // the device tracker, so the ratio is exactly the allocator-traffic
+    // reduction the arena tier buys on this ladder's hardest input.
+    {
+        const ops::SpGemmOptions full;
+        auto& tracker = ctx().tracker();
+        (void)ops::multiply(ctx(), inputs[0].m, inputs[0].m, full);  // warm slabs
+        const std::uint64_t on0 = tracker.alloc_count();
+        (void)ops::multiply(ctx(), inputs[0].m, inputs[0].m, full);
+        const std::uint64_t allocs_on = tracker.alloc_count() - on0;
+
+        backend::set_arena_enabled(false);
+        const std::uint64_t off0 = tracker.alloc_count();
+        (void)ops::multiply(ctx(), inputs[0].m, inputs[0].m, full);
+        const std::uint64_t allocs_off = tracker.alloc_count() - off0;
+        backend::set_arena_enabled(true);
+
+        const double reduction =
+            static_cast<double>(allocs_off) /
+            static_cast<double>(std::max<std::uint64_t>(allocs_on, 1));
+        w.field("allocs_arena_on", allocs_on);
+        w.field("allocs_arena_off", allocs_off);
+        w.field("alloc_reduction_spgemm", reduction);
+        std::printf("SpGEMM alloc ablation: %llu tracked allocs pass-through vs "
+                    "%llu with the arena (%.1fx reduction)\n",
+                    static_cast<unsigned long long>(allocs_off),
+                    static_cast<unsigned long long>(allocs_on), reduction);
+    }
     w.end_object();
     std::fclose(f);
     std::printf("SpGEMM trajectory written to %s (geomean speedup %.2fx)\n", path,
@@ -527,6 +559,12 @@ void write_dist_trajectory() {
         {"rmat-12-8", data::make_rmat(12, 8).csr()},
         {"zipf-4096-16", data::make_zipf(4096, 4096, 16, 1.0).csr()},
     };
+    // Pool reuse over the whole ladder: SUMMA rounds recycle superseded
+    // accumulators and assemble outputs through the per-device BufferPools,
+    // so the hit ratio measures how much of the tile traffic the free lists
+    // absorb (telemetry counters are process-wide; the delta brackets the
+    // ladder).
+    const auto pool_before = backend::Context::metrics_snapshot();
     bench::JsonWriter w(f);
     w.begin_object();
     w.field("bench", "dist");
@@ -599,6 +637,21 @@ void write_dist_trajectory() {
     const double geomean =
         n_inputs > 0 ? std::exp(log_sum / static_cast<double>(n_inputs)) : 0.0;
     w.field("geomean_speedup_4dev", geomean);
+    const auto pool_after = backend::Context::metrics_snapshot();
+    const std::uint64_t pool_hits =
+        pool_after.counter(telemetry::Counter::PoolBufferHits) -
+        pool_before.counter(telemetry::Counter::PoolBufferHits);
+    const std::uint64_t pool_misses =
+        pool_after.counter(telemetry::Counter::PoolBufferMisses) -
+        pool_before.counter(telemetry::Counter::PoolBufferMisses);
+    const double reuse_ratio =
+        pool_hits + pool_misses > 0
+            ? static_cast<double>(pool_hits) /
+                  static_cast<double>(pool_hits + pool_misses)
+            : 0.0;
+    w.field("pool_hits", pool_hits);
+    w.field("pool_misses", pool_misses);
+    w.field("pool_reuse_ratio", reuse_ratio);
     w.end_object();
     std::fclose(f);
     dist::disable();

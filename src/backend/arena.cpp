@@ -1,0 +1,305 @@
+/// \file arena.cpp
+/// \brief Bump-arena, hub, and buffer-pool implementation.
+
+#include "backend/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "backend/device_buffer.hpp"  // kPoisonByte
+#include "util/contracts.hpp"
+
+namespace spbla::backend {
+
+namespace {
+
+/// First slab; doubles up to the cap so tiny contexts stay tiny and hot
+/// kernels stop reserving after a few ops.
+constexpr std::size_t kMinSlabBytes = std::size_t{64} << 10;
+constexpr std::size_t kMaxSlabBytes = std::size_t{8} << 20;
+
+std::atomic<bool> g_arena_enabled{[] {
+    const char* v = std::getenv("SPBLA_ARENA");
+    return !(v != nullptr &&
+             (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0));
+}()};
+
+/// Monotonic hub ids: never reused, so a stale thread-local cache entry for
+/// a destroyed hub can never match a live one.
+std::atomic<std::uint64_t> g_hub_ids{1};
+
+/// Cheap stable per-thread key (the address of a thread_local is unique
+/// among live threads). Key reuse after a thread exits is benign: the new
+/// thread simply adopts the dead thread's (quiescent) arena.
+[[nodiscard]] std::uint64_t thread_key() noexcept {
+    thread_local const char tag = 0;
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&tag));
+}
+
+/// Free-list class that parks capacity \p cap: floor(log2(cap)).
+[[nodiscard]] std::size_t class_of_capacity(std::size_t cap) noexcept {
+    std::size_t c = 0;
+    while (c + 1 < 63 && (std::size_t{2} << c) <= cap) ++c;
+    return c;
+}
+
+/// Smallest class whose every member holds \p n elements: ceil(log2(n)).
+[[nodiscard]] std::size_t class_for_request(std::size_t n) noexcept {
+    std::size_t c = 0;
+    while (c < 63 && (std::size_t{1} << c) < n) ++c;
+    return c;
+}
+
+}  // namespace
+
+bool arena_enabled() noexcept {
+    return g_arena_enabled.load(std::memory_order_relaxed);
+}
+
+void set_arena_enabled(bool enabled) noexcept {
+    g_arena_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    if (align == 0) align = 1;
+    if (!charged_) {
+        // Retained slabs come back into the live footprint the moment the
+        // arena is touched again (counted once, at reserve — see on_charge).
+        if (tracker_ != nullptr) tracker_->on_charge(reserved_);
+        charged_ = true;
+    }
+    void* p = arena_enabled() ? bump(bytes, align) : passthrough_allocate(bytes);
+    SPBLA_CHECKED(std::memset(p, kPoisonByte, bytes));
+    return p;
+}
+
+void* Arena::bump(std::size_t bytes, std::size_t align) {
+    for (;;) {
+        if (cursor_ < slabs_.size()) {
+            Slab& s = slabs_[cursor_];
+            const std::size_t off = (s.used + align - 1) & ~(align - 1);
+            if (off + bytes <= s.mem.size()) {
+                used_ += (off - s.used) + bytes;
+                s.used = off + bytes;
+                return s.mem.data() + off;
+            }
+            if (cursor_ + 1 < slabs_.size()) {
+                // Retained slabs past the cursor are empty after rewind;
+                // the current slab's tail is wasted until the next reset.
+                ++cursor_;
+                continue;
+            }
+        }
+        reserve_slab(bytes + align);
+        cursor_ = slabs_.size() - 1;
+    }
+}
+
+void* Arena::passthrough_allocate(std::size_t bytes) {
+    // Ablation mode: one tracked heap block per allocation, freed at scope
+    // rewind — what every scratch vector paid before the arena existed.
+    passthrough_.emplace_back(bytes);
+    if (tracker_ != nullptr) tracker_->on_alloc(bytes);
+    used_ += bytes;
+    return passthrough_.back().data();
+}
+
+void Arena::reserve_slab(std::size_t at_least) {
+    std::size_t want = slabs_.empty()
+                           ? kMinSlabBytes
+                           : std::min(slabs_.back().mem.size() * 2, kMaxSlabBytes);
+    want = std::max(want, at_least);
+    slabs_.push_back(Slab{std::vector<std::byte>(want), 0});
+    reserved_ += want;
+    if (tracker_ != nullptr) tracker_->on_alloc(want);
+    telemetry::gauge_max(telemetry::Gauge::ArenaReservedBytes,
+                         static_cast<std::int64_t>(reserved_));
+}
+
+void Arena::rewind(const Mark& m) noexcept {
+    SPBLA_CHECKED(poison_tail(m));
+    if (m.slab < slabs_.size()) {
+        slabs_[m.slab].used = m.offset;
+        for (std::size_t i = m.slab + 1; i < slabs_.size(); ++i) slabs_[i].used = 0;
+    }
+    cursor_ = m.slab;
+    used_ = m.used;
+    while (passthrough_.size() > m.passthrough) {
+        auto& entry = passthrough_.back();
+        SPBLA_CHECKED(std::memset(entry.data(), kPoisonByte, entry.size()));
+        if (tracker_ != nullptr) tracker_->on_free(entry.size());
+        passthrough_.pop_back();
+    }
+}
+
+void Arena::poison_tail(const Mark& m) noexcept {
+    for (std::size_t i = m.slab; i < slabs_.size(); ++i) {
+        Slab& s = slabs_[i];
+        const std::size_t from = (i == m.slab) ? m.offset : 0;
+        if (s.used > from) {
+            std::memset(s.mem.data() + from, kPoisonByte, s.used - from);
+        }
+    }
+}
+
+void Arena::settle() noexcept {
+    if (used_ == 0 && charged_) {
+        if (tracker_ != nullptr) tracker_->on_uncharge(reserved_);
+        charged_ = false;
+    }
+}
+
+void Arena::trim() noexcept {
+    SPBLA_ASSERT(depth_ == 0 && used_ == 0, "Arena::trim: live scratch scope");
+    if (tracker_ != nullptr) {
+        // Pair every slab's reserve-time on_alloc with exactly one on_free;
+        // a settled arena re-charges first so the byte balance nets to zero.
+        if (!charged_) tracker_->on_charge(reserved_);
+        for (const Slab& s : slabs_) tracker_->on_free(s.mem.size());
+        for (const auto& entry : passthrough_) tracker_->on_free(entry.size());
+    }
+    charged_ = false;
+    slabs_.clear();
+    passthrough_.clear();
+    cursor_ = 0;
+    reserved_ = 0;
+    used_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// ArenaHub
+// ---------------------------------------------------------------------------
+
+ArenaHub::ArenaHub(MemoryTracker* tracker)
+    : tracker_{tracker}, id_{g_hub_ids.fetch_add(1, std::memory_order_relaxed)} {}
+
+ArenaHub::~ArenaHub() = default;  // each ~Arena trims itself
+
+Arena& ArenaHub::local() {
+    struct CacheEntry {
+        std::uint64_t hub;
+        Arena* arena;
+    };
+    // Per-thread fast path: one entry per (thread, hub) pair this thread has
+    // touched. Bounded; evicted entries are just re-found through the map.
+    thread_local std::vector<CacheEntry> cache;
+    for (const CacheEntry& e : cache) {
+        if (e.hub == id_) return *e.arena;
+    }
+    util::LockGuard lk{mu_};
+    auto& slot = arenas_[thread_key()];
+    if (slot == nullptr) slot = std::make_unique<Arena>(tracker_);
+    if (cache.size() >= 64) cache.erase(cache.begin());
+    cache.push_back(CacheEntry{id_, slot.get()});
+    return *slot;
+}
+
+void ArenaHub::trim() noexcept {
+    util::LockGuard lk{mu_};
+    for (auto& [key, arena] : arenas_) arena->trim();
+}
+
+std::size_t ArenaHub::reserved_bytes() const {
+    util::LockGuard lk{mu_};
+    std::size_t total = 0;
+    for (const auto& [key, arena] : arenas_) total += arena->reserved();
+    return total;
+}
+
+std::size_t ArenaHub::used_bytes() const {
+    util::LockGuard lk{mu_};
+    std::size_t total = 0;
+    for (const auto& [key, arena] : arenas_) total += arena->used();
+    return total;
+}
+
+std::size_t ArenaHub::arena_count() const {
+    util::LockGuard lk{mu_};
+    return arenas_.size();
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+BufferPool::Buffer BufferPool::acquire(std::size_t n) {
+    if (n > 0) {
+        const std::size_t first = class_for_request(n);
+        const std::size_t last = std::min(first + 2, kNumClasses - 1);
+        Buffer b;
+        bool hit = false;
+        {
+            util::LockGuard lk{mu_};
+            for (std::size_t c = first; c <= last; ++c) {
+                if (classes_[c].empty()) continue;
+                b = std::move(classes_[c].back());
+                classes_[c].pop_back();
+                held_bytes_ -= b.capacity() * sizeof(std::uint32_t);
+                hit = true;
+                break;
+            }
+        }
+        if (hit) {
+            telemetry::gauge_add(
+                telemetry::Gauge::PoolHeldBytes,
+                -static_cast<std::int64_t>(b.capacity() * sizeof(std::uint32_t)));
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            telemetry::count(telemetry::Counter::PoolBufferHits);
+            b.resize(n);
+            return b;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::Counter::PoolBufferMisses);
+    return Buffer(n);
+}
+
+BufferPool::Buffer BufferPool::acquire_zeroed(std::size_t n) {
+    Buffer b = acquire(n);
+    std::fill(b.begin(), b.end(), 0u);
+    return b;
+}
+
+void BufferPool::release(Buffer&& b) noexcept {
+    const std::size_t bytes = b.capacity() * sizeof(std::uint32_t);
+    if (bytes == 0) return;
+    SPBLA_CHECKED(
+        std::memset(b.data(), kPoisonByte, b.size() * sizeof(std::uint32_t)));
+    const std::size_t c = class_of_capacity(b.capacity());
+    if (c >= kNumClasses) return;  // absurdly large: free to the heap
+    {
+        util::LockGuard lk{mu_};
+        if (held_bytes_ + bytes > kMaxHeldBytes) return;  // cap: free instead
+        classes_[c].push_back(std::move(b));
+        held_bytes_ += bytes;
+    }
+    telemetry::gauge_add(telemetry::Gauge::PoolHeldBytes,
+                         static_cast<std::int64_t>(bytes));
+}
+
+void BufferPool::trim() noexcept {
+    std::size_t freed = 0;
+    {
+        util::LockGuard lk{mu_};
+        for (auto& cls : classes_) cls.clear();
+        freed = held_bytes_;
+        held_bytes_ = 0;
+    }
+    if (freed > 0) {
+        telemetry::gauge_add(telemetry::Gauge::PoolHeldBytes,
+                             -static_cast<std::int64_t>(freed));
+    }
+}
+
+std::size_t BufferPool::held_bytes() const {
+    util::LockGuard lk{mu_};
+    return held_bytes_;
+}
+
+}  // namespace spbla::backend

@@ -5,6 +5,17 @@
 /// is charged against the owning context's MemoryTracker, so the benchmark
 /// harness can report the same footprint numbers the paper does.
 ///
+/// Two backing modes share one access path (ptr_ + size_, so element access
+/// never branches on the mode):
+///  - owned: the default — storage lives in an internal vector and is
+///    charged/uncharged on the tracker per buffer (Context::alloc).
+///  - borrowed: a view over op-arena memory (Context::scratch_alloc). The
+///    arena's slab charge already accounts for the bytes, the enclosing
+///    ScopedArena reset reclaims them, and release() only poisons. Copies of
+///    a borrowed buffer alias the same storage — scratch is scope-local by
+///    contract, so value copies of it are a bug this makes loud in checked
+///    builds rather than a silent double-charge.
+///
 /// Contract checking: element access is bounds-asserted at SPBLA_CHECKS=cheap
 /// and above; at SPBLA_CHECKS=full the storage is poison-filled on allocation
 /// and release, so kernels that read device scratch before writing it (or
@@ -34,21 +45,42 @@ public:
     DeviceBuffer() noexcept = default;
 
     DeviceBuffer(MemoryTracker* tracker, std::size_t count)
-        : tracker_{tracker}, data_(count) {
+        : tracker_{tracker}, owned_(count) {
+        ptr_ = owned_.data();
+        size_ = count;
         if (tracker_) tracker_->on_alloc(bytes());
         SPBLA_CHECKED(poison());
     }
 
+    /// Borrowed (arena-backed) view: \p p stays valid until the enclosing
+    /// ScopedArena resets; no tracker interaction (the slab charge covers it).
+    [[nodiscard]] static DeviceBuffer borrow(T* p, std::size_t count) noexcept {
+        DeviceBuffer b;
+        b.ptr_ = p;
+        b.size_ = count;
+        b.poison();  // match the owned-mode contract: poison, not zero
+        return b;
+    }
+
     DeviceBuffer(const DeviceBuffer& other)
-        : tracker_{other.tracker_}, data_{other.data_} {
-        if (tracker_) tracker_->on_alloc(bytes());
+        : tracker_{other.tracker_}, owned_{other.owned_} {
+        if (other.owned()) {
+            ptr_ = owned_.data();
+            size_ = other.size_;
+            if (tracker_) tracker_->on_alloc(bytes());
+        } else {
+            ptr_ = other.ptr_;  // borrowed buffers alias (see file comment)
+            size_ = other.size_;
+        }
     }
 
     DeviceBuffer(DeviceBuffer&& other) noexcept
         : tracker_{std::exchange(other.tracker_, nullptr)},
-          data_{std::move(other.data_)} {
-        other.data_.clear();
-        other.data_.shrink_to_fit();
+          owned_{std::move(other.owned_)},
+          ptr_{std::exchange(other.ptr_, nullptr)},
+          size_{std::exchange(other.size_, 0)} {
+        other.owned_.clear();
+        other.owned_.shrink_to_fit();
     }
 
     DeviceBuffer& operator=(DeviceBuffer other) noexcept {
@@ -60,48 +92,59 @@ public:
 
     void swap(DeviceBuffer& other) noexcept {
         std::swap(tracker_, other.tracker_);
-        data_.swap(other.data_);
+        owned_.swap(other.owned_);
+        std::swap(ptr_, other.ptr_);
+        std::swap(size_, other.size_);
     }
 
-    /// Free the storage and un-charge the tracker.
+    /// Free the storage and un-charge the tracker. Borrowed storage is only
+    /// poisoned — the arena reclaims it wholesale at scope exit.
     void release() noexcept {
         SPBLA_CHECKED(poison());
         if (tracker_) tracker_->on_free(bytes());
         tracker_ = nullptr;
-        data_.clear();
-        data_.shrink_to_fit();
+        owned_.clear();
+        owned_.shrink_to_fit();
+        ptr_ = nullptr;
+        size_ = 0;
     }
 
-    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
-    [[nodiscard]] std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
-    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::size_t bytes() const noexcept { return size_ * sizeof(T); }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-    [[nodiscard]] T* data() noexcept { return data_.data(); }
-    [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+    [[nodiscard]] T* data() noexcept { return ptr_; }
+    [[nodiscard]] const T* data() const noexcept { return ptr_; }
 
     [[nodiscard]] T& operator[](std::size_t i) noexcept {
-        SPBLA_ASSERT(i < data_.size(), "DeviceBuffer: index out of bounds");
-        return data_[i];
+        SPBLA_ASSERT(i < size_, "DeviceBuffer: index out of bounds");
+        return ptr_[i];
     }
     [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
-        SPBLA_ASSERT(i < data_.size(), "DeviceBuffer: index out of bounds");
-        return data_[i];
+        SPBLA_ASSERT(i < size_, "DeviceBuffer: index out of bounds");
+        return ptr_[i];
     }
 
-    [[nodiscard]] auto begin() noexcept { return data_.begin(); }
-    [[nodiscard]] auto end() noexcept { return data_.end(); }
-    [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
-    [[nodiscard]] auto end() const noexcept { return data_.end(); }
+    [[nodiscard]] T* begin() noexcept { return ptr_; }
+    [[nodiscard]] T* end() noexcept { return ptr_ + size_; }
+    [[nodiscard]] const T* begin() const noexcept { return ptr_; }
+    [[nodiscard]] const T* end() const noexcept { return ptr_ + size_; }
 
 private:
+    [[nodiscard]] bool owned() const noexcept {
+        return ptr_ == nullptr || !owned_.empty();
+    }
+
     void poison() noexcept {
         if constexpr (std::is_trivially_copyable_v<T>) {
-            if (!data_.empty()) std::memset(data_.data(), kPoisonByte, bytes());
+            if (size_ > 0) std::memset(ptr_, kPoisonByte, bytes());
         }
     }
 
     MemoryTracker* tracker_{nullptr};
-    std::vector<T> data_;
+    std::vector<T> owned_;  ///< backing storage in owned mode, empty when borrowed
+    T* ptr_{nullptr};
+    std::size_t size_{0};
 };
 
 }  // namespace spbla::backend

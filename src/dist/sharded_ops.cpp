@@ -56,7 +56,10 @@ Matrix assemble(backend::Context& out_ctx, const Partition& part,
     const std::size_t gc = part.grid_cols();
     const Index nr = part.nrows();
 
-    std::vector<Index> offsets(static_cast<std::size_t>(nr) + 1, 0);
+    // The stitched arrays come from the output device's pool: every sharded
+    // op assembles here, so round-tripping results through the free lists
+    // means steady-state SUMMA iterations reuse the same blocks.
+    auto offsets = out_ctx.buffer_pool().acquire_zeroed(static_cast<std::size_t>(nr) + 1);
     for (std::size_t i = 0; i < gr; ++i) {
         const Index base = part.row_begin(i);
         for (std::size_t j = 0; j < gc; ++j) {
@@ -72,8 +75,9 @@ Matrix assemble(backend::Context& out_ctx, const Partition& part,
     for (std::size_t r = 0; r < static_cast<std::size_t>(nr); ++r)
         offsets[r + 1] += offsets[r];
 
-    std::vector<Index> cols(offsets[nr]);
-    std::vector<Index> cursor(offsets.begin(), offsets.end() - 1);
+    auto cols = out_ctx.buffer_pool().acquire(offsets[nr]);
+    auto cursor = out_ctx.buffer_pool().acquire(nr);
+    std::copy(offsets.begin(), offsets.end() - 1, cursor.begin());
     for (std::size_t i = 0; i < gr; ++i) {
         const Index base = part.row_begin(i);
         for (std::size_t j = 0; j < gc; ++j) {
@@ -86,6 +90,7 @@ Matrix assemble(backend::Context& out_ctx, const Partition& part,
             }
         }
     }
+    out_ctx.buffer_pool().release(std::move(cursor));
     return Matrix{CsrMatrix::from_raw(nr, part.ncols(), std::move(offsets),
                                       std::move(cols)),
                   out_ctx};
@@ -174,7 +179,14 @@ Matrix sharded_multiply(backend::Context& out_ctx, const ShardedMatrix& a,
                         bb_acc = bb_acc ? ops::ewise_add(dev, *bb_acc, p) : std::move(p);
                     }
                 } else if (acc) {
-                    acc = ops::multiply_add(dev, *acc, at.csr(), bt.csr(), opts);  // lint:allow(parallel-capture)
+                    CsrMatrix next =
+                        ops::multiply_add(dev, *acc, at.csr(), bt.csr(), opts);  // lint:allow(parallel-capture)
+                    // The superseded accumulator's arrays go back to this
+                    // device's pool; the next round's product re-draws them.
+                    auto [offsets, cols] = std::move(*acc).release_raw();
+                    dev.buffer_pool().release(std::move(offsets));
+                    dev.buffer_pool().release(std::move(cols));
+                    acc = std::move(next);
                 } else {
                     acc = ops::multiply(dev, at.csr(), bt.csr(), opts);  // lint:allow(parallel-capture)
                 }

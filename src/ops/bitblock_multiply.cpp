@@ -21,8 +21,10 @@
 /// bitblock_lookup_hits counts table probes.
 #include <algorithm>
 #include <cstring>
+#include <utility>
 #include <vector>
 
+#include "backend/arena.hpp"
 #include "core/validate.hpp"
 #include "ops/bitblock_common.hpp"
 #include "ops/bitblock_ops.hpp"
@@ -87,14 +89,29 @@ BitBlockMatrix multiply(backend::Context& ctx, const BitBlockMatrix& a,
 
     const std::size_t npanels =
         (static_cast<std::size_t>(brows) + kPanelRows - 1) / kPanelRows;
-    ctx.parallel_for(npanels, 1, [&](std::size_t p) {
+    ctx.parallel_for_chunks(npanels, 1, [&](std::size_t p0, std::size_t p1) {
+        // Panel scratch on the worker's op arena: built once per chunk,
+        // re-assigned per panel, reclaimed wholesale at chunk-scope reset.
+        backend::Arena& arena = ctx.scratch_arena();
+        backend::ArenaVector<PanelTile> atiles{
+            backend::ArenaAllocator<PanelTile>{arena}};
+        backend::ArenaVector<std::int32_t> slot{
+            backend::ArenaAllocator<std::int32_t>{arena}};
+        backend::ArenaVector<std::uint64_t> acc{
+            backend::ArenaAllocator<std::uint64_t>{arena}};
+        backend::ArenaVector<std::pair<Index, Index>> touched{  // (bil, bj)
+            backend::ArenaAllocator<std::pair<Index, Index>>{arena}};
+        backend::ArenaVector<std::uint32_t> order{
+            backend::ArenaAllocator<std::uint32_t>{arena}};
+
+        const auto run_panel = [&](std::size_t p) {
         const Index bi0 = static_cast<Index>(p * kPanelRows);
         const Index bi1 = std::min<Index>(brows, bi0 + static_cast<Index>(kPanelRows));
         const std::size_t nbi = bi1 - bi0;
 
         // Panel tiles sorted by inner block column: all A tiles that read
         // B block row bk are adjacent, so each B tile is visited once.
-        std::vector<PanelTile> atiles;
+        atiles.clear();
         for (Index bi = bi0; bi < bi1; ++bi) {
             for (const auto& t : a.block_row(bi)) {
                 atiles.push_back(PanelTile{t.bcol, static_cast<Index>(bi - bi0), &t});
@@ -105,9 +122,9 @@ BitBlockMatrix multiply(backend::Context& ctx, const BitBlockMatrix& a,
                          [](const PanelTile& x, const PanelTile& y) { return x.bk < y.bk; });
 
         // Accumulator tiles, allocated on first touch of (panel row, bcol).
-        std::vector<std::int32_t> slot(nbi * static_cast<std::size_t>(bcols_out), -1);
-        std::vector<std::uint64_t> acc;
-        std::vector<std::pair<Index, Index>> touched;  // (bil, bj)
+        slot.assign(nbi * static_cast<std::size_t>(bcols_out), -1);
+        acc.clear();
+        touched.clear();
 
         std::uint64_t bexp[kW];
         FourRussiansTable table;
@@ -177,28 +194,35 @@ BitBlockMatrix multiply(backend::Context& ctx, const BitBlockMatrix& a,
             i = j;
         }
 
-        // Flush: regroup accumulator tiles per panel row in bcol order.
-        std::vector<std::vector<std::pair<Index, std::int32_t>>> per_row(nbi);
-        for (std::size_t t = 0; t < touched.size(); ++t) {
-            per_row[touched[t].first].emplace_back(touched[t].second,
-                                                   static_cast<std::int32_t>(t));
+        // Flush: regroup accumulator tiles per panel row in bcol order — a
+        // flat sorted index over `touched` (pairs order by bil, then bj)
+        // instead of the old vector-of-vectors regroup.
+        order.resize(touched.size());
+        for (std::size_t t = 0; t < order.size(); ++t) {
+            order[t] = static_cast<std::uint32_t>(t);
         }
-        for (std::size_t bil = 0; bil < nbi; ++bil) {
-            auto& row = per_row[bil];
-            if (row.empty()) continue;
-            std::sort(row.begin(), row.end());
+        std::sort(order.begin(), order.end(),
+                  [&](std::uint32_t x, std::uint32_t y) { return touched[x] < touched[y]; });
+        std::size_t t = 0;
+        while (t < order.size()) {
+            const Index bil = touched[order[t]].first;
+            std::size_t e = t;
+            while (e < order.size() && touched[order[e]].first == bil) ++e;
             detail::BlockRowStage& stage = stages[bi0 + bil];
-            stage.bcols.reserve(row.size());
-            stage.words.resize(row.size() * kW);
-            for (std::size_t t = 0; t < row.size(); ++t) {
-                stage.bcols.push_back(row[t].first);
-                std::memcpy(stage.words.data() + t * kW,
-                            acc.data() + static_cast<std::size_t>(row[t].second) * kW,
+            stage.bcols.reserve(e - t);
+            stage.words.resize((e - t) * kW);
+            for (std::size_t q = t; q < e; ++q) {
+                stage.bcols.push_back(touched[order[q]].second);
+                std::memcpy(stage.words.data() + (q - t) * kW,
+                            acc.data() + static_cast<std::size_t>(order[q]) * kW,
                             kW * sizeof(std::uint64_t));
             }
+            t = e;
         }
         SPBLA_PROF_COUNT(bitblock_blocks_touched, pairs);
         SPBLA_PROF_COUNT(bitblock_lookup_hits, lookups);
+        };
+        for (std::size_t p = p0; p < p1; ++p) run_panel(p);
     });
 
     BitBlockMatrix out = detail::assemble(a.nrows(), b.ncols(), std::move(stages));

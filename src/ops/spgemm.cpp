@@ -5,8 +5,10 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
+#include "backend/arena.hpp"
 #include "core/validate.hpp"
 #include "ops/ewise_add.hpp"
 #include "prof/prof.hpp"
@@ -20,14 +22,25 @@ constexpr Index kEmptySlot = 0xFFFFFFFFu;
 
 /// Per-worker scratch reused across the rows of one chunk. In Nsparse the
 /// hash table lives in GPU shared memory and the dense bitmap in global
-/// memory; here both are worker-local arrays.
+/// memory; here both are worker-local arrays on the executing worker's op
+/// arena: constructed once per chunk, grown by bump allocation, reclaimed
+/// wholesale when the chunk's ScopedArena resets — zero heap traffic on the
+/// row loop once the worker's slabs are warm.
 struct RowScratch {
-    std::vector<Index> hash_slots;
-    std::vector<Index> inserted;  ///< values placed in hash_slots by the current row
-    std::vector<Index> tiny_buffer;
-    std::vector<std::uint64_t> bitmap_words;
-    std::vector<std::uint32_t> touched_words;  ///< bitmap words set by the current row
-    std::vector<Index> extracted;
+    explicit RowScratch(backend::Arena& arena)
+        : hash_slots{backend::ArenaAllocator<Index>{arena}},
+          inserted{backend::ArenaAllocator<Index>{arena}},
+          tiny_buffer{backend::ArenaAllocator<Index>{arena}},
+          bitmap_words{backend::ArenaAllocator<std::uint64_t>{arena}},
+          touched_words{backend::ArenaAllocator<std::uint32_t>{arena}},
+          extracted{backend::ArenaAllocator<Index>{arena}} {}
+
+    backend::ArenaVector<Index> hash_slots;
+    backend::ArenaVector<Index> inserted;  ///< values placed in hash_slots by the current row
+    backend::ArenaVector<Index> tiny_buffer;
+    backend::ArenaVector<std::uint64_t> bitmap_words;
+    backend::ArenaVector<std::uint32_t> touched_words;  ///< bitmap words set by the current row
+    backend::ArenaVector<Index> extracted;
 };
 
 /// Size classes double as scheduling bins; kNumKinds bins are launched
@@ -330,8 +343,14 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
     const util::Schedule sched =
         opts.use_ticket_scheduler ? util::Schedule::Dynamic : util::Schedule::Static;
 
-    // Symbolic phase 1: per-row product upper bounds (tracked device array).
-    auto ub = ctx.alloc<std::uint64_t>(m);
+    // Everything this op allocates on the calling thread's arena (the upper
+    // bound array below) dies here; worker-side scratch lives in the per-chunk
+    // scopes parallel_for* opens on each worker's own arena.
+    backend::ScopedArena op_scope{ctx.scratch_arena()};
+
+    // Symbolic phase 1: per-row product upper bounds (arena-backed device
+    // scratch — charged via the arena's slab accounting, freed at op exit).
+    auto ub = ctx.scratch_alloc<std::uint64_t>(m);
     ctx.parallel_for(
         m, 1024, [&](std::size_t i) { ub[i] = row_upper_bound(a, b, static_cast<Index>(i)); },
         sched);
@@ -365,7 +384,7 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
             ctx.parallel_for_chunks(
                 bins.chunks.size(), 1,
                 [&](std::size_t cb, std::size_t ce) {
-                    RowScratch scratch;
+                    RowScratch scratch{ctx.scratch_arena()};
                     for (std::size_t c = cb; c < ce; ++c) {
                         const auto& chunk = bins.chunks[c];
                         for (std::size_t p = chunk.begin; p < chunk.end; ++p) {
@@ -378,7 +397,7 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
             ctx.parallel_for_chunks(
                 m, 64,
                 [&](std::size_t begin, std::size_t end) {
-                    RowScratch scratch;
+                    RowScratch scratch{ctx.scratch_arena()};
                     for (std::size_t i = begin; i < end; ++i) {
                         row_fn(static_cast<Index>(i), scratch);
                     }
@@ -401,8 +420,12 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
     }
 
     // Symbolic phase 2: exact per-row sizes via the accumulators (columns
-    // extracted along the way for rows the cache accepts).
-    std::vector<Index> row_offsets(static_cast<std::size_t>(m) + 1, 0);
+    // extracted along the way for rows the cache accepts). The offsets and
+    // column arrays become the output matrix, so they come from the pooled
+    // free lists rather than the arena: a dropped product hands them back.
+    static_assert(std::is_same_v<backend::BufferPool::Buffer, std::vector<Index>>,
+                  "pooled buffers must be CSR index arrays");
+    auto row_offsets = ctx.buffer_pool().acquire_zeroed(static_cast<std::size_t>(m) + 1);
     {
     SPBLA_PROF_SPAN("spgemm.symbolic");
     launch_rows([&](Index i, RowScratch& scratch) {
@@ -424,14 +447,10 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
             accumulate_row(a, b, i, ub[i], opts, scratch, /*need_columns=*/keep);
         row_offsets[i] = size;
         if (keep) {
-            // Steal the extraction buffer for big rows (a pointer swap
-            // instead of copying the row); small rows copy so the scratch
-            // keeps its capacity.
-            if (scratch.extracted.size() > 64) {
-                cache[i].swap(scratch.extracted);
-            } else {
-                cache[i].assign(scratch.extracted.begin(), scratch.extracted.end());
-            }
+            // The cache outlives this worker's chunk scope, so it copies out
+            // of the arena-backed extraction buffer into heap storage (the
+            // old swap-steal would leak arena memory past its scope).
+            cache[i].assign(scratch.extracted.begin(), scratch.extracted.end());
             cached[i] = 1;
             cache_bytes.fetch_sub(reserved - cache[i].size() * sizeof(Index));
         }
@@ -447,8 +466,9 @@ CsrMatrix multiply(backend::Context& ctx, const CsrMatrix& a, const CsrMatrix& b
                   "spgemm: result nnz overflows Index");
 
     // Numeric phase: cached rows are copied straight out; only rows the
-    // budget excluded re-run their accumulator.
-    std::vector<Index> cols(static_cast<std::size_t>(total));
+    // budget excluded re-run their accumulator. Every element is written
+    // exactly once, so the unspecified pooled contents are fine.
+    auto cols = ctx.buffer_pool().acquire(static_cast<std::size_t>(total));
     {
     SPBLA_PROF_SPAN("spgemm.numeric");
     launch_rows([&](Index i, RowScratch& scratch) {
@@ -482,8 +502,15 @@ CsrMatrix multiply_add(backend::Context& ctx, const CsrMatrix& c, const CsrMatri
                   Status::DimensionMismatch,
                   "spgemm: accumulator shape must match A.nrows x B.ncols");
     SPBLA_VALIDATE(c);
-    const CsrMatrix product = multiply(ctx, a, b, opts);
-    return ewise_add(ctx, c, product);
+    CsrMatrix product = multiply(ctx, a, b, opts);
+    CsrMatrix out = ewise_add(ctx, c, product);
+    // The intermediate product is dead once accumulated; hand its arrays
+    // back to the pool so the next iteration's multiply re-acquires them
+    // (the closure/CFPQ loops hit this every round).
+    auto [offsets, cols] = std::move(product).release_raw();
+    ctx.buffer_pool().release(std::move(offsets));
+    ctx.buffer_pool().release(std::move(cols));
+    return out;
 }
 
 }  // namespace spbla::ops

@@ -22,6 +22,7 @@
 #include <cmath>
 #include <limits>
 
+#include "backend/arena.hpp"
 #include "ops/ops.hpp"
 #include "prof/prof.hpp"
 #include "storage/thresholds.hpp"
@@ -223,8 +224,8 @@ void count_dispatch(Format f) noexcept {
 /// check_trace --require-metrics verifies.
 class OpTelemetry {
 public:
-    OpTelemetry(const char* op, std::uint64_t nnz_in) noexcept
-        : op_(op), nnz_in_(nnz_in) {}
+    OpTelemetry(const char* op, backend::Context& ctx, std::uint64_t nnz_in) noexcept
+        : op_(op), nnz_in_(nnz_in), arena_scope_{ctx.scratch_arena()} {}
 
     void done(Format f, Index nrows, Index ncols, std::uint64_t nnz_out) noexcept {
         finish(latency_histogram(f), format_tag(f), nrows, ncols, nnz_out);
@@ -249,6 +250,11 @@ private:
     const char* op_;
     std::uint64_t nnz_in_;
     util::Timer timer_;
+    /// Per-op arena scope on the dispatching thread: op-level scratch from
+    /// conversions and inline kernel launches is reclaimed when the op
+    /// returns. One scope (and so one spbla.arena.resets) per dispatched op
+    /// — the invariant tools/check_trace.py --require-arena verifies.
+    backend::ScopedArena arena_scope_;
 };
 
 /// Keep the caches of every operand under the process-wide budget once the
@@ -317,7 +323,7 @@ void trim(std::initializer_list<const Matrix*> operands) noexcept {
 Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
                 const ops::SpGemmOptions& opts) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply");
-    OpTelemetry tel("multiply", a.nnz() + b.nnz());
+    OpTelemetry tel("multiply", ctx, a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
         Matrix out = db->multiply(ctx, a, b, opts);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
@@ -365,7 +371,7 @@ Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
 Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
                     const Matrix& b, const ops::SpGemmOptions& opts) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply_add");
-    OpTelemetry tel("multiply_add", c.nnz() + a.nnz() + b.nnz());
+    OpTelemetry tel("multiply_add", ctx, c.nnz() + a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&c, &a, &b})) {
         Matrix out = db->multiply_add(ctx, c, a, b, opts);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
@@ -423,7 +429,7 @@ Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
 
 Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.ewise_add");
-    OpTelemetry tel("ewise_add", a.nnz() + b.nnz());
+    OpTelemetry tel("ewise_add", ctx, a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
         Matrix out = db->ewise_add(ctx, a, b);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
@@ -477,7 +483,7 @@ Matrix ewise_add(backend::Context& ctx, const Matrix& a, const Matrix& b) {
 
 Matrix ewise_mult(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.ewise_mult");
-    OpTelemetry tel("ewise_mult", a.nnz() + b.nnz());
+    OpTelemetry tel("ewise_mult", ctx, a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
         Matrix out = db->ewise_mult(ctx, a, b);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
@@ -521,7 +527,7 @@ Matrix ewise_mult(backend::Context& ctx, const Matrix& a, const Matrix& b) {
 
 Matrix ewise_diff(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.ewise_diff");
-    OpTelemetry tel("ewise_diff", a.nnz() + b.nnz());
+    OpTelemetry tel("ewise_diff", ctx, a.nnz() + b.nnz());
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Dense}, f)) {
         const auto total = static_cast<double>(a.nnz() + b.nnz());
@@ -551,7 +557,7 @@ Matrix ewise_diff(backend::Context& ctx, const Matrix& a, const Matrix& b) {
 
 Matrix kronecker(backend::Context& ctx, const Matrix& a, const Matrix& b) {
     SPBLA_PROF_SPAN("storage.dispatch.kronecker");
-    OpTelemetry tel("kronecker", a.nnz() + b.nnz());
+    OpTelemetry tel("kronecker", ctx, a.nnz() + b.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
         Matrix out = db->kronecker(ctx, a, b);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
@@ -580,7 +586,7 @@ Matrix kronecker(backend::Context& ctx, const Matrix& a, const Matrix& b) {
 
 Matrix transpose(backend::Context& ctx, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.transpose");
-    OpTelemetry tel("transpose", a.nnz());
+    OpTelemetry tel("transpose", ctx, a.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
         Matrix out = db->transpose(ctx, a);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
@@ -627,7 +633,7 @@ Matrix transpose(backend::Context& ctx, const Matrix& a) {
 Matrix submatrix(backend::Context& ctx, const Matrix& a, Index r0, Index c0, Index m,
                  Index n) {
     SPBLA_PROF_SPAN("storage.dispatch.submatrix");
-    OpTelemetry tel("submatrix", a.nnz());
+    OpTelemetry tel("submatrix", ctx, a.nnz());
     Format f;
     if (!forced(global_hint(), {Format::Csr, Format::Coo, Format::Dense}, f)) {
         const auto nnz = static_cast<double>(a.nnz());
@@ -667,7 +673,7 @@ Matrix submatrix(backend::Context& ctx, const Matrix& a, Index r0, Index c0, Ind
 
 SpVector reduce_to_column(backend::Context& ctx, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.reduce_to_column");
-    OpTelemetry tel("reduce_to_col", a.nnz());
+    OpTelemetry tel("reduce_to_col", ctx, a.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
         SpVector out = db->reduce_to_column(ctx, a);
         tel.done_sharded(out.size(), 1, out.nnz());
@@ -696,7 +702,7 @@ SpVector reduce_to_column(backend::Context& ctx, const Matrix& a) {
 
 SpVector reduce_to_row(backend::Context& ctx, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.reduce_to_row");
-    OpTelemetry tel("reduce_to_row", a.nnz());
+    OpTelemetry tel("reduce_to_row", ctx, a.nnz());
     Format f;
     if (!forced(global_hint(), {Format::Csr}, f)) f = Format::Csr;
     if (f != Format::Csr) f = Format::Csr;
@@ -711,7 +717,7 @@ std::size_t reduce_scalar(const Matrix& a) noexcept { return a.nnz(); }
 
 SpVector mxv(backend::Context& ctx, const Matrix& a, const SpVector& x) {
     SPBLA_PROF_SPAN("storage.dispatch.mxv");
-    OpTelemetry tel("mxv", a.nnz() + x.nnz());
+    OpTelemetry tel("mxv", ctx, a.nnz() + x.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a})) {
         SpVector out = db->mxv(ctx, a, x);
         tel.done_sharded(out.size(), 1, out.nnz());
@@ -742,7 +748,7 @@ SpVector mxv(backend::Context& ctx, const Matrix& a, const SpVector& x) {
 
 SpVector vxm(backend::Context& ctx, const SpVector& x, const Matrix& a) {
     SPBLA_PROF_SPAN("storage.dispatch.vxm");
-    OpTelemetry tel("vxm", a.nnz() + x.nnz());
+    OpTelemetry tel("vxm", ctx, a.nnz() + x.nnz());
     count_dispatch(Format::Csr);
     SpVector out = ops::vxm(ctx, x, a.csr(ctx));
     tel.done(Format::Csr, 1, out.size(), out.nnz());
@@ -753,7 +759,7 @@ SpVector vxm(backend::Context& ctx, const SpVector& x, const Matrix& a) {
 Matrix multiply_masked(backend::Context& ctx, const Matrix& mask, const Matrix& a,
                        const Matrix& b_transposed, bool complement) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply_masked");
-    OpTelemetry tel("mxm_masked", mask.nnz() + a.nnz() + b_transposed.nnz());
+    OpTelemetry tel("mxm_masked", ctx, mask.nnz() + a.nnz() + b_transposed.nnz());
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&mask, &a, &b_transposed})) {
         Matrix out = db->multiply_masked(ctx, mask, a, b_transposed, complement);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());

@@ -342,7 +342,17 @@ void Matrix::drop_slot(Format f) const noexcept {
     switch (f) {
         case Format::Csr:
             csr_pub_.store(nullptr, std::memory_order_relaxed);
-            csr_.reset();
+            if (csr_ != nullptr) {
+                // This handle uniquely owns the dropped rep (readers were
+                // retracted above), so un-consting it to recycle its arrays
+                // through the context's pool is safe — the next conversion
+                // re-acquires them in O(1) instead of reallocating.
+                auto [offsets, cols] =
+                    std::move(const_cast<CsrMatrix&>(*csr_)).release_raw();
+                ctx_->buffer_pool().release(std::move(offsets));
+                ctx_->buffer_pool().release(std::move(cols));
+                csr_.reset();
+            }
             break;
         case Format::Coo:
             coo_pub_.store(nullptr, std::memory_order_relaxed);

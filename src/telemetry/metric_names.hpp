@@ -42,6 +42,9 @@ enum class Counter : std::uint16_t {
     PoolTickets,          ///< tickets issued by bulk launches
     MemAllocs,            ///< tracked device-buffer allocations
     MemFrees,             ///< tracked device-buffer deallocations
+    ArenaResets,          ///< scoped-arena scope exits (wholesale scratch resets)
+    PoolBufferHits,       ///< buffer-pool acquires served from a free list
+    PoolBufferMisses,     ///< buffer-pool acquires that fell through to malloc
     ProfSpans,            ///< prof spans closed (only when profiling enabled)
     Count_,               ///< sentinel — keep last
 };
@@ -56,6 +59,9 @@ enum class Gauge : std::uint16_t {
     PoolInFlight,         ///< submitted jobs not yet completed
     PoolBusyWorkers,      ///< threads currently executing pool work
     PoolWorkers,          ///< worker threads alive across all pools
+    ArenaReservedBytes,   ///< high-water slab bytes reserved by any one arena
+    ArenaUsedBytes,       ///< high-water bump-allocated bytes in any one arena
+    PoolHeldBytes,        ///< bytes parked in buffer-pool free lists (all pools)
     Count_,               ///< sentinel — keep last
 };
 
@@ -103,6 +109,9 @@ inline constexpr std::size_t kNumHistograms =
         case Counter::PoolTickets: return "spbla.pool.tickets";
         case Counter::MemAllocs: return "spbla.mem.allocs";
         case Counter::MemFrees: return "spbla.mem.frees";
+        case Counter::ArenaResets: return "spbla.arena.resets";
+        case Counter::PoolBufferHits: return "spbla.arena.pool_hits";
+        case Counter::PoolBufferMisses: return "spbla.arena.pool_misses";
         case Counter::ProfSpans: return "spbla.prof.spans";
         case Counter::Count_: break;
     }
@@ -119,6 +128,9 @@ inline constexpr std::size_t kNumHistograms =
         case Gauge::PoolInFlight: return "spbla.pool.in_flight";
         case Gauge::PoolBusyWorkers: return "spbla.pool.busy_workers";
         case Gauge::PoolWorkers: return "spbla.pool.workers";
+        case Gauge::ArenaReservedBytes: return "spbla.arena.reserved";
+        case Gauge::ArenaUsedBytes: return "spbla.arena.used";
+        case Gauge::PoolHeldBytes: return "spbla.arena.pool_held_bytes";
         case Gauge::Count_: break;
     }
     return "spbla.unknown.gauge";

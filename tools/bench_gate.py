@@ -33,6 +33,10 @@ from pathlib import Path
 GATED_KEYS = {
     "BENCH_spgemm.json": {
         "geomean_speedup": "higher",
+        # Tracked-allocation count of the pass-through ablation over the
+        # arena-backed run: the allocator-traffic reduction the op-arena
+        # tier buys. A drop means scratch is leaking back onto the heap.
+        "alloc_reduction_spgemm": "higher",
     },
     "BENCH_formats.json": {
         "geomean_bitblock_vs_hash_spgemm": "higher",
@@ -40,6 +44,9 @@ GATED_KEYS = {
     },
     "BENCH_dist.json": {
         "geomean_speedup_4dev": "higher",
+        # Fraction of tile-buffer acquires served by the per-device free
+        # lists across the SUMMA ladder (recycled accumulators/outputs).
+        "pool_reuse_ratio": "higher",
     },
 }
 

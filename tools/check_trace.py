@@ -60,12 +60,21 @@ Checks, in order:
               count, and the memory peak gauge dominates the live gauge.
               The Prometheus sibling at PATH.prom (when present) must parse
               line-by-line with cumulative buckets and _count == +Inf.
+  arena       (--require-arena, with --metrics PATH) The op-scoped arena
+              allocator demonstrably backed the run: every dispatched op
+              closed at least one arena scope (spbla.arena.resets >=
+              spbla.dispatch.ops), the reserved high-water gauge dominates
+              the used high-water gauge (an arena can never bump past its
+              slabs), and the buffer-pool reuse counters
+              (spbla.arena.pool_hits / pool_misses) are present — all
+              missing means the kernels bypassed the arena tier entirely.
   flight      (--flight PATH) A crash flight-recorder dump parses as JSON
               lines with strictly increasing seq, named ops and sane fields.
 
 Usage: tools/check_trace.py TRACE.json [--require-spgemm]
            [--require-dispatch] [--require-dist] [--require-bitblock]
-           [--require-metrics --metrics METRICS.json] [--flight FLIGHT.jsonl]
+           [--require-metrics --metrics METRICS.json] [--require-arena]
+           [--flight FLIGHT.jsonl]
 Exits 0 iff every check passes.
 """
 
@@ -388,6 +397,42 @@ class Checker:
         else:
             print(f"check_trace: note: no Prometheus sibling at {prom}")
 
+    def check_arena(self, path: Path) -> None:
+        """The arena/pool tier backed the run (reads the metrics snapshot)."""
+        where = path.name
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            self.error(f"{where}: cannot load metrics JSON: {exc}")
+            return
+        counters = doc.get("counters") or {}
+        gauges = doc.get("gauges") or {}
+
+        ops = counters.get("spbla.dispatch.ops", 0)
+        resets = counters.get("spbla.arena.resets", 0)
+        if resets < ops:
+            self.error(f"{where}: spbla.arena.resets ({resets}) < "
+                       f"spbla.dispatch.ops ({ops}) — every dispatched op "
+                       "must close at least one arena scope")
+        if ops > 0 and resets == 0:
+            self.error(f"{where}: ops dispatched but no arena scope ever "
+                       "closed — the kernels bypassed the arena tier")
+
+        reserved = gauges.get("spbla.arena.reserved", 0)
+        used = gauges.get("spbla.arena.used", 0)
+        if reserved < used:
+            self.error(f"{where}: spbla.arena.reserved ({reserved}) < "
+                       f"spbla.arena.used ({used}) — an arena cannot bump "
+                       "past its slab reserve")
+        if reserved < 0 or used < 0:
+            self.error(f"{where}: negative arena gauge (reserved={reserved}, "
+                       f"used={used})")
+
+        for key in ("spbla.arena.pool_hits", "spbla.arena.pool_misses"):
+            if key not in counters:
+                self.error(f"{where}: counter {key} missing — the buffer "
+                           "pool's reuse accounting is unwired")
+
     def check_prometheus(self, path: Path) -> None:
         where = path.name
         try:
@@ -500,6 +545,11 @@ def main() -> int:
     ap.add_argument("--require-metrics", action="store_true",
                     help="additionally validate a telemetry snapshot "
                          "(needs --metrics)")
+    ap.add_argument("--require-arena", action="store_true",
+                    help="additionally require the op-arena invariants in "
+                         "the telemetry snapshot: resets >= dispatched ops, "
+                         "reserved >= used, pool counters wired (needs "
+                         "--metrics)")
     ap.add_argument("--metrics", type=Path, default=None,
                     help="telemetry JSON dumped by SPBLA_METRICS or "
                          "spbla_MetricsDump; the Prometheus sibling at "
@@ -510,6 +560,8 @@ def main() -> int:
 
     if args.require_metrics and args.metrics is None:
         ap.error("--require-metrics needs --metrics PATH")
+    if args.require_arena and args.metrics is None:
+        ap.error("--require-arena needs --metrics PATH")
 
     try:
         doc = json.loads(args.trace.read_text(encoding="utf-8"))
@@ -537,6 +589,8 @@ def main() -> int:
 
     if args.require_metrics:
         checker.check_metrics(args.metrics)
+    if args.require_arena:
+        checker.check_arena(args.metrics)
     if args.flight is not None:
         checker.check_flight(args.flight)
 

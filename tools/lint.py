@@ -73,6 +73,14 @@ cannot see because they cross a lambda/scheduling boundary):
   atomic-rmw        No load-then-store read-modify-write on an atomic
                     (`x.store(x.load() + 1)`): the two halves are not one
                     atomic step; use fetch_add/fetch_or/exchange.
+  hot-alloc         No raw std::vector construction (or resize/assign/
+                    reserve on a TU-declared std::vector) inside a parallel
+                    extent in src/ops/ or src/dist/ — per-row/per-tile
+                    heap churn bypasses the MemoryTracker and serialises
+                    workers on the allocator. Kernel scratch goes on the
+                    op arena (backend::ArenaVector, Context::scratch_alloc)
+                    or the context's BufferPool; deliberate cold-path
+                    allocations suppress inline.
 
 A finding can be suppressed for one line with a trailing
 `// lint:allow(<rule>)` comment; use sparingly and say why nearby.
@@ -463,7 +471,7 @@ class Linter:
     # The schema tag "spbla.metrics.v1" deliberately does not match: it names
     # the export format, not an instrument.
     METRIC_LITERAL_RE = re.compile(
-        r"spbla\.(dispatch|op|mem|storage|pool|dist|prof)\.[a-z0-9_.]+")
+        r"spbla\.(dispatch|op|mem|storage|pool|dist|prof|arena)\.[a-z0-9_.]+")
 
     def rule_metric_name_literal(self, f: File) -> None:
         if not f.rel.startswith("src/"):
@@ -594,6 +602,76 @@ class Linter:
                 "extent — first materialisation takes the handle's repr "
                 "mutex under every worker; prewarm it before the launch or "
                 "annotate the call site safe")
+
+    def rule_hot_alloc(self, f: File) -> None:
+        if not (f.rel.startswith("src/ops/") or f.rel.startswith("src/dist/")):
+            return
+        toks = f.tokens
+        extents = self._parallel_extents(f)
+        if not extents:
+            return
+
+        def in_extent(idx: int) -> bool:
+            return any(lo < idx < hi for lo, hi in extents)
+
+        def skip_template_args(j: int) -> int:
+            """Token index just past a `<...>` list starting at j (or j)."""
+            if j >= len(toks) or toks[j].text != "<":
+                return j
+            depth = 0
+            while j < len(toks):
+                if toks[j].text == "<":
+                    depth += 1
+                elif toks[j].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        return j + 1
+                j += 1
+            return j
+
+        # Pass 1: every `std::vector` spelling. Construction inside a
+        # parallel extent is per-row/per-tile heap churn; declarations
+        # anywhere in the TU seed the name set for pass 2 (a vector built
+        # serially but regrown inside the launch allocates just the same).
+        vector_names: set[str] = set()
+        construction_sites: list[tuple[int, int]] = []  # (tok idx, line)
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if not (t.kind == "id" and t.text == "vector" and i >= 2
+                    and toks[i - 1].text == "::" and toks[i - 2].text == "std"):
+                continue
+            j = skip_template_args(i + 1)
+            if j < n and toks[j].kind == "id":
+                vector_names.add(toks[j].text)
+            if in_extent(i):
+                # A reference/pointer binding does not allocate; an actual
+                # declaration or temporary construction does.
+                if j < n and toks[j].text not in ("&", "*", "&&"):
+                    construction_sites.append((i, t.line))
+        for _, line in construction_sites:
+            self.report(
+                f, line, "hot-alloc",
+                "raw std::vector constructed inside a parallel extent — "
+                "per-row heap churn invisible to MemoryTracker; use "
+                "backend::ArenaVector / Context::scratch_alloc (op-scoped "
+                "scratch) or the context BufferPool (buffers that escape)")
+
+        # Pass 2: growth calls on a TU-declared std::vector inside an
+        # extent. Direct `name.resize(...)` shapes only — an element access
+        # like `cache[i].assign(...)` writes an op output, not scratch.
+        for i, t in enumerate(toks):
+            if (t.kind == "id" and t.text in ("resize", "assign", "reserve")
+                    and i + 1 < n and toks[i + 1].text == "("
+                    and i >= 2 and toks[i - 1].text in (".", "->")
+                    and toks[i - 2].kind == "id"
+                    and toks[i - 2].text in vector_names
+                    and in_extent(i)):
+                self.report(
+                    f, t.line, "hot-alloc",
+                    f"`{toks[i - 2].text}.{t.text}()` grows a raw "
+                    "std::vector inside a parallel extent — move the "
+                    "scratch onto the op arena (backend::ArenaVector) or "
+                    "acquire it from the context BufferPool")
 
     def rule_guarded_mutable(self, f: File) -> None:
         if not f.rel.startswith("src/"):
@@ -824,6 +902,7 @@ class Linter:
         "metric-name-literal": "rule_metric_name_literal",
         "ops-file-state": "rule_ops_file_state",
         "parallel-capture": "rule_parallel_capture",
+        "hot-alloc": "rule_hot_alloc",
         "guarded-mutable": "rule_guarded_mutable",
         "atomic-rmw": "rule_atomic_rmw",
     }

@@ -38,6 +38,7 @@ EXPECTED_POSITIVE = {
     "metric-name-literal": 2,  # comparison literal + named constant
     "ops-file-state": 1,
     "parallel-capture": 2,   # parallel_for lambda + group().run lambda
+    "hot-alloc": 3,          # per-row ctor, per-row resize, per-chunk temp
     "guarded-mutable": 2,    # single-line and line-spanning declaration
     "atomic-rmw": 1,
     "lock-order": 1,         # one ABBA cycle
