@@ -28,8 +28,14 @@
 // group (benchmarks are a sanctioned import site for the tile headers).
 #include "dist/device_group.hpp"  // lint:allow(format-leak)
 #include "dist/dist.hpp"
+#include "data/kernel_alias.hpp"
+#include "data/lubm.hpp"
+#include "incr/incremental.hpp"
+#include "incr/memo.hpp"
 #include "ops/ops.hpp"
+#include "prof/prof.hpp"
 #include "storage/dispatch.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -660,9 +666,164 @@ void write_dist_trajectory() {
                 path, geomean);
 }
 
+// ------- Incremental update-latency ladder (BENCH_incremental.json) --------
+
+/// Update latency vs batch size: transitive-closure maintenance on LUBM and
+/// pointer-analysis graphs, insert batches of 1 -> 10^4 cells, incremental
+/// update_closure against a full recompute of the same post-batch graph.
+/// Every timed run consumes a DISTINCT pre-generated batch and a fresh
+/// pre-copied closure (fresh content epochs), so the op memo cannot turn the
+/// ladder into a cache benchmark; a separate memo_replay section then
+/// replays one delta product on purpose so the exit trace carries real
+/// spbla.incr.memo_hits for check_trace.py --require-incr.
+void write_incremental_trajectory() {
+    const char* path = std::getenv("SPBLA_BENCH_INCR_JSON");
+    if (path == nullptr) path = "BENCH_incremental.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_ops_micro: cannot open %s for writing\n", path);
+        return;
+    }
+    constexpr std::size_t kBatchLadder[] = {1, 10, 100, 1000, 10000};
+    constexpr int kIncrRuns = 3;
+    struct Input {
+        const char* name;
+        Matrix adj;
+    };
+    const auto rebind = [](const Matrix& m) {
+        return Matrix::from_coords(m.nrows(), m.ncols(), m.to_coords(), ctx());
+    };
+    const Input inputs[] = {
+        {"lubm-1", rebind(data::make_lubm(1, 7).union_matrix())},
+        {"alias-768", rebind(data::make_alias_graph(768, 23).union_matrix())},
+    };
+    bench::JsonWriter w(f);
+    w.begin_object();
+    w.field("bench", "incremental");
+    w.field("operation",
+            "transitive-closure maintenance: update_closure vs full recompute, "
+            "insert batches of 1..10^4 cells");
+    w.field("runs", static_cast<std::uint64_t>(kIncrRuns));
+    w.begin_array("inputs");
+    double log_sum = 0.0;
+    std::size_t n_inputs = 0;
+    for (const Input& input : inputs) {
+        const Index n = input.adj.nrows();
+        const Matrix closure0 =
+            algorithms::transitive_closure(ctx(), input.adj,
+                                           algorithms::ClosureStrategy::Delta);
+        w.begin_object();
+        w.field("name", input.name);
+        w.field("n", static_cast<std::uint64_t>(n));
+        w.field("nnz", static_cast<std::uint64_t>(input.adj.nnz()));
+        w.field("closure_nnz", static_cast<std::uint64_t>(closure0.nnz()));
+        w.begin_array("rungs");
+        double speedup1 = 0.0;
+        util::Rng rng{1234};
+        for (const std::size_t batch : kBatchLadder) {
+            // One distinct batch (fresh epoch) per timed run plus warm-up.
+            std::vector<Matrix> batches;
+            std::vector<Matrix> afters;
+            std::vector<Matrix> closures;
+            for (int r = 0; r < kIncrRuns + 1; ++r) {
+                std::vector<Coord> coords;
+                for (std::size_t k = 0; k < batch; ++k) {
+                    coords.push_back({static_cast<Index>(rng.below(n)),
+                                      static_cast<Index>(rng.below(n))});
+                }
+                batches.push_back(
+                    Matrix::from_coords(n, n, std::move(coords), ctx()));
+                afters.push_back(
+                    storage::ewise_add(ctx(), input.adj, batches.back()));
+                closures.push_back(closure0);
+            }
+            const Matrix none{n, n, ctx()};
+            std::size_t idx = 0;
+            const auto incr_stats = bench::time_stats(
+                [&] {
+                    const auto add_eff =
+                        storage::ewise_diff(ctx(), batches[idx], input.adj);
+                    (void)incr::update_closure(ctx(), closures[idx], afters[idx],
+                                               add_eff, none);
+                    idx = (idx + 1) % batches.size();
+                },
+                kIncrRuns);
+            idx = 0;
+            const auto full_stats = bench::time_stats(
+                [&] {
+                    (void)algorithms::transitive_closure(
+                        ctx(), afters[idx], algorithms::ClosureStrategy::Delta);
+                    idx = (idx + 1) % afters.size();
+                },
+                kIncrRuns);
+            const double speedup =
+                incr_stats.min_s > 0 ? full_stats.min_s / incr_stats.min_s : 0.0;
+            if (batch == 1) speedup1 = speedup;
+            w.begin_object();
+            w.field("batch", static_cast<std::uint64_t>(batch));
+            w.field("incremental", incr_stats);
+            w.field("full_recompute", full_stats);
+            w.field("speedup", speedup);
+            w.end_object();
+        }
+        w.end_array();
+        w.field("speedup_batch1", speedup1);
+        log_sum += std::log(speedup1 > 0 ? speedup1 : 1.0);
+        ++n_inputs;
+        w.end_object();
+    }
+    w.end_array();
+    const double geomean =
+        n_inputs > 0 ? std::exp(log_sum / static_cast<double>(n_inputs)) : 0.0;
+    w.field("geomean_speedup_batch1", geomean);
+    // Driver smoke: one insert and one delete batch through the
+    // IncrementalClosure driver, plus one empty-operand multiply. The timed
+    // ladder above exercises the raw update_closure path only; this pass
+    // makes the exit trace carry the rest of the spbla.incr.* story —
+    // batch/saved-iterations accounting, the delta-overlay nnz, and the
+    // dispatcher short-circuit — for check_trace.py --require-incr.
+    {
+        const Matrix& adj = inputs[0].adj;
+        const Index n = adj.nrows();
+        incr::IncrementalClosure driver{ctx(), adj};
+        const Matrix edge = Matrix::from_coords(
+            n, n, {{0, static_cast<Index>(n - 1)}}, ctx());
+        const Matrix none{n, n, ctx()};
+        driver.apply(edge, none);
+        driver.apply(none, edge);
+        (void)storage::multiply(ctx(), adj, none);
+    }
+    // Deliberate replay: identical operand epochs hit the op memo, so the
+    // exit trace (and this file) record non-zero memo hit counters.
+    {
+        const auto before = incr::memo().stats();
+        const Matrix& adj = inputs[0].adj;
+        const Matrix seed = Matrix::from_coords(adj.nrows(), adj.ncols(),
+                                                {{0, adj.ncols() - 1}}, ctx());
+        for (int r = 0; r < 4; ++r) (void)incr::memo_multiply(ctx(), adj, seed);
+        const auto after = incr::memo().stats();
+        w.begin_object("memo_replay");
+        w.field("lookups", after.lookups - before.lookups);
+        w.field("hits", after.hits - before.hits);
+        w.field("stores", after.stores - before.stores);
+        w.end_object();
+    }
+    w.end_object();
+    std::fclose(f);
+    incr::memo().clear();
+    std::printf("Incremental update-latency ladder written to %s "
+                "(batch-1 geomean speedup %.2fx)\n",
+                path, geomean);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Four trajectory ladders plus the benchmark loop overflow the default
+    // per-thread trace ring (the incremental ladder's semi-naive rounds
+    // would lap the dist.* spans out of the exit trace), so size the rings
+    // for the whole smoke run before the first span is recorded.
+    prof::set_ring_capacity(1 << 16);
     // The formats ladder runs second: the spgemm ladder resets the profiling
     // counters per config, so this order leaves the dispatch counter story
     // (picks, conversions, cache hits) intact in the exit trace dump.
@@ -671,6 +832,9 @@ int main(int argc, char** argv) {
     // The dist ladder runs last for the same reason: its dist_* counters
     // must survive into the exit trace for check_trace.py --require-dist.
     write_dist_trajectory();
+    // The incremental ladder follows: its spbla.incr.* counters and
+    // incr.closure.round spans feed check_trace.py --require-incr.
+    write_incremental_trajectory();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();

@@ -228,6 +228,31 @@ spbla_Status spbla_Matrix_ExtractSubMatrix(spbla_Matrix result, spbla_Matrix a,
 /** result = reduceToColumn(a): an a.nrows x 1 matrix marking non-empty rows. */
 spbla_Status spbla_Matrix_Reduce(spbla_Matrix result, spbla_Matrix a);
 
+/* ----------------------------- incremental -----------------------------
+ * Streaming updates: apply an insert/delete batch to a matrix in place, or
+ * maintain a transitive closure under such a batch at cost proportional to
+ * the change instead of the graph. */
+
+/** matrix := (matrix \ dels) | adds — delete-then-insert, so a cell named
+ *  by both lists ends up present. The two coordinate lists describe cells
+ *  of matrix's own shape; a no-op batch (both empty) leaves the content
+ *  stamp untouched, any other batch re-stamps the handle. */
+spbla_Status spbla_MatrixApplyDelta(spbla_Matrix matrix, const spbla_Index* add_rows,
+                                    const spbla_Index* add_cols, spbla_Index n_add,
+                                    const spbla_Index* del_rows,
+                                    const spbla_Index* del_cols, spbla_Index n_del);
+
+/** Incrementally maintain closure = transitive closure of adj under one
+ *  insert/delete batch. The batch is applied to adj in place; closure must
+ *  hold the transitive closure of adj's pre-batch cells (pass an empty
+ *  matrix to (re)compute it from scratch) and is updated semi-naively —
+ *  only the change's frontier is multiplied against the base. */
+spbla_Status spbla_ClosureIncremental(spbla_Matrix closure, spbla_Matrix adj,
+                                      const spbla_Index* add_rows,
+                                      const spbla_Index* add_cols, spbla_Index n_add,
+                                      const spbla_Index* del_rows,
+                                      const spbla_Index* del_cols, spbla_Index n_del);
+
 /* -------------------------------- vector ------------------------------- */
 
 /** Create an empty Boolean vector of the given size. */

@@ -11,8 +11,11 @@
 #include <memory>
 #include <string>
 
+#include "algorithms/closure.hpp"
 #include "backend/context.hpp"
 #include "dist/dist.hpp"
+#include "incr/incremental.hpp"
+#include "incr/memo.hpp"
 #include "prof/prof.hpp"
 #include "storage/dispatch.hpp"
 #include "storage/matrix.hpp"
@@ -95,6 +98,9 @@ spbla_Status spbla_Finalize(void) {
             g_last_error = "spbla_Finalize: live matrix handles remain";
             return SPBLA_STATUS_INVALID_STATE;
         }
+        // The incremental op memo retains matrices charged to this context's
+        // tracker; drop them before the leak-checked teardown.
+        spbla::incr::memo().clear();
         g_context.reset();
         return SPBLA_STATUS_SUCCESS;
     });
@@ -447,6 +453,77 @@ spbla_Status spbla_Matrix_Reduce(spbla_Matrix result, spbla_Matrix a) {
         for (const auto i : v.indices()) coords.push_back({i, 0});
         result->data = spbla::Matrix::from_coords(a->data.nrows(), 1, std::move(coords),
                                                   *g_context);
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
+
+namespace {
+
+/// Build a cell matrix at \p nrows × \p ncols from parallel coordinate arrays.
+spbla::Matrix cells_from_arrays(spbla_Index nrows, spbla_Index ncols,
+                                const spbla_Index* rows, const spbla_Index* cols,
+                                spbla_Index nvals) {
+    std::vector<spbla::Coord> coords;
+    coords.reserve(nvals);
+    for (spbla_Index k = 0; k < nvals; ++k) coords.push_back({rows[k], cols[k]});
+    return spbla::Matrix::from_coords(nrows, ncols, std::move(coords), *g_context);
+}
+
+}  // namespace
+
+spbla_Status spbla_MatrixApplyDelta(spbla_Matrix matrix, const spbla_Index* add_rows,
+                                    const spbla_Index* add_cols, spbla_Index n_add,
+                                    const spbla_Index* del_rows, const spbla_Index* del_cols,
+                                    spbla_Index n_del) {
+    return guarded([&]() -> spbla_Status {
+        if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
+        if (matrix == nullptr || (n_add > 0 && (add_rows == nullptr || add_cols == nullptr)) ||
+            (n_del > 0 && (del_rows == nullptr || del_cols == nullptr))) {
+            g_last_error = "spbla_MatrixApplyDelta: null argument";
+            return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        const auto nr = matrix->data.nrows();
+        const auto nc = matrix->data.ncols();
+        const auto adds = cells_from_arrays(nr, nc, add_rows, add_cols, n_add);
+        const auto dels = cells_from_arrays(nr, nc, del_rows, del_cols, n_del);
+        matrix->data.apply_delta(adds, dels, *g_context);
+        return SPBLA_STATUS_SUCCESS;
+    });
+}
+
+spbla_Status spbla_ClosureIncremental(spbla_Matrix closure, spbla_Matrix adj,
+                                      const spbla_Index* add_rows, const spbla_Index* add_cols,
+                                      spbla_Index n_add, const spbla_Index* del_rows,
+                                      const spbla_Index* del_cols, spbla_Index n_del) {
+    return guarded([&]() -> spbla_Status {
+        if (auto s = require_init(); s != SPBLA_STATUS_SUCCESS) return s;
+        if (closure == nullptr || adj == nullptr ||
+            (n_add > 0 && (add_rows == nullptr || add_cols == nullptr)) ||
+            (n_del > 0 && (del_rows == nullptr || del_cols == nullptr))) {
+            g_last_error = "spbla_ClosureIncremental: null argument";
+            return SPBLA_STATUS_INVALID_ARGUMENT;
+        }
+        auto& ctx = *g_context;
+        const auto nr = adj->data.nrows();
+        const auto nc = adj->data.ncols();
+        const auto adds = cells_from_arrays(nr, nc, add_rows, add_cols, n_add);
+        const auto dels = cells_from_arrays(nr, nc, del_rows, del_cols, n_del);
+        // Normalize to effective deltas against the pre-batch adjacency
+        // before mutating it: add_eff ∩ A = ∅, del_eff ⊆ A, and a cell named
+        // by both arrays is treated as present afterwards (insert wins).
+        const auto add_eff = spbla::storage::ewise_diff(ctx, adds, adj->data);
+        const auto del_eff = spbla::storage::ewise_diff(
+            ctx, spbla::storage::ewise_mult(ctx, dels, adj->data), adds);
+        adj->data.apply_delta(adds, dels, ctx);
+        if (closure->data.empty()) {
+            // An empty closure handle requests a scratch build (it is only a
+            // valid pre-batch closure when the graph itself was empty).
+            closure->data = spbla::algorithms::transitive_closure(
+                ctx, adj->data, spbla::algorithms::ClosureStrategy::Delta);
+        } else {
+            (void)spbla::incr::update_closure(ctx, closure->data, adj->data, add_eff,
+                                              del_eff);
+        }
         return SPBLA_STATUS_SUCCESS;
     });
 }

@@ -28,6 +28,7 @@
 #include "storage/thresholds.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace spbla::storage {
@@ -324,6 +325,20 @@ Matrix multiply(backend::Context& ctx, const Matrix& a, const Matrix& b,
                 const ops::SpGemmOptions& opts) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply");
     OpTelemetry tel("multiply", ctx, a.nnz() + b.nnz());
+    if (a.empty() || b.empty()) {
+        // Delta-shaped operand: a drained frontier (or empty base) makes the
+        // product empty without running a kernel. The fast path still counts
+        // a format pick and closes the telemetry scope so the dispatch
+        // invariants check_trace --require-metrics verifies keep holding.
+        SPBLA_REQUIRE(a.ncols() == b.nrows(), Status::DimensionMismatch,
+                      "multiply: inner dimensions disagree");
+        telemetry::count(telemetry::Counter::IncrShortCircuits);
+        SPBLA_PROF_COUNT(incr_shortcircuit, 1);
+        count_dispatch(Format::Csr);
+        Matrix out{a.nrows(), b.ncols(), ctx};
+        tel.done(Format::Csr, out.nrows(), out.ncols(), 0);
+        return out;
+    }
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&a, &b})) {
         Matrix out = db->multiply(ctx, a, b, opts);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());
@@ -372,6 +387,22 @@ Matrix multiply_add(backend::Context& ctx, const Matrix& c, const Matrix& a,
                     const Matrix& b, const ops::SpGemmOptions& opts) {
     SPBLA_PROF_SPAN("storage.dispatch.multiply_add");
     OpTelemetry tel("multiply_add", ctx, c.nnz() + a.nnz() + b.nnz());
+    if (a.empty() || b.empty()) {
+        // Empty product term: the fused form degenerates to C itself. The
+        // copy carries C's content version (same cells, same stamp), which
+        // the version-keyed caches rely on.
+        SPBLA_REQUIRE(a.ncols() == b.nrows(), Status::DimensionMismatch,
+                      "multiply_add: inner dimensions disagree");
+        SPBLA_REQUIRE(c.nrows() == a.nrows() && c.ncols() == b.ncols(),
+                      Status::DimensionMismatch,
+                      "multiply_add: accumulator shape disagrees");
+        telemetry::count(telemetry::Counter::IncrShortCircuits);
+        SPBLA_PROF_COUNT(incr_shortcircuit, 1);
+        count_dispatch(Format::Csr);
+        Matrix out{c};
+        tel.done(Format::Csr, out.nrows(), out.ncols(), out.nnz());
+        return out;
+    }
     if (const DistBridge* db = dist_bridge(); db != nullptr && db->should_shard({&c, &a, &b})) {
         Matrix out = db->multiply_add(ctx, c, a, b, opts);
         tel.done_sharded(out.nrows(), out.ncols(), out.nnz());

@@ -21,6 +21,7 @@
 #include "storage/dispatch.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/bit_ops.hpp"
+#include "util/contracts.hpp"
 
 namespace spbla {
 
@@ -691,6 +692,24 @@ Matrix& Matrix::operator+=(const Matrix& other) {
 Matrix& Matrix::multiply_add(const Matrix& a, const Matrix& b) {
     *this = storage::multiply_add(*ctx_, *this, a, b);
     return *this;
+}
+
+void Matrix::apply_delta(const Matrix& adds, const Matrix& removes,
+                         backend::Context& ctx) {
+    SPBLA_REQUIRE(adds.nrows() == nrows_ && adds.ncols() == ncols_,
+                  Status::DimensionMismatch, "apply_delta: insert delta shape");
+    SPBLA_REQUIRE(removes.nrows() == nrows_ && removes.ncols() == ncols_,
+                  Status::DimensionMismatch, "apply_delta: delete delta shape");
+    telemetry::count(telemetry::Counter::IncrBatches);
+    telemetry::count(telemetry::Counter::IncrDeltaNnz,
+                     adds.nnz() + removes.nnz());
+    if (adds.empty() && removes.empty()) return;  // no-op batch: stamp kept
+    Matrix next =
+        removes.empty() ? *this : storage::ewise_diff(ctx, *this, removes);
+    if (!adds.empty()) next = storage::ewise_add(ctx, next, adds);
+    // The routed ops return freshly stamped handles, so the assignment below
+    // installs a new content version even for a value-equal result.
+    *this = std::move(next);
 }
 
 Matrix Matrix::add(const Matrix& a, const Matrix& b) {

@@ -210,6 +210,18 @@ public:
     void convert_to(Format f, backend::Context& ctx);
     void convert_to(Format f) { convert_to(f, *ctx_); }
 
+    /// Apply an insert/delete batch in place:
+    /// this := (this \ removes) | adds — delete-then-insert, so a cell named
+    /// by both deltas ends up present. Both deltas must match this shape.
+    /// A no-op batch (both deltas empty) keeps the content stamp; any other
+    /// batch installs a fresh version() even when the resulting cell set is
+    /// value-equal, so every version-keyed derived cache (dist shardings, the
+    /// incr layer's op memo) treats the handle as new content.
+    void apply_delta(const Matrix& adds, const Matrix& removes, backend::Context& ctx);
+    void apply_delta(const Matrix& adds, const Matrix& removes) {
+        apply_delta(adds, removes, *ctx_);
+    }
+
     /// Release cached secondary representations (and their tracker charge).
     /// Not safe against readers concurrently holding accessor references.
     void drop_cached() const noexcept SPBLA_EXCLUDES(repr_mutex_);

@@ -46,6 +46,15 @@ enum class Counter : std::uint16_t {
     PoolBufferHits,       ///< buffer-pool acquires served from a free list
     PoolBufferMisses,     ///< buffer-pool acquires that fell through to malloc
     ProfSpans,            ///< prof spans closed (only when profiling enabled)
+    IncrBatches,          ///< delta batches applied through the incremental layer
+    IncrDeltaNnz,         ///< total cells across applied insert/delete deltas
+    IncrMemoLookups,      ///< op-memo probes (keyed by content-version epochs)
+    IncrMemoHits,         ///< op-memo probes served from cache
+    IncrMemoStores,       ///< op-memo results retained for reuse
+    IncrMemoEvictions,    ///< op-memo entries evicted at capacity
+    IncrIterationsSaved,  ///< fixpoint rounds skipped vs full recompute
+    IncrConsolidations,   ///< delta overlays folded into their base matrix
+    IncrShortCircuits,    ///< dispatcher ops answered by the empty-delta fast path
     Count_,               ///< sentinel — keep last
 };
 
@@ -113,6 +122,15 @@ inline constexpr std::size_t kNumHistograms =
         case Counter::PoolBufferHits: return "spbla.arena.pool_hits";
         case Counter::PoolBufferMisses: return "spbla.arena.pool_misses";
         case Counter::ProfSpans: return "spbla.prof.spans";
+        case Counter::IncrBatches: return "spbla.incr.batches";
+        case Counter::IncrDeltaNnz: return "spbla.incr.delta_nnz";
+        case Counter::IncrMemoLookups: return "spbla.incr.memo_lookups";
+        case Counter::IncrMemoHits: return "spbla.incr.memo_hits";
+        case Counter::IncrMemoStores: return "spbla.incr.memo_stores";
+        case Counter::IncrMemoEvictions: return "spbla.incr.memo_evictions";
+        case Counter::IncrIterationsSaved: return "spbla.incr.iterations_saved";
+        case Counter::IncrConsolidations: return "spbla.incr.consolidations";
+        case Counter::IncrShortCircuits: return "spbla.incr.shortcircuit_ops";
         case Counter::Count_: break;
     }
     return "spbla.unknown.counter";

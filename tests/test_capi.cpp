@@ -333,6 +333,70 @@ TEST_F(CApiTest, VectorErrors) {
     EXPECT_EQ(spbla_Vector_New(nullptr, 3), SPBLA_STATUS_INVALID_ARGUMENT);
 }
 
+TEST_F(CApiTest, ApplyDeltaMutatesInPlace) {
+    spbla_Matrix m = nullptr;
+    ASSERT_EQ(spbla_Matrix_New(&m, 4, 4), SPBLA_STATUS_SUCCESS);
+    const std::array<spbla_Index, 3> rows{0, 1, 2};
+    const std::array<spbla_Index, 3> cols{1, 2, 3};
+    ASSERT_EQ(spbla_Matrix_Build(m, rows.data(), cols.data(), 3, SPBLA_HINT_NO),
+              SPBLA_STATUS_SUCCESS);
+
+    // Insert (3, 0), delete (1, 2): the path rewires into a cycle chord.
+    const spbla_Index add_r = 3, add_c = 0, del_r = 1, del_c = 2;
+    ASSERT_EQ(spbla_MatrixApplyDelta(m, &add_r, &add_c, 1, &del_r, &del_c, 1),
+              SPBLA_STATUS_SUCCESS);
+    spbla_Index nvals = 0;
+    ASSERT_EQ(spbla_Matrix_Nvals(m, &nvals), SPBLA_STATUS_SUCCESS);
+    EXPECT_EQ(nvals, 3u);
+    std::array<spbla_Index, 3> out_r{}, out_c{};
+    ASSERT_EQ(spbla_Matrix_ExtractPairs(m, out_r.data(), out_c.data(), &nvals),
+              SPBLA_STATUS_SUCCESS);
+    EXPECT_EQ(out_r, (std::array<spbla_Index, 3>{0, 2, 3}));
+    EXPECT_EQ(out_c, (std::array<spbla_Index, 3>{1, 3, 0}));
+
+    // Empty batches are accepted no-ops; null arrays with nonzero counts are
+    // rejected.
+    EXPECT_EQ(spbla_MatrixApplyDelta(m, nullptr, nullptr, 0, nullptr, nullptr, 0),
+              SPBLA_STATUS_SUCCESS);
+    EXPECT_EQ(spbla_MatrixApplyDelta(m, nullptr, nullptr, 1, nullptr, nullptr, 0),
+              SPBLA_STATUS_INVALID_ARGUMENT);
+    EXPECT_EQ(spbla_MatrixApplyDelta(nullptr, nullptr, nullptr, 0, nullptr, nullptr, 0),
+              SPBLA_STATUS_INVALID_ARGUMENT);
+    ASSERT_EQ(spbla_Matrix_Free(&m), SPBLA_STATUS_SUCCESS);
+}
+
+TEST_F(CApiTest, ClosureIncrementalTracksEdgeStream) {
+    spbla_Matrix adj = nullptr;
+    spbla_Matrix closure = nullptr;
+    ASSERT_EQ(spbla_Matrix_New(&adj, 5, 5), SPBLA_STATUS_SUCCESS);
+    ASSERT_EQ(spbla_Matrix_New(&closure, 5, 5), SPBLA_STATUS_SUCCESS);
+
+    // Stream in the path 0→1→2→3→4 one edge at a time; the closure handle
+    // starts empty, so the first batch triggers the scratch build.
+    for (spbla_Index i = 0; i < 4; ++i) {
+        const spbla_Index r = i, c = i + 1;
+        ASSERT_EQ(spbla_ClosureIncremental(closure, adj, &r, &c, 1, nullptr,
+                                           nullptr, 0),
+                  SPBLA_STATUS_SUCCESS);
+    }
+    spbla_Index nvals = 0;
+    ASSERT_EQ(spbla_Matrix_Nvals(closure, &nvals), SPBLA_STATUS_SUCCESS);
+    EXPECT_EQ(nvals, 10u);  // all pairs i < j on a 5-path
+
+    // Delete the middle edge: exactly the pairs crossing 2→3 disappear.
+    const spbla_Index del_r = 2, del_c = 3;
+    ASSERT_EQ(spbla_ClosureIncremental(closure, adj, nullptr, nullptr, 0, &del_r,
+                                       &del_c, 1),
+              SPBLA_STATUS_SUCCESS);
+    ASSERT_EQ(spbla_Matrix_Nvals(closure, &nvals), SPBLA_STATUS_SUCCESS);
+    EXPECT_EQ(nvals, 4u);  // {01,02,12,34}
+    ASSERT_EQ(spbla_Matrix_Nvals(adj, &nvals), SPBLA_STATUS_SUCCESS);
+    EXPECT_EQ(nvals, 3u) << "adjacency must be updated in place";
+
+    ASSERT_EQ(spbla_Matrix_Free(&adj), SPBLA_STATUS_SUCCESS);
+    ASSERT_EQ(spbla_Matrix_Free(&closure), SPBLA_STATUS_SUCCESS);
+}
+
 TEST_F(CApiTest, NullArgumentsRejected) {
     EXPECT_EQ(spbla_Matrix_New(nullptr, 2, 2), SPBLA_STATUS_INVALID_ARGUMENT);
     EXPECT_EQ(spbla_Matrix_Free(nullptr), SPBLA_STATUS_INVALID_ARGUMENT);

@@ -6,11 +6,25 @@
 /// the next).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "algorithms/closure.hpp"
 #include "baseline/generic_ewise_add.hpp"
+#include "cfpq/azimov.hpp"
+#include "cfpq/grammar.hpp"
+#include "cfpq/worklist.hpp"
+#include "data/labeled_graph.hpp"
+#include "incr/incremental.hpp"
+#include "incr/memo.hpp"
+#include "rpq/dfa.hpp"
+#include "rpq/engine.hpp"
+#include "storage/dispatch.hpp"
 #include "baseline/generic_spgemm.hpp"
 // The sharded fuzz drives the tile kernels directly (tests are a sanctioned
 // import site for the private dist headers).
@@ -427,6 +441,165 @@ TEST_P(DistFuzzSweep, ShardedOpsAgreeWithCsrKernelsAndDenseMirror) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DistFuzzSweep,
                          ::testing::Values(17, 28, 39, 410, 511, 612));
+
+// ---------------------------------------------------------------------------
+// Incremental-evaluation differential fuzz. Random delta schedules are
+// streamed through the semi-naive drivers (src/incr) and every batch is
+// checked against a TRIPLE oracle: the incremental result, the scratch
+// fixpoint of the same engine, and an independent reference implementation
+// (Floyd–Warshall for closure, the product-automaton BFS for RPQ, the
+// worklist CFPQ solver). A second sweep races same-key memo lookups against
+// bitblock/CSR format materialisation to pin the table's exactly-once
+// compute semantics.
+// ---------------------------------------------------------------------------
+
+class IncrFuzzSweep
+    : public ::spbla::testing::CheckedContextWithParam<std::uint64_t> {
+protected:
+    void TearDown() override {
+        // Memoized results are charged to the shared trackers; drain them
+        // before the leak-balance check.
+        incr::memo().clear();
+        CheckedContextWithParam::TearDown();
+    }
+};
+
+/// Independent closure oracle: Floyd–Warshall over a bool grid.
+std::vector<Coord> warshall(Index n, const std::vector<Coord>& edges) {
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+    for (const auto& e : edges) reach[e.row][e.col] = true;
+    for (Index k = 0; k < n; ++k) {
+        for (Index i = 0; i < n; ++i) {
+            if (!reach[i][k]) continue;
+            for (Index j = 0; j < n; ++j) {
+                if (reach[k][j]) reach[i][j] = true;
+            }
+        }
+    }
+    std::vector<Coord> out;
+    for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < n; ++j) {
+            if (reach[i][j]) out.push_back({i, j});
+        }
+    }
+    return out;
+}
+
+TEST_P(IncrFuzzSweep, StreamedFixpointsAgreeWithScratchAndReferenceOracles) {
+    util::Rng rng{GetParam()};
+    const Index n = 8 + static_cast<Index>(rng.below(7));
+    const std::vector<std::string> labels{"a", "b"};
+    const std::vector<std::string> queries{"a b", "(a | b)+", "a* b", "a (a | b)*"};
+    const std::vector<std::string> grammars{"S -> a S b | a b\n", "S -> a S | eps\n",
+                                            "S -> a S b | a b | a\n"};
+    const auto query = rpq::compile_query(queries[rng.below(queries.size())]);
+    const auto grammar = cfpq::Grammar::parse(grammars[rng.below(grammars.size())]);
+
+    const auto random_edges = [&](std::size_t count) {
+        std::vector<data::LabeledEdge> edges;
+        for (std::size_t k = 0; k < count; ++k) {
+            edges.push_back({static_cast<Index>(rng.below(n)),
+                             labels[rng.below(labels.size())],
+                             static_cast<Index>(rng.below(n))});
+        }
+        return edges;
+    };
+    const auto as_graph = [&](const std::set<std::tuple<Index, std::string, Index>>& s) {
+        std::vector<data::LabeledEdge> edges;
+        for (const auto& [src, label, dst] : s) edges.push_back({src, label, dst});
+        return data::LabeledGraph::from_edges(n, edges);
+    };
+
+    std::set<std::tuple<Index, std::string, Index>> truth;
+    for (const auto& e : random_edges(2 * static_cast<std::size_t>(n))) {
+        truth.insert({e.src, e.label, e.dst});
+    }
+    const auto g0 = as_graph(truth);
+    incr::IncrementalClosure tc{ctx(), g0.union_matrix()};
+    incr::IncrementalRpq rpq_inc{ctx(), g0, query};
+    incr::IncrementalCfpq cfpq_inc{ctx(), g0, grammar};
+
+    for (int round = 0; round < 5; ++round) {
+        const auto adds = random_edges(1 + rng.below(6));
+        std::vector<data::LabeledEdge> removes;
+        if (!truth.empty() && rng.chance(0.6)) {
+            std::vector<std::tuple<Index, std::string, Index>> pool{truth.begin(),
+                                                                    truth.end()};
+            for (std::size_t k = 0; k < 1 + rng.below(4); ++k) {
+                const auto& [src, label, dst] = pool[rng.below(pool.size())];
+                removes.push_back({src, label, dst});
+            }
+        }
+        for (const auto& e : removes) truth.erase({e.src, e.label, e.dst});
+        for (const auto& e : adds) truth.insert({e.src, e.label, e.dst});
+        const auto graph = as_graph(truth);
+
+        // Unlabeled closure: drive with the union-matrix deltas.
+        const auto union_before = tc.adjacency();
+        const auto union_after = graph.union_matrix();
+        tc.apply(storage::ewise_diff(ctx(), union_after, union_before),
+                 storage::ewise_diff(ctx(), union_before, union_after));
+        const auto scratch = algorithms::transitive_closure(ctx(), union_after);
+        ASSERT_EQ(tc.closure(), scratch) << "incremental vs scratch closure";
+        ASSERT_EQ(tc.closure().to_coords(), warshall(n, union_after.to_coords()))
+            << "incremental vs Floyd-Warshall closure";
+
+        rpq_inc.apply(adds, removes);
+        ASSERT_EQ(rpq_inc.reachable(), rpq::evaluate(ctx(), graph, query))
+            << "incremental vs scratch RPQ";
+        ASSERT_EQ(rpq_inc.reachable(), rpq::evaluate_reference(graph, query))
+            << "incremental vs BFS-reference RPQ";
+
+        cfpq_inc.apply(adds, removes);
+        ASSERT_EQ(cfpq_inc.reachable(),
+                  cfpq::azimov_cfpq(ctx(), graph, grammar).reachable())
+            << "incremental vs scratch CFPQ";
+        ASSERT_EQ(cfpq_inc.reachable(), cfpq::worklist_cfpq(graph, grammar))
+            << "incremental vs worklist CFPQ";
+    }
+}
+
+TEST_P(IncrFuzzSweep, MemoComputesExactlyOnceUnderConversionRaces) {
+    util::Rng rng{GetParam()};
+    auto a = Matrix{testing::random_csr(48, 48, 0.08, rng()), ctx()};
+    const auto b = Matrix{testing::random_csr(48, 48, 0.08, rng()), ctx()};
+    constexpr std::size_t kLanes = 12;
+
+    for (int round = 0; round < 4; ++round) {
+        const auto want = storage::multiply(ctx(), a, b);
+        const auto before = incr::memo().stats();
+        std::atomic<int> mismatches{0};
+        // Same-key memo bursts race against concurrent first materialisation
+        // of the operands' bitblock / CSR / dense representations — the
+        // conversions the memoized kernels pick themselves.
+        ctx().pool()->run_dynamic(kLanes, [&](std::size_t t) {
+            switch (t % 4) {
+                case 0: (void)a.bitblocks(ctx()); break;  // lint:allow(parallel-capture)
+                case 1: (void)b.csr(ctx()); break;        // lint:allow(parallel-capture)
+                default: {
+                    const auto got = incr::memo_multiply(ctx(), a, b);
+                    if (got != want) mismatches.fetch_add(1);
+                    break;
+                }
+            }
+        });
+        EXPECT_EQ(mismatches.load(), 0);
+        const auto after = incr::memo().stats();
+        EXPECT_EQ(after.stores - before.stores, 1u)
+            << "a same-epoch burst must compute exactly once";
+        EXPECT_EQ(after.hits - before.hits, after.lookups - before.lookups - 1)
+            << "every other lookup of the burst must hit";
+
+        // Fresh epoch (and re-raced first materialisation) next round.
+        a.apply_delta(Matrix::from_coords(
+                          48, 48, {{static_cast<Index>(round), 47}}, ctx()),
+                      Matrix{48, 48, ctx()}, ctx());
+        a.drop_cached();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrFuzzSweep,
+                         ::testing::Values(1009, 2003, 3001, 4001, 5003));
 
 }  // namespace
 }  // namespace spbla

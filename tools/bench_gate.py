@@ -48,6 +48,13 @@ GATED_KEYS = {
         # lists across the SUMMA ladder (recycled accumulators/outputs).
         "pool_reuse_ratio": "higher",
     },
+    "BENCH_incremental.json": {
+        # Single-edge update latency of the semi-naive closure maintenance
+        # vs a full recompute of the same post-batch graph (geomean over the
+        # LUBM and pointer-analysis inputs). The acceptance floor is 10x;
+        # a drop means the delta-sized step loop degraded toward rebuild.
+        "geomean_speedup_batch1": "higher",
+    },
 }
 
 # The CI smoke run writes lowercase names (bench_spgemm.json); map both

@@ -50,6 +50,19 @@ Checks, in order:
               must exist when --require-dispatch also passed, proving the
               cost model routes work here on its own.
 
+  incr        (--require-incr) The trace demonstrably covers the incremental
+              evaluation layer (src/incr): incr.* spans were recorded
+              including at least one semi-naive round span, the op-memo
+              accounting is sane (lookups > 0, hits were observed, and
+              hits + stores never exceed lookups — a racing creator may
+              count neither), every recorded round carried frontier work
+              (incr_frontier_nnz), batches flowed through a driver
+              (incr_batches with the baseline/saved-iterations pair, where
+              iterations_saved <= baseline_rounds and any batch that used
+              rounds left round spans behind), the delta overlay absorbed
+              cells (incr_delta_nnz), and the dispatcher's empty-operand
+              short-circuit fired (incr_shortcircuit).
+
   metrics     (--require-metrics, with --metrics PATH) A telemetry snapshot
               dumped by SPBLA_METRICS / spbla_MetricsDump validates: the
               schema tag is spbla.metrics.v1, counters are non-negative
@@ -73,7 +86,8 @@ Checks, in order:
 
 Usage: tools/check_trace.py TRACE.json [--require-spgemm]
            [--require-dispatch] [--require-dist] [--require-bitblock]
-           [--require-metrics --metrics METRICS.json] [--require-arena]
+           [--require-incr] [--require-metrics --metrics METRICS.json]
+           [--require-arena]
            [--flight FLIGHT.jsonl]
 Exits 0 iff every check passes.
 """
@@ -303,6 +317,65 @@ class Checker:
             self.error("no dispatch_bitblock pick recorded — the cost model "
                        "never routed an operation to the bitblock tier on "
                        "its own")
+
+    def check_incr(self, spans: list[dict],
+                   counters: dict[tuple[str, str], int]) -> None:
+        def total(counter: str) -> int:
+            return sum(v for (s, c), v in counters.items() if c == counter)
+
+        names = [str(e.get("name", "")) for e in spans]
+        if not any(n.startswith("incr.") for n in names):
+            self.error("no incr.* operation span recorded — the incremental "
+                       "layer never ran under tracing")
+        rounds = sum(1 for n in names
+                     if n in ("incr.closure.round", "incr.cfpq.round"))
+        if rounds == 0:
+            self.error("no incr.closure.round / incr.cfpq.round span "
+                       "recorded — no semi-naive round ever executed")
+
+        lookups = total("incr_memo_lookups")
+        hits = total("incr_memo_hits")
+        stores = total("incr_memo_stores")
+        if lookups == 0:
+            self.error("incr_memo_lookups is zero — the epoch-keyed op memo "
+                       "never consulted (or its counters are unwired)")
+        if hits == 0:
+            self.error("incr_memo_hits is zero — no delta product was ever "
+                       "replayed from the memo (run the replay rung)")
+        # A creator that loses the compute-rendezvous race counts neither a
+        # hit nor a store, so the pair bounds lookups from below only.
+        if hits + stores > lookups:
+            self.error(f"incr_memo_hits + incr_memo_stores ({hits} + {stores})"
+                       f" exceeds incr_memo_lookups ({lookups}) — every hit "
+                       "and store is a lookup")
+
+        if total("incr_frontier_nnz") == 0:
+            self.error("incr_frontier_nnz is zero — semi-naive rounds ran "
+                       "without frontier work (or the counter is unwired)")
+
+        batches = total("incr_batches")
+        baseline = total("incr_baseline_rounds")
+        saved = total("incr_iterations_saved")
+        if batches == 0:
+            self.error("incr_batches is zero — no batch flowed through an "
+                       "incremental driver (or the counter is unwired)")
+        if saved > baseline:
+            self.error(f"incr_iterations_saved ({saved}) exceeds "
+                       f"incr_baseline_rounds ({baseline}) — a batch cannot "
+                       "save more rounds than the from-scratch baseline")
+        if batches > 0 and saved < baseline and rounds == 0:
+            self.error(f"incr_baseline_rounds ({baseline}) exceeds "
+                       f"incr_iterations_saved ({saved}) yet no round span "
+                       "was recorded — the rounds that were used left no "
+                       "trace")
+
+        if total("incr_delta_nnz") == 0:
+            self.error("incr_delta_nnz is zero — no cells were ever folded "
+                       "into a delta overlay (or the counter is unwired)")
+        if total("incr_shortcircuit") == 0:
+            self.error("incr_shortcircuit is zero — the dispatcher's "
+                       "empty-operand short-circuit never fired (or the "
+                       "counter is unwired)")
 
     # --- telemetry metrics snapshot --------------------------------------
 
@@ -542,6 +615,10 @@ def main() -> int:
                     help="additionally require the 64x64 bit-block tier "
                          "counters (blocks touched, words ANDed, "
                          "Four-Russians lookup hits)")
+    ap.add_argument("--require-incr", action="store_true",
+                    help="additionally require the incremental-evaluation "
+                         "counters (memo lookups/hits, round spans, frontier "
+                         "and delta nnz, batch accounting, short-circuits)")
     ap.add_argument("--require-metrics", action="store_true",
                     help="additionally validate a telemetry snapshot "
                          "(needs --metrics)")
@@ -583,6 +660,8 @@ def main() -> int:
             checker.check_dist(spans, counters)
         if args.require_bitblock:
             checker.check_bitblock(spans, counters, args.require_dispatch)
+        if args.require_incr:
+            checker.check_incr(spans, counters)
         n_spans, n_counters = len(spans), len(counters)
     else:
         n_spans = n_counters = 0

@@ -75,8 +75,8 @@ cannot see because they cross a lambda/scheduling boundary):
                     atomic step; use fetch_add/fetch_or/exchange.
   hot-alloc         No raw std::vector construction (or resize/assign/
                     reserve on a TU-declared std::vector) inside a parallel
-                    extent in src/ops/ or src/dist/ — per-row/per-tile
-                    heap churn bypasses the MemoryTracker and serialises
+                    extent in src/ops/, src/dist/ or src/incr/ — per-row/
+                    per-tile heap churn bypasses the MemoryTracker and serialises
                     workers on the allocator. Kernel scratch goes on the
                     op arena (backend::ArenaVector, Context::scratch_alloc)
                     or the context's BufferPool; deliberate cold-path
@@ -471,7 +471,8 @@ class Linter:
     # The schema tag "spbla.metrics.v1" deliberately does not match: it names
     # the export format, not an instrument.
     METRIC_LITERAL_RE = re.compile(
-        r"spbla\.(dispatch|op|mem|storage|pool|dist|prof|arena)\.[a-z0-9_.]+")
+        r"spbla\.(dispatch|op|mem|storage|pool|dist|prof|arena|incr)"
+        r"\.[a-z0-9_.]+")
 
     def rule_metric_name_literal(self, f: File) -> None:
         if not f.rel.startswith("src/"):
@@ -604,7 +605,8 @@ class Linter:
                 "annotate the call site safe")
 
     def rule_hot_alloc(self, f: File) -> None:
-        if not (f.rel.startswith("src/ops/") or f.rel.startswith("src/dist/")):
+        if not (f.rel.startswith("src/ops/") or f.rel.startswith("src/dist/")
+                or f.rel.startswith("src/incr/")):
             return
         toks = f.tokens
         extents = self._parallel_extents(f)

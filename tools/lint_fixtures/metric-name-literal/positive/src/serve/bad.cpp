@@ -5,3 +5,4 @@ bool is_dispatch_counter(const std::string& name) {
     return name == "spbla.dispatch.ops";
 }
 const char* kLatencyKey = "spbla.op.latency_ns.csr";
+const char* kMemoKey = "spbla.incr.memo_hits";

@@ -35,10 +35,11 @@ EXPECTED_POSITIVE = {
     "contracts-include": 1,
     "ops-validation": 1,
     "format-leak": 2,        # concrete core header + concrete dist header
-    "metric-name-literal": 2,  # comparison literal + named constant
+    "metric-name-literal": 3,  # comparison literal + two named constants
     "ops-file-state": 1,
     "parallel-capture": 2,   # parallel_for lambda + group().run lambda
-    "hot-alloc": 3,          # per-row ctor, per-row resize, per-chunk temp
+    "hot-alloc": 4,          # per-row ctor, per-row resize, per-chunk temp,
+                             # per-round ctor in src/incr/
     "guarded-mutable": 2,    # single-line and line-spanning declaration
     "atomic-rmw": 1,
     "lock-order": 1,         # one ABBA cycle
